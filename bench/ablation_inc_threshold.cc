@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: the INC triggering threshold epsilon (Algorithm 1 uses 1e-7).
+ * For PageRank — the only non-discrete algorithm, where the threshold
+ * actually trades accuracy for work — sweeps epsilon and reports both the
+ * compute latency and the L1 error against an FS reference on the same
+ * stream.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "saga/stream_source.h"
+
+namespace saga {
+namespace {
+
+void
+run()
+{
+    bench::banner("Ablation — INC trigger threshold (Algorithm 1 "
+                  "epsilon)");
+
+    TextTable table({"Dataset", "epsilon", "INC compute s (sum)",
+                     "L1 error vs FS", "FS compute s (sum)"});
+
+    for (const char *name : {"lj", "wiki"}) {
+        const DatasetProfile profile =
+            findProfile(name)->scaled(benchScale());
+
+        for (double eps : {1e-9, 1e-7, 1e-5, 1e-3, 1e-2}) {
+            RunConfig inc_cfg;
+            inc_cfg.ds = bench::bestDsFor(profile);
+            inc_cfg.alg = AlgKind::PR;
+            inc_cfg.model = ModelKind::INC;
+            inc_cfg.ctx.epsilon = eps;
+            RunConfig fs_cfg = inc_cfg;
+            fs_cfg.model = ModelKind::FS;
+
+            // Drive both models over the same stream; compare at the end.
+            StreamSource stream(profile.generate(1), profile.batchSize, 1);
+            auto inc = bench::makeRunnerFor(profile, inc_cfg);
+            auto fs = bench::makeRunnerFor(profile, fs_cfg);
+            double inc_compute = 0, fs_compute = 0;
+            while (stream.hasNext()) {
+                const EdgeBatch batch = stream.next();
+                const BatchResult bi = inc->processBatch(batch);
+                const BatchResult bf = fs->processBatch(batch);
+                inc_compute += bi.computeSeconds;
+                fs_compute += bf.computeSeconds;
+            }
+            const std::vector<double> vi = inc->values();
+            const std::vector<double> vf = fs->values();
+            double l1 = 0;
+            for (std::size_t v = 0; v < vi.size(); ++v)
+                l1 += std::fabs(vi[v] - vf[v]);
+
+            table.addRow({profile.name, formatDouble(eps, 9),
+                          formatDouble(inc_compute, 4),
+                          formatDouble(l1, 6),
+                          formatDouble(fs_compute, 4)});
+            std::cerr << "." << std::flush;
+        }
+    }
+    std::cerr << "\n";
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: tightening epsilon below the paper's "
+                 "1e-7 buys almost no accuracy but more propagation work; "
+                 "loosening it toward 1e-2 cuts compute latency sharply "
+                 "at a visible accuracy cost. 1e-7 sits on the accurate, "
+                 "still-cheap plateau.\n";
+}
+
+} // namespace
+} // namespace saga
+
+int
+main()
+{
+    saga::run();
+    return 0;
+}

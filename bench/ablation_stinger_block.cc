@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: Stinger edge-block capacity. The paper fixes 16 edges per
+ * block (Section III-A3); this sweep shows the trade-off that choice
+ * sits on — small blocks mean more pointer chasing on search, large
+ * blocks waste space and lengthen the serialized free-slot walk less
+ * often.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace saga {
+namespace {
+
+void
+run()
+{
+    bench::banner("Ablation — Stinger edge-block capacity (paper: 16)");
+
+    TextTable table({"Dataset", "blockCap", "P3 update s", "P3 compute s",
+                     "P3 total s"});
+
+    for (const char *name : {"orkut", "talk"}) {
+        const DatasetProfile profile =
+            findProfile(name)->scaled(benchScale());
+        for (std::uint32_t cap : {2u, 4u, 8u, 16u, 32u, 64u}) {
+            RunConfig cfg;
+            cfg.ds = DsKind::Stinger;
+            cfg.alg = AlgKind::BFS;
+            cfg.model = ModelKind::INC;
+            cfg.stingerBlock = cap;
+            const WorkloadStages stages =
+                measureWorkload(profile, cfg, benchReps());
+            table.addRow({profile.name, std::to_string(cap),
+                          formatDouble(stages.update.p3.mean, 4),
+                          formatDouble(stages.compute.p3.mean, 4),
+                          formatDouble(stages.total.p3.mean, 4)});
+            std::cerr << "." << std::flush;
+        }
+    }
+    std::cerr << "\n";
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: tiny blocks (2-4) pay pointer-chasing "
+                 "overhead on both phases; very large blocks stop helping "
+                 "once most vertices fit in one block. The paper's 16 "
+                 "sits on the flat part of the curve.\n";
+}
+
+} // namespace
+} // namespace saga
+
+int
+main()
+{
+    saga::run();
+    return 0;
+}

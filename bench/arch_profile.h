@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Shared architecture-characterization harness for the Figure 9/10
+ * benches.
+ *
+ * Replays a workload with a single worker thread, all memory touches
+ * routed through the trace-driven cache-hierarchy simulator (one simulator
+ * per run, shared between phases, so the compute phase really can reuse
+ * lines the update phase brought in — the mechanism behind the paper's
+ * LLC observation). Per batch it snapshots the per-phase cache/instruction
+ * deltas and runs the update phase's task structure through the
+ * core-scaling simulator at the paper's core count.
+ */
+
+#ifndef SAGA_BENCH_ARCH_PROFILE_H_
+#define SAGA_BENCH_ARCH_PROFILE_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "perfmodel/cache_sim.h"
+#include "perfmodel/scaling_sim.h"
+#include "perfmodel/trace.h"
+#include "perfmodel/workload_model.h"
+#include "saga/stream_source.h"
+
+namespace saga {
+namespace bench {
+
+/** Deltas attributed to one phase, accumulated over batches. */
+struct PhaseStats
+{
+    std::uint64_t l2Hits = 0, l2Misses = 0;
+    std::uint64_t llcHits = 0, llcMisses = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t dramBytes = 0;
+    /** Modeled phase duration in abstract cycles at the model core count. */
+    double makespanUnits = 0;
+
+    void
+    operator+=(const PhaseStats &other)
+    {
+        l2Hits += other.l2Hits;
+        l2Misses += other.l2Misses;
+        llcHits += other.llcHits;
+        llcMisses += other.llcMisses;
+        instructions += other.instructions;
+        dramBytes += other.dramBytes;
+        makespanUnits += other.makespanUnits;
+    }
+
+    double
+    l2HitRatio() const
+    {
+        const std::uint64_t n = l2Hits + l2Misses;
+        return n ? double(l2Hits) / double(n) : 0;
+    }
+    double
+    llcHitRatio() const
+    {
+        const std::uint64_t n = llcHits + llcMisses;
+        return n ? double(llcHits) / double(n) : 0;
+    }
+    double
+    l2Mpki() const
+    {
+        return retiredInstructions() ? 1000.0 * double(l2Misses) /
+                                           retiredInstructions()
+                                     : 0;
+    }
+    double
+    llcMpki() const
+    {
+        return retiredInstructions() ? 1000.0 * double(llcMisses) /
+                                           retiredInstructions()
+                                     : 0;
+    }
+
+    /** Abstract instructions scaled to retired-instruction magnitude. */
+    double retiredInstructions() const;
+};
+
+/** Per-stage (P1/P2/P3), per-phase (update/compute) aggregates. */
+struct ArchProfile
+{
+    PhaseStats update[3];
+    PhaseStats compute[3];
+
+    void
+    operator+=(const ArchProfile &other)
+    {
+        for (int s = 0; s < 3; ++s) {
+            update[s] += other.update[s];
+            compute[s] += other.compute[s];
+        }
+    }
+};
+
+namespace detail {
+
+struct CacheSnapshot
+{
+    std::uint64_t l2h, l2m, llch, llcm, instr, dram;
+};
+
+inline CacheSnapshot
+snap(const perf::CacheSim &sim)
+{
+    return {sim.levelStats(1).hits,   sim.levelStats(1).misses,
+            sim.levelStats(2).hits,   sim.levelStats(2).misses,
+            sim.instructions(),       sim.dramBytes()};
+}
+
+inline void
+addDelta(PhaseStats &stats, const CacheSnapshot &before,
+         const CacheSnapshot &after)
+{
+    stats.l2Hits += after.l2h - before.l2h;
+    stats.l2Misses += after.l2m - before.l2m;
+    stats.llcHits += after.llch - before.llch;
+    stats.llcMisses += after.llcm - before.llcm;
+    stats.instructions += after.instr - before.instr;
+    stats.dramBytes += after.dram - before.dram;
+}
+
+} // namespace detail
+
+/**
+ * Retired x86 instructions per abstract simulated instruction. The
+ * tracer counts ~1 instruction per edge/probe/value touch; real graph
+ * kernels retire an order of magnitude more (loop control, address
+ * arithmetic, locking). Calibrated so MPKI magnitudes land in the range
+ * Intel PCM reports for these workloads (paper Fig. 10b,c).
+ */
+inline constexpr double kInstructionScale = 12.0;
+
+/** Modeled core cycles per abstract simulated instruction. */
+inline constexpr double kCyclesPerInstruction = kInstructionScale * 1.5;
+
+/**
+ * Cache geometry for the arch studies: private L1/L2 kept in proportion
+ * to the scaled datasets' working sets (the full Xeon hierarchy would
+ * swallow them whole and produce vacuous hit ratios); the shared-LLC
+ * share follows the same scaling.
+ */
+inline perf::CacheHierarchyConfig
+archCacheConfig()
+{
+    perf::CacheHierarchyConfig config;
+    config.lineSize = 64;
+    config.levels = {
+        {"L1", 32 * 1024, 8},
+        {"L2", 256 * 1024, 16},
+        {"LLC", 4ull * 1024 * 1024, 11},
+    };
+    return config;
+}
+
+/**
+ * Characterize one {dataset, algorithm, data structure} workload (INC
+ * compute model, as in the paper's Section VI methodology).
+ *
+ * @param model_cores core count for the scheduling model (paper: 32).
+ */
+inline ArchProfile
+profileWorkload(const DatasetProfile &profile, AlgKind alg, DsKind ds,
+                int model_cores)
+{
+    RunConfig cfg;
+    cfg.ds = ds;
+    cfg.alg = alg;
+    cfg.model = ModelKind::INC;
+    cfg.threads = 1; // tracing is single-threaded
+    cfg.chunks = static_cast<std::size_t>(model_cores);
+    cfg.directed = profile.directed;
+    cfg.ctx.source = profile.source;
+
+    auto runner = makeRunner(cfg);
+    perf::CacheSim sim(archCacheConfig());
+    perf::UpdatePhaseModel update_model(ds, model_cores, profile.directed);
+
+    StreamSource stream(profile.generate(1), profile.batchSize, 1);
+    const std::size_t batch_count = stream.batchCount();
+
+    ArchProfile result;
+    std::size_t index = 0;
+    while (stream.hasNext()) {
+        const EdgeBatch batch = stream.next();
+        const int stage =
+            static_cast<int>(std::min<std::size_t>(2, index * 3 /
+                                                          batch_count));
+
+        auto before = detail::snap(sim);
+        {
+            perf::ScopedSink scope(&sim);
+            runner->updatePhase(batch);
+        }
+        auto mid = detail::snap(sim);
+        detail::addDelta(result.update[stage], before, mid);
+        result.update[stage].makespanUnits +=
+            perf::scheduleTasks(update_model.batchTasks(batch),
+                                model_cores,
+                                perf::CostParams{}.lockWaitPenalty)
+                .makespan;
+
+        {
+            perf::ScopedSink scope(&sim);
+            runner->computePhase(batch);
+        }
+        auto after = detail::snap(sim);
+        detail::addDelta(result.compute[stage], mid, after);
+        // The compute phase parallelizes nearly perfectly across cores
+        // (paper Fig. 9a); its modeled duration is instruction-limited.
+        result.compute[stage].makespanUnits +=
+            double(after.instr - mid.instr) * kCyclesPerInstruction /
+            model_cores;
+
+        ++index;
+    }
+    return result;
+}
+
+inline double
+PhaseStats::retiredInstructions() const
+{
+    return double(instructions) * kInstructionScale;
+}
+
+/** Aggregate a dataset group x algorithm list (STail / HTail groups). */
+inline ArchProfile
+profileGroup(const std::vector<DatasetProfile> &profiles, DsKind ds,
+             const std::vector<AlgKind> &algs, int model_cores)
+{
+    ArchProfile total;
+    for (const DatasetProfile &profile : profiles) {
+        for (AlgKind alg : algs) {
+            total += profileWorkload(profile, alg, ds, model_cores);
+            std::cerr << "." << std::flush;
+        }
+    }
+    return total;
+}
+
+/** The paper's STail group: short-tailed datasets on AS. */
+inline std::vector<DatasetProfile>
+stailProfiles(double extra_scale = 1.0)
+{
+    std::vector<DatasetProfile> group;
+    for (const DatasetProfile &p : scaledProfiles(extra_scale)) {
+        if (!p.heavyTailed)
+            group.push_back(p);
+    }
+    return group;
+}
+
+/** The paper's HTail group: heavy-tailed datasets on DAH. */
+inline std::vector<DatasetProfile>
+htailProfiles(double extra_scale = 1.0)
+{
+    std::vector<DatasetProfile> group;
+    for (const DatasetProfile &p : scaledProfiles(extra_scale)) {
+        if (p.heavyTailed)
+            group.push_back(p);
+    }
+    return group;
+}
+
+/**
+ * Extra scale factor for the cache/bandwidth studies. The default bench
+ * datasets fit in a 22MB LLC, which would make every DRAM-traffic number
+ * vacuous; the arch studies run a subset of workloads at several times
+ * the size instead. Override with SAGA_ARCH_SCALE.
+ */
+inline double
+archScale()
+{
+    if (const char *env = std::getenv("SAGA_ARCH_SCALE")) {
+        const double scale = std::atof(env);
+        if (scale > 0)
+            return scale;
+    }
+    return 4.0;
+}
+
+/** Representative short-tailed subset for the arch studies. */
+inline std::vector<DatasetProfile>
+archStail(double arch_scale)
+{
+    return {findProfile("lj")->scaled(benchScale() * arch_scale),
+            findProfile("rmat")->scaled(benchScale() * arch_scale)};
+}
+
+/** Representative heavy-tailed subset for the arch studies. */
+inline std::vector<DatasetProfile>
+archHtail(double arch_scale)
+{
+    return {findProfile("wiki")->scaled(benchScale() * arch_scale),
+            findProfile("talk")->scaled(benchScale() * arch_scale)};
+}
+
+} // namespace bench
+} // namespace saga
+
+#endif // SAGA_BENCH_ARCH_PROFILE_H_

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Baseline: the static-graph strategy on a streaming workload (paper
+ * Section II-C). Rebuilding a CSR from scratch on every batch gives the
+ * best compute-phase layout but pays an update cost that grows with the
+ * whole graph — quantifying the paper's argument that static-graph
+ * solutions do not port to streaming graphs.
+ */
+
+#include <iostream>
+
+#include "algo/bfs.h"
+#include "algo/pr.h"
+#include "bench_util.h"
+#include "ds/csr.h"
+#include "saga/stream_source.h"
+
+namespace saga {
+namespace {
+
+template <typename Store, typename Alg>
+WorkloadStages
+measureDirect(const DatasetProfile &profile, RunConfig cfg)
+{
+    cfg.directed = profile.directed;
+    cfg.ctx.source = profile.source;
+    std::vector<std::vector<double>> update_runs, compute_runs, total_runs;
+    for (int rep = 0; rep < benchReps(); ++rep) {
+        Runner<Store, Alg> runner(cfg);
+        StreamSource stream(profile.generate(1 + rep), profile.batchSize,
+                            1 + rep);
+        std::vector<double> update, compute, total;
+        while (stream.hasNext()) {
+            const BatchResult r = runner.processBatch(stream.next());
+            update.push_back(r.updateSeconds);
+            compute.push_back(r.computeSeconds);
+            total.push_back(r.totalSeconds());
+        }
+        update_runs.push_back(std::move(update));
+        compute_runs.push_back(std::move(compute));
+        total_runs.push_back(std::move(total));
+    }
+    WorkloadStages stages;
+    stages.update = summarizeStages(update_runs);
+    stages.compute = summarizeStages(compute_runs);
+    stages.total = summarizeStages(total_runs);
+    return stages;
+}
+
+void
+run()
+{
+    bench::banner("Baseline — per-batch CSR rebuild vs dynamic "
+                  "structures (paper Section II-C)");
+
+    TextTable table({"Dataset", "Alg", "DS", "P1 update s", "P3 update s",
+                     "P3 compute s", "P3 total s"});
+
+    for (const char *name : {"lj", "wiki"}) {
+        const DatasetProfile profile =
+            findProfile(name)->scaled(benchScale());
+        for (AlgKind alg : {AlgKind::BFS, AlgKind::PR}) {
+            RunConfig cfg;
+            cfg.alg = alg;
+            cfg.model = ModelKind::INC;
+
+            // The streaming-native structure for this dataset.
+            cfg.ds = bench::bestDsFor(profile);
+            const WorkloadStages dynamic =
+                measureWorkload(profile, cfg, benchReps());
+            table.addRow({profile.name, toString(alg), toString(cfg.ds),
+                          formatDouble(dynamic.update.p1.mean, 4),
+                          formatDouble(dynamic.update.p3.mean, 4),
+                          formatDouble(dynamic.compute.p3.mean, 4),
+                          formatDouble(dynamic.total.p3.mean, 4)});
+
+            // The static-graph strategy: full CSR rebuild per batch.
+            WorkloadStages csr;
+            switch (alg) {
+              case AlgKind::BFS:
+                csr = measureDirect<CsrStore, Bfs>(profile, cfg);
+                break;
+              default:
+                csr = measureDirect<CsrStore, Pr>(profile, cfg);
+                break;
+            }
+            table.addRow({profile.name, toString(alg), "csr-rebuild",
+                          formatDouble(csr.update.p1.mean, 4),
+                          formatDouble(csr.update.p3.mean, 4),
+                          formatDouble(csr.compute.p3.mean, 4),
+                          formatDouble(csr.total.p3.mean, 4)});
+            std::cerr << "." << std::flush;
+        }
+    }
+    std::cerr << "\n";
+    table.print(std::cout);
+
+    std::cout
+        << "\nExpected shape: CSR's compute phase is the fastest layout, "
+           "but its update latency grows with the WHOLE graph (the P3 "
+           "rebuild re-sorts every edge ever streamed) while the dynamic "
+           "structures' update cost tracks the batch — by P3 the rebuild "
+           "dwarfs any compute advantage, which is why the update phase "
+           "cannot be treated as a one-time overhead in streaming "
+           "analytics.\n";
+}
+
+} // namespace
+} // namespace saga
+
+int
+main()
+{
+    saga::run();
+    return 0;
+}

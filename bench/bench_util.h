@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures at a
+ * configurable scale:
+ *   SAGA_SCALE=<f>  multiply dataset/batch sizes (default 1.0)
+ *   SAGA_REPS=<n>   repetitions pooled into the stage averages (default 1)
+ */
+
+#ifndef SAGA_BENCH_BENCH_UTIL_H_
+#define SAGA_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/profiles.h"
+#include "saga/experiment.h"
+#include "stats/table.h"
+
+namespace saga {
+namespace bench {
+
+/** All profiles at the global bench scale. */
+inline std::vector<DatasetProfile>
+scaledProfiles(double extra_scale = 1.0)
+{
+    std::vector<DatasetProfile> profiles;
+    for (const DatasetProfile &p : allProfiles())
+        profiles.push_back(p.scaled(benchScale() * extra_scale));
+    return profiles;
+}
+
+/**
+ * The predominantly-best data structure per dataset found by the
+ * software-level study (paper Section VI intro): AS for the short-tailed
+ * graphs, DAH for the heavy-tailed ones.
+ */
+inline DsKind
+bestDsFor(const DatasetProfile &profile)
+{
+    return profile.heavyTailed ? DsKind::DAH : DsKind::AS;
+}
+
+/** The six algorithms in paper order. */
+inline const std::vector<AlgKind> &
+allAlgs()
+{
+    static const std::vector<AlgKind> algs{
+        AlgKind::BFS, AlgKind::CC,   AlgKind::MC,
+        AlgKind::PR,  AlgKind::SSSP, AlgKind::SSWP};
+    return algs;
+}
+
+inline const std::vector<DsKind> &
+allDs()
+{
+    static const std::vector<DsKind> ds{DsKind::AS, DsKind::AC,
+                                        DsKind::Stinger, DsKind::DAH};
+    return ds;
+}
+
+/** Build a runner wired to a profile's directedness and source vertex. */
+inline std::unique_ptr<StreamingRunner>
+makeRunnerFor(const DatasetProfile &profile, RunConfig cfg)
+{
+    cfg.directed = profile.directed;
+    cfg.ctx.source = profile.source;
+    return makeRunner(cfg);
+}
+
+/** Print a standard bench banner. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "==============================================\n"
+              << "SAGA-Bench reproduction: " << what << "\n"
+              << "scale=" << benchScale() << " reps=" << benchReps()
+              << "  (set SAGA_SCALE / SAGA_REPS to change)\n"
+              << "==============================================\n";
+}
+
+} // namespace bench
+} // namespace saga
+
+#endif // SAGA_BENCH_BENCH_UTIL_H_

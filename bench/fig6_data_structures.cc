@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Reproduces **Figure 6**: impact of the data structure. For every
+ * algorithm (at the incremental compute model, the predominantly best) and
+ * dataset, reports the P3-stage (a) batch, (b) update, and (c) compute
+ * latencies of AC, DAH, and Stinger normalized to AS.
+ *
+ * A final section replays the update phase's work structure through the
+ * core-scaling simulator at the paper's 32 cores. On this single-core
+ * measurement host the wall-clock numbers cannot show the effects that
+ * need real parallelism (Stinger's parallel intra-vertex search, AS's lock
+ * contention); the modeled section recovers them.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "perfmodel/scaling_sim.h"
+#include "perfmodel/workload_model.h"
+#include "saga/stream_source.h"
+
+namespace saga {
+namespace {
+
+struct DsStages
+{
+    StageSummary total, update, compute;
+};
+
+void
+run()
+{
+    bench::banner("Figure 6 — latency of AC/DAH/Stinger normalized to AS "
+                  "at P3 (INC compute model)");
+
+    // results[dataset][alg][ds]
+    std::map<std::string, std::map<AlgKind, std::map<DsKind, DsStages>>>
+        results;
+
+    for (const DatasetProfile &profile : bench::scaledProfiles()) {
+        for (AlgKind alg : bench::allAlgs()) {
+            for (DsKind ds : bench::allDs()) {
+                RunConfig cfg;
+                cfg.ds = ds;
+                cfg.alg = alg;
+                cfg.model = ModelKind::INC;
+                const WorkloadStages stages =
+                    measureWorkload(profile, cfg, benchReps());
+                results[profile.name][alg][ds] =
+                    {stages.total, stages.update, stages.compute};
+                std::cerr << "." << std::flush;
+            }
+        }
+    }
+    std::cerr << "\n";
+
+    const auto normRow = [&](const std::string &dataset, AlgKind alg,
+                             const StageSummary DsStages::*part) {
+        const auto &per_ds = results[dataset][alg];
+        const double as = (per_ds.at(DsKind::AS).*part).p3.mean;
+        std::vector<std::string> row{toString(alg), dataset};
+        for (DsKind ds : {DsKind::AC, DsKind::DAH, DsKind::Stinger}) {
+            const double x = (per_ds.at(ds).*part).p3.mean;
+            row.push_back(as > 0 ? formatDouble(x / as, 2) : "n/a");
+        }
+        return row;
+    };
+
+    std::cout << "\n(a) P3 batch-processing latency normalized to AS\n";
+    TextTable total_table({"Alg", "Dataset", "AC/AS", "DAH/AS",
+                           "Stinger/AS"});
+    for (AlgKind alg : bench::allAlgs()) {
+        for (const DatasetProfile &profile : bench::scaledProfiles())
+            total_table.addRow(normRow(profile.name, alg,
+                                       &DsStages::total));
+    }
+    total_table.print(std::cout);
+
+    std::cout << "\n(b) P3 update latency normalized to AS (BFS runs; the "
+                 "update phase is algorithm-independent)\n";
+    TextTable update_table({"Alg", "Dataset", "AC/AS", "DAH/AS",
+                            "Stinger/AS"});
+    for (const DatasetProfile &profile : bench::scaledProfiles())
+        update_table.addRow(normRow(profile.name, AlgKind::BFS,
+                                    &DsStages::update));
+    update_table.print(std::cout);
+
+    std::cout << "\n(c) P3 compute latency normalized to AS\n";
+    TextTable compute_table({"Alg", "Dataset", "AC/AS", "DAH/AS",
+                             "Stinger/AS"});
+    for (AlgKind alg : bench::allAlgs()) {
+        for (const DatasetProfile &profile : bench::scaledProfiles())
+            compute_table.addRow(normRow(profile.name, alg,
+                                         &DsStages::compute));
+    }
+    compute_table.print(std::cout);
+
+    // ---- Modeled update latency at the paper's core count. ----
+    std::cout << "\n(b') update latency normalized to AS, *modeled at 32 "
+                 "cores* (core-scaling simulator; recovers contention / "
+                 "intra-vertex parallelism effects a 1-core host hides)\n";
+    TextTable model_table({"Dataset", "AC/AS", "DAH/AS", "Stinger/AS"});
+    for (const DatasetProfile &profile : bench::scaledProfiles()) {
+        std::map<DsKind, double> makespan;
+        const perf::CostParams params;
+        for (DsKind ds : bench::allDs()) {
+            perf::UpdatePhaseModel model(ds, 32, profile.directed, params);
+            StreamSource stream(profile.generate(1), profile.batchSize, 1);
+            double total = 0;
+            while (stream.hasNext()) {
+                const EdgeBatch batch = stream.next();
+                total += perf::scheduleTasks(model.batchTasks(batch), 32,
+                                             params.lockWaitPenalty)
+                             .makespan;
+            }
+            makespan[ds] = total;
+        }
+        model_table.addRow(
+            {profile.name,
+             formatDouble(makespan[DsKind::AC] / makespan[DsKind::AS], 2),
+             formatDouble(makespan[DsKind::DAH] / makespan[DsKind::AS], 2),
+             formatDouble(makespan[DsKind::Stinger] / makespan[DsKind::AS],
+                          2)});
+    }
+    model_table.print(std::cout);
+
+    std::cout
+        << "\nExpected shape (paper Fig. 6): on lj/orkut/rmat DAH is the "
+           "worst (1.7-4.1x AS) and AS the best; on wiki/talk the update "
+           "phase flips — AS is 5.6-12.8x worse than DAH. In the modeled "
+           "section, heavy-tailed update ordering is AS > AC > Stinger > "
+           "DAH (highest to lowest latency).\n";
+}
+
+} // namespace
+} // namespace saga
+
+int
+main()
+{
+    saga::run();
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the four data structures' core
+ * operations: batch insert under three regimes (uniform, duplicate-heavy,
+ * hub-centric) and full neighbor traversal. These isolate the per-edge
+ * mechanism costs that the macro benches aggregate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ds/adj_chunked.h"
+#include "ds/adj_shared.h"
+#include "ds/dah.h"
+#include "ds/dyn_graph.h"
+#include "ds/stinger.h"
+#include "platform/rng.h"
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+
+namespace saga {
+namespace {
+
+enum class Regime { Uniform, DupHeavy, Hub };
+
+EdgeBatch
+makeBatch(Regime regime, std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        NodeId src = 0, dst = 0;
+        switch (regime) {
+          case Regime::Uniform:
+            src = static_cast<NodeId>(rng.below(20000));
+            dst = static_cast<NodeId>(rng.below(20000));
+            break;
+          case Regime::DupHeavy: // small id space -> many duplicates
+            src = static_cast<NodeId>(rng.below(200));
+            dst = static_cast<NodeId>(rng.below(200));
+            break;
+          case Regime::Hub: // 1 source fanning out
+            src = 0;
+            dst = static_cast<NodeId>(1 + rng.below(50000));
+            break;
+        }
+        edges.push_back({src, dst, 1.0f});
+    }
+    return EdgeBatch(std::move(edges));
+}
+
+template <typename Store>
+Store
+makeStore()
+{
+    if constexpr (std::is_constructible_v<Store, std::size_t>) {
+        return Store(2);
+    } else {
+        return Store();
+    }
+}
+
+template <typename Store>
+void
+insertBench(benchmark::State &state, Regime regime)
+{
+    ThreadPool pool(2);
+    const EdgeBatch batch =
+        makeBatch(regime, static_cast<std::size_t>(state.range(0)), 42);
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto store = makeStore<Store>();
+        state.ResumeTiming();
+        store.updateBatch(batch, pool, false);
+        benchmark::DoNotOptimize(store.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() * batch.size());
+}
+
+template <typename Store>
+void
+traverseBench(benchmark::State &state)
+{
+    ThreadPool pool(2);
+    auto store = makeStore<Store>();
+    store.updateBatch(
+        makeBatch(Regime::Uniform,
+                  static_cast<std::size_t>(state.range(0)), 42),
+        pool, false);
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        for (NodeId v = 0; v < store.numNodes(); ++v) {
+            store.forNeighbors(v, [&](const Neighbor &nbr) {
+                sum += nbr.node;
+            });
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * store.numEdges());
+}
+
+#define SAGA_DS_BENCH(Store, Tag)                                          \
+    void BM_##Tag##_InsertUniform(benchmark::State &s)                     \
+    {                                                                      \
+        insertBench<Store>(s, Regime::Uniform);                            \
+    }                                                                      \
+    BENCHMARK(BM_##Tag##_InsertUniform)->Arg(50000);                       \
+    void BM_##Tag##_InsertDupHeavy(benchmark::State &s)                    \
+    {                                                                      \
+        insertBench<Store>(s, Regime::DupHeavy);                           \
+    }                                                                      \
+    BENCHMARK(BM_##Tag##_InsertDupHeavy)->Arg(50000);                      \
+    void BM_##Tag##_InsertHub(benchmark::State &s)                         \
+    {                                                                      \
+        insertBench<Store>(s, Regime::Hub);                                \
+    }                                                                      \
+    BENCHMARK(BM_##Tag##_InsertHub)->Arg(20000);                           \
+    void BM_##Tag##_Traverse(benchmark::State &s)                          \
+    {                                                                      \
+        traverseBench<Store>(s);                                           \
+    }                                                                      \
+    BENCHMARK(BM_##Tag##_Traverse)->Arg(50000);
+
+SAGA_DS_BENCH(AdjSharedStore, AS)
+SAGA_DS_BENCH(AdjChunkedStore, AC)
+SAGA_DS_BENCH(StingerStore, Stinger)
+SAGA_DS_BENCH(DahStore, DAH)
+
+#undef SAGA_DS_BENCH
+
+} // namespace
+} // namespace saga
+
+BENCHMARK_MAIN();

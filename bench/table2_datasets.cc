@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces **Table II**: the evaluated datasets — vertices, edges, and
+ * batchCount — plus the measured post-dedup graph size as a sanity column.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "ds/dyn_graph.h"
+#include "ds/reference.h"
+#include "platform/thread_pool.h"
+#include "saga/stream_source.h"
+
+namespace saga {
+namespace {
+
+void
+run()
+{
+    bench::banner("Table II — evaluated datasets");
+
+    TextTable table({"Dataset", "directed", "vertices", "edges",
+                     "batchSize", "batchCount", "uniqueEdges"});
+
+    ThreadPool pool(0);
+    for (const DatasetProfile &profile : bench::scaledProfiles()) {
+        // Stream the whole dataset once to count unique directed edges.
+        DynGraph<ReferenceStore> g(profile.directed);
+        StreamSource stream(profile.generate(1), profile.batchSize, 1);
+        while (stream.hasNext())
+            g.update(stream.next(), pool);
+
+        table.addRow({profile.name,
+                      profile.directed ? "yes" : "no",
+                      std::to_string(profile.numNodes),
+                      std::to_string(profile.numEdges),
+                      std::to_string(profile.batchSize),
+                      std::to_string(profile.batchCount()),
+                      std::to_string(g.numEdges())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference (full scale): LJ 4.8M/69M/138, Orkut "
+                 "3.1M/117M/235, RMAT 32M/500M/1000, Wiki 1.8M/28.5M/58, "
+                 "Talk 2.4M/5.0M/11.\n"
+                 "The profiles preserve the orderings (RMAT largest, Talk "
+                 "smallest with 11 batches) at bench scale.\n";
+}
+
+} // namespace
+} // namespace saga
+
+int
+main()
+{
+    saga::run();
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Real-time fraud monitoring over a streaming transaction graph — the
+ * paper's second motivating scenario (real-time financial fraud
+ * detection).
+ *
+ * Synthesizes a money-flow stream: accounts transact mostly within their
+ * community, a few mule accounts fan money out, and one flagged account is
+ * the investigation root. After every batch, incremental BFS from the
+ * flagged account re-labels every account by its hop distance in the flow
+ * graph; accounts that newly come within the alert radius are reported the
+ * moment the batch lands — the low-latency loop that motivates streaming
+ * graph analytics.
+ *
+ *   ./examples/fraud_detection [num_accounts] [batches]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "platform/rng.h"
+#include "saga/driver.h"
+
+namespace {
+
+constexpr saga::NodeId kFlaggedAccount = 0;
+constexpr std::uint32_t kAlertRadius = 3; // hops of money flow
+
+/** One batch of synthetic transactions. */
+saga::EdgeBatch
+transactionBatch(saga::NodeId accounts, std::size_t count,
+                 std::uint64_t seed)
+{
+    saga::Rng rng(seed);
+    std::vector<saga::Edge> txns;
+    txns.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        saga::NodeId from, to;
+        const std::uint64_t kind = rng.below(100);
+        if (kind < 3) {
+            // The flagged account moves money to a random mule.
+            from = kFlaggedAccount;
+            to = static_cast<saga::NodeId>(1 + rng.below(20));
+        } else if (kind < 15) {
+            // Mules fan out widely.
+            from = static_cast<saga::NodeId>(1 + rng.below(20));
+            to = static_cast<saga::NodeId>(rng.below(accounts));
+        } else {
+            // Ordinary local commerce within a community of 64.
+            from = static_cast<saga::NodeId>(rng.below(accounts));
+            to = static_cast<saga::NodeId>(
+                (from / 64) * 64 + rng.below(64));
+        }
+        if (to == from)
+            to = (to + 1) % accounts;
+        const auto amount =
+            static_cast<saga::Weight>(1 + rng.below(1000));
+        txns.push_back({from, to, amount});
+    }
+    return saga::EdgeBatch(std::move(txns));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace saga;
+
+    const NodeId accounts =
+        argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 20000;
+    const int batches = argc > 2 ? std::atoi(argv[2]) : 25;
+
+    RunConfig cfg;
+    cfg.ds = DsKind::DAH; // mule fan-out makes the stream heavy-tailed
+    cfg.alg = AlgKind::BFS;
+    cfg.model = ModelKind::INC;
+    cfg.ctx.source = kFlaggedAccount;
+    auto monitor = makeRunner(cfg);
+
+    std::vector<bool> alerted; // accounts already reported
+    std::size_t total_alerts = 0;
+
+    for (int b = 0; b < batches; ++b) {
+        const EdgeBatch batch = transactionBatch(accounts, 4000, 100 + b);
+        const BatchResult result = monitor->processBatch(batch);
+
+        const std::vector<double> hops = monitor->values();
+        alerted.resize(hops.size(), false);
+        std::size_t fresh = 0;
+        for (NodeId account = 0; account < hops.size(); ++account) {
+            if (!alerted[account] && hops[account] <= kAlertRadius) {
+                alerted[account] = true;
+                ++fresh;
+            }
+        }
+        total_alerts += fresh;
+
+        std::cout << "batch " << b << ": " << result.batchEdges
+                  << " txns ingested in "
+                  << result.updateSeconds * 1e3 << " ms, screened in "
+                  << result.computeSeconds * 1e3 << " ms";
+        if (fresh > 0)
+            std::cout << "  -> " << fresh << " accounts newly within "
+                      << kAlertRadius << " hops of flagged funds";
+        std::cout << "\n";
+    }
+
+    std::cout << "\n" << total_alerts << " of " << accounts
+              << " accounts entered the alert radius while streaming.\n";
+    return 0;
+}

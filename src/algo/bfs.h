@@ -1,0 +1,105 @@
+/**
+ * @file
+ * BFS — breadth-first search depth labelling.
+ *
+ * Table I vertex function:
+ *   v.depth <- min over in-edges e of (e.source.depth + 1)
+ *
+ * FS implementation: level-synchronous parallel BFS from the source over
+ * out-edges (GAP-style, without the direction-optimizing heuristic).
+ */
+
+#ifndef SAGA_ALGO_BFS_H_
+#define SAGA_ALGO_BFS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "platform/atomic_ops.h"
+#include "algo/context.h"
+#include "algo/frontier.h"
+#include "perfmodel/trace.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+
+namespace saga {
+
+struct Bfs
+{
+    using Value = std::uint32_t;
+
+    static constexpr const char *kName = "bfs";
+    /** Unreached depth. */
+    static constexpr Value kInf = std::numeric_limits<Value>::max();
+    /** CC pulls from both directions; BFS only from in-edges. */
+    static constexpr bool kUsesBothDirections = false;
+
+    /** Initial value (FS reset, or a vertex newly streamed in). */
+    static Value
+    init(NodeId v, const AlgContext &ctx)
+    {
+        return v == ctx.source ? 0 : kInf;
+    }
+
+    /** Table I vertex function (pull form). */
+    template <typename Graph>
+    static Value
+    recompute(const Graph &g, NodeId v, const std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        if (v == ctx.source)
+            return 0;
+        Value best = kInf;
+        g.inNeigh(v, [&](const Neighbor &nbr) {
+            perf::ops(1);
+            const Value d = values[nbr.node];
+            perf::touch(&values[nbr.node], sizeof(Value));
+            if (d != kInf && d + 1 < best)
+                best = d + 1;
+        });
+        return best;
+    }
+
+    /** INC trigger: any change in depth is propagated (discrete values). */
+    static bool
+    trigger(Value old_value, Value new_value, const AlgContext &)
+    {
+        return old_value != new_value;
+    }
+
+    /** From-scratch compute: level-synchronous BFS. */
+    template <typename Graph>
+    static void
+    computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        const NodeId n = g.numNodes();
+        values.assign(n, kInf);
+        if (ctx.source >= n)
+            return;
+        values[ctx.source] = 0;
+
+        std::vector<NodeId> frontier{ctx.source};
+        Value depth = 0;
+        while (!frontier.empty()) {
+            ++depth;
+            frontier = expandFrontier(pool, frontier,
+                                      [&](NodeId v, auto &push) {
+                g.outNeigh(v, [&](const Neighbor &nbr) {
+                    perf::ops(1);
+                    perf::touch(&values[nbr.node], sizeof(Value));
+                    if (values[nbr.node] == kInf &&
+                        atomicClaim(values[nbr.node], kInf, depth)) {
+                        perf::touchWrite(&values[nbr.node], sizeof(Value));
+                        push(nbr.node);
+                    }
+                });
+            });
+        }
+    }
+};
+
+} // namespace saga
+
+#endif // SAGA_ALGO_BFS_H_

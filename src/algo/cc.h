@@ -1,0 +1,101 @@
+/**
+ * @file
+ * CC — connected components by minimum-label propagation.
+ *
+ * Table I vertex function:
+ *   v.value <- min(v.value, min over incident edges e of e.other.value)
+ *
+ * Connectivity is weak (edge direction ignored), so both the FS iteration
+ * and the INC engine pull from in- AND out-neighbors and propagate in both
+ * directions.
+ */
+
+#ifndef SAGA_ALGO_CC_H_
+#define SAGA_ALGO_CC_H_
+
+#include <vector>
+
+#include "algo/context.h"
+#include "perfmodel/trace.h"
+#include "platform/parallel_for.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+
+namespace saga {
+
+struct Cc
+{
+    using Value = NodeId;
+
+    static constexpr const char *kName = "cc";
+    static constexpr bool kUsesBothDirections = true;
+
+    static Value init(NodeId v, const AlgContext &) { return v; }
+
+    template <typename Graph>
+    static Value
+    recompute(const Graph &g, NodeId v, const std::vector<Value> &values,
+              const AlgContext &)
+    {
+        Value best = values[v];
+        const auto relax = [&](const Neighbor &nbr) {
+            perf::ops(1);
+            perf::touch(&values[nbr.node], sizeof(Value));
+            if (values[nbr.node] < best)
+                best = values[nbr.node];
+        };
+        g.inNeigh(v, relax);
+        g.outNeigh(v, relax);
+        return best;
+    }
+
+    static bool
+    trigger(Value old_value, Value new_value, const AlgContext &)
+    {
+        return old_value != new_value;
+    }
+
+    /**
+     * From-scratch compute: synchronous min-label iteration until a full
+     * pass makes no change (deterministic; labels are pulled from the
+     * previous pass via a double buffer-free sweep, which still converges
+     * to the componentwise minimum).
+     */
+    template <typename Graph>
+    static void
+    computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        const NodeId n = g.numNodes();
+        values.resize(n);
+        for (NodeId v = 0; v < n; ++v)
+            values[v] = v;
+
+        std::vector<char> changed(pool.size(), 1);
+        bool any_change = true;
+        while (any_change) {
+            std::fill(changed.begin(), changed.end(), 0);
+            parallelSlices(pool, 0, n,
+                           [&](std::size_t w, std::uint64_t lo,
+                               std::uint64_t hi) {
+                char local_change = 0;
+                for (NodeId v = static_cast<NodeId>(lo); v < hi; ++v) {
+                    const Value best = recompute(g, v, values, ctx);
+                    if (best < values[v]) {
+                        values[v] = best;
+                        perf::touchWrite(&values[v], sizeof(Value));
+                        local_change = 1;
+                    }
+                }
+                changed[w] = local_change;
+            });
+            any_change = false;
+            for (char c : changed)
+                any_change |= (c != 0);
+        }
+    }
+};
+
+} // namespace saga
+
+#endif // SAGA_ALGO_CC_H_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared algorithm-execution context.
+ */
+
+#ifndef SAGA_ALGO_CONTEXT_H_
+#define SAGA_ALGO_CONTEXT_H_
+
+#include <cstdint>
+
+#include "saga/types.h"
+
+namespace saga {
+
+/** Parameters shared by the FS and INC engines. */
+struct AlgContext
+{
+    /** Root vertex for BFS / SSSP / SSWP. */
+    NodeId source = 0;
+
+    /**
+     * Current vertex count, refreshed by the engines before init() calls
+     * (PageRank initializes new vertices to 1/|V|, Algorithm 1 line 4).
+     */
+    NodeId numNodesHint = 0;
+
+    /** INC triggering threshold epsilon (paper Algorithm 1: 1e-7). */
+    double epsilon = 1e-7;
+
+    /** PageRank damping factor (Table I: 0.85). */
+    double damping = 0.85;
+
+    /** PageRank FS convergence tolerance (GAP default). */
+    double prTolerance = 1e-4;
+
+    /** PageRank FS maximum iterations (GAP's default). */
+    std::uint32_t prMaxIters = 20;
+
+    /** Delta-stepping bucket width for SSSP FS. */
+    double delta = 8.0;
+};
+
+} // namespace saga
+
+#endif // SAGA_ALGO_CONTEXT_H_

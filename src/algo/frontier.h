@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Parallel frontier expansion shared by the FS and INC engines.
+ */
+
+#ifndef SAGA_ALGO_FRONTIER_H_
+#define SAGA_ALGO_FRONTIER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/parallel_for.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/**
+ * Apply body(v, push) to every vertex in @p frontier in parallel;
+ * push(NodeId) collects vertices into per-worker queues which are
+ * concatenated into the returned next frontier.
+ */
+template <typename Body>
+std::vector<NodeId>
+expandFrontier(ThreadPool &pool, const std::vector<NodeId> &frontier,
+               const Body &body)
+{
+    std::vector<std::vector<NodeId>> local(pool.size());
+    parallelSlices(pool, 0, frontier.size(),
+                   [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+        std::vector<NodeId> &queue = local[w];
+        auto push = [&queue](NodeId v) { queue.push_back(v); };
+        for (std::uint64_t i = lo; i < hi; ++i)
+            body(frontier[i], push);
+    });
+
+    std::size_t total = 0;
+    for (const auto &queue : local)
+        total += queue.size();
+    std::vector<NodeId> next;
+    next.reserve(total);
+    for (const auto &queue : local)
+        next.insert(next.end(), queue.begin(), queue.end());
+    return next;
+}
+
+} // namespace saga
+
+#endif // SAGA_ALGO_FRONTIER_H_

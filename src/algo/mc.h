@@ -1,0 +1,93 @@
+/**
+ * @file
+ * MC — max computation (maximum ancestor value propagation).
+ *
+ * Table I vertex function:
+ *   v.value <- max(v.value, max over in-edges e of e.source.value)
+ *
+ * Each vertex starts with its own id as value; at the fixed point each
+ * vertex holds the maximum id among vertices that can reach it. MC is one
+ * of the two algorithms (with SSWP) the paper implements itself because GAP
+ * lacks it; as the paper notes (Section V-C, footnote 7), the FS and INC
+ * implementations are naturally similar — a monotone worklist propagation.
+ */
+
+#ifndef SAGA_ALGO_MC_H_
+#define SAGA_ALGO_MC_H_
+
+#include <vector>
+
+#include "platform/atomic_ops.h"
+#include "algo/context.h"
+#include "algo/frontier.h"
+#include "perfmodel/trace.h"
+#include "platform/parallel_for.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+
+namespace saga {
+
+struct Mc
+{
+    using Value = NodeId;
+
+    static constexpr const char *kName = "mc";
+    static constexpr bool kUsesBothDirections = false;
+
+    static Value init(NodeId v, const AlgContext &) { return v; }
+
+    template <typename Graph>
+    static Value
+    recompute(const Graph &g, NodeId v, const std::vector<Value> &values,
+              const AlgContext &)
+    {
+        Value best = values[v];
+        g.inNeigh(v, [&](const Neighbor &nbr) {
+            perf::ops(1);
+            perf::touch(&values[nbr.node], sizeof(Value));
+            if (values[nbr.node] > best)
+                best = values[nbr.node];
+        });
+        return best;
+    }
+
+    static bool
+    trigger(Value old_value, Value new_value, const AlgContext &)
+    {
+        return old_value != new_value;
+    }
+
+    /** From-scratch compute: push-based worklist max propagation. */
+    template <typename Graph>
+    static void
+    computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
+              const AlgContext &)
+    {
+        const NodeId n = g.numNodes();
+        values.resize(n);
+        std::vector<NodeId> frontier(n);
+        for (NodeId v = 0; v < n; ++v) {
+            values[v] = v;
+            frontier[v] = v;
+        }
+
+        while (!frontier.empty()) {
+            frontier = expandFrontier(pool, frontier,
+                                      [&](NodeId v, auto &push) {
+                const Value value = values[v];
+                g.outNeigh(v, [&](const Neighbor &nbr) {
+                    perf::ops(1);
+                    perf::touch(&values[nbr.node], sizeof(Value));
+                    if (atomicFetchMax(values[nbr.node], value)) {
+                        perf::touchWrite(&values[nbr.node], sizeof(Value));
+                        push(nbr.node);
+                    }
+                });
+            });
+        }
+    }
+};
+
+} // namespace saga
+
+#endif // SAGA_ALGO_MC_H_

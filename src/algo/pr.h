@@ -1,0 +1,104 @@
+/**
+ * @file
+ * PR — PageRank.
+ *
+ * Table I vertex function (with the out-degree normalization noted in
+ * Section V-B):
+ *   v.rank <- (1-d)/|V| + d * sum over in-edges e of
+ *             e.source.rank / outDegree(e.source)
+ *
+ * FS implementation: GAP-style pull power iteration until the L1 rank
+ * change falls below prTolerance (or prMaxIters passes).
+ */
+
+#ifndef SAGA_ALGO_PR_H_
+#define SAGA_ALGO_PR_H_
+
+#include <cmath>
+#include <vector>
+
+#include "algo/context.h"
+#include "perfmodel/trace.h"
+#include "platform/parallel_for.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+
+namespace saga {
+
+struct Pr
+{
+    using Value = double;
+
+    static constexpr const char *kName = "pr";
+    static constexpr bool kUsesBothDirections = false;
+
+    static Value
+    init(NodeId, const AlgContext &ctx)
+    {
+        return ctx.numNodesHint > 0 ? 1.0 / ctx.numNodesHint : 1.0;
+    }
+
+    template <typename Graph>
+    static Value
+    recompute(const Graph &g, NodeId v, const std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        const double base = (1.0 - ctx.damping) / g.numNodes();
+        double sum = 0;
+        g.inNeigh(v, [&](const Neighbor &nbr) {
+            perf::ops(1);
+            perf::touch(&values[nbr.node], sizeof(Value));
+            const std::uint32_t out_degree = g.outDegree(nbr.node);
+            if (out_degree > 0)
+                sum += values[nbr.node] / out_degree;
+        });
+        return base + ctx.damping * sum;
+    }
+
+    /** INC trigger: Algorithm 1's |old - new| > epsilon. */
+    static bool
+    trigger(Value old_value, Value new_value, const AlgContext &ctx)
+    {
+        return std::fabs(old_value - new_value) > ctx.epsilon;
+    }
+
+    /** From-scratch compute: pull power iteration. */
+    template <typename Graph>
+    static void
+    computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        const NodeId n = g.numNodes();
+        if (n == 0) {
+            values.clear();
+            return;
+        }
+        values.assign(n, 1.0 / n);
+        std::vector<Value> next(n, 0);
+        std::vector<double> worker_delta(pool.size(), 0);
+
+        for (std::uint32_t iter = 0; iter < ctx.prMaxIters; ++iter) {
+            parallelSlices(pool, 0, n,
+                           [&](std::size_t w, std::uint64_t lo,
+                               std::uint64_t hi) {
+                double delta = 0;
+                for (NodeId v = static_cast<NodeId>(lo); v < hi; ++v) {
+                    next[v] = recompute(g, v, values, ctx);
+                    perf::touchWrite(&next[v], sizeof(Value));
+                    delta += std::fabs(next[v] - values[v]);
+                }
+                worker_delta[w] = delta;
+            });
+            values.swap(next);
+            double total_delta = 0;
+            for (double d : worker_delta)
+                total_delta += d;
+            if (total_delta < ctx.prTolerance)
+                break;
+        }
+    }
+};
+
+} // namespace saga
+
+#endif // SAGA_ALGO_PR_H_

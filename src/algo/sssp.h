@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SSSP — single-source shortest paths.
+ *
+ * Table I vertex function:
+ *   v.path <- min over in-edges e of (e.source.path + e.weight)
+ *
+ * FS implementation: delta-stepping (the "highly optimized" GAP-style FS
+ * the paper credits for SSSP's competitive FS results, Section V-C
+ * footnote 7). Vertices are binned into buckets of width ctx.delta and
+ * buckets are processed in order; relaxations use atomic min so a bucket
+ * can be expanded in parallel.
+ */
+
+#ifndef SAGA_ALGO_SSSP_H_
+#define SAGA_ALGO_SSSP_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "platform/atomic_ops.h"
+#include "algo/context.h"
+#include "algo/frontier.h"
+#include "perfmodel/trace.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+
+namespace saga {
+
+struct Sssp
+{
+    using Value = float;
+
+    static constexpr const char *kName = "sssp";
+    static constexpr bool kUsesBothDirections = false;
+    static constexpr Value kInf = std::numeric_limits<Value>::infinity();
+
+    static Value
+    init(NodeId v, const AlgContext &ctx)
+    {
+        return v == ctx.source ? 0.0f : kInf;
+    }
+
+    template <typename Graph>
+    static Value
+    recompute(const Graph &g, NodeId v, const std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        if (v == ctx.source)
+            return 0.0f;
+        Value best = kInf;
+        g.inNeigh(v, [&](const Neighbor &nbr) {
+            perf::ops(1);
+            perf::touch(&values[nbr.node], sizeof(Value));
+            const Value cand = values[nbr.node] + nbr.weight;
+            if (cand < best)
+                best = cand;
+        });
+        return best;
+    }
+
+    static bool
+    trigger(Value old_value, Value new_value, const AlgContext &ctx)
+    {
+        if (std::isinf(old_value) != std::isinf(new_value))
+            return true;
+        if (std::isinf(old_value) && std::isinf(new_value))
+            return false;
+        return std::fabs(old_value - new_value) >
+               static_cast<Value>(ctx.epsilon);
+    }
+
+    /** From-scratch compute: delta-stepping. */
+    template <typename Graph>
+    static void
+    computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        const NodeId n = g.numNodes();
+        values.assign(n, kInf);
+        if (ctx.source >= n)
+            return;
+        values[ctx.source] = 0.0f;
+
+        const double delta = ctx.delta > 0 ? ctx.delta : 1.0;
+        std::vector<std::vector<NodeId>> buckets;
+        const auto bucketFor = [&](Value dist) {
+            return static_cast<std::size_t>(dist / delta);
+        };
+        const auto place = [&](NodeId v, Value dist) {
+            const std::size_t b = bucketFor(dist);
+            if (b >= buckets.size())
+                buckets.resize(b + 1);
+            buckets[b].push_back(v);
+        };
+        place(ctx.source, 0.0f);
+
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+            // A vertex may be re-binned several times; process until this
+            // bucket stays empty (re-insertions into bucket b happen when
+            // a shorter same-bucket path is found).
+            while (!buckets[b].empty()) {
+                std::vector<NodeId> frontier = std::move(buckets[b]);
+                buckets[b].clear();
+
+                std::vector<NodeId> relaxed = expandFrontier(
+                    pool, frontier, [&](NodeId v, auto &push) {
+                    const Value dist = values[v];
+                    // Skip stale entries (v was re-binned with a shorter
+                    // path already processed).
+                    if (bucketFor(dist) != b)
+                        return;
+                    g.outNeigh(v, [&](const Neighbor &nbr) {
+                        perf::ops(1);
+                        const Value cand = dist + nbr.weight;
+                        perf::touch(&values[nbr.node], sizeof(Value));
+                        if (atomicFetchMin(values[nbr.node], cand)) {
+                            perf::touchWrite(&values[nbr.node],
+                                             sizeof(Value));
+                            push(nbr.node);
+                        }
+                    });
+                });
+
+                for (NodeId v : relaxed)
+                    place(v, values[v]);
+            }
+        }
+    }
+};
+
+} // namespace saga
+
+#endif // SAGA_ALGO_SSSP_H_

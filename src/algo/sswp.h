@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SSWP — single-source widest paths.
+ *
+ * Table I vertex function:
+ *   v.path <- max over in-edges e of min(e.source.path, e.weight)
+ *
+ * The source has infinite width; unreached vertices have width 0. Like MC,
+ * SSWP is implemented natively (GAP lacks it): the FS compute is a
+ * push-based monotone worklist propagation with atomic max.
+ */
+
+#ifndef SAGA_ALGO_SSWP_H_
+#define SAGA_ALGO_SSWP_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "platform/atomic_ops.h"
+#include "algo/context.h"
+#include "algo/frontier.h"
+#include "perfmodel/trace.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+
+namespace saga {
+
+struct Sswp
+{
+    using Value = float;
+
+    static constexpr const char *kName = "sswp";
+    static constexpr bool kUsesBothDirections = false;
+    static constexpr Value kInf = std::numeric_limits<Value>::infinity();
+
+    static Value
+    init(NodeId v, const AlgContext &ctx)
+    {
+        return v == ctx.source ? kInf : 0.0f;
+    }
+
+    template <typename Graph>
+    static Value
+    recompute(const Graph &g, NodeId v, const std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        if (v == ctx.source)
+            return kInf;
+        Value best = 0.0f;
+        g.inNeigh(v, [&](const Neighbor &nbr) {
+            perf::ops(1);
+            perf::touch(&values[nbr.node], sizeof(Value));
+            const Value cand = std::min(values[nbr.node], nbr.weight);
+            if (cand > best)
+                best = cand;
+        });
+        return best;
+    }
+
+    static bool
+    trigger(Value old_value, Value new_value, const AlgContext &ctx)
+    {
+        if (std::isinf(old_value) != std::isinf(new_value))
+            return true;
+        if (std::isinf(old_value) && std::isinf(new_value))
+            return false;
+        return std::fabs(old_value - new_value) >
+               static_cast<Value>(ctx.epsilon);
+    }
+
+    /** From-scratch compute: worklist widest-path propagation. */
+    template <typename Graph>
+    static void
+    computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
+              const AlgContext &ctx)
+    {
+        const NodeId n = g.numNodes();
+        values.assign(n, 0.0f);
+        if (ctx.source >= n)
+            return;
+        values[ctx.source] = kInf;
+
+        std::vector<NodeId> frontier{ctx.source};
+        while (!frontier.empty()) {
+            frontier = expandFrontier(pool, frontier,
+                                      [&](NodeId v, auto &push) {
+                const Value width = values[v];
+                g.outNeigh(v, [&](const Neighbor &nbr) {
+                    perf::ops(1);
+                    const Value cand = std::min(width, nbr.weight);
+                    perf::touch(&values[nbr.node], sizeof(Value));
+                    if (atomicFetchMax(values[nbr.node], cand)) {
+                        perf::touchWrite(&values[nbr.node], sizeof(Value));
+                        push(nbr.node);
+                    }
+                });
+            });
+        }
+    }
+};
+
+} // namespace saga
+
+#endif // SAGA_ALGO_SSWP_H_

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * AC — adjacency list with chunked-style multithreading (paper III-A2).
+ *
+ * The vertex space is partitioned into chunks; chunk c holds the adjacency
+ * vectors of every vertex v with v % num_chunks == c. Each chunk is a
+ * single-threaded, lock-free structure: during a batch update, worker w
+ * exclusively owns chunk w (workers filter the shared batch for edges whose
+ * source falls in their chunk), so no locks are needed. The intra-chunk
+ * insert path is identical to AS (scan the vector, append if absent).
+ */
+
+#ifndef SAGA_DS_ADJ_CHUNKED_H_
+#define SAGA_DS_ADJ_CHUNKED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/hash_util.h"
+#include "perfmodel/trace.h"
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Single-direction adjacency store, chunked-style multithreading. */
+class AdjChunkedStore
+{
+  public:
+    /** @param num_chunks chunk count; normally the worker count. */
+    explicit AdjChunkedStore(std::size_t num_chunks = 1)
+        : num_chunks_(num_chunks ? num_chunks : 1)
+    {}
+
+    std::size_t numChunks() const { return num_chunks_; }
+    /** Hash-partitioned (plain modulo correlates with RMAT id structure). */
+    NodeId chunkOf(NodeId v) const
+    {
+        return static_cast<NodeId>(hashNode(v) % num_chunks_);
+    }
+
+    void
+    ensureNodes(NodeId n)
+    {
+        if (n > num_nodes_) {
+            num_nodes_ = n;
+            rows_.resize(n);
+        }
+    }
+
+    NodeId numNodes() const { return num_nodes_; }
+    std::uint64_t numEdges() const { return num_edges_; }
+
+    std::uint32_t
+    degree(NodeId v) const
+    {
+        perf::touch(&rows_[v], sizeof(rows_[v]));
+        return static_cast<std::uint32_t>(rows_[v].size());
+    }
+
+    /**
+     * Ingest a batch. Every worker scans the whole batch and processes
+     * only the edges whose source vertex lies in its chunk; ownership makes
+     * the inserts lock-free.
+     */
+    void
+    updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
+    {
+        const NodeId max_node = batch.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        std::vector<std::uint64_t> inserted_per_worker(pool.size(), 0);
+        pool.run([&](std::size_t w) {
+            std::uint64_t inserted = 0;
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                const Edge &e = batch[i];
+                const NodeId src = reversed ? e.dst : e.src;
+                if (chunkOf(src) % pool.size() != w)
+                    continue;
+                const NodeId dst = reversed ? e.src : e.dst;
+                if (insertOwned(src, dst, e.weight))
+                    ++inserted;
+            }
+            inserted_per_worker[w] = inserted;
+        });
+        for (std::uint64_t n : inserted_per_worker)
+            num_edges_ += n;
+    }
+
+    /**
+     * Lock-free insert; caller must own the chunk containing @p src.
+     * @return true if a new edge was added.
+     */
+    bool
+    insertOwned(NodeId src, NodeId dst, Weight weight)
+    {
+        perf::ops(1);
+        std::vector<Neighbor> &row = rows_[src];
+        for (Neighbor &nbr : row) {
+            perf::touch(&nbr, sizeof(nbr));
+            if (nbr.node == dst) {
+                if (weight < nbr.weight)
+                    nbr.weight = weight; // duplicates keep the min weight
+                return false;
+            }
+        }
+        row.push_back({dst, weight});
+        perf::touchWrite(&row.back(), sizeof(Neighbor));
+        return true;
+    }
+
+    /** Visit every neighbor of @p v: fn(const Neighbor &). */
+    template <typename Fn>
+    void
+    forNeighbors(NodeId v, Fn &&fn) const
+    {
+        for (const Neighbor &nbr : rows_[v]) {
+            perf::touch(&nbr, sizeof(nbr));
+            fn(nbr);
+        }
+    }
+
+  private:
+    std::size_t num_chunks_;
+    NodeId num_nodes_ = 0;
+    std::vector<std::vector<Neighbor>> rows_;
+    std::uint64_t num_edges_ = 0;
+};
+
+} // namespace saga
+
+#endif // SAGA_DS_ADJ_CHUNKED_H_

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * AS — adjacency list with shared-style multithreading (paper III-A1).
+ *
+ * An array of vectors, one vector of (neighbor, weight) entries per source
+ * vertex, plus one spinlock per source vertex. Every worker pulls edges from
+ * the shared batch; to ingest an edge a worker (1) locks the source vertex's
+ * vector, (2) scans it for the target (edges are ingested uniquely), and
+ * (3) appends if absent. The whole vector is locked, so there is no
+ * intra-vertex parallelism — the behaviour the paper shows melting down on
+ * heavy-tailed batches — but updates to different vertices proceed in
+ * parallel.
+ */
+
+#ifndef SAGA_DS_ADJ_SHARED_H_
+#define SAGA_DS_ADJ_SHARED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "perfmodel/trace.h"
+#include "platform/parallel_for.h"
+#include "platform/spinlock.h"
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Single-direction adjacency store, shared-style multithreading. */
+class AdjSharedStore
+{
+  public:
+    /** Grow to hold vertices [0, n). Must not race with updates. */
+    void
+    ensureNodes(NodeId n)
+    {
+        if (n > rows_.size()) {
+            rows_.resize(n);
+            locks_.resize(n);
+        }
+    }
+
+    NodeId numNodes() const { return static_cast<NodeId>(rows_.size()); }
+    std::uint64_t numEdges() const
+    {
+        return num_edges_.load(std::memory_order_relaxed);
+    }
+
+    std::uint32_t
+    degree(NodeId v) const
+    {
+        perf::touch(&rows_[v], sizeof(rows_[v]));
+        return static_cast<std::uint32_t>(rows_[v].size());
+    }
+
+    /**
+     * Ingest a batch: all workers share the edge range; per-vertex locks
+     * serialize same-source inserts. @p reversed swaps src/dst (used for
+     * the in-neighbor copy of directed graphs).
+     */
+    void
+    updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
+    {
+        const NodeId max_node = batch.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        parallelFor(pool, 0, batch.size(), [&](std::uint64_t i) {
+            const Edge &e = batch[i];
+            const NodeId src = reversed ? e.dst : e.src;
+            const NodeId dst = reversed ? e.src : e.dst;
+            insert(src, dst, e.weight);
+        });
+    }
+
+    /**
+     * Single edge insert with search-before-insert dedup. Duplicate
+     * edges keep the minimum weight seen, which makes the stored graph
+     * deterministic under parallel ingestion (and keeps the two
+     * orientations of an undirected edge consistent).
+     */
+    void
+    insert(NodeId src, NodeId dst, Weight weight)
+    {
+        perf::ops(1);
+        SpinGuard hold(locks_[src]);
+        std::vector<Neighbor> &row = rows_[src];
+        for (Neighbor &nbr : row) {
+            perf::touch(&nbr, sizeof(nbr));
+            if (nbr.node == dst) {
+                if (weight < nbr.weight)
+                    nbr.weight = weight;
+                return;
+            }
+        }
+        row.push_back({dst, weight});
+        perf::touchWrite(&row.back(), sizeof(Neighbor));
+        num_edges_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Visit every neighbor of @p v: fn(const Neighbor &). */
+    template <typename Fn>
+    void
+    forNeighbors(NodeId v, Fn &&fn) const
+    {
+        for (const Neighbor &nbr : rows_[v]) {
+            perf::touch(&nbr, sizeof(nbr));
+            fn(nbr);
+        }
+    }
+
+  private:
+    std::vector<std::vector<Neighbor>> rows_;
+    std::vector<SpinLock> locks_;
+    std::atomic<std::uint64_t> num_edges_{0};
+};
+
+} // namespace saga
+
+#endif // SAGA_DS_ADJ_SHARED_H_

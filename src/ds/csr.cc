@@ -1,0 +1,49 @@
+#include "ds/csr.h"
+
+#include <algorithm>
+
+namespace saga {
+
+CsrGraph
+CsrGraph::build(const std::vector<Edge> &edges, NodeId num_nodes)
+{
+    CsrGraph graph;
+
+    // Pass 1: per-vertex counts (upper bound; duplicates trimmed later).
+    std::vector<std::uint64_t> counts(num_nodes + 1, 0);
+    for (const Edge &e : edges)
+        ++counts[e.src + 1];
+
+    // Prefix sum -> provisional offsets.
+    for (NodeId v = 0; v < num_nodes; ++v)
+        counts[v + 1] += counts[v];
+
+    // Pass 2: scatter neighbors.
+    std::vector<Neighbor> slots(edges.size());
+    std::vector<std::uint64_t> cursor(counts.begin(), counts.end() - 1);
+    for (const Edge &e : edges)
+        slots[cursor[e.src]++] = {e.dst, e.weight};
+
+    // Pass 3: sort each row, collapse duplicates keeping the min weight,
+    // and compact into the final arrays.
+    graph.offsets_.assign(num_nodes + 1, 0);
+    graph.neighbors_.reserve(edges.size());
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        const std::uint64_t lo = counts[v];
+        const std::uint64_t hi = counts[v + 1];
+        std::sort(slots.begin() + lo, slots.begin() + hi,
+                  [](const Neighbor &a, const Neighbor &b) {
+                      return a.node != b.node ? a.node < b.node
+                                              : a.weight < b.weight;
+                  });
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            if (i > lo && slots[i].node == slots[i - 1].node)
+                continue; // duplicate; the min weight sorted first
+            graph.neighbors_.push_back(slots[i]);
+        }
+        graph.offsets_[v + 1] = graph.neighbors_.size();
+    }
+    return graph;
+}
+
+} // namespace saga

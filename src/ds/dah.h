@@ -1,0 +1,561 @@
+/**
+ * @file
+ * DAH — degree-aware hashing (paper III-A4, after Iwabuchi et al. [10]).
+ *
+ * Two hash structures per chunk:
+ *
+ *  - a *low-degree table*: one Robin-Hood open-addressing multimap keyed by
+ *    source vertex, holding the edges of every low-degree vertex in the
+ *    chunk. Equal keys cluster around their home slot, so a vertex's edges
+ *    are enumerated with a bounded probe sequence;
+ *  - a *high-degree table*: a directory mapping each promoted (high-degree)
+ *    vertex to its own open-addressing neighbor set.
+ *
+ * Degree-awareness brings two meta-operations the paper calls out as DAH's
+ * cost: every insert/traversal first queries the tables to find where a
+ * vertex lives (and how many edges it has), and vertices crossing the
+ * degree threshold are *periodically flushed* from the low table into their
+ * own high-degree table.
+ *
+ * Multithreading is chunked like AC: worker w exclusively owns chunk w, so
+ * all per-chunk state is lock-free.
+ */
+
+#ifndef SAGA_DS_DAH_H_
+#define SAGA_DS_DAH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ds/hash_util.h"
+#include "perfmodel/trace.h"
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Tuning knobs for DAH (exposed for the ablation benches). */
+struct DahConfig
+{
+    /**
+     * Degree at which a vertex is promoted to the high-degree table.
+     * High enough that ordinary vertices keep paying the low-table
+     * cluster-scan + meta-op costs (the overhead the paper identifies on
+     * short-tailed graphs), low enough that genuine hubs promote fast.
+     */
+    std::uint32_t promoteThreshold = 64;
+    /** Chunk-local insert count between flushes of pending promotions. */
+    std::uint32_t flushPeriod = 2048;
+};
+
+/**
+ * Robin-Hood open-addressing multimap from source vertex to (dst, weight).
+ * Single-threaded (one per DAH chunk).
+ */
+class RobinHoodEdgeTable
+{
+  public:
+    RobinHoodEdgeTable() { rehash(kInitialCapacity); }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Insert (no dup check — DAH searches before inserting). */
+    void
+    insert(NodeId src, NodeId dst, Weight weight)
+    {
+        if ((size_ + 1) * 10 >= slots_.size() * 7)
+            rehash(slots_.size() * 2);
+        Slot entry{src, dst, weight, 0};
+        std::size_t i = home(src);
+        for (;;) {
+            Slot &slot = slots_[i];
+            perf::touch(&slot, sizeof(Slot));
+            if (slot.dist < 0) {
+                slot = entry;
+                perf::touchWrite(&slot, sizeof(Slot));
+                ++size_;
+                return;
+            }
+            if (slot.dist < entry.dist) {
+                std::swap(slot, entry);
+                perf::touchWrite(&slot, sizeof(Slot));
+            }
+            i = next(i);
+            ++entry.dist;
+            if (entry.dist >= kMaxProbe) {
+                // Pathological clustering: grow and restart the insert.
+                rehash(slots_.size() * 2);
+                entry.dist = 0;
+                i = home(entry.src);
+            }
+        }
+    }
+
+    /** True if edge (src, dst) is present. */
+    bool
+    contains(NodeId src, NodeId dst) const
+    {
+        bool found = false;
+        forEachOfKey(src, [&](NodeId d, Weight) {
+            if (d == dst)
+                found = true;
+        });
+        return found;
+    }
+
+    /** Number of edges whose source is @p src. */
+    std::uint32_t
+    countKey(NodeId src) const
+    {
+        std::uint32_t count = 0;
+        forEachOfKey(src, [&](NodeId, Weight) { ++count; });
+        return count;
+    }
+
+    /** Visit (dst, weight&) of every edge with source @p src (mutable). */
+    template <typename Fn>
+    void
+    forEachOfKeyMut(NodeId src, Fn &&fn)
+    {
+        std::size_t i = home(src);
+        std::int16_t dist = 0;
+        for (;;) {
+            Slot &slot = slots_[i];
+            perf::touch(&slot, sizeof(Slot));
+            if (slot.dist < 0 || slot.dist < dist)
+                return;
+            if (slot.src == src)
+                fn(slot.dst, slot.weight);
+            i = next(i);
+            ++dist;
+        }
+    }
+
+    /** Visit (dst, weight) of every edge with source @p src. */
+    template <typename Fn>
+    void
+    forEachOfKey(NodeId src, Fn &&fn) const
+    {
+        std::size_t i = home(src);
+        std::int16_t dist = 0;
+        for (;;) {
+            const Slot &slot = slots_[i];
+            perf::touch(&slot, sizeof(Slot));
+            if (slot.dist < 0 || slot.dist < dist)
+                return; // passed src's cluster
+            if (slot.src == src)
+                fn(slot.dst, slot.weight);
+            i = next(i);
+            ++dist;
+        }
+    }
+
+    /** Remove every edge with source @p src (backward-shift deletion). */
+    void
+    removeKey(NodeId src)
+    {
+        // Deleting shifts the cluster, so repeat until no entry remains.
+        for (;;) {
+            std::size_t i = home(src);
+            std::int16_t dist = 0;
+            std::size_t hit = slots_.size();
+            for (;;) {
+                const Slot &slot = slots_[i];
+                if (slot.dist < 0 || slot.dist < dist)
+                    break;
+                if (slot.src == src) {
+                    hit = i;
+                    break;
+                }
+                i = next(i);
+                ++dist;
+            }
+            if (hit == slots_.size())
+                return;
+            eraseAt(hit);
+        }
+    }
+
+    /** Visit every (src, dst, weight) in the table. */
+    template <typename Fn>
+    void
+    forAll(Fn &&fn) const
+    {
+        for (const Slot &slot : slots_) {
+            if (slot.dist >= 0)
+                fn(slot.src, slot.dst, slot.weight);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        NodeId src = 0;
+        NodeId dst = 0;
+        Weight weight = 0;
+        std::int16_t dist = -1; // probe distance; -1 = empty
+    };
+
+    static constexpr std::size_t kInitialCapacity = 1024;
+    static constexpr std::int16_t kMaxProbe = 30000;
+
+    std::size_t home(NodeId src) const
+    {
+        return hashNode(src) & (slots_.size() - 1);
+    }
+    std::size_t next(std::size_t i) const
+    {
+        return (i + 1) & (slots_.size() - 1);
+    }
+
+    void
+    eraseAt(std::size_t i)
+    {
+        // Backward-shift: pull successors with dist > 0 one slot left.
+        std::size_t j = next(i);
+        while (slots_[j].dist > 0) {
+            slots_[i] = slots_[j];
+            --slots_[i].dist;
+            i = j;
+            j = next(j);
+        }
+        slots_[i].dist = -1;
+        --size_;
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_capacity, Slot{});
+        size_ = 0;
+        for (const Slot &slot : old) {
+            if (slot.dist >= 0)
+                insert(slot.src, slot.dst, slot.weight);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+/** Open-addressing neighbor set for one high-degree vertex. */
+class HighDegreeTable
+{
+  public:
+    explicit HighDegreeTable(std::size_t initial_capacity = 32)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity * 2)
+            cap *= 2;
+        slots_.assign(cap, Neighbor{kInvalidNode, 0});
+    }
+
+    std::uint32_t size() const { return size_; }
+
+    /** Insert if absent. @return true if a new edge was added. */
+    bool
+    insertUnique(NodeId dst, Weight weight)
+    {
+        if ((size_ + 1) * 10 >= slots_.size() * 7)
+            grow();
+        std::size_t i = hashNode(dst) & (slots_.size() - 1);
+        for (;;) {
+            Neighbor &slot = slots_[i];
+            perf::touch(&slot, sizeof(Neighbor));
+            if (slot.node == kInvalidNode) {
+                slot = {dst, weight};
+                perf::touchWrite(&slot, sizeof(Neighbor));
+                ++size_;
+                return true;
+            }
+            if (slot.node == dst) {
+                if (weight < slot.weight)
+                    slot.weight = weight; // duplicates keep the min
+                return false;
+            }
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    bool
+    contains(NodeId dst) const
+    {
+        std::size_t i = hashNode(dst) & (slots_.size() - 1);
+        for (;;) {
+            const Neighbor &slot = slots_[i];
+            perf::touch(&slot, sizeof(Neighbor));
+            if (slot.node == kInvalidNode)
+                return false;
+            if (slot.node == dst)
+                return true;
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forAll(Fn &&fn) const
+    {
+        for (const Neighbor &slot : slots_) {
+            perf::touch(&slot, sizeof(Neighbor));
+            if (slot.node != kInvalidNode)
+                fn(slot);
+        }
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<Neighbor> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Neighbor{kInvalidNode, 0});
+        size_ = 0;
+        for (const Neighbor &slot : old) {
+            if (slot.node != kInvalidNode)
+                insertUnique(slot.node, slot.weight);
+        }
+    }
+
+    std::vector<Neighbor> slots_;
+    std::uint32_t size_ = 0;
+};
+
+/** Single-direction degree-aware-hashing store. */
+class DahStore
+{
+  public:
+    explicit DahStore(std::size_t num_chunks = 1, DahConfig config = {})
+        : num_chunks_(num_chunks ? num_chunks : 1), config_(config),
+          chunks_(num_chunks_)
+    {}
+
+    std::size_t numChunks() const { return num_chunks_; }
+    const DahConfig &config() const { return config_; }
+    /** Hash-partitioned (plain modulo correlates with RMAT id structure). */
+    NodeId chunkOf(NodeId v) const
+    {
+        return static_cast<NodeId>(hashNode(v) % num_chunks_);
+    }
+
+    void
+    ensureNodes(NodeId n)
+    {
+        if (n > num_nodes_)
+            num_nodes_ = n;
+    }
+
+    NodeId numNodes() const { return num_nodes_; }
+
+    std::uint64_t
+    numEdges() const
+    {
+        std::uint64_t total = 0;
+        for (const Chunk &chunk : chunks_)
+            total += chunk.numEdges;
+        return total;
+    }
+
+    /**
+     * Degree query — the degree-aware meta-operation. Looks the vertex up
+     * in the high-degree directory first; if absent, counts its cluster in
+     * the low-degree table.
+     */
+    std::uint32_t
+    degree(NodeId v) const
+    {
+        const Chunk &chunk = chunks_[chunkOf(v)];
+        perf::ops(1);
+        if (const HighDegreeTable *table = chunk.findHigh(v))
+            return table->size();
+        return chunk.low.countKey(v);
+    }
+
+    void
+    updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
+    {
+        const NodeId max_node = batch.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        pool.run([&](std::size_t w) {
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                const Edge &e = batch[i];
+                const NodeId src = reversed ? e.dst : e.src;
+                if (chunkOf(src) % pool.size() != w)
+                    continue;
+                const NodeId dst = reversed ? e.src : e.dst;
+                insertOwned(src, dst, e.weight);
+            }
+            // End-of-batch flush so traversal sees each vertex in exactly
+            // one table.
+            for (std::size_t c = w; c < num_chunks_; c += pool.size())
+                flushChunk(chunks_[c]);
+        });
+    }
+
+    /** Lock-free insert; caller must own the chunk containing @p src. */
+    void
+    insertOwned(NodeId src, NodeId dst, Weight weight)
+    {
+        perf::ops(1);
+        Chunk &chunk = chunks_[chunkOf(src)];
+
+        // Meta-op: decide which table the vertex lives in.
+        if (HighDegreeTable *table = chunk.findHigh(src)) {
+            if (table->insertUnique(dst, weight))
+                ++chunk.numEdges;
+            return;
+        }
+
+        // Low path: search the cluster (dup check doubles as degree count).
+        std::uint32_t cluster_degree = 0;
+        bool duplicate = false;
+        chunk.low.forEachOfKeyMut(src, [&](NodeId d, Weight &w) {
+            ++cluster_degree;
+            if (d == dst) {
+                duplicate = true;
+                if (weight < w)
+                    w = weight; // duplicates keep the min weight
+            }
+        });
+        if (duplicate)
+            return;
+
+        chunk.low.insert(src, dst, weight);
+        ++chunk.numEdges;
+        // ">=": duplicates can make the degree skip the exact threshold
+        // crossing, and the vertex must still be promoted (flushChunk
+        // deduplicates pending entries).
+        if (cluster_degree + 1 >= config_.promoteThreshold)
+            chunk.pending.push_back(src);
+        // Flush when the periodic budget is used up, or immediately when a
+        // pending vertex's cluster has grown far past the threshold (long
+        // equal-key clusters make every probe of this chunk expensive).
+        if (++chunk.insertsSinceFlush >= config_.flushPeriod ||
+            cluster_degree + 1 >= 2 * config_.promoteThreshold) {
+            flushChunk(chunk);
+        }
+    }
+
+    /** Visit every neighbor of @p v: fn(const Neighbor &). */
+    template <typename Fn>
+    void
+    forNeighbors(NodeId v, Fn &&fn) const
+    {
+        const Chunk &chunk = chunks_[chunkOf(v)];
+        perf::ops(1); // table-location meta-op
+        if (const HighDegreeTable *table = chunk.findHigh(v)) {
+            table->forAll(fn);
+            return;
+        }
+        chunk.low.forEachOfKey(v, [&](NodeId dst, Weight weight) {
+            fn(Neighbor{dst, weight});
+        });
+    }
+
+    /** Vertices currently in the high-degree directory (for tests). */
+    std::size_t
+    numHighDegreeVertices() const
+    {
+        std::size_t total = 0;
+        for (const Chunk &chunk : chunks_)
+            total += chunk.high.size();
+        return total;
+    }
+
+  private:
+    /** Open-address directory: promoted vertex -> its neighbor table. */
+    struct Chunk
+    {
+        RobinHoodEdgeTable low;
+        std::vector<std::pair<NodeId, HighDegreeTable>> high;
+        std::vector<std::uint64_t> highIndex; // open-address: idx+1, 0=empty
+        std::vector<NodeId> pending;
+        std::uint32_t insertsSinceFlush = 0;
+        std::uint64_t numEdges = 0;
+
+        Chunk() : highIndex(64, 0) {}
+
+        HighDegreeTable *
+        findHigh(NodeId v)
+        {
+            const Chunk *self = this;
+            return const_cast<HighDegreeTable *>(self->findHigh(v));
+        }
+
+        const HighDegreeTable *
+        findHigh(NodeId v) const
+        {
+            std::size_t i = hashNode(v) & (highIndex.size() - 1);
+            for (;;) {
+                const std::uint64_t ref = highIndex[i];
+                perf::touch(&highIndex[i], sizeof(ref));
+                if (ref == 0)
+                    return nullptr;
+                const auto &entry = high[ref - 1];
+                if (entry.first == v)
+                    return &entry.second;
+                i = (i + 1) & (highIndex.size() - 1);
+            }
+        }
+
+        void
+        addHigh(NodeId v, HighDegreeTable table)
+        {
+            high.emplace_back(v, std::move(table));
+            if (high.size() * 10 >= highIndex.size() * 7) {
+                growIndex(); // reindexes everything, including v
+            } else {
+                indexInsert(v, high.size());
+            }
+        }
+
+        void
+        indexInsert(NodeId v, std::uint64_t ref)
+        {
+            std::size_t i = hashNode(v) & (highIndex.size() - 1);
+            while (highIndex[i] != 0)
+                i = (i + 1) & (highIndex.size() - 1);
+            highIndex[i] = ref;
+        }
+
+        void
+        growIndex()
+        {
+            highIndex.assign(highIndex.size() * 2, 0);
+            for (std::size_t k = 0; k < high.size(); ++k)
+                indexInsert(high[k].first, k + 1);
+        }
+    };
+
+    /** Migrate pending vertices from the low to the high-degree table. */
+    void
+    flushChunk(Chunk &chunk)
+    {
+        chunk.insertsSinceFlush = 0;
+        for (NodeId v : chunk.pending) {
+            if (chunk.findHigh(v))
+                continue; // already promoted
+            HighDegreeTable table(config_.promoteThreshold * 2);
+            chunk.low.forEachOfKey(v, [&](NodeId dst, Weight weight) {
+                table.insertUnique(dst, weight);
+            });
+            chunk.low.removeKey(v);
+            chunk.addHigh(v, std::move(table));
+        }
+        chunk.pending.clear();
+    }
+
+    std::size_t num_chunks_;
+    DahConfig config_;
+    NodeId num_nodes_ = 0;
+    std::vector<Chunk> chunks_;
+};
+
+} // namespace saga
+
+#endif // SAGA_DS_DAH_H_

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * DynGraph — the public streaming-graph facade over any store.
+ *
+ * Implements the paper's API surface (Section III-D): update() for batched
+ * ingestion, out_neigh()/in_neigh() traversal, and degree queries. Property
+ * values are *not* stored here; they live in separate arrays owned by the
+ * compute engines (paper footnote 4).
+ *
+ * Directed graphs keep two copies of the store — out-neighbors and
+ * in-neighbors (paper footnote 3); undirected graphs ingest each edge in
+ * both orientations into a single store.
+ */
+
+#ifndef SAGA_DS_DYN_GRAPH_H_
+#define SAGA_DS_DYN_GRAPH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/**
+ * Streaming graph over a Store type.
+ *
+ * Store concept:
+ *   void ensureNodes(NodeId n);
+ *   NodeId numNodes() const;
+ *   std::uint64_t numEdges() const;
+ *   std::uint32_t degree(NodeId v) const;
+ *   void updateBatch(const EdgeBatch &, ThreadPool &, bool reversed);
+ *   template <typename Fn> void forNeighbors(NodeId v, Fn &&) const;
+ */
+template <typename Store>
+class DynGraph
+{
+  public:
+    using StoreType = Store;
+
+    /**
+     * @param directed directed graphs keep separate in/out stores.
+     * @param args forwarded to both store constructors.
+     */
+    template <typename... Args>
+    explicit DynGraph(bool directed, const Args &...args)
+        : directed_(directed), out_(args...), in_(args...)
+    {}
+
+    bool directed() const { return directed_; }
+
+    /** Number of vertices seen so far (max id + 1). */
+    NodeId
+    numNodes() const
+    {
+        return std::max(out_.numNodes(), in_.numNodes());
+    }
+
+    /** Number of unique directed edges ingested. */
+    std::uint64_t numEdges() const { return out_.numEdges(); }
+
+    /**
+     * Update phase: ingest a batch (deduplicating). For directed graphs
+     * the reversed copy is ingested into the in-store; for undirected
+     * graphs both orientations go into the single store.
+     */
+    void
+    update(const EdgeBatch &batch, ThreadPool &pool)
+    {
+        if (directed_) {
+            out_.updateBatch(batch, pool, /*reversed=*/false);
+            in_.updateBatch(batch, pool, /*reversed=*/true);
+        } else {
+            out_.updateBatch(batch, pool, /*reversed=*/false);
+            out_.updateBatch(batch, pool, /*reversed=*/true);
+        }
+    }
+
+    std::uint32_t outDegree(NodeId v) const { return out_.degree(v); }
+    std::uint32_t
+    inDegree(NodeId v) const
+    {
+        return directed_ ? in_.degree(v) : out_.degree(v);
+    }
+
+    /** Visit out-neighbors of @p v: fn(const Neighbor &). */
+    template <typename Fn>
+    void
+    outNeigh(NodeId v, Fn &&fn) const
+    {
+        out_.forNeighbors(v, std::forward<Fn>(fn));
+    }
+
+    /** Visit in-neighbors of @p v: fn(const Neighbor &). */
+    template <typename Fn>
+    void
+    inNeigh(NodeId v, Fn &&fn) const
+    {
+        if (directed_)
+            in_.forNeighbors(v, std::forward<Fn>(fn));
+        else
+            out_.forNeighbors(v, std::forward<Fn>(fn));
+    }
+
+    Store &outStore() { return out_; }
+    const Store &outStore() const { return out_; }
+    Store &inStore() { return directed_ ? in_ : out_; }
+    const Store &inStore() const { return directed_ ? in_ : out_; }
+
+  private:
+    bool directed_;
+    Store out_;
+    Store in_; // unused when undirected
+};
+
+} // namespace saga
+
+#endif // SAGA_DS_DYN_GRAPH_H_

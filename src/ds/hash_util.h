@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hashing primitives shared by the hash-based data structures.
+ */
+
+#ifndef SAGA_DS_HASH_UTIL_H_
+#define SAGA_DS_HASH_UTIL_H_
+
+#include <cstdint>
+
+#include "saga/types.h"
+
+namespace saga {
+
+/** splitmix64 finalizer — fast, well-mixed 64-bit hash. */
+inline std::uint64_t
+hashU64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Hash of a vertex id. */
+inline std::uint64_t
+hashNode(NodeId v)
+{
+    return hashU64(v);
+}
+
+/** Hash of a (src, dst) pair. */
+inline std::uint64_t
+hashEdgeKey(NodeId src, NodeId dst)
+{
+    return hashU64((static_cast<std::uint64_t>(src) << 32) | dst);
+}
+
+} // namespace saga
+
+#endif // SAGA_DS_HASH_UTIL_H_

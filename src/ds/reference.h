@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reference store — a deliberately simple, obviously-correct adjacency
+ * store used as the oracle in tests and as a readable example of the Store
+ * concept. Single-threaded regardless of the pool handed to it.
+ */
+
+#ifndef SAGA_DS_REFERENCE_H_
+#define SAGA_DS_REFERENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** std::map-based single-direction store (the correctness oracle). */
+class ReferenceStore
+{
+  public:
+    void
+    ensureNodes(NodeId n)
+    {
+        if (n > rows_.size())
+            rows_.resize(n);
+    }
+
+    NodeId numNodes() const { return static_cast<NodeId>(rows_.size()); }
+    std::uint64_t numEdges() const { return num_edges_; }
+
+    std::uint32_t
+    degree(NodeId v) const
+    {
+        return static_cast<std::uint32_t>(rows_[v].size());
+    }
+
+    void
+    updateBatch(const EdgeBatch &batch, ThreadPool &, bool reversed)
+    {
+        const NodeId max_node = batch.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Edge &e = batch[i];
+            const NodeId src = reversed ? e.dst : e.src;
+            const NodeId dst = reversed ? e.src : e.dst;
+            // Duplicates keep the minimum weight (deterministic under
+            // parallel ingestion in the real stores).
+            auto [it, fresh] = rows_[src].emplace(dst, e.weight);
+            if (fresh)
+                ++num_edges_;
+            else if (e.weight < it->second)
+                it->second = e.weight;
+        }
+    }
+
+    template <typename Fn>
+    void
+    forNeighbors(NodeId v, Fn &&fn) const
+    {
+        for (const auto &[dst, weight] : rows_[v])
+            fn(Neighbor{dst, weight});
+    }
+
+  private:
+    std::vector<std::map<NodeId, Weight>> rows_;
+    std::uint64_t num_edges_ = 0;
+};
+
+} // namespace saga
+
+#endif // SAGA_DS_REFERENCE_H_

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Stinger-style store (paper III-A3, after Ediger et al. [9]).
+ *
+ * A header array holds, per source vertex, its degree and a pointer to a
+ * linked list of fixed-capacity edge blocks (16 edges per block, as in the
+ * paper's implementation). Insertion takes two passes over the block list:
+ * the first scans for the target edge (lock-free; this is the long pass for
+ * high-degree vertices and is what parallelizes across threads), and if the
+ * edge is absent a second pass finds an empty slot. The second pass holds
+ * the vertex's insert lock — the fine-grained trade-off that lets searches
+ * for a hot vertex proceed in parallel with at most one writer.
+ */
+
+#ifndef SAGA_DS_STINGER_H_
+#define SAGA_DS_STINGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "perfmodel/trace.h"
+#include "platform/atomic_ops.h"
+#include "platform/parallel_for.h"
+#include "platform/spinlock.h"
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Single-direction Stinger store. */
+class StingerStore
+{
+  public:
+    /** Edges per block; 16 matches the paper's implementation. */
+    static constexpr std::uint32_t kBlockCapacity = 16;
+
+    StingerStore() = default;
+    explicit StingerStore(std::uint32_t block_capacity)
+        : block_capacity_(block_capacity ? block_capacity : kBlockCapacity)
+    {}
+
+    ~StingerStore() { clear(); }
+
+    StingerStore(const StingerStore &) = delete;
+    StingerStore &operator=(const StingerStore &) = delete;
+
+    void
+    clear()
+    {
+        for (Header &h : headers_) {
+            EdgeBlock *block = h.first.load(std::memory_order_relaxed);
+            while (block) {
+                EdgeBlock *next = block->next.load(std::memory_order_relaxed);
+                destroyBlock(block);
+                block = next;
+            }
+            h.first.store(nullptr, std::memory_order_relaxed);
+        }
+        headers_.clear();
+        num_edges_.store(0, std::memory_order_relaxed);
+    }
+
+    void
+    ensureNodes(NodeId n)
+    {
+        if (n > headers_.size())
+            headers_.resize(n);
+    }
+
+    NodeId numNodes() const { return static_cast<NodeId>(headers_.size()); }
+    std::uint64_t numEdges() const
+    {
+        return num_edges_.load(std::memory_order_relaxed);
+    }
+
+    std::uint32_t
+    degree(NodeId v) const
+    {
+        perf::touch(&headers_[v], sizeof(Header));
+        return headers_[v].degree.load(std::memory_order_relaxed);
+    }
+
+    void
+    updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
+    {
+        const NodeId max_node = batch.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        parallelFor(pool, 0, batch.size(), [&](std::uint64_t i) {
+            const Edge &e = batch[i];
+            const NodeId src = reversed ? e.dst : e.src;
+            const NodeId dst = reversed ? e.src : e.dst;
+            insert(src, dst, e.weight);
+        });
+    }
+
+    /**
+     * Two-pass search-then-insert (see file comment).
+     *
+     * The first (long) scan runs lock-free, so concurrent inserts for the
+     * same hot vertex overlap their searches. The second scan runs under
+     * the vertex's insert lock but only walks block *headers* (appends
+     * never leave holes, so duplicate re-checking is limited to entries
+     * added since the search snapshot) — the serialized portion is
+     * O(degree / blockCapacity) instead of O(degree).
+     */
+    void
+    insert(NodeId src, NodeId dst, Weight weight)
+    {
+        perf::ops(1);
+        Header &header = headers_[src];
+
+        // Pass 1: lock-free search; snapshot the tail position so the
+        // locked pass only re-checks entries appended afterwards.
+        EdgeBlock *tail0 = nullptr;
+        std::uint32_t count0 = 0;
+        {
+            EdgeBlock *block =
+                header.first.load(std::memory_order_acquire);
+            while (block) {
+                perf::touch(block, 16);
+                const std::uint32_t count =
+                    block->count.load(std::memory_order_acquire);
+                for (std::uint32_t slot = 0; slot < count; ++slot) {
+                    perf::touch(&block->entries[slot], sizeof(Neighbor));
+                    if (block->entries[slot].node == dst) {
+                        // Duplicates keep the min weight (atomic: the
+                        // search pass runs lock-free).
+                        atomicFetchMin(block->entries[slot].weight,
+                                       weight);
+                        return;
+                    }
+                }
+                tail0 = block;
+                count0 = count;
+                block = block->next.load(std::memory_order_acquire);
+            }
+        }
+
+        SpinGuard hold(header.insertLock);
+
+        // Re-check only entries appended since the snapshot.
+        {
+            EdgeBlock *block =
+                tail0 ? tail0 : header.first.load(std::memory_order_acquire);
+            std::uint32_t slot = tail0 ? count0 : 0;
+            while (block) {
+                const std::uint32_t count =
+                    block->count.load(std::memory_order_acquire);
+                for (; slot < count; ++slot) {
+                    perf::touch(&block->entries[slot], sizeof(Neighbor));
+                    if (block->entries[slot].node == dst) {
+                        atomicFetchMin(block->entries[slot].weight,
+                                       weight);
+                        return;
+                    }
+                }
+                slot = 0;
+                block = block->next.load(std::memory_order_acquire);
+            }
+        }
+
+        // Pass 2: the paper's second scan — walk the block list for a
+        // block with free space (header reads only).
+        EdgeBlock *space = header.first.load(std::memory_order_acquire);
+        EdgeBlock *last = nullptr;
+        while (space) {
+            perf::touch(space, 16);
+            if (space->count.load(std::memory_order_relaxed) <
+                block_capacity_) {
+                break;
+            }
+            last = space;
+            space = space->next.load(std::memory_order_acquire);
+        }
+
+        if (space) {
+            const std::uint32_t count =
+                space->count.load(std::memory_order_relaxed);
+            space->entries[count] = {dst, weight};
+            perf::touchWrite(&space->entries[count], sizeof(Neighbor));
+            space->count.store(count + 1, std::memory_order_release);
+        } else {
+            EdgeBlock *fresh = makeBlock();
+            fresh->entries[0] = {dst, weight};
+            perf::touchWrite(&fresh->entries[0], sizeof(Neighbor));
+            fresh->count.store(1, std::memory_order_release);
+            if (last)
+                last->next.store(fresh, std::memory_order_release);
+            else
+                header.first.store(fresh, std::memory_order_release);
+        }
+        finishInsert(header);
+    }
+
+    /** Visit every neighbor of @p v: fn(const Neighbor &). */
+    template <typename Fn>
+    void
+    forNeighbors(NodeId v, Fn &&fn) const
+    {
+        const EdgeBlock *block =
+            headers_[v].first.load(std::memory_order_acquire);
+        while (block) {
+            perf::touch(block, 16); // block header / pointer chase
+            const std::uint32_t count =
+                block->count.load(std::memory_order_acquire);
+            for (std::uint32_t slot = 0; slot < count; ++slot) {
+                perf::touch(&block->entries[slot], sizeof(Neighbor));
+                fn(block->entries[slot]);
+            }
+            block = block->next.load(std::memory_order_acquire);
+        }
+    }
+
+    std::uint32_t blockCapacity() const { return block_capacity_; }
+
+  private:
+    struct EdgeBlock
+    {
+        std::atomic<std::uint32_t> count{0};
+        std::atomic<EdgeBlock *> next{nullptr};
+        Neighbor *entries = nullptr; // block_capacity_ entries
+    };
+
+    struct Header
+    {
+        std::atomic<std::uint32_t> degree{0};
+        std::atomic<EdgeBlock *> first{nullptr};
+        SpinLock insertLock;
+
+        Header() = default;
+        // Headers only move while the structure is quiescent (resize
+        // happens before the parallel region).
+        Header(const Header &other)
+            : degree(other.degree.load(std::memory_order_relaxed)),
+              first(other.first.load(std::memory_order_relaxed))
+        {}
+        Header &
+        operator=(const Header &other)
+        {
+            degree.store(other.degree.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+            first.store(other.first.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+            return *this;
+        }
+    };
+
+    EdgeBlock *
+    makeBlock()
+    {
+        auto *block = new EdgeBlock;
+        block->entries = new Neighbor[block_capacity_];
+        return block;
+    }
+
+    static void
+    destroyBlock(EdgeBlock *block)
+    {
+        delete[] block->entries;
+        delete block;
+    }
+
+    bool
+    findEdge(const Header &header, NodeId dst) const
+    {
+        const EdgeBlock *block = header.first.load(std::memory_order_acquire);
+        while (block) {
+            perf::touch(block, 16);
+            const std::uint32_t count =
+                block->count.load(std::memory_order_acquire);
+            for (std::uint32_t slot = 0; slot < count; ++slot) {
+                perf::touch(&block->entries[slot], sizeof(Neighbor));
+                if (block->entries[slot].node == dst)
+                    return true;
+            }
+            block = block->next.load(std::memory_order_acquire);
+        }
+        return false;
+    }
+
+    void
+    finishInsert(Header &header)
+    {
+        header.degree.fetch_add(1, std::memory_order_relaxed);
+        num_edges_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::uint32_t block_capacity_ = kBlockCapacity;
+    std::vector<Header> headers_;
+    std::atomic<std::uint64_t> num_edges_{0};
+};
+
+} // namespace saga
+
+#endif // SAGA_DS_STINGER_H_

@@ -1,0 +1,134 @@
+#include "gen/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+
+#include "ds/hash_util.h"
+#include "platform/rng.h"
+
+namespace saga {
+
+AliasTable::AliasTable(const std::vector<double> &weights)
+    : prob_(weights.size(), 1.0), alias_(weights.size(), 0)
+{
+    const std::size_t n = weights.size();
+    if (n == 0)
+        return;
+    double total = 0;
+    for (double w : weights)
+        total += w;
+
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scaled[i] = weights[i] * n / total;
+
+    std::deque<std::uint32_t> small, large;
+    for (std::size_t i = 0; i < n; ++i)
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.front();
+        small.pop_front();
+        const std::uint32_t l = large.front();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] -= 1.0 - scaled[s];
+        if (scaled[l] < 1.0) {
+            large.pop_front();
+            small.push_back(l);
+        }
+    }
+    // Leftovers (numerical residue) get probability 1.
+    for (std::uint32_t i : small)
+        prob_[i] = 1.0;
+    for (std::uint32_t i : large)
+        prob_[i] = 1.0;
+}
+
+namespace {
+
+/**
+ * Deterministic pseudo-random permutation of [0, n): rank -> node id.
+ * Spreads the high-Zipf-weight ranks across the id space so vertex ids
+ * carry no degree information (matching shuffled real datasets).
+ */
+std::vector<NodeId>
+rankPermutation(NodeId n, std::uint64_t seed)
+{
+    std::vector<NodeId> perm(n);
+    for (NodeId i = 0; i < n; ++i)
+        perm[i] = i;
+    Rng rng(seed ^ 0xABCDEF);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+    return perm;
+}
+
+} // namespace
+
+std::vector<Edge>
+generatePowerLaw(const PowerLawParams &params)
+{
+    const NodeId n = params.numNodes;
+    Rng rng(params.seed);
+
+    std::vector<double> out_weights(n), in_weights(n);
+    for (NodeId r = 0; r < n; ++r) {
+        const double rank = std::max<double>(r, params.flattenTopRanks);
+        out_weights[r] = std::pow(rank + 1.0, -params.alphaOut);
+        in_weights[r] = std::pow(rank + 1.0, -params.alphaIn);
+    }
+    const AliasTable out_table(out_weights);
+    const AliasTable in_table(in_weights);
+    const std::vector<NodeId> perm = rankPermutation(n, params.seed);
+
+    double hub_out_total = 0, hub_in_total = 0;
+    for (const PlantedHub &hub : params.hubs) {
+        hub_out_total += hub.outFrac;
+        hub_in_total += hub.inFrac;
+    }
+
+    const auto sampleSrc = [&]() -> NodeId {
+        double r = rng.uniform();
+        if (r < hub_out_total) {
+            for (const PlantedHub &hub : params.hubs) {
+                if (r < hub.outFrac)
+                    return hub.node;
+                r -= hub.outFrac;
+            }
+        }
+        return perm[out_table.sample(rng.uniform(), rng.uniform())];
+    };
+    const auto sampleDst = [&]() -> NodeId {
+        double r = rng.uniform();
+        if (r < hub_in_total) {
+            for (const PlantedHub &hub : params.hubs) {
+                if (r < hub.inFrac)
+                    return hub.node;
+                r -= hub.inFrac;
+            }
+        }
+        return perm[in_table.sample(rng.uniform(), rng.uniform())];
+    };
+
+    std::vector<Edge> edges;
+    edges.reserve(params.numEdges);
+    for (std::uint64_t i = 0; i < params.numEdges; ++i) {
+        const NodeId src = sampleSrc();
+        NodeId dst = sampleDst();
+        for (int tries = 0; dst == src && tries < 16; ++tries)
+            dst = sampleDst();
+        if (dst == src)
+            dst = (src + 1) % n;
+        // Symmetric pure function of the endpoints (see rmat.cc).
+        const Weight weight = static_cast<Weight>(
+            1 + hashEdgeKey(std::min(src, dst), std::max(src, dst)) %
+                    params.weightMax);
+        edges.push_back({src, dst, weight});
+    }
+    return edges;
+}
+
+} // namespace saga

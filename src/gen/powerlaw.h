@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Power-law edge-list generator with planted hubs.
+ *
+ * Used to synthesize structural stand-ins for the paper's SNAP datasets:
+ * endpoint ranks follow a Zipf distribution (all of the paper's datasets
+ * are power-law, Section V-B footnote 5), and explicitly planted hubs
+ * control the heaviness of the degree-distribution tail — the property the
+ * paper identifies as deciding data-structure performance (Table IV).
+ */
+
+#ifndef SAGA_GEN_POWERLAW_H_
+#define SAGA_GEN_POWERLAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "saga/types.h"
+
+namespace saga {
+
+/** A planted hub: a vertex receiving fixed fractions of edge endpoints. */
+struct PlantedHub
+{
+    NodeId node = 0;
+    /** Fraction of all edges whose source is this hub. */
+    double outFrac = 0;
+    /** Fraction of all edges whose destination is this hub. */
+    double inFrac = 0;
+};
+
+struct PowerLawParams
+{
+    NodeId numNodes = 1 << 14;
+    std::uint64_t numEdges = 1 << 17;
+    /** Zipf exponents for source / destination rank sampling. */
+    double alphaOut = 0.8;
+    double alphaIn = 0.8;
+    /**
+     * Ranks below this value share the weight of this rank, flattening
+     * the head of the Zipf distribution. This bounds the max degree of
+     * the *background* distribution so short-tailed profiles stay
+     * short-tailed; planted hubs are unaffected.
+     */
+    std::uint32_t flattenTopRanks = 64;
+    std::vector<PlantedHub> hubs;
+    /** Edge weights drawn uniformly from {1, ..., weightMax}. */
+    std::uint32_t weightMax = 64;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a power-law edge list (duplicates possible, no self-loops). */
+std::vector<Edge> generatePowerLaw(const PowerLawParams &params);
+
+/**
+ * Walker alias table for O(1) sampling from an arbitrary discrete
+ * distribution. Exposed for tests and reuse.
+ */
+class AliasTable
+{
+  public:
+    /** Build from (unnormalized, non-negative) weights. */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    /** Sample an index; @p u1, @p u2 are independent uniforms in [0,1). */
+    std::size_t
+    sample(double u1, double u2) const
+    {
+        const auto i = static_cast<std::size_t>(u1 * prob_.size());
+        return u2 < prob_[i] ? i : alias_[i];
+    }
+
+    std::size_t size() const { return prob_.size(); }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+} // namespace saga
+
+#endif // SAGA_GEN_POWERLAW_H_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dataset profiles — synthetic stand-ins for the paper's Table II datasets.
+ *
+ * Each profile fixes the structural signature that drives the paper's
+ * conclusions: directedness, size ordering, batch count, and — decisive for
+ * data-structure ranking — whether the per-batch degree distribution is
+ * short-tailed (LJ, Orkut, RMAT) or heavy-tailed (Wiki, Talk; Table IV).
+ * Absolute sizes are scaled to laptop class; pass a scale factor to grow
+ * them.
+ */
+
+#ifndef SAGA_GEN_PROFILES_H_
+#define SAGA_GEN_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "saga/types.h"
+
+namespace saga {
+
+/** A named streaming-graph workload description. */
+struct DatasetProfile
+{
+    std::string name;
+    bool directed = true;
+    /** True for Wiki/Talk-like graphs (high per-batch max degree). */
+    bool heavyTailed = false;
+    NodeId numNodes = 0;
+    std::uint64_t numEdges = 0;
+    /** Edges per streamed batch (paper: 500K at full scale). */
+    std::size_t batchSize = 0;
+    /** Root vertex for BFS/SSSP/SSWP (a well-connected vertex). */
+    NodeId source = 0;
+
+    /** batchCount as in Table II. */
+    std::size_t
+    batchCount() const
+    {
+        return (numEdges + batchSize - 1) / batchSize;
+    }
+
+    /** Generate the full edge list (deterministic per seed). */
+    std::vector<Edge> generate(std::uint64_t seed = 1) const;
+
+    /** Return a copy with node/edge/batch sizes multiplied by @p factor. */
+    DatasetProfile scaled(double factor) const;
+};
+
+/** The five profiles mirroring Table II: lj, orkut, rmat, wiki, talk. */
+const std::vector<DatasetProfile> &allProfiles();
+
+/** Find a profile by name; nullptr if unknown. */
+const DatasetProfile *findProfile(const std::string &name);
+
+} // namespace saga
+
+#endif // SAGA_GEN_PROFILES_H_

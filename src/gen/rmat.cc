@@ -1,0 +1,49 @@
+#include "gen/rmat.h"
+
+#include <algorithm>
+
+#include "ds/hash_util.h"
+#include "platform/rng.h"
+
+namespace saga {
+
+std::vector<Edge>
+generateRmat(const RmatParams &params)
+{
+    Rng rng(params.seed);
+    const double ab = params.a + params.b;
+    const double abc = ab + params.c;
+
+    std::vector<Edge> edges;
+    edges.reserve(params.numEdges);
+    for (std::uint64_t i = 0; i < params.numEdges; ++i) {
+        NodeId src = 0;
+        NodeId dst = 0;
+        for (std::uint32_t bit = 0; bit < params.scale; ++bit) {
+            const double r = rng.uniform();
+            src <<= 1;
+            dst <<= 1;
+            if (r < params.a) {
+                // top-left quadrant: neither bit set
+            } else if (r < ab) {
+                dst |= 1;
+            } else if (r < abc) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        // Weight is a symmetric pure function of the endpoints so that
+        // duplicate edges (and both orientations of an undirected edge)
+        // always agree — conflicting duplicate weights would make the
+        // deduplicated graph depend on ingestion order.
+        const Weight weight = static_cast<Weight>(
+            1 + hashEdgeKey(std::min(src, dst), std::max(src, dst)) %
+                    params.weightMax);
+        edges.push_back({src, dst, weight});
+    }
+    return edges;
+}
+
+} // namespace saga

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * R-MAT synthetic graph generator (Chakrabarti et al., paper ref [63]).
+ *
+ * The paper's RMAT dataset uses a=0.55, b=0.15, c=0.15, d=0.25; those are
+ * the defaults here.
+ */
+
+#ifndef SAGA_GEN_RMAT_H_
+#define SAGA_GEN_RMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "saga/types.h"
+
+namespace saga {
+
+/** R-MAT parameters. */
+struct RmatParams
+{
+    /** log2 of the vertex count. */
+    std::uint32_t scale = 15;
+    std::uint64_t numEdges = 1 << 18;
+    double a = 0.55;
+    double b = 0.15;
+    double c = 0.15;
+    double d = 0.25;
+    /** Edge weights drawn uniformly from {1, ..., weightMax}. */
+    std::uint32_t weightMax = 64;
+    std::uint64_t seed = 1;
+};
+
+/** Generate an R-MAT edge list (duplicates and self-loops possible). */
+std::vector<Edge> generateRmat(const RmatParams &params);
+
+} // namespace saga
+
+#endif // SAGA_GEN_RMAT_H_

@@ -1,0 +1,40 @@
+#include "perfmodel/bandwidth_model.h"
+
+#include <algorithm>
+#include <initializer_list>
+
+namespace saga {
+namespace perf {
+
+PhaseUtilization
+modelPhase(const MachineModel &machine, double cpu_units,
+           std::uint64_t dram_bytes)
+{
+    PhaseUtilization result;
+
+    // Core-limited time: abstract units retired at unitsPerCycle per core
+    // cycle. The scaling-simulator makespan already accounts for how many
+    // cores the phase can actually keep busy.
+    const double cycles = cpu_units / machine.unitsPerCycle;
+    const double cpu_seconds = cycles / (machine.coreGHz * 1e9);
+
+    // Bandwidth roofs: DRAM and the inter-socket link (remote traffic).
+    const double peak_mem =
+        machine.memBandwidthPerSocketGBs * machine.sockets * 1e9;
+    const double mem_seconds = double(dram_bytes) / peak_mem;
+    const double qpi_seconds = double(dram_bytes) * machine.remoteFraction /
+                               (machine.qpiBandwidthGBs * 1e9);
+
+    result.seconds = std::max({cpu_seconds, mem_seconds, qpi_seconds});
+    result.memoryBound = result.seconds > cpu_seconds;
+    if (result.seconds > 0) {
+        result.memGBs = double(dram_bytes) / result.seconds / 1e9;
+        const double qpi_bytes = double(dram_bytes) * machine.remoteFraction;
+        result.qpiPercent = 100.0 * qpi_bytes / result.seconds /
+                            (machine.qpiBandwidthGBs * 1e9);
+    }
+    return result;
+}
+
+} // namespace perf
+} // namespace saga

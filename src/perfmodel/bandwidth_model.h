@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Memory / inter-socket bandwidth model for the paper's platform.
+ *
+ * Converts a phase's simulated execution time (from the core-scaling
+ * simulator) and DRAM traffic (from the cache simulator) into the
+ * utilization numbers Fig. 9(b) and 9(c) report: achieved memory bandwidth
+ * in GB/s and QPI utilization as a percentage of the available
+ * inter-socket bandwidth.
+ */
+
+#ifndef SAGA_PERFMODEL_BANDWIDTH_MODEL_H_
+#define SAGA_PERFMODEL_BANDWIDTH_MODEL_H_
+
+#include <cstdint>
+
+namespace saga {
+namespace perf {
+
+/** The paper's dual-socket Xeon Gold 6142 (Section IV-A). */
+struct MachineModel
+{
+    int sockets = 2;
+    int coresPerSocket = 16;
+    /** Sustained core frequency in GHz (Turbo Boost off). */
+    double coreGHz = 2.6;
+    /** Abstract work units retired per core cycle. */
+    double unitsPerCycle = 1.0;
+    /** Peak DRAM bandwidth per socket (GB/s). */
+    double memBandwidthPerSocketGBs = 128.0;
+    /** Total QPI bandwidth, each direction (GB/s). */
+    double qpiBandwidthGBs = 68.1;
+    /**
+     * Fraction of DRAM traffic to the remote socket (memory pages
+     * interleaved across two sockets -> about half).
+     */
+    double remoteFraction = 0.5;
+
+    int totalCores() const { return sockets * coresPerSocket; }
+};
+
+/** Utilization estimate for one phase. */
+struct PhaseUtilization
+{
+    double seconds = 0;      // modeled phase duration
+    double memGBs = 0;       // achieved DRAM bandwidth
+    double qpiPercent = 0;   // % of available QPI bandwidth
+    bool memoryBound = false; // true if the bandwidth roof set the time
+};
+
+/**
+ * Model one phase.
+ *
+ * @param machine     platform description.
+ * @param cpu_units   core-limited execution time in abstract work units
+ *                    (a scaling-simulator makespan).
+ * @param dram_bytes  bytes exchanged with DRAM (cache-simulator output).
+ */
+PhaseUtilization modelPhase(const MachineModel &machine, double cpu_units,
+                            std::uint64_t dram_bytes);
+
+} // namespace perf
+} // namespace saga
+
+#endif // SAGA_PERFMODEL_BANDWIDTH_MODEL_H_

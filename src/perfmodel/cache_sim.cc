@@ -1,0 +1,137 @@
+#include "perfmodel/cache_sim.h"
+
+#include <cassert>
+
+namespace saga {
+namespace perf {
+
+CacheHierarchyConfig
+CacheHierarchyConfig::xeonGold6142()
+{
+    CacheHierarchyConfig config;
+    config.lineSize = 64;
+    config.levels = {
+        {"L1", 32 * 1024, 8},
+        {"L2", 1024 * 1024, 16},
+        {"LLC", 22ull * 1024 * 1024, 11},
+    };
+    return config;
+}
+
+CacheHierarchyConfig
+CacheHierarchyConfig::tiny()
+{
+    CacheHierarchyConfig config;
+    config.lineSize = 64;
+    config.levels = {
+        {"L1", 1024, 2},
+        {"L2", 4096, 4},
+    };
+    return config;
+}
+
+CacheSim::CacheSim(CacheHierarchyConfig config) : config_(std::move(config))
+{
+    levels_.resize(config_.levels.size());
+    stats_.resize(config_.levels.size());
+    for (std::size_t i = 0; i < config_.levels.size(); ++i) {
+        const CacheLevelConfig &lc = config_.levels[i];
+        Level &level = levels_[i];
+        level.ways = lc.ways;
+        level.numSets = lc.sizeBytes / (config_.lineSize * lc.ways);
+        assert(level.numSets > 0);
+        level.lines.assign(level.numSets * level.ways, Line{});
+    }
+}
+
+void
+CacheSim::access(const void *addr, std::uint32_t bytes, bool write)
+{
+    const auto base = reinterpret_cast<std::uint64_t>(addr);
+    const std::uint64_t first = base / config_.lineSize;
+    const std::uint64_t last = (base + (bytes ? bytes - 1 : 0)) /
+                               config_.lineSize;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        ++accesses_;
+        ++clock_;
+        touchLine(0, line, write);
+    }
+}
+
+void
+CacheSim::op(std::uint64_t n)
+{
+    ops_ += n;
+}
+
+void
+CacheSim::touchLine(std::size_t i, std::uint64_t line_addr, bool write)
+{
+    if (i >= levels_.size()) {
+        // DRAM fill.
+        dram_bytes_ += config_.lineSize;
+        return;
+    }
+
+    Level &level = levels_[i];
+    const std::uint64_t index = line_addr % level.numSets;
+    Line *set = level.set(index);
+
+    // Hit?
+    for (std::uint32_t w = 0; w < level.ways; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == line_addr) {
+            ++stats_[i].hits;
+            line.lastUse = clock_;
+            line.dirty |= write;
+            return;
+        }
+    }
+
+    // Miss: fetch from the next level, then fill the LRU way.
+    ++stats_[i].misses;
+    touchLine(i + 1, line_addr, write);
+
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 0; w < level.ways; ++w) {
+        Line &line = set[w];
+        if (!line.valid) {
+            victim = w;
+            break;
+        }
+        if (line.lastUse < set[victim].lastUse)
+            victim = w;
+    }
+    Line &line = set[victim];
+    if (line.valid && line.dirty && i + 1 >= levels_.size()) {
+        // Dirty eviction from the last level: write back to DRAM.
+        dram_bytes_ += config_.lineSize;
+    }
+    line.valid = true;
+    line.tag = line_addr;
+    line.lastUse = clock_;
+    line.dirty = write;
+}
+
+void
+CacheSim::resetStats()
+{
+    for (CacheLevelStats &s : stats_)
+        s = CacheLevelStats{};
+    ops_ = 0;
+    accesses_ = 0;
+    dram_bytes_ = 0;
+}
+
+void
+CacheSim::flush()
+{
+    resetStats();
+    for (Level &level : levels_) {
+        for (Line &line : level.lines)
+            line = Line{};
+    }
+}
+
+} // namespace perf
+} // namespace saga

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Trace-driven multi-level cache-hierarchy simulator.
+ *
+ * Substitutes for the Intel PCM measurements in the paper (Section VI-C):
+ * the instrumented workloads (see trace.h) stream their memory touches
+ * through a set-associative LRU L1/L2/LLC model, which produces per-level
+ * hit ratios, MPKI, and DRAM traffic. Geometry defaults to the paper's
+ * Xeon Gold 6142 (32KB L1d, 1MB L2, 22MB shared LLC).
+ */
+
+#ifndef SAGA_PERFMODEL_CACHE_SIM_H_
+#define SAGA_PERFMODEL_CACHE_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfmodel/trace.h"
+
+namespace saga {
+namespace perf {
+
+/** Geometry of one cache level. */
+struct CacheLevelConfig
+{
+    std::string name;
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t ways = 8;
+};
+
+/** Geometry of the full hierarchy. */
+struct CacheHierarchyConfig
+{
+    std::uint32_t lineSize = 64;
+    std::vector<CacheLevelConfig> levels;
+
+    /** The paper's platform: 32KB L1d / 1MB L2 / 22MB LLC. */
+    static CacheHierarchyConfig xeonGold6142();
+
+    /** A small hierarchy for fast unit tests. */
+    static CacheHierarchyConfig tiny();
+};
+
+/** Hit/miss counters for one level. */
+struct CacheLevelStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+    double
+    hitRatio() const
+    {
+        const std::uint64_t n = accesses();
+        return n ? double(hits) / double(n) : 0.0;
+    }
+};
+
+/**
+ * The simulator. Install it as the thread's AccessSink (single-threaded:
+ * characterization harnesses run with one worker).
+ */
+class CacheSim : public AccessSink
+{
+  public:
+    explicit CacheSim(
+        CacheHierarchyConfig config = CacheHierarchyConfig::xeonGold6142());
+
+    // AccessSink
+    void access(const void *addr, std::uint32_t bytes, bool write) override;
+    void op(std::uint64_t n) override;
+
+    std::size_t numLevels() const { return levels_.size(); }
+    const CacheLevelStats &levelStats(std::size_t i) const
+    {
+        return stats_[i];
+    }
+    const std::string &levelName(std::size_t i) const
+    {
+        return config_.levels[i].name;
+    }
+
+    /** Simulated instructions = explicit ops + one per memory access. */
+    std::uint64_t instructions() const { return ops_ + accesses_; }
+    std::uint64_t memoryAccesses() const { return accesses_; }
+
+    /** Bytes moved to/from DRAM (LLC fills + dirty writebacks). */
+    std::uint64_t dramBytes() const { return dram_bytes_; }
+
+    /** Misses per kilo-instruction at level @p i. */
+    double
+    mpki(std::size_t i) const
+    {
+        const std::uint64_t instr = instructions();
+        return instr ? 1000.0 * double(stats_[i].misses) / double(instr)
+                     : 0.0;
+    }
+
+    /** Zero all statistics (cache contents persist). */
+    void resetStats();
+
+    /** Drop cache contents and statistics. */
+    void flush();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = ~std::uint64_t{0};
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    struct Level
+    {
+        std::uint32_t ways = 0;
+        std::uint64_t numSets = 0;
+        std::vector<Line> lines; // numSets * ways
+
+        Line *set(std::uint64_t index) { return &lines[index * ways]; }
+    };
+
+    /** Access one line address at level @p i; recurses on miss. */
+    void touchLine(std::size_t i, std::uint64_t line_addr, bool write);
+
+    CacheHierarchyConfig config_;
+    std::vector<Level> levels_;
+    std::vector<CacheLevelStats> stats_;
+    std::uint64_t ops_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t dram_bytes_ = 0;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace perf
+} // namespace saga
+
+#endif // SAGA_PERFMODEL_CACHE_SIM_H_

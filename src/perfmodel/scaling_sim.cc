@@ -1,0 +1,70 @@
+#include "perfmodel/scaling_sim.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace saga {
+namespace perf {
+
+ScheduleResult
+scheduleTasks(const std::vector<SimTask> &tasks, int cores,
+              double wait_penalty)
+{
+    ScheduleResult result;
+    if (cores < 1)
+        cores = 1;
+
+    std::vector<double> core_free(cores, 0.0);
+    std::unordered_map<std::int64_t, double> lock_free;
+
+    for (const SimTask &task : tasks) {
+        int core;
+        if (task.affinity >= 0) {
+            core = static_cast<int>(task.affinity % cores);
+        } else {
+            core = 0;
+            for (int c = 1; c < cores; ++c) {
+                if (core_free[c] < core_free[core])
+                    core = c;
+            }
+        }
+
+        const double start = core_free[core];
+        double end = start + task.parCost;
+        if (task.serCost > 0 && task.lockId >= 0) {
+            double &lock_time = lock_free[task.lockId];
+            double ser_cost = task.serCost;
+            if (lock_time > end) {
+                // The lock is busy when this task arrives: spin-waiting
+                // inflates the critical section (cache-line ping-pong).
+                ser_cost += wait_penalty;
+            }
+            const double ser_start = std::max(end, lock_time);
+            end = ser_start + ser_cost;
+            lock_time = end;
+            result.busyTime += ser_cost - task.serCost;
+        } else {
+            end += task.serCost;
+        }
+        core_free[core] = end;
+        result.busyTime += task.parCost + task.serCost;
+        result.makespan = std::max(result.makespan, end);
+    }
+
+    if (result.makespan > 0)
+        result.utilization = result.busyTime / (result.makespan * cores);
+    return result;
+}
+
+double
+scheduleIterations(const std::vector<std::vector<SimTask>> &iterations,
+                   int cores, double barrier_cost)
+{
+    double total = 0;
+    for (const auto &tasks : iterations)
+        total += scheduleTasks(tasks, cores).makespan + barrier_cost;
+    return total;
+}
+
+} // namespace perf
+} // namespace saga

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Core-scaling simulator — the substitute for the paper's 32-core Xeon.
+ *
+ * The measurement host has a single physical core, so the scaling curves
+ * of Fig. 9(a) cannot be measured in wall-clock time. Instead, we replay
+ * each phase's *work structure* on a simple scheduling model:
+ *
+ *  - every unit of work is a SimTask with a lock-free portion (parCost),
+ *    an optional serialized portion (serCost, guarded by lockId — the AS
+ *    per-vertex lock or the Stinger vertex insert lock), and an optional
+ *    fixed core affinity (chunked-style structures bind a chunk's tasks to
+ *    one worker);
+ *  - greedy in-order list scheduling assigns each task to the earliest
+ *    available core, serializing the serCost portions per lock.
+ *
+ * The makespan at N cores reproduces the three effects the paper reports:
+ * near-linear compute scaling, AS update flattening from lock contention,
+ * and DAH update flat-lining from chunk imbalance.
+ */
+
+#ifndef SAGA_PERFMODEL_SCALING_SIM_H_
+#define SAGA_PERFMODEL_SCALING_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace saga {
+namespace perf {
+
+/** One schedulable unit of work (one edge update, one vertex compute). */
+struct SimTask
+{
+    /** Work done without holding any lock (abstract cycles). */
+    double parCost = 0;
+    /** Work done while holding @ref lockId (0 if lock-free). */
+    double serCost = 0;
+    /** Lock serializing serCost across tasks; -1 = none. */
+    std::int64_t lockId = -1;
+    /** Fixed core (modulo core count); -1 = any core. */
+    std::int64_t affinity = -1;
+};
+
+/** Result of scheduling a task list on N cores. */
+struct ScheduleResult
+{
+    double makespan = 0;   // finish time of the last task
+    double busyTime = 0;   // sum of all task costs (work)
+    double utilization = 0; // busyTime / (makespan * cores)
+};
+
+/**
+ * Greedy list-schedule @p tasks on @p cores cores.
+ *
+ * @param wait_penalty extra serialized cost charged whenever a task finds
+ *        its lock busy — models the spin-wait convoy (cache-line bouncing
+ *        between waiters lengthens the effective critical section). Zero
+ *        disables the effect.
+ */
+ScheduleResult scheduleTasks(const std::vector<SimTask> &tasks, int cores,
+                             double wait_penalty = 0.0);
+
+/**
+ * Convenience for iterative compute phases: schedule each iteration's
+ * tasks with a barrier between iterations; returns summed makespan.
+ */
+double scheduleIterations(
+    const std::vector<std::vector<SimTask>> &iterations, int cores,
+    double barrier_cost = 0);
+
+} // namespace perf
+} // namespace saga
+
+#endif // SAGA_PERFMODEL_SCALING_SIM_H_

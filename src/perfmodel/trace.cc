@@ -1,0 +1,28 @@
+#include "perfmodel/trace.h"
+
+#include <algorithm>
+
+namespace saga {
+namespace perf {
+
+void
+CountingSink::access(const void *addr, std::uint32_t bytes, bool write)
+{
+    if (write)
+        ++writes;
+    else
+        ++reads;
+    bytesTotal += bytes;
+    const auto a = reinterpret_cast<std::uint64_t>(addr);
+    minAddr = std::min(minAddr, a);
+    maxAddr = std::max(maxAddr, a + bytes);
+}
+
+void
+CountingSink::op(std::uint64_t n)
+{
+    opsTotal += n;
+}
+
+} // namespace perf
+} // namespace saga

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Memory-access tracing hooks — the substitute for hardware counters.
+ *
+ * The paper measures caches/bandwidth with Intel PCM on a Xeon server. This
+ * environment has no PMU access, so data structures and compute engines are
+ * instrumented at their semantically meaningful memory touches (edge reads
+ * and writes, hash probes, property loads/stores). When a sink is installed
+ * on the current thread, every touch is forwarded to it; the cache-hierarchy
+ * simulator (cache_sim.h) is one such sink. When no sink is installed the
+ * hook is one thread-local load and a predictable branch, cheap enough to
+ * leave compiled into the timed paths.
+ */
+
+#ifndef SAGA_PERFMODEL_TRACE_H_
+#define SAGA_PERFMODEL_TRACE_H_
+
+#include <cstdint>
+
+namespace saga {
+namespace perf {
+
+/** Consumer of a simulated memory-access stream. */
+class AccessSink
+{
+  public:
+    virtual ~AccessSink() = default;
+
+    /** One memory access of @p bytes at @p addr; @p write for stores. */
+    virtual void access(const void *addr, std::uint32_t bytes,
+                        bool write) = 0;
+
+    /**
+     * Account @p n simulated non-memory instructions (used for MPKI
+     * denominators). Engines call this once per unit of algorithmic work.
+     */
+    virtual void op(std::uint64_t n) = 0;
+};
+
+/** Per-thread current sink (null = tracing disabled). */
+inline thread_local AccessSink *tls_sink = nullptr;
+
+/** Record a read of @p bytes at @p addr if tracing is enabled. */
+inline void
+touch(const void *addr, std::uint32_t bytes)
+{
+    if (tls_sink)
+        tls_sink->access(addr, bytes, false);
+}
+
+/** Record a write of @p bytes at @p addr if tracing is enabled. */
+inline void
+touchWrite(const void *addr, std::uint32_t bytes)
+{
+    if (tls_sink)
+        tls_sink->access(addr, bytes, true);
+}
+
+/** Record @p n units of simulated instruction work. */
+inline void
+ops(std::uint64_t n = 1)
+{
+    if (tls_sink)
+        tls_sink->op(n);
+}
+
+/** RAII installer for a thread's sink. */
+class ScopedSink
+{
+  public:
+    explicit ScopedSink(AccessSink *sink) : saved_(tls_sink)
+    {
+        tls_sink = sink;
+    }
+    ~ScopedSink() { tls_sink = saved_; }
+    ScopedSink(const ScopedSink &) = delete;
+    ScopedSink &operator=(const ScopedSink &) = delete;
+
+  private:
+    AccessSink *saved_;
+};
+
+/**
+ * Trivial sink that counts accesses/bytes/ops — used in tests and as a
+ * sanity denominator.
+ */
+class CountingSink : public AccessSink
+{
+  public:
+    void access(const void *addr, std::uint32_t bytes, bool write) override;
+    void op(std::uint64_t n) override;
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytesTotal = 0;
+    std::uint64_t opsTotal = 0;
+
+    // Touched address range (for working-set sanity checks).
+    std::uint64_t minAddr = ~std::uint64_t{0};
+    std::uint64_t maxAddr = 0;
+};
+
+} // namespace perf
+} // namespace saga
+
+#endif // SAGA_PERFMODEL_TRACE_H_

@@ -1,0 +1,109 @@
+#include "perfmodel/workload_model.h"
+
+#include <algorithm>
+
+#include "ds/hash_util.h"
+
+namespace saga {
+namespace perf {
+
+UpdatePhaseModel::UpdatePhaseModel(DsKind ds, std::size_t chunks,
+                                   bool directed, CostParams params)
+    : ds_(ds), chunks_(chunks ? chunks : 1), directed_(directed),
+      params_(params)
+{}
+
+SimTask
+UpdatePhaseModel::makeTask(NodeId src, std::uint32_t degree,
+                           std::int64_t lock_base) const
+{
+    SimTask task;
+    switch (ds_) {
+      case DsKind::AS:
+        // Lock held for the full scan + append.
+        task.serCost = params_.updateBase + params_.scanEntry * degree;
+        task.lockId = lock_base + src;
+        break;
+      case DsKind::Stinger: {
+        // Search pass parallel; block-header walk + append serialized.
+        const double blocks = 1.0 + double(degree) / stinger_block_;
+        task.parCost = params_.updateBase / 2 +
+                       params_.scanEntry * degree +
+                       params_.blockHeader * blocks;
+        task.serCost = params_.updateBase / 2 +
+                       params_.blockHeader * blocks;
+        task.lockId = lock_base + src;
+        break;
+      }
+      case DsKind::AC:
+        // Lock-free scan, but bound to the source's chunk.
+        task.parCost = params_.updateBase + params_.scanEntry * degree;
+        task.affinity =
+            static_cast<std::int64_t>(hashNode(src) % chunks_);
+        break;
+      case DsKind::DAH:
+        // Hash insert with degree-aware meta-ops, bound to the chunk.
+        task.parCost = params_.updateBase + params_.hashWork +
+                       params_.dahMeta +
+                       params_.scanEntry *
+                           std::min<std::uint32_t>(degree, 64);
+        task.affinity =
+            static_cast<std::int64_t>(hashNode(src) % chunks_);
+        break;
+    }
+    return task;
+}
+
+std::vector<SimTask>
+UpdatePhaseModel::batchTasks(const EdgeBatch &batch)
+{
+    const NodeId max_node = batch.maxNode();
+    if (max_node != kInvalidNode) {
+        if (max_node >= out_deg_.size()) {
+            out_deg_.resize(max_node + 1, 0);
+            in_deg_.resize(max_node + 1, 0);
+        }
+    }
+
+    // Lock namespaces: out-store locks and in-store locks are distinct.
+    const std::int64_t kOutLocks = 0;
+    const std::int64_t kInLocks = std::int64_t{1} << 40;
+
+    std::vector<SimTask> tasks;
+    tasks.reserve(batch.size() * 2);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Edge &e = batch[i];
+        // Out-store insert keyed by src.
+        tasks.push_back(makeTask(e.src, out_deg_[e.src], kOutLocks));
+        ++out_deg_[e.src];
+        if (directed_) {
+            // In-store insert keyed by dst.
+            tasks.push_back(makeTask(e.dst, in_deg_[e.dst], kInLocks));
+            ++in_deg_[e.dst];
+        } else {
+            // Undirected: reverse orientation into the same store.
+            tasks.push_back(makeTask(e.dst, out_deg_[e.dst], kOutLocks));
+            ++out_deg_[e.dst];
+            ++in_deg_[e.src];
+            ++in_deg_[e.dst];
+        }
+    }
+    return tasks;
+}
+
+std::vector<SimTask>
+computeIterationTasks(const std::vector<std::uint32_t> &in_degrees,
+                      const CostParams &params)
+{
+    std::vector<SimTask> tasks;
+    tasks.reserve(in_degrees.size());
+    for (std::uint32_t degree : in_degrees) {
+        SimTask task;
+        task.parCost = params.computeBase + params.computeEdge * degree;
+        tasks.push_back(task);
+    }
+    return tasks;
+}
+
+} // namespace perf
+} // namespace saga

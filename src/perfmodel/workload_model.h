@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Builders that turn a streamed workload's *structure* into SimTask lists
+ * for the core-scaling simulator (scaling_sim.h).
+ *
+ * The update model replays a batch against running degree counters and
+ * emits one task per per-store edge insert, with the cost/locking shape of
+ * the chosen data structure:
+ *
+ *  - AS: whole scan serialized under the source-vertex lock;
+ *  - Stinger: search parallel, block-header walk serialized;
+ *  - AC: scan lock-free but pinned to the source's chunk;
+ *  - DAH: constant-ish hash work plus meta-ops, pinned to the chunk.
+ *
+ * The compute model emits one lock-free task per vertex with cost
+ * proportional to its degree (one pull iteration), run for a configurable
+ * number of iterations with barriers.
+ */
+
+#ifndef SAGA_PERFMODEL_WORKLOAD_MODEL_H_
+#define SAGA_PERFMODEL_WORKLOAD_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "perfmodel/scaling_sim.h"
+#include "saga/driver.h"
+#include "saga/edge_batch.h"
+
+namespace saga {
+namespace perf {
+
+/** Abstract-cycle costs of the modeled micro-operations. */
+struct CostParams
+{
+    double updateBase = 40;  // fixed per-insert overhead
+    double scanEntry = 1;    // per adjacency entry scanned
+    double blockHeader = 4;  // per Stinger block-header visit
+    double hashWork = 60;    // DAH probe + insert + displacement
+    double dahMeta = 60;     // DAH degree-query / table-location meta-ops
+    double computeBase = 20; // fixed per-vertex compute overhead
+    double computeEdge = 3;  // per edge pulled during compute
+    double barrier = 3000;   // per compute iteration barrier
+    double lockWaitPenalty = 400; // spin-wait convoy cost per blocked task
+};
+
+/** Streaming update-phase task builder for one data structure. */
+class UpdatePhaseModel
+{
+  public:
+    UpdatePhaseModel(DsKind ds, std::size_t chunks, bool directed,
+                     CostParams params = {});
+
+    /**
+     * Tasks for ingesting @p batch (out-store inserts plus in-store
+     * inserts for directed graphs / reverse orientation for undirected).
+     * Advances the running degree counters.
+     */
+    std::vector<SimTask> batchTasks(const EdgeBatch &batch);
+
+    const std::vector<std::uint32_t> &outDegrees() const { return out_deg_; }
+    const std::vector<std::uint32_t> &inDegrees() const { return in_deg_; }
+
+  private:
+    /** One insert of (src -> ...) into a store where src has degree d. */
+    SimTask makeTask(NodeId src, std::uint32_t degree,
+                     std::int64_t lock_base) const;
+
+    DsKind ds_;
+    std::size_t chunks_;
+    bool directed_;
+    CostParams params_;
+    std::uint32_t stinger_block_ = 16;
+    std::vector<std::uint32_t> out_deg_;
+    std::vector<std::uint32_t> in_deg_;
+};
+
+/**
+ * One compute iteration: a lock-free task per vertex, cost proportional
+ * to its in-degree (pull direction).
+ */
+std::vector<SimTask> computeIterationTasks(
+    const std::vector<std::uint32_t> &in_degrees, const CostParams &params);
+
+} // namespace perf
+} // namespace saga
+
+#endif // SAGA_PERFMODEL_WORKLOAD_MODEL_H_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lock-free read-modify-write helpers on plain arrays.
+ *
+ * The compute engines keep vertex values in plain std::vector storage (so
+ * the single-threaded paths stay branch-free) and use std::atomic_ref for
+ * the cross-thread updates inside parallel frontiers.
+ */
+
+#ifndef SAGA_PLATFORM_ATOMIC_OPS_H_
+#define SAGA_PLATFORM_ATOMIC_OPS_H_
+
+#include <atomic>
+
+namespace saga {
+
+/**
+ * Atomically set *slot = min(*slot, value).
+ * @return true if this call lowered the stored value.
+ */
+template <typename T>
+bool
+atomicFetchMin(T &slot, T value)
+{
+    std::atomic_ref<T> ref(slot);
+    T current = ref.load(std::memory_order_relaxed);
+    while (value < current) {
+        if (ref.compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Atomically set *slot = max(*slot, value).
+ * @return true if this call raised the stored value.
+ */
+template <typename T>
+bool
+atomicFetchMax(T &slot, T value)
+{
+    std::atomic_ref<T> ref(slot);
+    T current = ref.load(std::memory_order_relaxed);
+    while (value > current) {
+        if (ref.compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+/** One-shot CAS from @p expected to @p desired (Algorithm 1's CAS). */
+template <typename T>
+bool
+atomicClaim(T &slot, T expected, T desired)
+{
+    std::atomic_ref<T> ref(slot);
+    return ref.compare_exchange_strong(expected, desired,
+                                       std::memory_order_relaxed);
+}
+
+} // namespace saga
+
+#endif // SAGA_PLATFORM_ATOMIC_OPS_H_

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bulk-parallel loop helpers built on ThreadPool.
+ *
+ * These model the `#pragma omp parallel for` loops in the paper's
+ * pseudocode: a contiguous index range split over the pool's workers.
+ */
+
+#ifndef SAGA_PLATFORM_PARALLEL_FOR_H_
+#define SAGA_PLATFORM_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/thread_pool.h"
+
+namespace saga {
+
+/**
+ * Run body(i) for every i in [begin, end), statically partitioned into one
+ * contiguous slice per worker (OpenMP `schedule(static)` semantics).
+ */
+template <typename Body>
+void
+parallelFor(ThreadPool &pool, std::uint64_t begin, std::uint64_t end,
+            const Body &body)
+{
+    const std::uint64_t count = end > begin ? end - begin : 0;
+    if (count == 0)
+        return;
+    if (pool.size() == 1 || count == 1) {
+        for (std::uint64_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    const std::size_t workers = pool.size();
+    pool.run([&](std::size_t w) {
+        const std::uint64_t lo = begin + count * w / workers;
+        const std::uint64_t hi = begin + count * (w + 1) / workers;
+        for (std::uint64_t i = lo; i < hi; ++i)
+            body(i);
+    });
+}
+
+/**
+ * Run body(worker_id, lo, hi) once per worker with that worker's static
+ * slice of [begin, end). Useful when the body wants per-worker state.
+ */
+template <typename Body>
+void
+parallelSlices(ThreadPool &pool, std::uint64_t begin, std::uint64_t end,
+               const Body &body)
+{
+    const std::uint64_t count = end > begin ? end - begin : 0;
+    if (count == 0)
+        return;
+    const std::size_t workers = pool.size();
+    if (workers == 1) {
+        body(std::size_t{0}, begin, end);
+        return;
+    }
+    pool.run([&](std::size_t w) {
+        const std::uint64_t lo = begin + count * w / workers;
+        const std::uint64_t hi = begin + count * (w + 1) / workers;
+        if (lo < hi)
+            body(w, lo, hi);
+    });
+}
+
+} // namespace saga
+
+#endif // SAGA_PLATFORM_PARALLEL_FOR_H_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal spinlocks used by the graph data structures.
+ *
+ * The update phase takes very short critical sections (scan one vertex's
+ * adjacency and possibly append), so a test-and-test-and-set spinlock is a
+ * better fit than std::mutex: it is one byte, never syscalls, and can be
+ * embedded per vertex or per edge block without blowing up the footprint.
+ */
+
+#ifndef SAGA_PLATFORM_SPINLOCK_H_
+#define SAGA_PLATFORM_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace saga {
+
+/** Test-and-test-and-set spinlock. Satisfies BasicLockable. */
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock &) : SpinLock() {}
+    SpinLock &operator=(const SpinLock &) { return *this; }
+
+    void
+    lock()
+    {
+        for (;;) {
+            if (!flag_.exchange(true, std::memory_order_acquire))
+                return;
+            while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+                __builtin_ia32_pause();
+#endif
+            }
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/**
+ * RAII guard for SpinLock (std::lock_guard works too; this avoids the
+ * <mutex> include in hot headers).
+ */
+class SpinGuard
+{
+  public:
+    explicit SpinGuard(SpinLock &lock) : lock_(lock) { lock_.lock(); }
+    ~SpinGuard() { lock_.unlock(); }
+    SpinGuard(const SpinGuard &) = delete;
+    SpinGuard &operator=(const SpinGuard &) = delete;
+
+  private:
+    SpinLock &lock_;
+};
+
+} // namespace saga
+
+#endif // SAGA_PLATFORM_SPINLOCK_H_

@@ -1,0 +1,81 @@
+#include "platform/thread_pool.h"
+
+#include <cstdint>
+
+namespace saga {
+
+ThreadPool::ThreadPool(std::size_t num_workers)
+    : num_workers_(num_workers ? num_workers
+                               : std::max(1u, std::thread::hardware_concurrency()))
+{
+    // Worker 0 is the calling thread; spawn the rest.
+    threads_.reserve(num_workers_ - 1);
+    for (std::size_t id = 1; id < num_workers_; ++id)
+        threads_.emplace_back([this, id] { workerLoop(id); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> hold(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::run(const std::function<void(std::size_t)> &task)
+{
+    if (num_workers_ == 1) {
+        task(0);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> hold(mutex_);
+        task_ = &task;
+        ++generation_;
+        remaining_ = num_workers_ - 1;
+    }
+    wake_.notify_all();
+
+    // The calling thread doubles as worker 0.
+    task(0);
+
+    std::unique_lock<std::mutex> hold(mutex_);
+    done_.wait(hold, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop(std::size_t id)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *task;
+        {
+            std::unique_lock<std::mutex> hold(mutex_);
+            wake_.wait(hold, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            task = task_;
+        }
+
+        (*task)(id);
+
+        bool last;
+        {
+            std::lock_guard<std::mutex> hold(mutex_);
+            last = (--remaining_ == 0);
+        }
+        if (last)
+            done_.notify_one();
+    }
+}
+
+} // namespace saga

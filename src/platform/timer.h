@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timing helpers used for latency measurement.
+ */
+
+#ifndef SAGA_PLATFORM_TIMER_H_
+#define SAGA_PLATFORM_TIMER_H_
+
+#include <chrono>
+
+namespace saga {
+
+/** Monotonic stopwatch reporting elapsed seconds as double. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** @return seconds elapsed since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** @return milliseconds elapsed since construction or last reset(). */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace saga
+
+#endif // SAGA_PLATFORM_TIMER_H_

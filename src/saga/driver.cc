@@ -1,0 +1,73 @@
+#include "saga/driver.h"
+
+#include <stdexcept>
+
+namespace saga {
+
+const char *
+toString(DsKind ds)
+{
+    switch (ds) {
+      case DsKind::AS: return "as";
+      case DsKind::AC: return "ac";
+      case DsKind::Stinger: return "stinger";
+      case DsKind::DAH: return "dah";
+    }
+    return "?";
+}
+
+const char *
+toString(AlgKind alg)
+{
+    switch (alg) {
+      case AlgKind::BFS: return "bfs";
+      case AlgKind::CC: return "cc";
+      case AlgKind::MC: return "mc";
+      case AlgKind::PR: return "pr";
+      case AlgKind::SSSP: return "sssp";
+      case AlgKind::SSWP: return "sswp";
+    }
+    return "?";
+}
+
+const char *
+toString(ModelKind model)
+{
+    switch (model) {
+      case ModelKind::FS: return "fs";
+      case ModelKind::INC: return "inc";
+    }
+    return "?";
+}
+
+DsKind
+parseDs(const std::string &name)
+{
+    if (name == "as") return DsKind::AS;
+    if (name == "ac") return DsKind::AC;
+    if (name == "stinger") return DsKind::Stinger;
+    if (name == "dah") return DsKind::DAH;
+    throw std::invalid_argument("unknown data structure: " + name);
+}
+
+AlgKind
+parseAlg(const std::string &name)
+{
+    if (name == "bfs") return AlgKind::BFS;
+    if (name == "cc") return AlgKind::CC;
+    if (name == "mc") return AlgKind::MC;
+    if (name == "pr") return AlgKind::PR;
+    if (name == "sssp") return AlgKind::SSSP;
+    if (name == "sswp") return AlgKind::SSWP;
+    throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+ModelKind
+parseModel(const std::string &name)
+{
+    if (name == "fs") return ModelKind::FS;
+    if (name == "inc") return ModelKind::INC;
+    throw std::invalid_argument("unknown compute model: " + name);
+}
+
+} // namespace saga

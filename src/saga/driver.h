@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The streaming driver: repeated update + compute phases over a batch
+ * stream (paper Fig. 2b), with per-phase latency measurement (Eq. 1).
+ */
+
+#ifndef SAGA_SAGA_DRIVER_H_
+#define SAGA_SAGA_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <type_traits>
+
+#include "algo/context.h"
+#include "algo/inc_engine.h"
+#include "ds/dah.h"
+#include "ds/dyn_graph.h"
+#include "ds/stinger.h"
+#include "platform/thread_pool.h"
+#include "platform/timer.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** The four data structures (paper Section III-A). */
+enum class DsKind { AS, AC, Stinger, DAH };
+
+/** The six algorithms (paper Section III-C). */
+enum class AlgKind { BFS, CC, MC, PR, SSSP, SSWP };
+
+/** The two compute models (paper Section III-B). */
+enum class ModelKind { FS, INC };
+
+const char *toString(DsKind ds);
+const char *toString(AlgKind alg);
+const char *toString(ModelKind model);
+
+/** Parse helpers (case-sensitive lowercase names); throws on unknown. */
+DsKind parseDs(const std::string &name);
+AlgKind parseAlg(const std::string &name);
+ModelKind parseModel(const std::string &name);
+
+/** Everything needed to set up one streaming workload. */
+struct RunConfig
+{
+    DsKind ds = DsKind::AS;
+    AlgKind alg = AlgKind::BFS;
+    ModelKind model = ModelKind::INC;
+    bool directed = true;
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t threads = 0;
+    /** Chunks for AC/DAH; 0 = same as worker count. */
+    std::size_t chunks = 0;
+    /** Stinger edges per block. */
+    std::uint32_t stingerBlock = StingerStore::kBlockCapacity;
+    DahConfig dah{};
+    AlgContext ctx{};
+};
+
+/** Measured latencies and graph state after one batch. */
+struct BatchResult
+{
+    double updateSeconds = 0;
+    double computeSeconds = 0;
+    std::uint64_t batchEdges = 0;
+    std::uint64_t graphEdges = 0;
+    NodeId graphNodes = 0;
+
+    /** Batch processing latency (paper Eq. 1). */
+    double totalSeconds() const { return updateSeconds + computeSeconds; }
+};
+
+/**
+ * Type-erased streaming workload: one data structure + one algorithm +
+ * one compute model, driven batch by batch.
+ *
+ * The two phases are separately callable so characterization harnesses can
+ * install different instrumentation sinks around each.
+ */
+class StreamingRunner
+{
+  public:
+    virtual ~StreamingRunner() = default;
+
+    /** Update phase: ingest @p batch. @return seconds taken. */
+    virtual double updatePhase(const EdgeBatch &batch) = 0;
+
+    /** Compute phase for the last ingested batch. @return seconds. */
+    virtual double computePhase(const EdgeBatch &batch) = 0;
+
+    virtual NodeId numNodes() const = 0;
+    virtual std::uint64_t numEdges() const = 0;
+
+    /** Current vertex values widened to double (for validation). */
+    virtual std::vector<double> values() const = 0;
+
+    virtual const RunConfig &config() const = 0;
+
+    /** Convenience: update + compute with latency bookkeeping. */
+    BatchResult
+    processBatch(const EdgeBatch &batch)
+    {
+        BatchResult result;
+        result.batchEdges = batch.size();
+        result.updateSeconds = updatePhase(batch);
+        result.computeSeconds = computePhase(batch);
+        result.graphEdges = numEdges();
+        result.graphNodes = numNodes();
+        return result;
+    }
+};
+
+/** Build a runner for @p cfg (defined in registry.cc). */
+std::unique_ptr<StreamingRunner> makeRunner(const RunConfig &cfg);
+
+/**
+ * Concrete workload implementation, parameterized over the store type and
+ * the algorithm traits.
+ */
+template <typename Store, typename Alg>
+class Runner final : public StreamingRunner
+{
+  public:
+    explicit Runner(const RunConfig &cfg)
+        : cfg_(cfg), pool_(cfg.threads), graph_(makeGraph(cfg, pool_))
+    {}
+
+    double
+    updatePhase(const EdgeBatch &batch) override
+    {
+        Timer timer;
+        graph_.update(batch, pool_);
+        return timer.seconds();
+    }
+
+    double
+    computePhase(const EdgeBatch &batch) override
+    {
+        Timer timer;
+        AlgContext ctx = cfg_.ctx;
+        ctx.numNodesHint = graph_.numNodes();
+        if (cfg_.model == ModelKind::FS) {
+            Alg::computeFs(graph_, pool_, values_, ctx);
+        } else {
+            const std::vector<NodeId> affected =
+                affectedVertices(batch, graph_.numNodes());
+            incCompute<Alg>(graph_, pool_, values_, affected, ctx);
+        }
+        return timer.seconds();
+    }
+
+    NodeId numNodes() const override { return graph_.numNodes(); }
+    std::uint64_t numEdges() const override { return graph_.numEdges(); }
+
+    std::vector<double>
+    values() const override
+    {
+        std::vector<double> widened(values_.size());
+        for (std::size_t i = 0; i < values_.size(); ++i)
+            widened[i] = static_cast<double>(values_[i]);
+        return widened;
+    }
+
+    const RunConfig &config() const override { return cfg_; }
+
+    const DynGraph<Store> &graph() const { return graph_; }
+
+  private:
+    static DynGraph<Store>
+    makeGraph(const RunConfig &cfg, ThreadPool &pool)
+    {
+        const std::size_t chunks = cfg.chunks ? cfg.chunks : pool.size();
+        if constexpr (std::is_same_v<Store, DahStore>) {
+            return DynGraph<Store>(cfg.directed, chunks, cfg.dah);
+        } else if constexpr (std::is_same_v<Store, StingerStore>) {
+            return DynGraph<Store>(cfg.directed, cfg.stingerBlock);
+        } else if constexpr (std::is_constructible_v<Store, std::size_t>) {
+            return DynGraph<Store>(cfg.directed, chunks); // AC
+        } else {
+            return DynGraph<Store>(cfg.directed); // AS, Reference
+        }
+    }
+
+    RunConfig cfg_;
+    ThreadPool pool_;
+    DynGraph<Store> graph_;
+    std::vector<typename Alg::Value> values_;
+};
+
+} // namespace saga
+
+#endif // SAGA_SAGA_DRIVER_H_

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A batch of streaming edges — the unit of ingestion and measurement.
+ */
+
+#ifndef SAGA_SAGA_EDGE_BATCH_H_
+#define SAGA_SAGA_EDGE_BATCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "saga/types.h"
+
+namespace saga {
+
+/**
+ * One batch of incoming edges. The streaming driver hands a batch to the
+ * data structure's update() and then runs the compute phase; batch
+ * processing latency = update latency + compute latency (paper Eq. 1).
+ */
+class EdgeBatch
+{
+  public:
+    EdgeBatch() = default;
+    explicit EdgeBatch(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+
+    const std::vector<Edge> &edges() const { return edges_; }
+    std::vector<Edge> &edges() { return edges_; }
+    std::size_t size() const { return edges_.size(); }
+    bool empty() const { return edges_.empty(); }
+
+    const Edge &operator[](std::size_t i) const { return edges_[i]; }
+
+    void push_back(const Edge &e) { edges_.push_back(e); }
+
+    /** Largest vertex id referenced in this batch, or kInvalidNode if empty. */
+    NodeId
+    maxNode() const
+    {
+        NodeId max_node = kInvalidNode;
+        for (const Edge &e : edges_) {
+            const NodeId hi = std::max(e.src, e.dst);
+            if (max_node == kInvalidNode || hi > max_node)
+                max_node = hi;
+        }
+        return max_node;
+    }
+
+  private:
+    std::vector<Edge> edges_;
+};
+
+} // namespace saga
+
+#endif // SAGA_SAGA_EDGE_BATCH_H_

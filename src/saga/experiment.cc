@@ -1,0 +1,97 @@
+#include "saga/experiment.h"
+
+#include <cstdlib>
+
+#include "saga/stream_source.h"
+
+namespace saga {
+
+std::vector<double>
+StreamRun::updateLatencies() const
+{
+    std::vector<double> values;
+    values.reserve(batches.size());
+    for (const BatchResult &b : batches)
+        values.push_back(b.updateSeconds);
+    return values;
+}
+
+std::vector<double>
+StreamRun::computeLatencies() const
+{
+    std::vector<double> values;
+    values.reserve(batches.size());
+    for (const BatchResult &b : batches)
+        values.push_back(b.computeSeconds);
+    return values;
+}
+
+std::vector<double>
+StreamRun::totalLatencies() const
+{
+    std::vector<double> values;
+    values.reserve(batches.size());
+    for (const BatchResult &b : batches)
+        values.push_back(b.totalSeconds());
+    return values;
+}
+
+StreamRun
+runStream(const DatasetProfile &profile, RunConfig cfg, std::uint64_t seed)
+{
+    cfg.directed = profile.directed;
+    cfg.ctx.source = profile.source;
+
+    StreamSource stream(profile.generate(seed), profile.batchSize, seed);
+    std::unique_ptr<StreamingRunner> runner = makeRunner(cfg);
+
+    StreamRun run;
+    run.batches.reserve(stream.batchCount());
+    while (stream.hasNext()) {
+        const EdgeBatch batch = stream.next();
+        run.batches.push_back(runner->processBatch(batch));
+    }
+    return run;
+}
+
+WorkloadStages
+measureWorkload(const DatasetProfile &profile, RunConfig cfg,
+                int repetitions)
+{
+    std::vector<std::vector<double>> update_runs, compute_runs, total_runs;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        const StreamRun run = runStream(profile, cfg, 1 + rep);
+        update_runs.push_back(run.updateLatencies());
+        compute_runs.push_back(run.computeLatencies());
+        total_runs.push_back(run.totalLatencies());
+    }
+    WorkloadStages stages;
+    stages.update = summarizeStages(update_runs);
+    stages.compute = summarizeStages(compute_runs);
+    stages.total = summarizeStages(total_runs);
+    return stages;
+}
+
+double
+benchScale()
+{
+    if (const char *env = std::getenv("SAGA_SCALE")) {
+        const double scale = std::atof(env);
+        if (scale > 0)
+            return scale;
+    }
+    return 1.0;
+}
+
+int
+benchReps()
+{
+    if (const char *env = std::getenv("SAGA_REPS")) {
+        const int reps = std::atoi(env);
+        if (reps > 0)
+            return reps;
+    }
+    return 1;
+}
+
+} // namespace saga

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment orchestration: run a workload over a full dataset stream
+ * (optionally repeated) and aggregate latencies by stage, following the
+ * paper's methodology (Section IV-B).
+ */
+
+#ifndef SAGA_SAGA_EXPERIMENT_H_
+#define SAGA_SAGA_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/profiles.h"
+#include "saga/driver.h"
+#include "stats/summary.h"
+
+namespace saga {
+
+/** Per-batch results of one full pass over a dataset stream. */
+struct StreamRun
+{
+    std::vector<BatchResult> batches;
+
+    std::vector<double> updateLatencies() const;
+    std::vector<double> computeLatencies() const;
+    std::vector<double> totalLatencies() const;
+};
+
+/**
+ * Stream @p profile's edges through a fresh runner built from @p cfg.
+ * The profile decides directedness and the source vertex; @p cfg's other
+ * fields are respected. @p seed seeds both generation and shuffling.
+ */
+StreamRun runStream(const DatasetProfile &profile, RunConfig cfg,
+                    std::uint64_t seed = 1);
+
+/** Latency stage summaries over repeated runs of the same workload. */
+struct WorkloadStages
+{
+    StageSummary update;
+    StageSummary compute;
+    StageSummary total;
+};
+
+/**
+ * Run the workload @p repetitions times (seeds 1..reps for the shuffle,
+ * same generated graph) and pool per-stage values as the paper does.
+ */
+WorkloadStages measureWorkload(const DatasetProfile &profile, RunConfig cfg,
+                               int repetitions = 1);
+
+/** Global default scale factor for benches (env SAGA_SCALE, default 1). */
+double benchScale();
+
+/** Global repetition count for benches (env SAGA_REPS, default 1). */
+int benchReps();
+
+} // namespace saga
+
+#endif // SAGA_SAGA_EXPERIMENT_H_

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Instantiates every (data structure x algorithm) workload combination and
+ * provides the string-driven factory used by benches, tests, and examples.
+ */
+
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/mc.h"
+#include "algo/pr.h"
+#include "algo/sssp.h"
+#include "algo/sswp.h"
+#include "ds/adj_chunked.h"
+#include "ds/adj_shared.h"
+#include "ds/dah.h"
+#include "ds/stinger.h"
+#include "saga/driver.h"
+
+namespace saga {
+namespace {
+
+template <typename Store>
+std::unique_ptr<StreamingRunner>
+makeForStore(const RunConfig &cfg)
+{
+    switch (cfg.alg) {
+      case AlgKind::BFS:
+        return std::make_unique<Runner<Store, Bfs>>(cfg);
+      case AlgKind::CC:
+        return std::make_unique<Runner<Store, Cc>>(cfg);
+      case AlgKind::MC:
+        return std::make_unique<Runner<Store, Mc>>(cfg);
+      case AlgKind::PR:
+        return std::make_unique<Runner<Store, Pr>>(cfg);
+      case AlgKind::SSSP:
+        return std::make_unique<Runner<Store, Sssp>>(cfg);
+      case AlgKind::SSWP:
+        return std::make_unique<Runner<Store, Sswp>>(cfg);
+    }
+    return nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<StreamingRunner>
+makeRunner(const RunConfig &cfg)
+{
+    switch (cfg.ds) {
+      case DsKind::AS:
+        return makeForStore<AdjSharedStore>(cfg);
+      case DsKind::AC:
+        return makeForStore<AdjChunkedStore>(cfg);
+      case DsKind::Stinger:
+        return makeForStore<StingerStore>(cfg);
+      case DsKind::DAH:
+        return makeForStore<DahStore>(cfg);
+    }
+    return nullptr;
+}
+
+} // namespace saga

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Turns a full edge list into a randomized stream of fixed-size batches.
+ *
+ * Mirrors the paper's methodology (Section IV-B): the input edge list is
+ * randomly shuffled first (streaming edges do not arrive in file order),
+ * then read out in batches of a configurable size (paper default: 500K).
+ */
+
+#ifndef SAGA_SAGA_STREAM_SOURCE_H_
+#define SAGA_SAGA_STREAM_SOURCE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "platform/rng.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Fisher-Yates shuffle with the project RNG (deterministic per seed). */
+inline void
+shuffleEdges(std::vector<Edge> &edges, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::size_t i = edges.size(); i > 1; --i)
+        std::swap(edges[i - 1], edges[rng.below(i)]);
+}
+
+/** Batched, shuffled view over an edge list. */
+class StreamSource
+{
+  public:
+    /**
+     * @param edges full edge list (consumed).
+     * @param batch_size edges per batch; the final batch may be smaller.
+     * @param shuffle_seed seed for the pre-stream shuffle; pass
+     *        kNoShuffle to preserve input order (used by a few tests).
+     */
+    static constexpr std::uint64_t kNoShuffle = ~std::uint64_t{0};
+
+    StreamSource(std::vector<Edge> edges, std::size_t batch_size,
+                 std::uint64_t shuffle_seed = 1)
+        : edges_(std::move(edges)), batch_size_(batch_size)
+    {
+        if (shuffle_seed != kNoShuffle)
+            shuffleEdges(edges_, shuffle_seed);
+    }
+
+    /** Total number of batches ("batchCount" in the paper's Table II). */
+    std::size_t
+    batchCount() const
+    {
+        return (edges_.size() + batch_size_ - 1) / batch_size_;
+    }
+
+    std::size_t batchSize() const { return batch_size_; }
+    std::size_t totalEdges() const { return edges_.size(); }
+
+    /** True while another batch is available. */
+    bool hasNext() const { return cursor_ < edges_.size(); }
+
+    /** Extract the next batch. */
+    EdgeBatch
+    next()
+    {
+        const std::size_t hi =
+            std::min(cursor_ + batch_size_, edges_.size());
+        std::vector<Edge> slice(edges_.begin() + cursor_,
+                                edges_.begin() + hi);
+        cursor_ = hi;
+        return EdgeBatch(std::move(slice));
+    }
+
+    /** Rewind to the first batch (same shuffled order). */
+    void rewind() { cursor_ = 0; }
+
+  private:
+    std::vector<Edge> edges_;
+    std::size_t batch_size_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace saga
+
+#endif // SAGA_SAGA_STREAM_SOURCE_H_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental types shared across SAGA-Bench.
+ */
+
+#ifndef SAGA_SAGA_TYPES_H_
+#define SAGA_SAGA_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace saga {
+
+/** Vertex identifier. Graphs here stay comfortably under 2^32 vertices. */
+using NodeId = std::uint32_t;
+
+/** Edge weight (SSSP/SSWP use it; other algorithms ignore it). */
+using Weight = float;
+
+/** Sentinel for "no vertex". */
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** A directed, weighted edge in the input stream. */
+struct Edge
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    Weight weight = 1.0f;
+
+    friend bool
+    operator==(const Edge &a, const Edge &b)
+    {
+        return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+    }
+};
+
+/** A (neighbor, weight) pair as stored in / produced by a data structure. */
+struct Neighbor
+{
+    NodeId node = 0;
+    Weight weight = 1.0f;
+
+    friend bool
+    operator==(const Neighbor &a, const Neighbor &b)
+    {
+        return a.node == b.node && a.weight == b.weight;
+    }
+};
+
+} // namespace saga
+
+#endif // SAGA_SAGA_TYPES_H_

@@ -1,0 +1,70 @@
+#include "stats/summary.h"
+
+#include <cmath>
+
+namespace saga {
+
+Summary
+summarize(const std::vector<double> &samples)
+{
+    Summary result;
+    result.count = samples.size();
+    if (samples.empty())
+        return result;
+
+    double sum = 0;
+    for (double x : samples)
+        sum += x;
+    result.mean = sum / samples.size();
+
+    if (samples.size() > 1) {
+        double ss = 0;
+        for (double x : samples) {
+            const double d = x - result.mean;
+            ss += d * d;
+        }
+        result.stddev = std::sqrt(ss / (samples.size() - 1));
+        // Normal approximation: z(0.975) = 1.96. With the pooled
+        // batchCount-sized samples the paper uses, this is effectively
+        // exact.
+        result.ciHalfWidth =
+            1.96 * result.stddev / std::sqrt(double(samples.size()));
+    }
+    return result;
+}
+
+namespace {
+
+/** Stage k (0..2) slice bounds of an n-element run: equal thirds. */
+std::pair<std::size_t, std::size_t>
+stageBounds(std::size_t n, int k)
+{
+    return {n * k / 3, n * (k + 1) / 3};
+}
+
+} // namespace
+
+StageSummary
+summarizeStages(const std::vector<double> &per_batch)
+{
+    return summarizeStages(
+        std::vector<std::vector<double>>{per_batch});
+}
+
+StageSummary
+summarizeStages(const std::vector<std::vector<double>> &runs)
+{
+    StageSummary result;
+    for (int k = 0; k < 3; ++k) {
+        std::vector<double> pooled;
+        for (const auto &run : runs) {
+            const auto [lo, hi] = stageBounds(run.size(), k);
+            pooled.insert(pooled.end(), run.begin() + lo, run.begin() + hi);
+        }
+        Summary s = summarize(pooled);
+        (k == 0 ? result.p1 : k == 1 ? result.p2 : result.p3) = s;
+    }
+    return result;
+}
+
+} // namespace saga

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Summary statistics: mean, standard deviation, 95% confidence interval,
+ * and the paper's P1/P2/P3 stage aggregation (Section IV-B).
+ */
+
+#ifndef SAGA_STATS_SUMMARY_H_
+#define SAGA_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace saga {
+
+/** Mean / spread / 95% CI of a sample. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0;
+    double stddev = 0;     // sample standard deviation
+    double ciHalfWidth = 0; // 95% CI half width (normal approximation)
+
+    double low() const { return mean - ciHalfWidth; }
+    double high() const { return mean + ciHalfWidth; }
+
+    /** True if the 95% CIs of two summaries overlap ("competitive"). */
+    bool
+    overlaps(const Summary &other) const
+    {
+        return low() <= other.high() && other.low() <= high();
+    }
+};
+
+/** Compute a Summary over @p samples. */
+Summary summarize(const std::vector<double> &samples);
+
+/**
+ * Split @p per_batch values into three equal stages (early / middle /
+ * final) and summarize each — the paper's P1, P2, P3 data points. With
+ * fewer than 3 values, stages may be empty (count == 0).
+ */
+struct StageSummary
+{
+    Summary p1, p2, p3;
+
+    const Summary &
+    stage(int i) const
+    {
+        return i == 0 ? p1 : (i == 1 ? p2 : p3);
+    }
+};
+
+StageSummary summarizeStages(const std::vector<double> &per_batch);
+
+/**
+ * Stage summary over repeated runs: each run contributes its per-batch
+ * values; stage Pk pools the k-th third of every run (the paper averages
+ * 1/3 x batchCount x repetitions values per stage).
+ */
+StageSummary summarizeStages(const std::vector<std::vector<double>> &runs);
+
+} // namespace saga
+
+#endif // SAGA_STATS_SUMMARY_H_

@@ -1,0 +1,66 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace saga {
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            os << (c + 1 < row.size() ? "  " : "");
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 < row.size() ? "," : "");
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+} // namespace saga

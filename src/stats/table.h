@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses.
+ */
+
+#ifndef SAGA_STATS_TABLE_H_
+#define SAGA_STATS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace saga {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    void addRow(std::vector<std::string> row);
+
+    /** Render to @p os with column alignment and a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p precision fractional digits. */
+std::string formatDouble(double value, int precision = 4);
+
+} // namespace saga
+
+#endif // SAGA_STATS_TABLE_H_

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Naive, obviously-correct serial graph algorithms used as oracles for the
+ * FS engine tests. These deliberately use different algorithmic strategies
+ * from the library (Dijkstra instead of delta-stepping, union-find instead
+ * of label propagation, ...) so agreement is meaningful.
+ */
+
+#ifndef SAGA_TESTS_REFERENCE_ALGOS_H_
+#define SAGA_TESTS_REFERENCE_ALGOS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "saga/types.h"
+
+namespace saga {
+namespace test {
+
+using AdjList = std::vector<std::vector<Neighbor>>;
+
+/** Build forward/reverse adjacency from a unique edge list. */
+inline AdjList
+buildAdj(const std::vector<Edge> &edges, NodeId n, bool reversed = false)
+{
+    AdjList adj(n);
+    for (const Edge &e : edges) {
+        if (reversed)
+            adj[e.dst].push_back({e.src, e.weight});
+        else
+            adj[e.src].push_back({e.dst, e.weight});
+    }
+    return adj;
+}
+
+/** Queue-based BFS depths; UINT32_MAX for unreached. */
+inline std::vector<std::uint32_t>
+refBfs(const AdjList &adj, NodeId source)
+{
+    constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> depth(adj.size(), kInf);
+    if (source >= adj.size())
+        return depth;
+    depth[source] = 0;
+    std::queue<NodeId> queue;
+    queue.push(source);
+    while (!queue.empty()) {
+        const NodeId v = queue.front();
+        queue.pop();
+        for (const Neighbor &nbr : adj[v]) {
+            if (depth[nbr.node] == kInf) {
+                depth[nbr.node] = depth[v] + 1;
+                queue.push(nbr.node);
+            }
+        }
+    }
+    return depth;
+}
+
+/** Dijkstra shortest paths; +inf for unreached. */
+inline std::vector<float>
+refDijkstra(const AdjList &adj, NodeId source)
+{
+    constexpr float kInf = std::numeric_limits<float>::infinity();
+    std::vector<float> dist(adj.size(), kInf);
+    if (source >= adj.size())
+        return dist;
+    using Entry = std::pair<float, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.push({0, source});
+    while (!heap.empty()) {
+        const auto [d, v] = heap.top();
+        heap.pop();
+        if (d > dist[v])
+            continue;
+        for (const Neighbor &nbr : adj[v]) {
+            const float cand = d + nbr.weight;
+            if (cand < dist[nbr.node]) {
+                dist[nbr.node] = cand;
+                heap.push({cand, nbr.node});
+            }
+        }
+    }
+    return dist;
+}
+
+/** Dijkstra-style widest paths; source = +inf, unreached = 0. */
+inline std::vector<float>
+refWidest(const AdjList &adj, NodeId source)
+{
+    std::vector<float> width(adj.size(), 0.0f);
+    if (source >= adj.size())
+        return width;
+    using Entry = std::pair<float, NodeId>;
+    std::priority_queue<Entry> heap; // max-heap on width
+    width[source] = std::numeric_limits<float>::infinity();
+    heap.push({width[source], source});
+    while (!heap.empty()) {
+        const auto [w, v] = heap.top();
+        heap.pop();
+        if (w < width[v])
+            continue;
+        for (const Neighbor &nbr : adj[v]) {
+            const float cand = std::min(w, nbr.weight);
+            if (cand > width[nbr.node]) {
+                width[nbr.node] = cand;
+                heap.push({cand, nbr.node});
+            }
+        }
+    }
+    return width;
+}
+
+/** Weakly-connected components via union-find; label = min id. */
+inline std::vector<NodeId>
+refCc(const std::vector<Edge> &edges, NodeId n)
+{
+    std::vector<NodeId> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    const auto find = [&](NodeId v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    for (const Edge &e : edges) {
+        const NodeId a = find(e.src), b = find(e.dst);
+        if (a != b)
+            parent[std::max(a, b)] = std::min(a, b);
+    }
+    // Min id per component.
+    std::vector<NodeId> label(n);
+    for (NodeId v = 0; v < n; ++v)
+        label[v] = find(v);
+    return label;
+}
+
+/** Fixpoint max-ancestor values (init = own id). */
+inline std::vector<NodeId>
+refMc(const AdjList &adj, NodeId n)
+{
+    std::vector<NodeId> value(n);
+    std::iota(value.begin(), value.end(), 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (NodeId v = 0; v < n; ++v) {
+            for (const Neighbor &nbr : adj[v]) {
+                if (value[v] > value[nbr.node]) {
+                    value[nbr.node] = value[v];
+                    changed = true;
+                }
+            }
+        }
+    }
+    return value;
+}
+
+/** Push-style PageRank iteration (different style from the library). */
+inline std::vector<double>
+refPr(const AdjList &out_adj, NodeId n, double damping, double tolerance,
+      int max_iters)
+{
+    if (n == 0)
+        return {};
+    std::vector<double> rank(n, 1.0 / n), next(n);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+        for (NodeId v = 0; v < n; ++v) {
+            if (out_adj[v].empty())
+                continue;
+            const double share = damping * rank[v] / out_adj[v].size();
+            for (const Neighbor &nbr : out_adj[v])
+                next[nbr.node] += share;
+        }
+        double delta = 0;
+        for (NodeId v = 0; v < n; ++v)
+            delta += std::abs(next[v] - rank[v]);
+        rank.swap(next);
+        if (delta < tolerance)
+            break;
+    }
+    return rank;
+}
+
+} // namespace test
+} // namespace saga
+
+#endif // SAGA_TESTS_REFERENCE_ALGOS_H_

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Algorithm edge cases: self-loops, cycles, parallel/duplicate edges,
+ * analytic PageRank fixpoints, and cross-backend equivalence (the same
+ * stream through AS and the CSR baseline must give identical results).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/inc_engine.h"
+#include "algo/mc.h"
+#include "algo/pr.h"
+#include "algo/sssp.h"
+#include "algo/sswp.h"
+#include "ds/adj_shared.h"
+#include "ds/csr.h"
+#include "ds/dyn_graph.h"
+#include "ds/reference.h"
+#include "platform/thread_pool.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+class AlgoEdgeCases : public ::testing::Test
+{
+  protected:
+    AlgoEdgeCases() : g_(/*directed=*/true), pool_(2) {}
+
+    void update(std::vector<Edge> edges)
+    {
+        g_.update(EdgeBatch(std::move(edges)), pool_);
+    }
+
+    DynGraph<ReferenceStore> g_;
+    ThreadPool pool_;
+    AlgContext ctx_;
+};
+
+TEST_F(AlgoEdgeCases, BfsSelfLoopAtSource)
+{
+    update({{0, 0, 1.0f}, {0, 1, 1.0f}});
+    std::vector<Bfs::Value> values;
+    Bfs::computeFs(g_, pool_, values, ctx_);
+    EXPECT_EQ(values[0], 0u); // self loop must not bump the source depth
+    EXPECT_EQ(values[1], 1u);
+}
+
+TEST_F(AlgoEdgeCases, BfsCycleTerminates)
+{
+    update({{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 0, 1.0f}});
+    std::vector<Bfs::Value> values;
+    Bfs::computeFs(g_, pool_, values, ctx_);
+    EXPECT_EQ(values[0], 0u);
+    EXPECT_EQ(values[1], 1u);
+    EXPECT_EQ(values[2], 2u);
+}
+
+TEST_F(AlgoEdgeCases, SsspPrefersLightMultiHopPath)
+{
+    update({{0, 2, 10.0f}, {0, 1, 1.0f}, {1, 2, 1.0f}});
+    std::vector<Sssp::Value> values;
+    Sssp::computeFs(g_, pool_, values, ctx_);
+    EXPECT_FLOAT_EQ(values[2], 2.0f);
+}
+
+TEST_F(AlgoEdgeCases, SswpPrefersWideMultiHopPath)
+{
+    update({{0, 2, 2.0f}, {0, 1, 9.0f}, {1, 2, 8.0f}});
+    std::vector<Sswp::Value> values;
+    Sswp::computeFs(g_, pool_, values, ctx_);
+    EXPECT_FLOAT_EQ(values[2], 8.0f); // min(9,8) beats direct width 2
+    EXPECT_TRUE(std::isinf(values[0]));
+}
+
+TEST_F(AlgoEdgeCases, McOnCyclePropagatesMaxEverywhere)
+{
+    update({{3, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}});
+    std::vector<Mc::Value> values;
+    Mc::computeFs(g_, pool_, values, ctx_);
+    EXPECT_EQ(values[1], 3u);
+    EXPECT_EQ(values[2], 3u);
+    EXPECT_EQ(values[3], 3u);
+    EXPECT_EQ(values[0], 0u); // isolated
+}
+
+TEST_F(AlgoEdgeCases, CcSelfLoopIsOwnComponent)
+{
+    update({{5, 5, 1.0f}, {1, 2, 1.0f}});
+    std::vector<Cc::Value> values;
+    Cc::computeFs(g_, pool_, values, ctx_);
+    EXPECT_EQ(values[5], 5u);
+    EXPECT_EQ(values[1], 1u);
+    EXPECT_EQ(values[2], 1u);
+}
+
+TEST_F(AlgoEdgeCases, PrTwoNodeCycleAnalytic)
+{
+    // Symmetric 2-cycle: the unique fixpoint is rank 0.5 each.
+    update({{0, 1, 1.0f}, {1, 0, 1.0f}});
+    std::vector<Pr::Value> values;
+    ctx_.prMaxIters = 200;
+    ctx_.prTolerance = 1e-12;
+    Pr::computeFs(g_, pool_, values, ctx_);
+    EXPECT_NEAR(values[0], 0.5, 1e-6);
+    EXPECT_NEAR(values[1], 0.5, 1e-6);
+}
+
+TEST_F(AlgoEdgeCases, PrStarAnalytic)
+{
+    // Star 1..4 -> 0: leaves keep the base rank (1-d)/5; the center gets
+    // base + d * 4 * leaf (leaves have out-degree 1).
+    update({{1, 0, 1.0f}, {2, 0, 1.0f}, {3, 0, 1.0f}, {4, 0, 1.0f}});
+    std::vector<Pr::Value> values;
+    ctx_.prMaxIters = 200;
+    ctx_.prTolerance = 1e-12;
+    Pr::computeFs(g_, pool_, values, ctx_);
+    const double base = 0.15 / 5;
+    EXPECT_NEAR(values[1], base, 1e-9);
+    EXPECT_NEAR(values[0], base + 0.85 * 4 * base, 1e-9);
+}
+
+TEST_F(AlgoEdgeCases, IncDuplicateOnlyBatchIsQuiescent)
+{
+    const std::vector<Edge> edges{{0, 1, 1.0f}, {1, 2, 1.0f}};
+    update(edges);
+    std::vector<Sssp::Value> values;
+    incCompute<Sssp>(g_, pool_, values,
+                     affectedVertices(EdgeBatch(edges), g_.numNodes()),
+                     ctx_);
+    const auto snapshot = values;
+    update(edges); // pure duplicates
+    incCompute<Sssp>(g_, pool_, values,
+                     affectedVertices(EdgeBatch(edges), g_.numNodes()),
+                     ctx_);
+    EXPECT_EQ(values, snapshot);
+}
+
+/** The same stream through AS and the CSR baseline gives equal results. */
+TEST(CrossBackend, AsAndCsrAgreeOnEveryAlgorithm)
+{
+    DynGraph<AdjSharedStore> as(/*directed=*/true);
+    DynGraph<CsrStore> csr(/*directed=*/true);
+    ThreadPool pool(2);
+    for (int b = 0; b < 3; ++b) {
+        const EdgeBatch batch = test::randomBatch(150, 700, 55 + b);
+        as.update(batch, pool);
+        csr.update(batch, pool);
+    }
+    AlgContext ctx;
+
+    std::vector<Bfs::Value> b1, b2;
+    Bfs::computeFs(as, pool, b1, ctx);
+    Bfs::computeFs(csr, pool, b2, ctx);
+    EXPECT_EQ(b1, b2);
+
+    std::vector<Sssp::Value> s1, s2;
+    Sssp::computeFs(as, pool, s1, ctx);
+    Sssp::computeFs(csr, pool, s2, ctx);
+    EXPECT_EQ(s1, s2);
+
+    std::vector<Cc::Value> c1, c2;
+    Cc::computeFs(as, pool, c1, ctx);
+    Cc::computeFs(csr, pool, c2, ctx);
+    EXPECT_EQ(c1, c2);
+
+    std::vector<Pr::Value> p1, p2;
+    Pr::computeFs(as, pool, p1, ctx);
+    Pr::computeFs(csr, pool, p2, ctx);
+    ASSERT_EQ(p1.size(), p2.size());
+    for (std::size_t v = 0; v < p1.size(); ++v)
+        EXPECT_NEAR(p1[v], p2[v], 1e-12) << "v=" << v;
+}
+
+} // namespace
+} // namespace saga

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * FS algorithm tests against the independent oracles in reference_algos.h,
+ * parameterized over random graph shapes (TEST_P property sweeps).
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/mc.h"
+#include "algo/pr.h"
+#include "algo/sssp.h"
+#include "algo/sswp.h"
+#include "ds/dyn_graph.h"
+#include "ds/reference.h"
+#include "platform/thread_pool.h"
+#include "reference_algos.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+struct GraphShape
+{
+    NodeId nodes;
+    std::size_t edges;
+    std::uint64_t seed;
+};
+
+void
+PrintTo(const GraphShape &shape, std::ostream *os)
+{
+    *os << "n" << shape.nodes << "_e" << shape.edges << "_s" << shape.seed;
+}
+
+class FsAlgTest : public ::testing::TestWithParam<GraphShape>
+{
+  protected:
+    FsAlgTest() : g_(/*directed=*/true), pool_(3) {}
+
+    void
+    SetUp() override
+    {
+        const GraphShape shape = GetParam();
+        EdgeBatch batch =
+            test::randomBatch(shape.nodes, shape.edges, shape.seed);
+        g_.update(batch, pool_);
+        n_ = g_.numNodes();
+
+        // Unique edge list for the oracles.
+        std::set<std::pair<NodeId, NodeId>> seen;
+        for (const Edge &e : batch.edges()) {
+            if (seen.insert({e.src, e.dst}).second)
+                unique_edges_.push_back(e);
+        }
+        out_adj_ = test::buildAdj(unique_edges_, n_);
+        ctx_.source = 0;
+        ctx_.numNodesHint = n_;
+    }
+
+    DynGraph<ReferenceStore> g_;
+    ThreadPool pool_;
+    NodeId n_ = 0;
+    std::vector<Edge> unique_edges_;
+    test::AdjList out_adj_;
+    AlgContext ctx_;
+};
+
+TEST_P(FsAlgTest, BfsMatchesQueueBfs)
+{
+    std::vector<Bfs::Value> values;
+    Bfs::computeFs(g_, pool_, values, ctx_);
+    const auto expected = test::refBfs(out_adj_, ctx_.source);
+    ASSERT_EQ(values.size(), expected.size());
+    for (NodeId v = 0; v < n_; ++v)
+        EXPECT_EQ(values[v], expected[v]) << "v=" << v;
+}
+
+TEST_P(FsAlgTest, SsspMatchesDijkstra)
+{
+    std::vector<Sssp::Value> values;
+    Sssp::computeFs(g_, pool_, values, ctx_);
+    const auto expected = test::refDijkstra(out_adj_, ctx_.source);
+    ASSERT_EQ(values.size(), expected.size());
+    for (NodeId v = 0; v < n_; ++v) {
+        if (std::isinf(expected[v]))
+            EXPECT_TRUE(std::isinf(values[v])) << "v=" << v;
+        else
+            EXPECT_FLOAT_EQ(values[v], expected[v]) << "v=" << v;
+    }
+}
+
+TEST_P(FsAlgTest, SswpMatchesWidestDijkstra)
+{
+    std::vector<Sswp::Value> values;
+    Sswp::computeFs(g_, pool_, values, ctx_);
+    const auto expected = test::refWidest(out_adj_, ctx_.source);
+    ASSERT_EQ(values.size(), expected.size());
+    for (NodeId v = 0; v < n_; ++v)
+        EXPECT_EQ(values[v], expected[v]) << "v=" << v;
+}
+
+TEST_P(FsAlgTest, CcMatchesUnionFind)
+{
+    std::vector<Cc::Value> values;
+    Cc::computeFs(g_, pool_, values, ctx_);
+    const auto expected = test::refCc(unique_edges_, n_);
+    ASSERT_EQ(values.size(), expected.size());
+    for (NodeId v = 0; v < n_; ++v)
+        EXPECT_EQ(values[v], expected[v]) << "v=" << v;
+}
+
+TEST_P(FsAlgTest, McMatchesFixpoint)
+{
+    std::vector<Mc::Value> values;
+    Mc::computeFs(g_, pool_, values, ctx_);
+    const auto expected = test::refMc(out_adj_, n_);
+    ASSERT_EQ(values.size(), expected.size());
+    for (NodeId v = 0; v < n_; ++v)
+        EXPECT_EQ(values[v], expected[v]) << "v=" << v;
+}
+
+TEST_P(FsAlgTest, PrMatchesPushIteration)
+{
+    std::vector<Pr::Value> values;
+    Pr::computeFs(g_, pool_, values, ctx_);
+    const auto expected = test::refPr(out_adj_, n_, ctx_.damping,
+                                      ctx_.prTolerance, ctx_.prMaxIters);
+    ASSERT_EQ(values.size(), expected.size());
+    double l1 = 0;
+    for (NodeId v = 0; v < n_; ++v)
+        l1 += std::fabs(values[v] - expected[v]);
+    // Pull and push iterations stop at slightly different points; both are
+    // within the convergence tolerance of the true ranks.
+    EXPECT_LT(l1, 4 * ctx_.prTolerance);
+}
+
+TEST_P(FsAlgTest, PrRanksSumNearOne)
+{
+    std::vector<Pr::Value> values;
+    Pr::computeFs(g_, pool_, values, ctx_);
+    double sum = 0;
+    for (NodeId v = 0; v < n_; ++v)
+        sum += values[v];
+    // Dangling vertices leak rank mass (Table I formula has no dangling
+    // redistribution), so the sum is <= 1 but must stay positive.
+    EXPECT_GT(sum, 0.1);
+    EXPECT_LE(sum, 1.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FsAlgTest,
+    ::testing::Values(GraphShape{2, 1, 11}, GraphShape{16, 40, 3},
+                      GraphShape{64, 100, 4}, GraphShape{64, 600, 5},
+                      GraphShape{256, 500, 6}, GraphShape{256, 3000, 7},
+                      GraphShape{1000, 4000, 8},
+                      GraphShape{1000, 15000, 9},
+                      GraphShape{4000, 12000, 10}));
+
+TEST(FsAlgEdgeCases, EmptyGraph)
+{
+    DynGraph<ReferenceStore> g(true);
+    ThreadPool pool(1);
+    AlgContext ctx;
+    std::vector<Bfs::Value> bfs_values{1, 2, 3};
+    Bfs::computeFs(g, pool, bfs_values, ctx);
+    EXPECT_TRUE(bfs_values.empty());
+    std::vector<Pr::Value> pr_values;
+    Pr::computeFs(g, pool, pr_values, ctx);
+    EXPECT_TRUE(pr_values.empty());
+}
+
+TEST(FsAlgEdgeCases, SourceOutsideGraph)
+{
+    DynGraph<ReferenceStore> g(true);
+    ThreadPool pool(1);
+    g.update(EdgeBatch({{0, 1, 1.0f}}), pool);
+    AlgContext ctx;
+    ctx.source = 99; // not yet streamed in
+    std::vector<Sssp::Value> values;
+    Sssp::computeFs(g, pool, values, ctx);
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_TRUE(std::isinf(values[0]));
+    EXPECT_TRUE(std::isinf(values[1]));
+}
+
+TEST(FsAlgEdgeCases, DisconnectedComponents)
+{
+    DynGraph<ReferenceStore> g(true);
+    ThreadPool pool(2);
+    g.update(EdgeBatch({{0, 1, 1.0f}, {2, 3, 1.0f}, {4, 5, 1.0f}}), pool);
+    AlgContext ctx;
+    std::vector<Cc::Value> values;
+    Cc::computeFs(g, pool, values, ctx);
+    EXPECT_EQ(values[0], values[1]);
+    EXPECT_EQ(values[2], values[3]);
+    EXPECT_EQ(values[4], values[5]);
+    EXPECT_NE(values[0], values[2]);
+    EXPECT_NE(values[2], values[4]);
+}
+
+} // namespace
+} // namespace saga

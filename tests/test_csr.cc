@@ -1,0 +1,97 @@
+/** @file CSR baseline tests: build correctness, rebuild-on-update. */
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "ds/csr.h"
+#include "ds/dyn_graph.h"
+#include "ds/reference.h"
+#include "platform/thread_pool.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+TEST(CsrGraph, EmptyGraph)
+{
+    const CsrGraph g = CsrGraph::build({}, 0);
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(CsrGraph, BuildSortsRows)
+{
+    const CsrGraph g = CsrGraph::build(
+        {{0, 3, 1.0f}, {0, 1, 2.0f}, {0, 2, 3.0f}, {2, 0, 4.0f}}, 4);
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(1), 0u);
+    EXPECT_EQ(g.degree(2), 1u);
+
+    std::vector<NodeId> row;
+    g.forNeighbors(0, [&](const Neighbor &nbr) { row.push_back(nbr.node); });
+    EXPECT_EQ(row, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(CsrGraph, DuplicatesKeepMinWeight)
+{
+    const CsrGraph g = CsrGraph::build(
+        {{0, 1, 5.0f}, {0, 1, 2.0f}, {0, 1, 9.0f}}, 2);
+    EXPECT_EQ(g.numEdges(), 1u);
+    g.forNeighbors(0, [&](const Neighbor &nbr) {
+        EXPECT_EQ(nbr.node, 1u);
+        EXPECT_EQ(nbr.weight, 2.0f);
+    });
+}
+
+TEST(CsrStore, MatchesReferenceAcrossBatches)
+{
+    CsrStore store;
+    ReferenceStore oracle;
+    ThreadPool pool(2);
+    for (int b = 0; b < 5; ++b) {
+        const EdgeBatch batch = test::randomBatch(200, 800, 31 + b);
+        store.updateBatch(batch, pool, false);
+        oracle.updateBatch(batch, pool, false);
+    }
+    ASSERT_EQ(store.numNodes(), oracle.numNodes());
+    ASSERT_EQ(store.numEdges(), oracle.numEdges());
+    for (NodeId v = 0; v < oracle.numNodes(); ++v) {
+        EXPECT_EQ(test::sortedNeighbors(store, v),
+                  test::sortedNeighbors(oracle, v))
+            << "v=" << v;
+    }
+}
+
+TEST(CsrStore, ReversedIngest)
+{
+    CsrStore store;
+    ThreadPool pool(1);
+    store.updateBatch(EdgeBatch({{1, 2, 3.0f}}), pool, /*reversed=*/true);
+    EXPECT_EQ(store.degree(2), 1u);
+    EXPECT_EQ(store.degree(1), 0u);
+}
+
+TEST(CsrStore, WorksAsDynGraphBackend)
+{
+    // The whole point of the Store concept: CSR plugs into the same
+    // facade and algorithms as the dynamic structures.
+    DynGraph<CsrStore> g(/*directed=*/true);
+    ThreadPool pool(2);
+    g.update(EdgeBatch({{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}}), pool);
+
+    AlgContext ctx;
+    std::vector<Bfs::Value> depths;
+    Bfs::computeFs(g, pool, depths, ctx);
+    ASSERT_EQ(depths.size(), 4u);
+    EXPECT_EQ(depths[3], 3u);
+
+    // Streaming a second batch rebuilds and stays consistent.
+    g.update(EdgeBatch({{0, 3, 1.0f}}), pool);
+    Bfs::computeFs(g, pool, depths, ctx);
+    EXPECT_EQ(depths[3], 1u);
+}
+
+} // namespace
+} // namespace saga

@@ -1,0 +1,200 @@
+/** @file DAH internals: Robin-Hood table, high-degree tables, promotion. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ds/dah.h"
+#include "platform/rng.h"
+#include "platform/thread_pool.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+TEST(RobinHoodEdgeTable, InsertAndContains)
+{
+    RobinHoodEdgeTable table;
+    table.insert(1, 2, 1.0f);
+    table.insert(1, 3, 2.0f);
+    table.insert(4, 2, 3.0f);
+    EXPECT_TRUE(table.contains(1, 2));
+    EXPECT_TRUE(table.contains(1, 3));
+    EXPECT_TRUE(table.contains(4, 2));
+    EXPECT_FALSE(table.contains(1, 4));
+    EXPECT_FALSE(table.contains(2, 1));
+    EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(RobinHoodEdgeTable, CountKeyAndEnumeration)
+{
+    RobinHoodEdgeTable table;
+    for (NodeId d = 0; d < 20; ++d)
+        table.insert(7, d, static_cast<Weight>(d));
+    table.insert(8, 0, 1.0f);
+    EXPECT_EQ(table.countKey(7), 20u);
+    EXPECT_EQ(table.countKey(8), 1u);
+    EXPECT_EQ(table.countKey(9), 0u);
+
+    std::set<NodeId> seen;
+    table.forEachOfKey(7, [&](NodeId dst, Weight w) {
+        EXPECT_EQ(w, static_cast<Weight>(dst));
+        seen.insert(dst);
+    });
+    EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(RobinHoodEdgeTable, RemoveKeyLeavesOthersIntact)
+{
+    RobinHoodEdgeTable table;
+    for (NodeId s = 0; s < 50; ++s) {
+        for (NodeId d = 0; d < 4; ++d)
+            table.insert(s, d, 1.0f);
+    }
+    table.removeKey(25);
+    EXPECT_EQ(table.countKey(25), 0u);
+    EXPECT_EQ(table.size(), 49u * 4);
+    for (NodeId s = 0; s < 50; ++s) {
+        if (s != 25) {
+            EXPECT_EQ(table.countKey(s), 4u) << "s=" << s;
+        }
+    }
+}
+
+TEST(RobinHoodEdgeTable, GrowsUnderLoad)
+{
+    RobinHoodEdgeTable table;
+    const std::size_t initial_capacity = table.capacity();
+    for (NodeId s = 0; s < 2000; ++s)
+        table.insert(s, s + 1, 1.0f);
+    EXPECT_GT(table.capacity(), initial_capacity);
+    for (NodeId s = 0; s < 2000; ++s)
+        ASSERT_TRUE(table.contains(s, s + 1)) << "s=" << s;
+}
+
+TEST(RobinHoodEdgeTable, RandomizedVsStdSet)
+{
+    RobinHoodEdgeTable table;
+    std::set<std::pair<NodeId, NodeId>> oracle;
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        const NodeId s = static_cast<NodeId>(rng.below(64));
+        const NodeId d = static_cast<NodeId>(rng.below(64));
+        if (!oracle.insert({s, d}).second)
+            continue; // table is a no-dup-check multimap; skip dups
+        table.insert(s, d, 1.0f);
+    }
+    EXPECT_EQ(table.size(), oracle.size());
+    for (NodeId s = 0; s < 64; ++s) {
+        for (NodeId d = 0; d < 64; ++d) {
+            EXPECT_EQ(table.contains(s, d), oracle.count({s, d}) > 0)
+                << s << "->" << d;
+        }
+    }
+}
+
+TEST(HighDegreeTable, InsertUniqueAndGrowth)
+{
+    HighDegreeTable table(4);
+    for (NodeId d = 0; d < 300; ++d)
+        EXPECT_TRUE(table.insertUnique(d, static_cast<Weight>(d)));
+    for (NodeId d = 0; d < 300; ++d)
+        EXPECT_FALSE(table.insertUnique(d, 1e9f)); // dup keeps min weight
+    EXPECT_EQ(table.size(), 300u);
+    std::set<NodeId> seen;
+    table.forAll([&](const Neighbor &nbr) {
+        EXPECT_EQ(nbr.weight, static_cast<Weight>(nbr.node));
+        seen.insert(nbr.node);
+    });
+    EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(DahStore, PromotesVerticesCrossingThreshold)
+{
+    DahConfig config;
+    config.promoteThreshold = 8;
+    config.flushPeriod = 1u << 30; // only end-of-batch flush
+    DahStore store(1, config);
+    ThreadPool pool(1);
+
+    std::vector<Edge> edges;
+    for (NodeId d = 0; d < 30; ++d)
+        edges.push_back({0, d + 1, 1.0f}); // vertex 0 crosses threshold
+    edges.push_back({1, 2, 1.0f});         // vertex 1 stays low
+    store.updateBatch(EdgeBatch(std::move(edges)), pool, false);
+
+    EXPECT_EQ(store.numHighDegreeVertices(), 1u);
+    EXPECT_EQ(store.degree(0), 30u);
+    EXPECT_EQ(store.degree(1), 1u);
+    EXPECT_EQ(test::sortedNeighbors(store, 0).size(), 30u);
+}
+
+TEST(DahStore, PeriodicFlushDuringBatch)
+{
+    DahConfig config;
+    config.promoteThreshold = 4;
+    config.flushPeriod = 8; // flush every 8 inserts
+    DahStore store(1, config);
+    ThreadPool pool(1);
+
+    std::vector<Edge> edges;
+    for (NodeId d = 0; d < 64; ++d)
+        edges.push_back({0, d + 1, 1.0f});
+    store.updateBatch(EdgeBatch(std::move(edges)), pool, false);
+
+    EXPECT_EQ(store.numHighDegreeVertices(), 1u);
+    EXPECT_EQ(store.degree(0), 64u);
+}
+
+TEST(DahStore, DedupAcrossPromotion)
+{
+    DahConfig config;
+    config.promoteThreshold = 4;
+    DahStore store(1, config);
+    ThreadPool pool(1);
+
+    // Insert 0->1..6 (promotes at 4), then re-insert all of them.
+    std::vector<Edge> edges;
+    for (NodeId d = 1; d <= 6; ++d)
+        edges.push_back({0, d, 1.0f});
+    store.updateBatch(EdgeBatch(edges), pool, false);
+    store.updateBatch(EdgeBatch(edges), pool, false);
+    EXPECT_EQ(store.degree(0), 6u);
+    EXPECT_EQ(store.numEdges(), 6u);
+}
+
+TEST(DahStore, ChunkOwnershipPartition)
+{
+    // Hash partitioning: stable, in range, and reasonably balanced.
+    DahStore store(4);
+    std::vector<int> counts(4, 0);
+    for (NodeId v = 0; v < 4000; ++v) {
+        const NodeId c = store.chunkOf(v);
+        ASSERT_LT(c, 4u);
+        EXPECT_EQ(c, store.chunkOf(v)); // deterministic
+        ++counts[c];
+    }
+    for (int c : counts)
+        EXPECT_GT(c, 700); // no chunk starves
+}
+
+TEST(DahStore, ManyHighDegreeVertices)
+{
+    DahConfig config;
+    config.promoteThreshold = 8;
+    DahStore store(2, config);
+    ThreadPool pool(2);
+
+    std::vector<Edge> edges;
+    for (NodeId s = 0; s < 40; ++s) {
+        for (NodeId d = 0; d < 20; ++d)
+            edges.push_back({s, 100 + d, 1.0f});
+    }
+    store.updateBatch(EdgeBatch(std::move(edges)), pool, false);
+    EXPECT_EQ(store.numHighDegreeVertices(), 40u);
+    for (NodeId s = 0; s < 40; ++s)
+        EXPECT_EQ(store.degree(s), 20u);
+}
+
+} // namespace
+} // namespace saga

@@ -1,0 +1,162 @@
+/** @file Driver/registry/experiment integration tests. */
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "saga/experiment.h"
+#include "saga/stream_source.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+TEST(EnumNames, RoundTrip)
+{
+    for (DsKind ds : {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH})
+        EXPECT_EQ(parseDs(toString(ds)), ds);
+    for (AlgKind alg : {AlgKind::BFS, AlgKind::CC, AlgKind::MC, AlgKind::PR,
+                        AlgKind::SSSP, AlgKind::SSWP})
+        EXPECT_EQ(parseAlg(toString(alg)), alg);
+    for (ModelKind m : {ModelKind::FS, ModelKind::INC})
+        EXPECT_EQ(parseModel(toString(m)), m);
+    EXPECT_THROW(parseDs("csr"), std::invalid_argument);
+    EXPECT_THROW(parseAlg("pagerank!"), std::invalid_argument);
+    EXPECT_THROW(parseModel("static"), std::invalid_argument);
+}
+
+TEST(Runner, ProcessBatchReportsLatenciesAndSizes)
+{
+    RunConfig cfg;
+    cfg.ds = DsKind::AS;
+    cfg.alg = AlgKind::CC;
+    cfg.model = ModelKind::INC;
+    cfg.threads = 2;
+    auto runner = makeRunner(cfg);
+
+    const EdgeBatch batch = test::randomBatch(100, 400, 1);
+    const BatchResult result = runner->processBatch(batch);
+    EXPECT_EQ(result.batchEdges, 400u);
+    EXPECT_GT(result.graphEdges, 0u);
+    EXPECT_GT(result.graphNodes, 0u);
+    EXPECT_GE(result.updateSeconds, 0.0);
+    EXPECT_GE(result.computeSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(result.totalSeconds(),
+                     result.updateSeconds + result.computeSeconds);
+}
+
+TEST(Runner, AllTwentyFourCombosRunOneBatch)
+{
+    for (DsKind ds :
+         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH}) {
+        for (AlgKind alg : {AlgKind::BFS, AlgKind::CC, AlgKind::MC,
+                            AlgKind::PR, AlgKind::SSSP, AlgKind::SSWP}) {
+            RunConfig cfg;
+            cfg.ds = ds;
+            cfg.alg = alg;
+            cfg.model = ModelKind::INC;
+            cfg.threads = 2;
+            auto runner = makeRunner(cfg);
+            runner->processBatch(test::randomBatch(50, 200, 3));
+            EXPECT_GT(runner->numEdges(), 0u)
+                << toString(ds) << "/" << toString(alg);
+            EXPECT_EQ(runner->values().size(), runner->numNodes());
+        }
+    }
+}
+
+TEST(Runner, GraphIdenticalAcrossDataStructures)
+{
+    // Same stream into all four structures must produce the same graph.
+    std::vector<std::unique_ptr<StreamingRunner>> runners;
+    for (DsKind ds :
+         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH}) {
+        RunConfig cfg;
+        cfg.ds = ds;
+        cfg.alg = AlgKind::BFS;
+        cfg.threads = 3;
+        runners.push_back(makeRunner(cfg));
+    }
+    for (int b = 0; b < 4; ++b) {
+        const EdgeBatch batch = test::randomBatch(300, 2000, 70 + b);
+        for (auto &runner : runners)
+            runner->processBatch(batch);
+    }
+    for (std::size_t i = 1; i < runners.size(); ++i) {
+        EXPECT_EQ(runners[i]->numNodes(), runners[0]->numNodes());
+        EXPECT_EQ(runners[i]->numEdges(), runners[0]->numEdges());
+        EXPECT_EQ(runners[i]->values(), runners[0]->values());
+    }
+}
+
+TEST(Experiment, RunStreamCoversWholeDataset)
+{
+    const DatasetProfile profile = findProfile("talk")->scaled(0.1);
+    RunConfig cfg;
+    cfg.ds = DsKind::DAH;
+    cfg.alg = AlgKind::BFS;
+    cfg.model = ModelKind::INC;
+    cfg.threads = 2;
+    const StreamRun run = runStream(profile, cfg, 1);
+    EXPECT_EQ(run.batches.size(), profile.batchCount());
+    std::uint64_t streamed = 0;
+    for (const BatchResult &b : run.batches)
+        streamed += b.batchEdges;
+    EXPECT_EQ(streamed, profile.numEdges);
+    // Edges accumulate monotonically.
+    for (std::size_t i = 1; i < run.batches.size(); ++i)
+        EXPECT_GE(run.batches[i].graphEdges, run.batches[i - 1].graphEdges);
+    EXPECT_EQ(run.totalLatencies().size(), run.batches.size());
+}
+
+TEST(Experiment, MeasureWorkloadPoolsStages)
+{
+    const DatasetProfile profile = findProfile("talk")->scaled(0.08);
+    RunConfig cfg;
+    cfg.ds = DsKind::AS;
+    cfg.alg = AlgKind::MC;
+    cfg.model = ModelKind::FS;
+    cfg.threads = 1;
+    const WorkloadStages stages = measureWorkload(profile, cfg, 2);
+    const std::size_t n = profile.batchCount();
+    EXPECT_EQ(stages.total.p1.count + stages.total.p2.count +
+                  stages.total.p3.count,
+              2 * n);
+    EXPECT_GE(stages.update.p1.mean, 0.0);
+    EXPECT_GE(stages.compute.p3.mean, 0.0);
+}
+
+TEST(Experiment, BenchKnobsDefaults)
+{
+    // Without env overrides these return the documented defaults.
+    if (!std::getenv("SAGA_SCALE")) {
+        EXPECT_DOUBLE_EQ(benchScale(), 1.0);
+    }
+    if (!std::getenv("SAGA_REPS")) {
+        EXPECT_EQ(benchReps(), 1);
+    }
+}
+
+TEST(Runner, ValuesMatchAcrossThreadCounts)
+{
+    // Parallel compute must not change results (CC: deterministic min).
+    RunConfig cfg1, cfg4;
+    cfg1.ds = DsKind::AS;
+    cfg1.alg = AlgKind::CC;
+    cfg1.model = ModelKind::INC;
+    cfg1.threads = 1;
+    cfg4 = cfg1;
+    cfg4.threads = 4;
+    auto r1 = makeRunner(cfg1);
+    auto r4 = makeRunner(cfg4);
+    for (int b = 0; b < 4; ++b) {
+        const EdgeBatch batch = test::randomBatch(200, 800, 7 + b);
+        r1->processBatch(batch);
+        r4->processBatch(batch);
+        EXPECT_EQ(r1->values(), r4->values()) << "batch " << b;
+    }
+}
+
+} // namespace
+} // namespace saga

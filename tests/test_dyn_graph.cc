@@ -1,0 +1,102 @@
+/** @file DynGraph facade: directed in/out symmetry, undirected ingestion. */
+
+#include <gtest/gtest.h>
+
+#include "ds/adj_shared.h"
+#include "ds/dyn_graph.h"
+#include "ds/reference.h"
+#include "platform/thread_pool.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+TEST(DynGraph, DirectedKeepsInAndOutCopies)
+{
+    DynGraph<AdjSharedStore> g(/*directed=*/true);
+    ThreadPool pool(2);
+    g.update(EdgeBatch({{0, 1, 1.0f}, {0, 2, 2.0f}, {2, 1, 3.0f}}), pool);
+
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.outDegree(0), 2u);
+    EXPECT_EQ(g.inDegree(0), 0u);
+    EXPECT_EQ(g.inDegree(1), 2u);
+    EXPECT_EQ(g.outDegree(1), 0u);
+
+    const auto in1 = test::sortedIn(g, 1);
+    ASSERT_EQ(in1.size(), 2u);
+    EXPECT_EQ(in1[0].node, 0u);
+    EXPECT_EQ(in1[1].node, 2u);
+    EXPECT_EQ(in1[1].weight, 3.0f);
+}
+
+TEST(DynGraph, UndirectedSymmetric)
+{
+    DynGraph<AdjSharedStore> g(/*directed=*/false);
+    ThreadPool pool(2);
+    g.update(EdgeBatch({{0, 1, 1.0f}, {1, 2, 2.0f}}), pool);
+
+    EXPECT_EQ(g.outDegree(1), 2u);
+    EXPECT_EQ(g.inDegree(1), 2u);
+    EXPECT_EQ(test::sortedOut(g, 1), test::sortedIn(g, 1));
+    const auto out0 = test::sortedOut(g, 0);
+    ASSERT_EQ(out0.size(), 1u);
+    EXPECT_EQ(out0[0].node, 1u);
+}
+
+TEST(DynGraph, UndirectedDuplicateOppositeOrientation)
+{
+    DynGraph<AdjSharedStore> g(/*directed=*/false);
+    ThreadPool pool(1);
+    // {0,1} streamed in both orientations must remain one logical edge
+    // (two store entries).
+    g.update(EdgeBatch({{0, 1, 1.0f}, {1, 0, 1.0f}}), pool);
+    EXPECT_EQ(g.outDegree(0), 1u);
+    EXPECT_EQ(g.outDegree(1), 1u);
+}
+
+TEST(DynGraph, InOutConsistentOnRandomStream)
+{
+    DynGraph<AdjSharedStore> g(/*directed=*/true);
+    DynGraph<ReferenceStore> oracle(/*directed=*/true);
+    ThreadPool pool(4);
+    for (int b = 0; b < 5; ++b) {
+        const EdgeBatch batch = test::randomBatch(200, 1000, 50 + b);
+        g.update(batch, pool);
+        oracle.update(batch, pool);
+    }
+    ASSERT_EQ(g.numNodes(), oracle.numNodes());
+    ASSERT_EQ(g.numEdges(), oracle.numEdges());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        EXPECT_EQ(test::sortedOut(g, v), test::sortedOut(oracle, v));
+        EXPECT_EQ(test::sortedIn(g, v), test::sortedIn(oracle, v));
+    }
+}
+
+TEST(DynGraph, InNeighborsMirrorOutNeighbors)
+{
+    DynGraph<AdjSharedStore> g(/*directed=*/true);
+    ThreadPool pool(2);
+    for (int b = 0; b < 3; ++b)
+        g.update(test::randomBatch(100, 600, 10 + b), pool);
+
+    // Every out-edge (u, v) must appear as in-edge (v, u).
+    std::uint64_t out_count = 0, in_count = 0;
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        g.outNeigh(u, [&](const Neighbor &nbr) {
+            ++out_count;
+            bool found = false;
+            g.inNeigh(nbr.node, [&](const Neighbor &back) {
+                found |= (back.node == u && back.weight == nbr.weight);
+            });
+            EXPECT_TRUE(found) << u << "->" << nbr.node;
+        });
+        in_count += g.inDegree(u);
+    }
+    EXPECT_EQ(out_count, in_count);
+    EXPECT_EQ(out_count, g.numEdges());
+}
+
+} // namespace
+} // namespace saga

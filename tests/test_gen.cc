@@ -1,0 +1,212 @@
+/** @file Generator tests: RMAT, power-law + hubs, alias table, profiles. */
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw.h"
+#include "gen/profiles.h"
+#include "gen/rmat.h"
+#include "platform/rng.h"
+
+namespace saga {
+namespace {
+
+std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>>
+degreeCounts(const std::vector<Edge> &edges, NodeId n)
+{
+    std::vector<std::uint64_t> out(n, 0), in(n, 0);
+    for (const Edge &e : edges) {
+        ++out[e.src];
+        ++in[e.dst];
+    }
+    return {out, in};
+}
+
+TEST(Rmat, DeterministicPerSeed)
+{
+    RmatParams params;
+    params.scale = 10;
+    params.numEdges = 5000;
+    const auto a = generateRmat(params);
+    const auto b = generateRmat(params);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    params.seed = 2;
+    const auto c = generateRmat(params);
+    EXPECT_FALSE(std::equal(a.begin(), a.end(), c.begin()));
+}
+
+TEST(Rmat, RespectsScaleAndCount)
+{
+    RmatParams params;
+    params.scale = 8;
+    params.numEdges = 3000;
+    const auto edges = generateRmat(params);
+    EXPECT_EQ(edges.size(), 3000u);
+    for (const Edge &e : edges) {
+        EXPECT_LT(e.src, 256u);
+        EXPECT_LT(e.dst, 256u);
+        EXPECT_GE(e.weight, 1.0f);
+        EXPECT_LE(e.weight, 64.0f);
+    }
+}
+
+TEST(Rmat, SkewTowardsLowIds)
+{
+    // a=0.55 biases both endpoints toward the low-id quadrant.
+    RmatParams params;
+    params.scale = 12;
+    params.numEdges = 40000;
+    const auto edges = generateRmat(params);
+    std::uint64_t low_half = 0;
+    for (const Edge &e : edges)
+        low_half += (e.src < 2048);
+    // P(src in low half) = a + b = 0.70 at the top level.
+    EXPECT_NEAR(double(low_half) / edges.size(), 0.70, 0.03);
+}
+
+TEST(AliasTable, MatchesDistribution)
+{
+    const std::vector<double> weights{1, 2, 3, 4};
+    AliasTable table(weights);
+    Rng rng(3);
+    std::vector<std::uint64_t> counts(4, 0);
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[table.sample(rng.uniform(), rng.uniform())];
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(double(counts[i]) / kSamples, weights[i] / 10.0, 0.01)
+            << "bucket " << i;
+    }
+}
+
+TEST(AliasTable, SingleBucket)
+{
+    AliasTable table({5.0});
+    EXPECT_EQ(table.sample(0.3, 0.9), 0u);
+}
+
+TEST(PowerLaw, DeterministicAndSized)
+{
+    PowerLawParams params;
+    params.numNodes = 1000;
+    params.numEdges = 20000;
+    const auto a = generatePowerLaw(params);
+    const auto b = generatePowerLaw(params);
+    EXPECT_EQ(a.size(), 20000u);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    for (const Edge &e : a) {
+        EXPECT_LT(e.src, 1000u);
+        EXPECT_LT(e.dst, 1000u);
+        EXPECT_NE(e.src, e.dst); // no self loops
+    }
+}
+
+TEST(PowerLaw, PlantedHubReceivesItsShare)
+{
+    PowerLawParams params;
+    params.numNodes = 2000;
+    params.numEdges = 50000;
+    params.flattenTopRanks = 32;
+    params.hubs = {{7, 0.002, 0.05}}; // 5% of destinations
+    const auto edges = generatePowerLaw(params);
+    const auto [out, in] = degreeCounts(edges, params.numNodes);
+    EXPECT_NEAR(double(in[7]) / edges.size(), 0.05, 0.01);
+    // The hub dominates every non-hub vertex's in-degree.
+    std::uint64_t max_other = 0;
+    for (NodeId v = 0; v < params.numNodes; ++v) {
+        if (v != 7)
+            max_other = std::max(max_other, in[v]);
+    }
+    EXPECT_GT(in[7], 3 * max_other);
+}
+
+TEST(Profiles, AllFiveExist)
+{
+    ASSERT_EQ(allProfiles().size(), 5u);
+    for (const char *name : {"lj", "orkut", "rmat", "wiki", "talk"})
+        EXPECT_NE(findProfile(name), nullptr) << name;
+    EXPECT_EQ(findProfile("nope"), nullptr);
+}
+
+TEST(Profiles, Table2Signature)
+{
+    // Size ordering and directedness from the paper's Table II.
+    const auto *lj = findProfile("lj");
+    const auto *orkut = findProfile("orkut");
+    const auto *rmat = findProfile("rmat");
+    const auto *wiki = findProfile("wiki");
+    const auto *talk = findProfile("talk");
+
+    EXPECT_TRUE(lj->directed);
+    EXPECT_FALSE(orkut->directed);
+    EXPECT_TRUE(wiki->directed);
+    EXPECT_TRUE(talk->directed);
+
+    // RMAT is the largest graph; Talk the smallest with 11 batches.
+    EXPECT_GT(rmat->numNodes, lj->numNodes);
+    EXPECT_GT(rmat->numEdges, orkut->numEdges);
+    EXPECT_EQ(talk->batchCount(), 11u);
+
+    EXPECT_FALSE(lj->heavyTailed);
+    EXPECT_FALSE(orkut->heavyTailed);
+    EXPECT_FALSE(rmat->heavyTailed);
+    EXPECT_TRUE(wiki->heavyTailed);
+    EXPECT_TRUE(talk->heavyTailed);
+}
+
+TEST(Profiles, GenerateMatchesDeclaredSize)
+{
+    for (const DatasetProfile &profile : allProfiles()) {
+        const auto edges = profile.generate(1);
+        EXPECT_EQ(edges.size(), profile.numEdges) << profile.name;
+        for (const Edge &e : edges) {
+            ASSERT_LT(e.src, profile.numNodes) << profile.name;
+            ASSERT_LT(e.dst, profile.numNodes) << profile.name;
+        }
+    }
+}
+
+TEST(Profiles, Table4TailSignature)
+{
+    // Heavy-tailed profiles must show an order-of-magnitude higher max
+    // degree (relative to edge count) than short-tailed ones, on the
+    // paper's Table IV axis (wiki: in-degree, talk: out-degree).
+    std::map<std::string, double> max_rel_degree;
+    for (const DatasetProfile &profile : allProfiles()) {
+        const auto edges = profile.generate(1);
+        const auto [out, in] = degreeCounts(edges, profile.numNodes);
+        const std::uint64_t max_out =
+            *std::max_element(out.begin(), out.end());
+        const std::uint64_t max_in =
+            *std::max_element(in.begin(), in.end());
+        max_rel_degree[profile.name] =
+            double(std::max(max_out, max_in)) / double(edges.size());
+    }
+    for (const char *heavy : {"wiki", "talk"}) {
+        for (const char *light : {"lj", "orkut", "rmat"}) {
+            EXPECT_GT(max_rel_degree[heavy], 5 * max_rel_degree[light])
+                << heavy << " vs " << light;
+        }
+    }
+}
+
+TEST(Profiles, ScalingScalesEverything)
+{
+    const auto *lj = findProfile("lj");
+    const DatasetProfile half = lj->scaled(0.5);
+    EXPECT_NEAR(double(half.numNodes), lj->numNodes * 0.5, 1);
+    EXPECT_NEAR(double(half.numEdges), lj->numEdges * 0.5, 1);
+    EXPECT_NEAR(double(half.batchSize), lj->batchSize * 0.5, 1);
+    EXPECT_LT(half.source, half.numNodes);
+
+    // Extreme downscale never reaches zero.
+    const DatasetProfile tiny = lj->scaled(1e-9);
+    EXPECT_GE(tiny.numNodes, 16u);
+    EXPECT_GE(tiny.batchSize, 4u);
+}
+
+} // namespace
+} // namespace saga

@@ -1,0 +1,131 @@
+/** @file INC engine unit tests (Algorithm 1 mechanics). */
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "algo/inc_engine.h"
+#include "algo/pr.h"
+#include "ds/dyn_graph.h"
+#include "ds/reference.h"
+#include "platform/thread_pool.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+TEST(AffectedVertices, UniqueEndpoints)
+{
+    const EdgeBatch batch({{0, 1, 1.0f}, {1, 2, 1.0f}, {0, 2, 1.0f}});
+    const auto affected = affectedVertices(batch, 3);
+    EXPECT_EQ(affected.size(), 3u);
+}
+
+TEST(AffectedVertices, IgnoresOutOfRange)
+{
+    const EdgeBatch batch({{0, 9, 1.0f}});
+    const auto affected = affectedVertices(batch, 5); // 9 out of range
+    ASSERT_EQ(affected.size(), 1u);
+    EXPECT_EQ(affected[0], 0u);
+}
+
+TEST(AffectedVertices, EmptyBatch)
+{
+    EXPECT_TRUE(affectedVertices(EdgeBatch(), 10).empty());
+}
+
+TEST(IncEngine, InitializesNewVertices)
+{
+    DynGraph<ReferenceStore> g(true);
+    ThreadPool pool(1);
+    g.update(EdgeBatch({{0, 1, 1.0f}}), pool);
+
+    AlgContext ctx;
+    std::vector<Bfs::Value> values; // empty: everything is new
+    incCompute<Bfs>(g, pool, values,
+                    affectedVertices(EdgeBatch({{0, 1, 1.0f}}), 2), ctx);
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_EQ(values[0], 0u);
+    EXPECT_EQ(values[1], 1u);
+}
+
+TEST(IncEngine, NoTriggerMeansNoWork)
+{
+    DynGraph<ReferenceStore> g(true);
+    ThreadPool pool(1);
+    g.update(EdgeBatch({{0, 1, 1.0f}}), pool);
+
+    AlgContext ctx;
+    std::vector<Bfs::Value> values;
+    const auto affected = affectedVertices(EdgeBatch({{0, 1, 1.0f}}), 2);
+    incCompute<Bfs>(g, pool, values, affected, ctx);
+    const auto snapshot = values;
+
+    // Re-ingesting a duplicate edge affects the same vertices but changes
+    // nothing: values stay identical.
+    g.update(EdgeBatch({{0, 1, 1.0f}}), pool);
+    incCompute<Bfs>(g, pool, values, affected, ctx);
+    EXPECT_EQ(values, snapshot);
+}
+
+TEST(IncEngine, PropagatesThroughLongChain)
+{
+    // Chain 0 -> 1 -> ... -> 49 built one edge at a time: each new edge
+    // must propagate a depth to exactly one new vertex.
+    DynGraph<ReferenceStore> g(true);
+    ThreadPool pool(2);
+    AlgContext ctx;
+    std::vector<Bfs::Value> values;
+    for (NodeId v = 0; v + 1 < 50; ++v) {
+        const EdgeBatch batch({{v, v + 1, 1.0f}});
+        g.update(batch, pool);
+        incCompute<Bfs>(g, pool, values,
+                        affectedVertices(batch, g.numNodes()), ctx);
+    }
+    ASSERT_EQ(values.size(), 50u);
+    for (NodeId v = 0; v < 50; ++v)
+        EXPECT_EQ(values[v], v);
+}
+
+TEST(IncEngine, ShortcutLowersDownstreamDepths)
+{
+    // Build a long chain, then add a shortcut from the source to its
+    // middle: the whole downstream half must drop.
+    DynGraph<ReferenceStore> g(true);
+    ThreadPool pool(2);
+    AlgContext ctx;
+    std::vector<Bfs::Value> values;
+
+    std::vector<Edge> chain;
+    for (NodeId v = 0; v + 1 < 40; ++v)
+        chain.push_back({v, v + 1, 1.0f});
+    const EdgeBatch batch(std::move(chain));
+    g.update(batch, pool);
+    incCompute<Bfs>(g, pool, values, affectedVertices(batch, 40), ctx);
+    EXPECT_EQ(values[39], 39u);
+
+    const EdgeBatch shortcut({{0, 20, 1.0f}});
+    g.update(shortcut, pool);
+    incCompute<Bfs>(g, pool, values, affectedVertices(shortcut, 40), ctx);
+    EXPECT_EQ(values[20], 1u);
+    EXPECT_EQ(values[39], 20u); // 1 + 19 remaining hops
+}
+
+TEST(IncEngine, PrEpsilonSuppressesTinyChanges)
+{
+    DynGraph<ReferenceStore> g(true);
+    ThreadPool pool(1);
+    AlgContext ctx;
+    ctx.epsilon = 1e9; // absurdly large: nothing ever triggers
+
+    const EdgeBatch batch({{0, 1, 1.0f}, {1, 2, 1.0f}});
+    g.update(batch, pool);
+    std::vector<Pr::Value> values;
+    incCompute<Pr>(g, pool, values, affectedVertices(batch, 3), ctx);
+    // All vertices keep their init value 1/|V|.
+    ASSERT_EQ(values.size(), 3u);
+    for (double v : values)
+        EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+}
+
+} // namespace
+} // namespace saga

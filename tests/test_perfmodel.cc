@@ -1,0 +1,312 @@
+/** @file Architecture-model tests: cache sim, scaling sim, bandwidth. */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/bandwidth_model.h"
+#include "perfmodel/cache_sim.h"
+#include "perfmodel/scaling_sim.h"
+#include "perfmodel/trace.h"
+#include "perfmodel/workload_model.h"
+
+namespace saga {
+namespace perf {
+namespace {
+
+TEST(Trace, DisabledByDefault)
+{
+    EXPECT_EQ(tls_sink, nullptr);
+    touch(nullptr, 4); // must be harmless with no sink
+    ops(10);
+}
+
+TEST(Trace, ScopedSinkInstallsAndRestores)
+{
+    CountingSink sink;
+    {
+        ScopedSink scope(&sink);
+        int x = 0;
+        touch(&x, sizeof(x));
+        touchWrite(&x, sizeof(x));
+        ops(5);
+    }
+    EXPECT_EQ(tls_sink, nullptr);
+    EXPECT_EQ(sink.reads, 1u);
+    EXPECT_EQ(sink.writes, 1u);
+    EXPECT_EQ(sink.bytesTotal, 8u);
+    EXPECT_EQ(sink.opsTotal, 5u);
+}
+
+TEST(CacheSim, HitsAfterFirstTouch)
+{
+    CacheSim sim(CacheHierarchyConfig::tiny());
+    alignas(64) char buffer[64];
+    sim.access(buffer, 4, false); // cold miss everywhere
+    EXPECT_EQ(sim.levelStats(0).misses, 1u);
+    EXPECT_EQ(sim.levelStats(1).misses, 1u);
+    EXPECT_EQ(sim.dramBytes(), 64u);
+
+    sim.access(buffer, 4, false); // L1 hit
+    EXPECT_EQ(sim.levelStats(0).hits, 1u);
+    EXPECT_EQ(sim.levelStats(1).misses, 1u);
+    EXPECT_EQ(sim.dramBytes(), 64u);
+}
+
+TEST(CacheSim, StraddlingAccessTouchesTwoLines)
+{
+    CacheSim sim(CacheHierarchyConfig::tiny());
+    alignas(64) char buffer[128];
+    sim.access(buffer + 60, 8, false); // crosses a 64B boundary
+    EXPECT_EQ(sim.memoryAccesses(), 2u);
+    EXPECT_EQ(sim.levelStats(0).misses, 2u);
+}
+
+TEST(CacheSim, LruEviction)
+{
+    // tiny(): L1 = 1KB, 2-way, 64B lines -> 8 sets. Three lines mapping
+    // to the same set evict the least recently used.
+    CacheSim sim(CacheHierarchyConfig::tiny());
+    const auto line = [](std::uintptr_t i) {
+        return reinterpret_cast<const void *>(i * 8 * 64); // same set 0
+    };
+    sim.access(line(1), 1, false);
+    sim.access(line(2), 1, false);
+    sim.access(line(1), 1, false); // refresh line 1
+    sim.access(line(3), 1, false); // evicts line 2
+    sim.access(line(1), 1, false); // still resident
+    EXPECT_EQ(sim.levelStats(0).hits, 2u);
+    sim.access(line(2), 1, false); // was evicted -> L1 miss
+    EXPECT_EQ(sim.levelStats(0).misses, 4u);
+}
+
+TEST(CacheSim, L2CapturesL1Evictions)
+{
+    CacheSim sim(CacheHierarchyConfig::tiny());
+    // Working set of 2KB: thrashes 1KB L1 but fits 4KB L2.
+    std::vector<char> buffer(2048);
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::size_t off = 0; off < buffer.size(); off += 64)
+            sim.access(buffer.data() + off, 1, false);
+    }
+    EXPECT_GT(sim.levelStats(1).hitRatio(), 0.5);
+    EXPECT_LT(sim.levelStats(0).hitRatio(), 0.5);
+}
+
+TEST(CacheSim, DirtyWritebackCounted)
+{
+    CacheSim sim(CacheHierarchyConfig::tiny());
+    // Write a 16KB region (larger than 4KB L2) twice: dirty lines must be
+    // written back when evicted from the last level.
+    std::vector<char> buffer(16384);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t off = 0; off < buffer.size(); off += 64)
+            sim.access(buffer.data() + off, 1, true);
+    }
+    // 2 passes x 256 lines fetched + writebacks of evicted dirty lines.
+    EXPECT_GT(sim.dramBytes(), 2u * 256 * 64);
+}
+
+TEST(CacheSim, MpkiUsesInstructionCount)
+{
+    CacheSim sim(CacheHierarchyConfig::tiny());
+    alignas(64) char buffer[64];
+    sim.access(buffer, 1, false); // 1 miss
+    sim.op(999);                  // 999 ops + 1 access = 1000 instructions
+    EXPECT_DOUBLE_EQ(sim.mpki(0), 1.0);
+}
+
+TEST(CacheSim, ResetStatsKeepsContents)
+{
+    CacheSim sim(CacheHierarchyConfig::tiny());
+    alignas(64) char buffer[64];
+    sim.access(buffer, 1, false);
+    sim.resetStats();
+    EXPECT_EQ(sim.levelStats(0).accesses(), 0u);
+    sim.access(buffer, 1, false); // contents survived -> hit
+    EXPECT_EQ(sim.levelStats(0).hits, 1u);
+
+    sim.flush();
+    sim.access(buffer, 1, false); // contents dropped -> miss
+    EXPECT_EQ(sim.levelStats(0).misses, 1u);
+}
+
+TEST(CacheSim, XeonGeometry)
+{
+    const auto config = CacheHierarchyConfig::xeonGold6142();
+    ASSERT_EQ(config.levels.size(), 3u);
+    EXPECT_EQ(config.levels[0].sizeBytes, 32u * 1024);
+    EXPECT_EQ(config.levels[1].sizeBytes, 1024u * 1024);
+    EXPECT_EQ(config.levels[2].sizeBytes, 22ull * 1024 * 1024);
+}
+
+TEST(ScalingSim, PerfectlyParallelWork)
+{
+    std::vector<SimTask> tasks(64, SimTask{10, 0, -1, -1});
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 1).makespan, 640);
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 8).makespan, 80);
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 64).makespan, 10);
+}
+
+TEST(ScalingSim, FullySerializedByOneLock)
+{
+    std::vector<SimTask> tasks(16, SimTask{0, 10, /*lock=*/1, -1});
+    // All serial parts share one lock: no speedup at any core count.
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 1).makespan, 160);
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 16).makespan, 160);
+}
+
+TEST(ScalingSim, ParallelSearchSerialInsert)
+{
+    // Stinger-like: big parallel part, small serialized part.
+    std::vector<SimTask> tasks(16, SimTask{90, 10, /*lock=*/1, -1});
+    const double t1 = scheduleTasks(tasks, 1).makespan;
+    const double t16 = scheduleTasks(tasks, 16).makespan;
+    EXPECT_DOUBLE_EQ(t1, 1600);
+    EXPECT_LT(t16, 400); // scales much better than the lock-bound case
+    EXPECT_GE(t16, 160); // but not below the serial floor
+}
+
+TEST(ScalingSim, AffinityImbalance)
+{
+    // Chunked DAH with one hot chunk: extra cores do not help the
+    // dominant chunk.
+    std::vector<SimTask> tasks;
+    for (int i = 0; i < 100; ++i)
+        tasks.push_back({10, 0, -1, /*affinity=*/0});
+    for (int i = 0; i < 10; ++i)
+        tasks.push_back({10, 0, -1, /*affinity=*/1});
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 2).makespan, 1000);
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 16).makespan, 1000);
+}
+
+TEST(ScalingSim, WaitPenaltyLengthensContendedChains)
+{
+    // 8 tasks on one lock, run on 8 cores: with a penalty, all but the
+    // first arrival pay it inside the critical section.
+    std::vector<SimTask> tasks(8, SimTask{0, 10, /*lock=*/5, -1});
+    const double without = scheduleTasks(tasks, 8, 0.0).makespan;
+    const double with = scheduleTasks(tasks, 8, 25.0).makespan;
+    EXPECT_DOUBLE_EQ(without, 80);
+    EXPECT_DOUBLE_EQ(with, 80 + 7 * 25);
+}
+
+TEST(ScalingSim, WaitPenaltyNoEffectWithoutContention)
+{
+    // Distinct locks: nobody waits, penalty never charged.
+    std::vector<SimTask> tasks;
+    for (int i = 0; i < 8; ++i)
+        tasks.push_back({0, 10, /*lock=*/100 + i, -1});
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 8, 1000.0).makespan, 10);
+}
+
+TEST(ScalingSim, WaitPenaltySingleCoreNeverWaits)
+{
+    // On one core tasks never overlap, so no penalty applies.
+    std::vector<SimTask> tasks(8, SimTask{0, 10, /*lock=*/5, -1});
+    EXPECT_DOUBLE_EQ(scheduleTasks(tasks, 1, 1000.0).makespan, 80);
+}
+
+TEST(ScalingSim, UtilizationBounds)
+{
+    std::vector<SimTask> tasks(10, SimTask{10, 0, -1, -1});
+    const ScheduleResult r = scheduleTasks(tasks, 4);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+    EXPECT_DOUBLE_EQ(r.busyTime, 100.0);
+}
+
+TEST(ScalingSim, IterationsSumWithBarriers)
+{
+    std::vector<std::vector<SimTask>> iters(3,
+        std::vector<SimTask>(4, SimTask{10, 0, -1, -1}));
+    EXPECT_DOUBLE_EQ(scheduleIterations(iters, 4, 5), 3 * (10 + 5));
+}
+
+TEST(BandwidthModel, CpuBoundPhase)
+{
+    MachineModel machine;
+    // Tiny traffic, lots of compute -> cpu bound, low bandwidth.
+    const PhaseUtilization u = modelPhase(machine, 1e9, 1 << 20);
+    EXPECT_FALSE(u.memoryBound);
+    EXPECT_LT(u.memGBs, machine.memBandwidthPerSocketGBs);
+    EXPECT_GT(u.seconds, 0);
+}
+
+TEST(BandwidthModel, MemoryBoundPhaseSaturates)
+{
+    MachineModel machine;
+    // Almost no compute, huge traffic -> pinned at the tightest roof.
+    // With remoteFraction 0.5, the QPI link (68.1 GB/s for 50% of the
+    // traffic) binds before the 256 GB/s DRAM roof.
+    const PhaseUtilization u = modelPhase(machine, 1.0, 100ull << 30);
+    EXPECT_TRUE(u.memoryBound);
+    EXPECT_NEAR(u.qpiPercent, 100.0, 0.1);
+    EXPECT_NEAR(u.memGBs,
+                machine.qpiBandwidthGBs / machine.remoteFraction, 1.0);
+    EXPECT_LE(u.memGBs,
+              machine.memBandwidthPerSocketGBs * machine.sockets);
+}
+
+TEST(BandwidthModel, QpiScalesWithRemoteFraction)
+{
+    MachineModel machine;
+    machine.remoteFraction = 0.5;
+    const PhaseUtilization half = modelPhase(machine, 1e8, 1ull << 30);
+    machine.remoteFraction = 0.25;
+    const PhaseUtilization quarter = modelPhase(machine, 1e8, 1ull << 30);
+    EXPECT_NEAR(half.qpiPercent, 2 * quarter.qpiPercent, 1e-9);
+}
+
+TEST(WorkloadModel, AsTasksSerializeOnHotVertex)
+{
+    UpdatePhaseModel model(DsKind::AS, 1, /*directed=*/true);
+    std::vector<Edge> edges;
+    for (NodeId d = 0; d < 200; ++d)
+        edges.push_back({0, d + 1, 1.0f}); // all inserts lock vertex 0
+    const auto tasks = model.batchTasks(EdgeBatch(std::move(edges)));
+    ASSERT_EQ(tasks.size(), 400u); // out-store + in-store
+    // Out-store tasks all carry the same lock; scaling must flatline.
+    const double t1 = scheduleTasks(tasks, 1).makespan;
+    const double t16 = scheduleTasks(tasks, 16).makespan;
+    EXPECT_GT(t1 / t16, 1.0);
+    EXPECT_LT(t1 / t16, 3.0); // far from 16x
+}
+
+TEST(WorkloadModel, DahTasksPinToChunks)
+{
+    UpdatePhaseModel model(DsKind::DAH, 4, /*directed=*/true);
+    std::vector<Edge> edges{{0, 1, 1.0f}, {1, 2, 1.0f}, {5, 6, 1.0f}};
+    const auto tasks = model.batchTasks(EdgeBatch(std::move(edges)));
+    for (const SimTask &task : tasks) {
+        EXPECT_GE(task.affinity, 0);
+        EXPECT_LT(task.affinity, 4);
+        EXPECT_EQ(task.lockId, -1);
+    }
+}
+
+TEST(WorkloadModel, DegreesAccumulateAcrossBatches)
+{
+    UpdatePhaseModel model(DsKind::AS, 1, /*directed=*/true);
+    model.batchTasks(EdgeBatch({{0, 1, 1.0f}, {0, 2, 1.0f}}));
+    model.batchTasks(EdgeBatch({{0, 3, 1.0f}}));
+    EXPECT_EQ(model.outDegrees()[0], 3u);
+    EXPECT_EQ(model.inDegrees()[1], 1u);
+}
+
+TEST(WorkloadModel, ComputeTasksAreLockFree)
+{
+    const auto tasks =
+        computeIterationTasks({0, 5, 10}, CostParams{});
+    ASSERT_EQ(tasks.size(), 3u);
+    EXPECT_LT(tasks[0].parCost, tasks[2].parCost);
+    for (const SimTask &task : tasks) {
+        EXPECT_EQ(task.lockId, -1);
+        EXPECT_EQ(task.affinity, -1);
+    }
+}
+
+} // namespace
+} // namespace perf
+} // namespace saga

@@ -1,0 +1,181 @@
+/** @file Platform substrate tests: spinlock, pool, parallel loops, RNG. */
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "platform/parallel_for.h"
+#include "platform/rng.h"
+#include "platform/spinlock.h"
+#include "platform/thread_pool.h"
+#include "platform/timer.h"
+
+namespace saga {
+namespace {
+
+TEST(SpinLock, MutualExclusionCounting)
+{
+    SpinLock lock;
+    long counter = 0;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                SpinGuard hold(lock);
+                ++counter;
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter, long(kThreads) * kIters);
+}
+
+TEST(SpinLock, TryLockReflectsState)
+{
+    SpinLock lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(SpinLock, CopyYieldsUnlockedLock)
+{
+    SpinLock a;
+    a.lock();
+    SpinLock b(a); // copy while locked -> new lock must be unlocked
+    EXPECT_TRUE(b.try_lock());
+    b.unlock();
+    a.unlock();
+}
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce)
+{
+    ThreadPool pool(5);
+    EXPECT_EQ(pool.size(), 5u);
+    std::vector<int> hits(5, 0);
+    pool.run([&](std::size_t w) { ++hits[w]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRuns)
+{
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int i = 0; i < 200; ++i)
+        pool.run([&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 600);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline)
+{
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id seen;
+    pool.run([&](std::size_t) { seen = std::this_thread::get_id(); });
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(pool, 0, hits.size(),
+                [&](std::uint64_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges)
+{
+    ThreadPool pool(4);
+    int count = 0;
+    parallelFor(pool, 5, 5, [&](std::uint64_t) { ++count; });
+    EXPECT_EQ(count, 0);
+    parallelFor(pool, 7, 8, [&](std::uint64_t i) {
+        EXPECT_EQ(i, 7u);
+        ++count;
+    });
+    EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelSlices, SlicesArePartition)
+{
+    ThreadPool pool(4);
+    std::mutex m;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> slices;
+    parallelSlices(pool, 10, 110,
+                   [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+        std::lock_guard<std::mutex> hold(m);
+        slices.emplace_back(lo, hi);
+    });
+    std::sort(slices.begin(), slices.end());
+    EXPECT_EQ(slices.front().first, 10u);
+    EXPECT_EQ(slices.back().second, 110u);
+    for (std::size_t i = 1; i < slices.size(); ++i)
+        EXPECT_EQ(slices[i].first, slices[i - 1].second);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a();
+        EXPECT_EQ(va, b());
+        diverged |= (va != c());
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t x = rng.below(17);
+        ASSERT_LT(x, 17u);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 17u); // all residues hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer timer;
+    double sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink += i;
+    asm volatile("" : : "g"(&sink) : "memory");
+    EXPECT_GE(timer.seconds(), 0.0);
+    const double before = timer.seconds();
+    timer.reset();
+    EXPECT_LE(timer.seconds(), before + 1.0);
+}
+
+} // namespace
+} // namespace saga

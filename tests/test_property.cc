@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Property sweeps over the real dataset profiles: every algorithm, on
+ * every (down-scaled) profile, must satisfy the INC==FS invariant at the
+ * end of the stream, and the per-algorithm result invariants must hold on
+ * the final values (triangle-inequality-style checks rather than value
+ * comparisons — these catch errors both models could share).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "gen/profiles.h"
+#include "saga/driver.h"
+#include "saga/stream_source.h"
+
+namespace saga {
+namespace {
+
+struct ProfileAlg
+{
+    const char *profile;
+    AlgKind alg;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<ProfileAlg> &info)
+{
+    return std::string(info.param.profile) + "_" +
+           toString(info.param.alg);
+}
+
+class ProfileSweep : public ::testing::TestWithParam<ProfileAlg>
+{
+  protected:
+    /** Stream the whole scaled profile through a runner. */
+    static std::unique_ptr<StreamingRunner>
+    runAll(const DatasetProfile &profile, ModelKind model, AlgKind alg)
+    {
+        RunConfig cfg;
+        cfg.ds = profile.heavyTailed ? DsKind::DAH : DsKind::AS;
+        cfg.alg = alg;
+        cfg.model = model;
+        cfg.directed = profile.directed;
+        cfg.ctx.source = profile.source;
+        cfg.threads = 2;
+        auto runner = makeRunner(cfg);
+        StreamSource stream(profile.generate(3), profile.batchSize, 3);
+        while (stream.hasNext())
+            runner->processBatch(stream.next());
+        return runner;
+    }
+};
+
+TEST_P(ProfileSweep, IncMatchesFsAtEndOfStream)
+{
+    const ProfileAlg param = GetParam();
+    const DatasetProfile profile =
+        findProfile(param.profile)->scaled(0.08);
+
+    auto inc = runAll(profile, ModelKind::INC, param.alg);
+    auto fs = runAll(profile, ModelKind::FS, param.alg);
+    const std::vector<double> vi = inc->values();
+    const std::vector<double> vf = fs->values();
+    ASSERT_EQ(vi.size(), vf.size());
+    ASSERT_EQ(inc->numEdges(), fs->numEdges());
+
+    if (param.alg == AlgKind::PR) {
+        // PR is epsilon-approximate under INC: compare mean and max
+        // per-vertex deviation (raw L1 grows with |V|).
+        double l1 = 0, max_diff = 0;
+        for (std::size_t v = 0; v < vi.size(); ++v) {
+            const double d = std::fabs(vi[v] - vf[v]);
+            l1 += d;
+            max_diff = std::max(max_diff, d);
+        }
+        EXPECT_LT(l1 / double(vi.size()), 2e-4);
+        EXPECT_LT(max_diff, 5e-3);
+    } else {
+        for (std::size_t v = 0; v < vi.size(); ++v) {
+            if (std::isinf(vf[v]))
+                EXPECT_TRUE(std::isinf(vi[v])) << "v=" << v;
+            else
+                EXPECT_EQ(vi[v], vf[v]) << "v=" << v;
+        }
+    }
+}
+
+TEST_P(ProfileSweep, ResultInvariantsHold)
+{
+    const ProfileAlg param = GetParam();
+    const DatasetProfile profile =
+        findProfile(param.profile)->scaled(0.08);
+    auto runner = runAll(profile, ModelKind::INC, param.alg);
+    const std::vector<double> values = runner->values();
+
+    // Rebuild the edge set for invariant checks. Duplicate (src, dst)
+    // pairs can carry different weights and dedup keeps whichever was
+    // streamed first, so the weighted invariants use the max (SSSP) or
+    // min (SSWP) weight across duplicates.
+    std::vector<Edge> edges = profile.generate(3);
+    std::unordered_map<std::uint64_t, std::pair<Weight, Weight>> weights;
+    for (const Edge &e : edges) {
+        const std::uint64_t key =
+            (std::uint64_t(e.src) << 32) | e.dst;
+        auto [it, fresh] = weights.try_emplace(key, e.weight, e.weight);
+        if (!fresh) {
+            it->second.first = std::min(it->second.first, e.weight);
+            it->second.second = std::max(it->second.second, e.weight);
+        }
+    }
+    const auto minW = [&](const Edge &e) {
+        return weights.at((std::uint64_t(e.src) << 32) | e.dst).first;
+    };
+    const auto maxW = [&](const Edge &e) {
+        return weights.at((std::uint64_t(e.src) << 32) | e.dst).second;
+    };
+    const NodeId n = static_cast<NodeId>(values.size());
+
+    switch (param.alg) {
+      case AlgKind::BFS:
+        // Every edge relaxes: depth(dst) <= depth(src) + 1.
+        EXPECT_EQ(values[profile.source], 0);
+        for (const Edge &e : edges) {
+            if (!std::isinf(values[e.src]))
+                EXPECT_LE(values[e.dst], values[e.src] + 1)
+                    << e.src << "->" << e.dst;
+        }
+        break;
+      case AlgKind::SSSP:
+        EXPECT_EQ(values[profile.source], 0);
+        for (const Edge &e : edges) {
+            if (!std::isinf(values[e.src]))
+                EXPECT_LE(values[e.dst],
+                          values[e.src] + maxW(e) + 1e-3)
+                    << e.src << "->" << e.dst;
+        }
+        break;
+      case AlgKind::SSWP:
+        for (const Edge &e : edges) {
+            // Width into dst is at least min(width(src), w_kept); the
+            // kept duplicate weight is at least the min across dups.
+            EXPECT_GE(values[e.dst] + 1e-3,
+                      std::min(values[e.src], double(minW(e))))
+                << e.src << "->" << e.dst;
+        }
+        break;
+      case AlgKind::CC:
+        // Endpoints of every edge share a label; labels are <= own id.
+        for (const Edge &e : edges)
+            EXPECT_EQ(values[e.src], values[e.dst])
+                << e.src << "->" << e.dst;
+        for (NodeId v = 0; v < n; ++v)
+            EXPECT_LE(values[v], v);
+        break;
+      case AlgKind::MC:
+        // Value flows along every edge; value >= own id.
+        for (const Edge &e : edges)
+            EXPECT_GE(values[e.dst], values[e.src]);
+        for (NodeId v = 0; v < n; ++v)
+            EXPECT_GE(values[v], double(v));
+        break;
+      case AlgKind::PR: {
+        // Ranks positive, bounded by 1, sum in (0, 1].
+        double sum = 0;
+        for (NodeId v = 0; v < n; ++v) {
+            EXPECT_GT(values[v], 0.0);
+            EXPECT_LE(values[v], 1.0);
+            sum += values[v];
+        }
+        EXPECT_GT(sum, 0.1);
+        // INC PageRank is epsilon-approximate and |V| grows while ranks
+        // are amortized, so the mass can overshoot 1 slightly.
+        EXPECT_LE(sum, 1.01);
+        break;
+      }
+    }
+}
+
+std::vector<ProfileAlg>
+allCases()
+{
+    std::vector<ProfileAlg> cases;
+    for (const char *profile : {"lj", "orkut", "rmat", "wiki", "talk"}) {
+        for (AlgKind alg : {AlgKind::BFS, AlgKind::CC, AlgKind::MC,
+                            AlgKind::PR, AlgKind::SSSP, AlgKind::SSWP})
+            cases.push_back({profile, alg});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileSweep,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace saga

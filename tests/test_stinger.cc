@@ -1,0 +1,90 @@
+/** @file Stinger internals: edge blocks, two-pass insert, block capacity. */
+
+#include <gtest/gtest.h>
+
+#include "ds/stinger.h"
+#include "platform/thread_pool.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+TEST(Stinger, DefaultBlockCapacityIsSixteen)
+{
+    StingerStore store;
+    EXPECT_EQ(store.blockCapacity(), 16u);
+}
+
+TEST(Stinger, FillsBlocksWithoutHoles)
+{
+    StingerStore store(4); // tiny blocks to force chaining
+    ThreadPool pool(1);
+    std::vector<Edge> edges;
+    for (NodeId d = 1; d <= 10; ++d)
+        edges.push_back({0, d, static_cast<Weight>(d)});
+    store.updateBatch(EdgeBatch(std::move(edges)), pool, false);
+
+    EXPECT_EQ(store.degree(0), 10u);
+    const auto nbrs = test::sortedNeighbors(store, 0);
+    ASSERT_EQ(nbrs.size(), 10u);
+    for (NodeId d = 1; d <= 10; ++d) {
+        EXPECT_EQ(nbrs[d - 1].node, d);
+        EXPECT_EQ(nbrs[d - 1].weight, static_cast<Weight>(d));
+    }
+}
+
+TEST(Stinger, SingleEntryBlocks)
+{
+    StingerStore store(1); // degenerate: one edge per block
+    ThreadPool pool(2);
+    std::vector<Edge> edges;
+    for (NodeId d = 1; d <= 50; ++d)
+        edges.push_back({3, d, 1.0f});
+    store.updateBatch(EdgeBatch(std::move(edges)), pool, false);
+    EXPECT_EQ(store.degree(3), 50u);
+    EXPECT_EQ(test::sortedNeighbors(store, 3).size(), 50u);
+}
+
+TEST(Stinger, DuplicateInsertSecondBatch)
+{
+    StingerStore store(4);
+    ThreadPool pool(1);
+    std::vector<Edge> edges;
+    for (NodeId d = 1; d <= 9; ++d)
+        edges.push_back({0, d, 1.0f});
+    store.updateBatch(EdgeBatch(edges), pool, false);
+    store.updateBatch(EdgeBatch(edges), pool, false); // all duplicates
+    EXPECT_EQ(store.degree(0), 9u);
+    EXPECT_EQ(store.numEdges(), 9u);
+}
+
+TEST(Stinger, ClearReleasesEverything)
+{
+    StingerStore store(2);
+    ThreadPool pool(1);
+    store.updateBatch(test::randomBatch(100, 2000, 1), pool, false);
+    EXPECT_GT(store.numEdges(), 0u);
+    store.clear();
+    EXPECT_EQ(store.numNodes(), 0u);
+    EXPECT_EQ(store.numEdges(), 0u);
+}
+
+TEST(Stinger, ConcurrentHubInsertsStayUnique)
+{
+    // Many threads insert overlapping edges for ONE vertex: exercises the
+    // lock-free search + locked append path.
+    StingerStore store(8);
+    ThreadPool pool(8);
+    std::vector<Edge> edges;
+    for (int rep = 0; rep < 5; ++rep) {
+        for (NodeId d = 1; d <= 400; ++d)
+            edges.push_back({0, d, static_cast<Weight>(d % 5 + 1)});
+    }
+    store.updateBatch(EdgeBatch(std::move(edges)), pool, false);
+    EXPECT_EQ(store.degree(0), 400u);
+    EXPECT_EQ(test::sortedNeighbors(store, 0).size(), 400u);
+    EXPECT_EQ(store.numEdges(), 400u);
+}
+
+} // namespace
+} // namespace saga

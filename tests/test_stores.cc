@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Store-concept conformance tests, typed over all four data structures
+ * (plus the reference store itself), validated against the std::map
+ * oracle: dedup, degrees, traversal completeness, growth, weights.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ds/adj_chunked.h"
+#include "ds/adj_shared.h"
+#include "ds/dah.h"
+#include "ds/reference.h"
+#include "ds/stinger.h"
+#include "platform/thread_pool.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+template <typename Store>
+Store
+makeStore()
+{
+    if constexpr (std::is_constructible_v<Store, std::size_t>) {
+        return Store(4); // AC/DAH: 4 chunks; Stinger: 4-entry blocks
+    } else {
+        return Store();
+    }
+}
+
+template <typename Store>
+class StoreTest : public ::testing::Test
+{
+  protected:
+    StoreTest() : store_(makeStore<Store>()), pool_(4) {}
+
+    void
+    update(const EdgeBatch &batch, bool reversed = false)
+    {
+        store_.updateBatch(batch, pool_, reversed);
+        oracle_.updateBatch(batch, pool_, reversed);
+    }
+
+    void
+    expectMatchesOracle()
+    {
+        ASSERT_EQ(store_.numNodes(), oracle_.numNodes());
+        ASSERT_EQ(store_.numEdges(), oracle_.numEdges());
+        for (NodeId v = 0; v < oracle_.numNodes(); ++v) {
+            EXPECT_EQ(store_.degree(v), oracle_.degree(v)) << "v=" << v;
+            EXPECT_EQ(test::sortedNeighbors(store_, v),
+                      test::sortedNeighbors(oracle_, v))
+                << "v=" << v;
+        }
+    }
+
+    Store store_;
+    ReferenceStore oracle_;
+    ThreadPool pool_;
+};
+
+using StoreTypes =
+    ::testing::Types<AdjSharedStore, AdjChunkedStore, StingerStore,
+                     DahStore, ReferenceStore>;
+TYPED_TEST_SUITE(StoreTest, StoreTypes);
+
+TYPED_TEST(StoreTest, EmptyStore)
+{
+    EXPECT_EQ(this->store_.numNodes(), 0u);
+    EXPECT_EQ(this->store_.numEdges(), 0u);
+}
+
+TYPED_TEST(StoreTest, SingleEdge)
+{
+    this->update(EdgeBatch({{1, 2, 5.0f}}));
+    EXPECT_EQ(this->store_.numNodes(), 3u);
+    EXPECT_EQ(this->store_.numEdges(), 1u);
+    EXPECT_EQ(this->store_.degree(1), 1u);
+    EXPECT_EQ(this->store_.degree(0), 0u);
+    this->expectMatchesOracle();
+}
+
+TYPED_TEST(StoreTest, DuplicateEdgesIngestedUniquely)
+{
+    // Single worker so "first weight wins" is deterministic.
+    ThreadPool serial(1);
+    auto store = makeStore<TypeParam>();
+    store.updateBatch(EdgeBatch({{1, 2, 5.0f}, {1, 2, 9.0f}, {1, 2, 5.0f}}),
+                      serial, false);
+    EXPECT_EQ(store.numEdges(), 1u);
+    const auto nbrs = test::sortedNeighbors(store, 1);
+    ASSERT_EQ(nbrs.size(), 1u);
+    EXPECT_EQ(nbrs[0].node, 2u);
+    EXPECT_EQ(nbrs[0].weight, 5.0f);
+}
+
+TYPED_TEST(StoreTest, DuplicateAcrossBatches)
+{
+    this->update(EdgeBatch({{3, 4, 1.0f}}));
+    this->update(EdgeBatch({{3, 4, 2.0f}, {3, 5, 2.0f}}));
+    EXPECT_EQ(this->store_.numEdges(), 2u);
+    this->expectMatchesOracle();
+}
+
+TYPED_TEST(StoreTest, SelfLoopAllowed)
+{
+    this->update(EdgeBatch({{7, 7, 1.0f}}));
+    EXPECT_EQ(this->store_.degree(7), 1u);
+    this->expectMatchesOracle();
+}
+
+TYPED_TEST(StoreTest, ReversedIngestSwapsEndpoints)
+{
+    this->update(EdgeBatch({{1, 2, 5.0f}, {3, 1, 2.0f}}),
+                 /*reversed=*/true);
+    EXPECT_EQ(this->store_.degree(2), 1u);
+    EXPECT_EQ(this->store_.degree(1), 1u);
+    EXPECT_EQ(this->store_.degree(3), 0u);
+    this->expectMatchesOracle();
+}
+
+TYPED_TEST(StoreTest, GrowsAcrossBatches)
+{
+    this->update(test::randomBatch(50, 200, 1));
+    this->update(test::randomBatch(500, 400, 2));
+    this->update(test::randomBatch(5000, 800, 3));
+    this->expectMatchesOracle();
+}
+
+TYPED_TEST(StoreTest, RandomStreamMatchesOracle)
+{
+    for (int b = 0; b < 8; ++b)
+        this->update(test::randomBatch(300, 1500, 100 + b));
+    this->expectMatchesOracle();
+}
+
+TYPED_TEST(StoreTest, HubVertexManyNeighbors)
+{
+    // One vertex receives edges to many distinct targets (heavy tail).
+    std::vector<Edge> edges;
+    for (NodeId i = 0; i < 600; ++i)
+        edges.push_back({0, i + 1, static_cast<Weight>(i % 7 + 1)});
+    this->update(EdgeBatch(std::move(edges)));
+    EXPECT_EQ(this->store_.degree(0), 600u);
+    this->expectMatchesOracle();
+}
+
+TYPED_TEST(StoreTest, DenseSmallGraphAllPairs)
+{
+    std::vector<Edge> edges;
+    for (NodeId s = 0; s < 30; ++s) {
+        for (NodeId d = 0; d < 30; ++d)
+            edges.push_back({s, d, 1.0f});
+    }
+    this->update(EdgeBatch(std::move(edges)));
+    EXPECT_EQ(this->store_.numEdges(), 900u);
+    this->expectMatchesOracle();
+}
+
+TYPED_TEST(StoreTest, WeightsPreserved)
+{
+    this->update(EdgeBatch({{0, 1, 3.5f}, {0, 2, 7.25f}, {1, 2, 0.5f}}));
+    this->expectMatchesOracle();
+    const auto nbrs = test::sortedNeighbors(this->store_, 0);
+    ASSERT_EQ(nbrs.size(), 2u);
+    EXPECT_EQ(nbrs[0].weight, 3.5f);
+    EXPECT_EQ(nbrs[1].weight, 7.25f);
+}
+
+TYPED_TEST(StoreTest, EmptyBatchIsNoop)
+{
+    this->update(EdgeBatch({{1, 2, 1.0f}}));
+    this->update(EdgeBatch());
+    EXPECT_EQ(this->store_.numEdges(), 1u);
+    this->expectMatchesOracle();
+}
+
+/**
+ * Concurrency stress: many workers hammer overlapping batches with heavy
+ * duplication and a hot hub vertex; the result must still exactly match
+ * the single-threaded oracle.
+ */
+TYPED_TEST(StoreTest, ConcurrentStressMatchesOracle)
+{
+    ThreadPool wide(8);
+    auto store = makeStore<TypeParam>();
+    ReferenceStore oracle;
+    ThreadPool serial(1);
+
+    for (int b = 0; b < 6; ++b) {
+        // 40% of edges source from a single hub to few targets ->
+        // intra-vertex contention plus heavy duplication.
+        Rng rng(777 + b);
+        std::vector<Edge> edges;
+        for (int i = 0; i < 4000; ++i) {
+            NodeId src, dst;
+            if (rng.below(10) < 4) {
+                src = 5;
+                dst = static_cast<NodeId>(rng.below(900));
+            } else {
+                src = static_cast<NodeId>(rng.below(200));
+                dst = static_cast<NodeId>(rng.below(200));
+            }
+            // Weight is a pure function of (src, dst) so racing duplicate
+            // inserts cannot make the surviving weight nondeterministic.
+            edges.push_back({src, dst,
+                             static_cast<Weight>((src * 31 + dst) % 9 + 1)});
+        }
+        EdgeBatch batch(std::move(edges));
+        store.updateBatch(batch, wide, false);
+        oracle.updateBatch(batch, serial, false);
+    }
+
+    ASSERT_EQ(store.numEdges(), oracle.numEdges());
+    for (NodeId v = 0; v < oracle.numNodes(); ++v) {
+        ASSERT_EQ(test::sortedNeighbors(store, v),
+                  test::sortedNeighbors(oracle, v))
+            << "v=" << v;
+    }
+}
+
+} // namespace
+} // namespace saga

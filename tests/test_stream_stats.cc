@@ -1,0 +1,209 @@
+/** @file Stream batching/shuffling and summary-statistics tests. */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "saga/stream_source.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace saga {
+namespace {
+
+std::vector<Edge>
+rampEdges(std::size_t count)
+{
+    std::vector<Edge> edges;
+    for (std::size_t i = 0; i < count; ++i) {
+        edges.push_back({static_cast<NodeId>(i),
+                         static_cast<NodeId>(i + 1), 1.0f});
+    }
+    return edges;
+}
+
+TEST(StreamSource, BatchCountAndSizes)
+{
+    StreamSource stream(rampEdges(1050), 100);
+    EXPECT_EQ(stream.batchCount(), 11u);
+    std::size_t total = 0;
+    std::size_t batches = 0;
+    while (stream.hasNext()) {
+        const EdgeBatch batch = stream.next();
+        total += batch.size();
+        ++batches;
+        if (batches < 11)
+            EXPECT_EQ(batch.size(), 100u);
+        else
+            EXPECT_EQ(batch.size(), 50u); // final partial batch
+    }
+    EXPECT_EQ(total, 1050u);
+    EXPECT_EQ(batches, 11u);
+}
+
+TEST(StreamSource, ShuffleIsPermutation)
+{
+    StreamSource stream(rampEdges(500), 500, /*shuffle_seed=*/3);
+    const EdgeBatch batch = stream.next();
+    std::set<NodeId> sources;
+    for (const Edge &e : batch.edges())
+        sources.insert(e.src);
+    EXPECT_EQ(sources.size(), 500u); // nothing lost or duplicated
+    // And actually shuffled:
+    bool moved = false;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        moved |= (batch[i].src != i);
+    EXPECT_TRUE(moved);
+}
+
+TEST(StreamSource, ShuffleDeterministicPerSeed)
+{
+    StreamSource a(rampEdges(200), 50, 7);
+    StreamSource b(rampEdges(200), 50, 7);
+    StreamSource c(rampEdges(200), 50, 8);
+    bool differs_from_c = false;
+    while (a.hasNext()) {
+        const EdgeBatch ba = a.next(), bb = b.next(), bc = c.next();
+        EXPECT_EQ(ba.edges(), bb.edges());
+        differs_from_c |= !(ba.edges() == bc.edges());
+    }
+    EXPECT_TRUE(differs_from_c);
+}
+
+TEST(StreamSource, NoShufflePreservesOrder)
+{
+    StreamSource stream(rampEdges(100), 30, StreamSource::kNoShuffle);
+    const EdgeBatch batch = stream.next();
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(batch[i].src, i);
+}
+
+TEST(StreamSource, RewindReplaysSameBatches)
+{
+    StreamSource stream(rampEdges(90), 40, 5);
+    std::vector<Edge> first;
+    while (stream.hasNext()) {
+        const auto batch = stream.next();
+        first.insert(first.end(), batch.edges().begin(),
+                     batch.edges().end());
+    }
+    stream.rewind();
+    std::vector<Edge> second;
+    while (stream.hasNext()) {
+        const auto batch = stream.next();
+        second.insert(second.end(), batch.edges().begin(),
+                      batch.edges().end());
+    }
+    EXPECT_EQ(first, second);
+}
+
+TEST(EdgeBatch, MaxNode)
+{
+    EdgeBatch empty;
+    EXPECT_EQ(empty.maxNode(), kInvalidNode);
+    EdgeBatch batch({{3, 9, 1.0f}, {11, 2, 1.0f}});
+    EXPECT_EQ(batch.maxNode(), 11u);
+}
+
+TEST(Summary, BasicMoments)
+{
+    const Summary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, 2.138, 1e-3);
+    EXPECT_NEAR(s.ciHalfWidth, 1.96 * 2.138 / std::sqrt(8.0), 1e-3);
+}
+
+TEST(Summary, EmptyAndSingleton)
+{
+    EXPECT_EQ(summarize({}).count, 0u);
+    const Summary one = summarize({3.5});
+    EXPECT_EQ(one.count, 1u);
+    EXPECT_DOUBLE_EQ(one.mean, 3.5);
+    EXPECT_EQ(one.ciHalfWidth, 0.0);
+}
+
+TEST(Summary, OverlapDetection)
+{
+    Summary a, b;
+    a.mean = 1.0;
+    a.ciHalfWidth = 0.2;
+    b.mean = 1.3;
+    b.ciHalfWidth = 0.2;
+    EXPECT_TRUE(a.overlaps(b));
+    b.mean = 2.0;
+    EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Stages, ThirdsPartition)
+{
+    // 9 values: stages are {1,2,3}, {4,5,6}, {7,8,9}.
+    std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    const StageSummary stages = summarizeStages(values);
+    EXPECT_DOUBLE_EQ(stages.p1.mean, 2.0);
+    EXPECT_DOUBLE_EQ(stages.p2.mean, 5.0);
+    EXPECT_DOUBLE_EQ(stages.p3.mean, 8.0);
+    EXPECT_EQ(stages.p1.count, 3u);
+}
+
+TEST(Stages, PoolsRepeatedRuns)
+{
+    // Two repetitions pool 1/3 x batchCount x reps values per stage
+    // (paper Section IV-B).
+    const StageSummary stages = summarizeStages(
+        std::vector<std::vector<double>>{{1, 2, 3}, {3, 4, 5}});
+    EXPECT_EQ(stages.p1.count, 2u);
+    EXPECT_DOUBLE_EQ(stages.p1.mean, 2.0);
+    EXPECT_DOUBLE_EQ(stages.p3.mean, 4.0);
+}
+
+TEST(Stages, UnevenCount)
+{
+    // 11 values -> stages of 3/4/4.
+    std::vector<double> values(11, 1.0);
+    const StageSummary stages = summarizeStages(values);
+    EXPECT_EQ(stages.p1.count + stages.p2.count + stages.p3.count, 11u);
+}
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "2.5"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, ShortRowsPadded)
+{
+    TextTable table({"a", "b", "c"});
+    table.addRow({"1"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.0, 4), "1.0000");
+}
+
+} // namespace
+} // namespace saga

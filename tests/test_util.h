@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the SAGA-Bench test suite.
+ */
+
+#ifndef SAGA_TESTS_TEST_UTIL_H_
+#define SAGA_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "ds/reference.h"
+#include "platform/rng.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+namespace test {
+
+/** Random batch of @p count edges over @p num_nodes vertices. */
+inline EdgeBatch
+randomBatch(NodeId num_nodes, std::size_t count, std::uint64_t seed,
+            std::uint32_t weight_max = 64)
+{
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const NodeId src = static_cast<NodeId>(rng.below(num_nodes));
+        const NodeId dst = static_cast<NodeId>(rng.below(num_nodes));
+        // Weight is a pure function of (src, dst): duplicate edges always
+        // carry the same weight, so parallel dedup stays deterministic.
+        const Weight weight = static_cast<Weight>(
+            (src * 2654435761u + dst * 40503u) % weight_max + 1);
+        edges.push_back({src, dst, weight});
+    }
+    return EdgeBatch(std::move(edges));
+}
+
+/** Sorted copy of a store's neighbor list for @p v. */
+template <typename Store>
+std::vector<Neighbor>
+sortedNeighbors(const Store &store, NodeId v)
+{
+    std::vector<Neighbor> result;
+    store.forNeighbors(v, [&](const Neighbor &nbr) {
+        result.push_back(nbr);
+    });
+    std::sort(result.begin(), result.end(),
+              [](const Neighbor &a, const Neighbor &b) {
+                  return a.node < b.node;
+              });
+    return result;
+}
+
+/** Sorted out-neighbors via a DynGraph. */
+template <typename Graph>
+std::vector<Neighbor>
+sortedOut(const Graph &g, NodeId v)
+{
+    std::vector<Neighbor> result;
+    g.outNeigh(v, [&](const Neighbor &nbr) { result.push_back(nbr); });
+    std::sort(result.begin(), result.end(),
+              [](const Neighbor &a, const Neighbor &b) {
+                  return a.node < b.node;
+              });
+    return result;
+}
+
+/** Sorted in-neighbors via a DynGraph. */
+template <typename Graph>
+std::vector<Neighbor>
+sortedIn(const Graph &g, NodeId v)
+{
+    std::vector<Neighbor> result;
+    g.inNeigh(v, [&](const Neighbor &nbr) { result.push_back(nbr); });
+    std::sort(result.begin(), result.end(),
+              [](const Neighbor &a, const Neighbor &b) {
+                  return a.node < b.node;
+              });
+    return result;
+}
+
+} // namespace test
+} // namespace saga
+
+#endif // SAGA_TESTS_TEST_UTIL_H_

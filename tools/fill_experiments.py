@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from bench_output.txt.
+
+Repo maintenance helper: after regenerating bench_output.txt, re-run this
+script to refresh the quoted result blocks in EXPERIMENTS.md.
+"""
+import re
+import sys
+
+OUT = "bench_output.txt"
+DOC = "EXPERIMENTS.md"
+
+
+def section(name: str) -> str:
+    text = open(OUT).read()
+    match = re.search(
+        r"##### \S*/" + re.escape(name) + r"\n(.*?)(?=\n##### |\Z)",
+        text, re.S)
+    if not match:
+        raise SystemExit(f"section {name} not found in {OUT}")
+    return match.group(1)
+
+
+def table_lines(body: str, header_prefix: str, stop_blank: bool = True):
+    """Lines of the first table whose header starts with header_prefix."""
+    lines = body.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith(header_prefix):
+            rows = [line]
+            for row in lines[i + 1:]:
+                if stop_blank and not row.strip():
+                    break
+                rows.append(row)
+            return rows
+    raise SystemExit(f"table '{header_prefix}' not found")
+
+
+def fence(rows) -> str:
+    return "```\n" + "\n".join(r.rstrip() for r in rows) + "\n```"
+
+
+def main():
+    doc = open(DOC).read()
+
+    # Table IV: the whole table.
+    t4 = section("table4_degrees")
+    doc = doc.replace("{{TABLE4}}", fence(table_lines(t4, "Dataset")))
+
+    # Table III: quote a representative slice (BFS + PR rows).
+    t3 = section("table3_best_combo")
+    rows = table_lines(t3, "Alg")
+    keep = [rows[0], rows[1]] + [r for r in rows
+                                 if r.startswith(("bfs", "pr", "sssp"))]
+    doc = doc.replace("{{TABLE3_SUMMARY}}", fence(keep))
+
+    # Fig 6: update table (b) and modeled table (b').
+    f6 = section("fig6_data_structures")
+    update_idx = f6.find("(b) P3 update")
+    model_idx = f6.find("(b') update")
+    doc = doc.replace(
+        "{{FIG6_SUMMARY}}",
+        fence(table_lines(f6[update_idx:], "Alg")))
+    doc = doc.replace(
+        "{{FIG6_MODEL}}",
+        fence(table_lines(f6[model_idx:], "Dataset")))
+
+    # Fig 7: quote the rmat + talk rows (largest/smallest beneficiaries).
+    f7 = section("fig7_compute_model")
+    rows = table_lines(f7, "Alg")
+    keep = rows[:2] + [r for r in rows[2:]
+                       if "  rmat " in " " + r or "  talk " in " " + r
+                       or r.split()[1:2] in (["rmat"], ["talk"])]
+    keep = rows[:2] + [r for r in rows[2:]
+                       if len(r.split()) > 1 and
+                       r.split()[1] in ("rmat", "talk")]
+    doc = doc.replace("{{FIG7_SUMMARY}}", fence(keep))
+
+    # Fig 8: the ">= 40%" summary line.
+    f8 = section("fig8_update_share")
+    line = next(l for l in f8.splitlines() if "stage cells" in l)
+    doc = doc.replace("{{FIG8_SUMMARY}}", line.strip())
+
+    # Fig 9: both tables.
+    f9 = section("fig9_scaling")
+    doc = doc.replace(
+        "{{FIG9_SUMMARY}}",
+        fence(table_lines(f9, "curve")) + "\n" +
+        fence(table_lines(f9, "group")))
+
+    # Fig 10: quote both group blocks' MPKI tables plus hit ratios.
+    f10 = section("fig10_caches")
+    blocks = []
+    for marker in ("--- STail", "--- HTail"):
+        idx = f10.find(marker)
+        blocks.append(f10[idx:].splitlines()[0])
+        blocks.extend(table_lines(f10[idx:], "phase"))
+    doc = doc.replace("{{FIG10_SUMMARY}}", fence(blocks))
+
+    # Micro: full table.
+    micro = section("micro_ds")
+    rows = [l for l in micro.splitlines()
+            if l.startswith(("Benchmark", "BM_", "---"))]
+    doc = doc.replace("{{MICRO_SUMMARY}}", fence(rows))
+
+    open(DOC, "w").write(doc)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
