@@ -53,7 +53,8 @@ struct Bfs
         Value best = kInf;
         g.inNeigh(v, [&](const Neighbor &nbr) {
             perf::ops(1);
-            const Value d = values[nbr.node];
+            // INC runs recompute concurrently with neighbor updates.
+            const Value d = atomicLoad(values[nbr.node]);
             perf::touch(&values[nbr.node], sizeof(Value));
             if (d != kInf && d + 1 < best)
                 best = d + 1;
@@ -89,7 +90,9 @@ struct Bfs
                 g.outNeigh(v, [&](const Neighbor &nbr) {
                     perf::ops(1);
                     perf::touch(&values[nbr.node], sizeof(Value));
-                    if (values[nbr.node] == kInf &&
+                    // Atomic pre-check: the slot races with concurrent
+                    // atomicClaim RMWs from other workers.
+                    if (atomicLoad(values[nbr.node]) == kInf &&
                         atomicClaim(values[nbr.node], kInf, depth)) {
                         perf::touchWrite(&values[nbr.node], sizeof(Value));
                         push(nbr.node);

@@ -17,6 +17,7 @@
 
 #include "algo/context.h"
 #include "perfmodel/trace.h"
+#include "platform/atomic_ops.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
@@ -41,8 +42,11 @@ struct Cc
         const auto relax = [&](const Neighbor &nbr) {
             perf::ops(1);
             perf::touch(&values[nbr.node], sizeof(Value));
-            if (values[nbr.node] < best)
-                best = values[nbr.node];
+            // Neighbor slots are concurrently written by their owning
+            // workers (FS sweep) or by the INC engine's atomicStore.
+            const Value label = atomicLoad(values[nbr.node]);
+            if (label < best)
+                best = label;
         };
         g.inNeigh(v, relax);
         g.outNeigh(v, relax);
@@ -81,8 +85,10 @@ struct Cc
                 char local_change = 0;
                 for (NodeId v = static_cast<NodeId>(lo); v < hi; ++v) {
                     const Value best = recompute(g, v, values, ctx);
+                    // v belongs to this worker's slice, but other workers
+                    // concurrently read values[v] through relax.
                     if (best < values[v]) {
-                        values[v] = best;
+                        atomicStore(values[v], best);
                         perf::touchWrite(&values[v], sizeof(Value));
                         local_change = 1;
                     }

@@ -80,24 +80,41 @@ incCompute(const Graph &g, ThreadPool &pool,
         perf::touchWrite(&values[v], sizeof(values[v]));
     }
 
+    // Per-round visited marks, cleared by bumping `epoch` instead of the
+    // O(n) std::fill of the whole bitvector (line 20 of Algorithm 1):
+    // visited[v] == epoch means "claimed this round". The byte-sized
+    // counter wraps every 255 rounds, at which point one real fill keeps
+    // stale marks from aliasing the fresh epoch.
     std::vector<std::uint8_t> visited(n, 0);
+    std::uint8_t epoch = 0;
+    const auto nextRound = [&] {
+        if (++epoch == 0) {
+            std::fill(visited.begin(), visited.end(), 0);
+            epoch = 1;
+        }
+    };
+    nextRound();
 
     // Recompute one vertex; on a triggering change, claim-and-enqueue its
-    // unvisited neighbors (lines 9-15).
+    // unvisited neighbors (lines 9-15). The values array is concurrently
+    // read by neighbor recomputes on other workers, so both the
+    // read-modify-write here and the reads inside Alg::recompute go
+    // through the atomic helpers.
     const auto processVertex = [&](NodeId v, auto &push) {
         perf::ops(1);
         perf::touch(&values[v], sizeof(values[v]));
-        const typename Alg::Value old_value = values[v];
+        const typename Alg::Value old_value = atomicLoad(values[v]);
         const typename Alg::Value new_value =
             Alg::recompute(g, v, values, ctx);
         if (!Alg::trigger(old_value, new_value, ctx))
             return;
-        values[v] = new_value;
+        atomicStore(values[v], new_value);
         perf::touchWrite(&values[v], sizeof(values[v]));
         const auto enqueue = [&](const Neighbor &nbr) {
             perf::touch(&visited[nbr.node], 1);
-            if (!visited[nbr.node] &&
-                atomicClaim<std::uint8_t>(visited[nbr.node], 0, 1)) {
+            const std::uint8_t seen = atomicLoad(visited[nbr.node]);
+            if (seen != epoch &&
+                atomicClaim<std::uint8_t>(visited[nbr.node], seen, epoch)) {
                 push(nbr.node);
             }
         };
@@ -112,7 +129,7 @@ incCompute(const Graph &g, ThreadPool &pool,
 
     // Lines 17-25: propagate until no vertex triggers.
     while (!frontier.empty()) {
-        std::fill(visited.begin(), visited.end(), 0); // line 20
+        nextRound(); // line 20, O(frontier) instead of O(n)
         frontier = expandFrontier(pool, frontier, processVertex);
     }
 }

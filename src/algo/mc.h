@@ -45,8 +45,10 @@ struct Mc
         g.inNeigh(v, [&](const Neighbor &nbr) {
             perf::ops(1);
             perf::touch(&values[nbr.node], sizeof(Value));
-            if (values[nbr.node] > best)
-                best = values[nbr.node];
+            // INC runs recompute concurrently with neighbor updates.
+            const Value label = atomicLoad(values[nbr.node]);
+            if (label > best)
+                best = label;
         });
         return best;
     }
@@ -74,7 +76,8 @@ struct Mc
         while (!frontier.empty()) {
             frontier = expandFrontier(pool, frontier,
                                       [&](NodeId v, auto &push) {
-                const Value value = values[v];
+                // Races with concurrent atomicFetchMax RMWs on this slot.
+                const Value value = atomicLoad(values[v]);
                 g.outNeigh(v, [&](const Neighbor &nbr) {
                     perf::ops(1);
                     perf::touch(&values[nbr.node], sizeof(Value));

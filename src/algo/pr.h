@@ -19,6 +19,7 @@
 
 #include "algo/context.h"
 #include "perfmodel/trace.h"
+#include "platform/atomic_ops.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
@@ -49,8 +50,9 @@ struct Pr
             perf::ops(1);
             perf::touch(&values[nbr.node], sizeof(Value));
             const std::uint32_t out_degree = g.outDegree(nbr.node);
+            // INC runs recompute concurrently with neighbor updates.
             if (out_degree > 0)
-                sum += values[nbr.node] / out_degree;
+                sum += atomicLoad(values[nbr.node]) / out_degree;
         });
         return base + ctx.damping * sum;
     }

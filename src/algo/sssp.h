@@ -54,7 +54,8 @@ struct Sssp
         g.inNeigh(v, [&](const Neighbor &nbr) {
             perf::ops(1);
             perf::touch(&values[nbr.node], sizeof(Value));
-            const Value cand = values[nbr.node] + nbr.weight;
+            // INC runs recompute concurrently with neighbor updates.
+            const Value cand = atomicLoad(values[nbr.node]) + nbr.weight;
             if (cand < best)
                 best = cand;
         });
@@ -97,6 +98,13 @@ struct Sssp
         };
         place(ctx.source, 0.0f);
 
+        // Round-stamped membership marks: several workers can lower the
+        // same vertex in one round, but only the worker whose claim CAS
+        // succeeds pushes it, so each vertex enters a bucket round at most
+        // once (instead of once per successful relaxation).
+        std::vector<std::uint32_t> enqueued(n, 0);
+        std::uint32_t round = 0;
+
         for (std::size_t b = 0; b < buckets.size(); ++b) {
             // A vertex may be re-binned several times; process until this
             // bucket stays empty (re-insertions into bucket b happen when
@@ -104,10 +112,13 @@ struct Sssp
             while (!buckets[b].empty()) {
                 std::vector<NodeId> frontier = std::move(buckets[b]);
                 buckets[b].clear();
+                ++round;
 
                 std::vector<NodeId> relaxed = expandFrontier(
                     pool, frontier, [&](NodeId v, auto &push) {
-                    const Value dist = values[v];
+                    // Concurrent atomicFetchMin RMWs target this slot, so
+                    // the read must be atomic too.
+                    const Value dist = atomicLoad(values[v]);
                     // Skip stale entries (v was re-binned with a shorter
                     // path already processed).
                     if (bucketFor(dist) != b)
@@ -119,7 +130,13 @@ struct Sssp
                         if (atomicFetchMin(values[nbr.node], cand)) {
                             perf::touchWrite(&values[nbr.node],
                                              sizeof(Value));
-                            push(nbr.node);
+                            const std::uint32_t seen =
+                                atomicLoad(enqueued[nbr.node]);
+                            if (seen != round &&
+                                atomicClaim(enqueued[nbr.node], seen,
+                                            round)) {
+                                push(nbr.node);
+                            }
                         }
                     });
                 });

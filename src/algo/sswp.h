@@ -52,7 +52,9 @@ struct Sswp
         g.inNeigh(v, [&](const Neighbor &nbr) {
             perf::ops(1);
             perf::touch(&values[nbr.node], sizeof(Value));
-            const Value cand = std::min(values[nbr.node], nbr.weight);
+            // INC runs recompute concurrently with neighbor updates.
+            const Value cand =
+                std::min(atomicLoad(values[nbr.node]), nbr.weight);
             if (cand > best)
                 best = cand;
         });
@@ -86,7 +88,8 @@ struct Sswp
         while (!frontier.empty()) {
             frontier = expandFrontier(pool, frontier,
                                       [&](NodeId v, auto &push) {
-                const Value width = values[v];
+                // Races with concurrent atomicFetchMax RMWs on this slot.
+                const Value width = atomicLoad(values[v]);
                 g.outNeigh(v, [&](const Neighbor &nbr) {
                     perf::ops(1);
                     const Value cand = std::min(width, nbr.weight);

@@ -165,12 +165,16 @@ class StingerStore
         }
 
         // Pass 2: the paper's second scan — walk the block list for a
-        // block with free space (header reads only).
+        // block with free space (header reads only). All count stores
+        // happen under the insert lock, so the lock handoff alone already
+        // orders them; the loads are still acquire so that this path makes
+        // no assumption about who published the count (the same
+        // release-store is what lock-free searchers synchronize with).
         EdgeBlock *space = header.first.load(std::memory_order_acquire);
         EdgeBlock *last = nullptr;
         while (space) {
             perf::touch(space, 16);
-            if (space->count.load(std::memory_order_relaxed) <
+            if (space->count.load(std::memory_order_acquire) <
                 block_capacity_) {
                 break;
             }
@@ -180,7 +184,7 @@ class StingerStore
 
         if (space) {
             const std::uint32_t count =
-                space->count.load(std::memory_order_relaxed);
+                space->count.load(std::memory_order_acquire);
             space->entries[count] = {dst, weight};
             perf::touchWrite(&space->entries[count], sizeof(Neighbor));
             space->count.store(count + 1, std::memory_order_release);

@@ -15,6 +15,36 @@
 namespace saga {
 
 /**
+ * Atomic load from a plain slot that other threads may update through
+ * atomic_ref RMWs (atomicFetchMin/Max/Claim/Store). Mixing a plain load
+ * with those RMWs is a data race; every cross-thread read of a shared
+ * value array during a parallel phase must go through this helper.
+ */
+template <typename T>
+T
+atomicLoad(const T &slot,
+           std::memory_order order = std::memory_order_relaxed)
+{
+    // atomic_ref<const T> arrives in C++26; the cast is safe because the
+    // referenced object itself is non-const (a mutable values array).
+    std::atomic_ref<T> ref(const_cast<T &>(slot));
+    return ref.load(order);
+}
+
+/**
+ * Atomic store into a plain slot that other threads may read through
+ * atomicLoad during the same parallel phase.
+ */
+template <typename T>
+void
+atomicStore(T &slot, T value,
+            std::memory_order order = std::memory_order_relaxed)
+{
+    std::atomic_ref<T> ref(slot);
+    ref.store(value, order);
+}
+
+/**
  * Atomically set *slot = min(*slot, value).
  * @return true if this call lowered the stored value.
  */

@@ -23,7 +23,16 @@ class EdgeBatch
 {
   public:
     EdgeBatch() = default;
-    explicit EdgeBatch(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+    explicit EdgeBatch(std::vector<Edge> edges) : edges_(std::move(edges))
+    {
+        // Drop edges carrying the kInvalidNode sentinel: a sentinel
+        // endpoint would make the stores' ensureNodes(maxNode() + 1) wrap
+        // to 0 and the insert index out of bounds. Rejecting them here
+        // keeps every downstream consumer sentinel-free.
+        std::erase_if(edges_, [](const Edge &e) {
+            return e.src == kInvalidNode || e.dst == kInvalidNode;
+        });
+    }
 
     const std::vector<Edge> &edges() const { return edges_; }
     std::vector<Edge> &edges() { return edges_; }
@@ -32,7 +41,14 @@ class EdgeBatch
 
     const Edge &operator[](std::size_t i) const { return edges_[i]; }
 
-    void push_back(const Edge &e) { edges_.push_back(e); }
+    /** Append one edge; sentinel-id edges are skipped (see constructor). */
+    void
+    push_back(const Edge &e)
+    {
+        if (e.src == kInvalidNode || e.dst == kInvalidNode)
+            return;
+        edges_.push_back(e);
+    }
 
     /** Largest vertex id referenced in this batch, or kInvalidNode if empty. */
     NodeId

@@ -44,7 +44,10 @@ class StreamSource
 
     StreamSource(std::vector<Edge> edges, std::size_t batch_size,
                  std::uint64_t shuffle_seed = 1)
-        : edges_(std::move(edges)), batch_size_(batch_size)
+        : edges_(std::move(edges)),
+          // Clamp to >= 1: batchCount() divides by the batch size, so a
+          // zero would divide by zero (and next() would never advance).
+          batch_size_(batch_size ? batch_size : 1)
     {
         if (shuffle_seed != kNoShuffle)
             shuffleEdges(edges_, shuffle_seed);

@@ -220,5 +220,59 @@ TYPED_TEST(StoreTest, ConcurrentStressMatchesOracle)
     }
 }
 
+/**
+ * Contention focus: the same duplicate-heavy batch is ingested repeatedly
+ * by a wide pool. Each edge occurs ~8 times with different weights, so
+ * racing inserts must both dedup (numEdges == unique-edge count) and
+ * resolve every duplicate to the minimum weight.
+ */
+TYPED_TEST(StoreTest, RepeatedDuplicateHeavyIngestionKeepsMinWeights)
+{
+    ThreadPool wide(8);
+    ThreadPool serial(1);
+    auto store = makeStore<TypeParam>();
+    ReferenceStore oracle;
+
+    Rng rng(4242);
+    std::vector<Edge> edges;
+    for (int i = 0; i < 3000; ++i) {
+        const NodeId src = static_cast<NodeId>(rng.below(20));
+        const NodeId dst = static_cast<NodeId>(rng.below(20));
+        // Per-occurrence weights: the surviving weight must be the min,
+        // not whichever racing insert appended first.
+        edges.push_back({src, dst, static_cast<Weight>(rng.below(89) + 1)});
+    }
+    const EdgeBatch batch(std::move(edges));
+
+    for (int round = 0; round < 4; ++round) {
+        store.updateBatch(batch, wide, false);
+        oracle.updateBatch(batch, serial, false);
+    }
+
+    ASSERT_LE(oracle.numEdges(), 400u); // key space bound: really dup-heavy
+    ASSERT_EQ(store.numEdges(), oracle.numEdges());
+    for (NodeId v = 0; v < oracle.numNodes(); ++v) {
+        ASSERT_EQ(test::sortedNeighbors(store, v),
+                  test::sortedNeighbors(oracle, v))
+            << "v=" << v;
+    }
+}
+
+/**
+ * Sentinel boundary: edges carrying kInvalidNode are rejected at batch
+ * construction, so a batch of sentinels is a no-op instead of wrapping
+ * ensureNodes(maxNode() + 1) to zero and indexing out of bounds.
+ */
+TYPED_TEST(StoreTest, SentinelIdsDoNotCorruptStore)
+{
+    this->update(EdgeBatch({{1, 2, 1.0f}}));
+    this->update(EdgeBatch({{kInvalidNode, 4, 1.0f},
+                            {4, kInvalidNode, 1.0f},
+                            {kInvalidNode, kInvalidNode, 1.0f}}));
+    EXPECT_EQ(this->store_.numEdges(), 1u);
+    EXPECT_EQ(this->store_.numNodes(), 3u);
+    this->expectMatchesOracle();
+}
+
 } // namespace
 } // namespace saga

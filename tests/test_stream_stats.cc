@@ -100,12 +100,48 @@ TEST(StreamSource, RewindReplaysSameBatches)
     EXPECT_EQ(first, second);
 }
 
+TEST(StreamSource, ZeroBatchSizeClampedToOne)
+{
+    // Regression: batch_size == 0 used to divide by zero in batchCount()
+    // (and next() would never advance the cursor).
+    StreamSource stream(rampEdges(5), 0, StreamSource::kNoShuffle);
+    EXPECT_EQ(stream.batchSize(), 1u);
+    EXPECT_EQ(stream.batchCount(), 5u);
+    std::size_t batches = 0;
+    while (stream.hasNext()) {
+        EXPECT_EQ(stream.next().size(), 1u);
+        ++batches;
+    }
+    EXPECT_EQ(batches, 5u);
+}
+
 TEST(EdgeBatch, MaxNode)
 {
     EdgeBatch empty;
     EXPECT_EQ(empty.maxNode(), kInvalidNode);
     EdgeBatch batch({{3, 9, 1.0f}, {11, 2, 1.0f}});
     EXPECT_EQ(batch.maxNode(), 11u);
+}
+
+TEST(EdgeBatch, SentinelEdgesRejected)
+{
+    // Regression: a kInvalidNode endpoint made the stores compute
+    // ensureNodes(maxNode() + 1), which wraps to 0 and then indexes out
+    // of bounds. Sentinel edges are dropped at batch construction.
+    EdgeBatch batch({{kInvalidNode, 2, 1.0f},
+                     {3, kInvalidNode, 1.0f},
+                     {kInvalidNode, kInvalidNode, 1.0f},
+                     {3, 9, 1.0f}});
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch.maxNode(), 9u);
+
+    batch.push_back({kInvalidNode, 1, 1.0f});
+    batch.push_back({1, kInvalidNode, 1.0f});
+    EXPECT_EQ(batch.size(), 1u);
+
+    EdgeBatch only_sentinels({{kInvalidNode, kInvalidNode, 1.0f}});
+    EXPECT_TRUE(only_sentinels.empty());
+    EXPECT_EQ(only_sentinels.maxNode(), kInvalidNode);
 }
 
 TEST(Summary, BasicMoments)
