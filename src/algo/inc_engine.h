@@ -24,7 +24,9 @@
 #include "algo/context.h"
 #include "algo/frontier.h"
 #include "perfmodel/trace.h"
+#include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
+#include "saga/batch_scratch.h"
 #include "saga/edge_batch.h"
 #include "saga/types.h"
 
@@ -32,7 +34,9 @@ namespace saga {
 
 /**
  * Collect the unique vertices directly affected by @p batch (both
- * endpoints of every ingested edge).
+ * endpoints of every ingested edge). Serial, allocates O(num_nodes)
+ * per call; kept for tests and one-shot callers. Streaming runners use
+ * the BatchScratch overload below.
  */
 inline std::vector<NodeId>
 affectedVertices(const EdgeBatch &batch, NodeId num_nodes)
@@ -50,6 +54,43 @@ affectedVertices(const EdgeBatch &batch, NodeId num_nodes)
         mark(batch[i].src);
         mark(batch[i].dst);
     }
+    return affected;
+}
+
+/**
+ * affectedVertices with reusable scratch and a parallel marking path:
+ * no O(num_nodes) allocation per batch (the scratch's epoch-stamped
+ * array persists across batches), and the batch endpoints are claimed
+ * via per-worker slices + CAS, concatenated like a frontier. The result
+ * is the same *set* as the serial overload; the order of vertices may
+ * differ, which the INC engine (a parallel sweep) does not observe.
+ */
+inline std::vector<NodeId>
+affectedVertices(const EdgeBatch &batch, NodeId num_nodes,
+                 BatchScratch &scratch, ThreadPool &pool)
+{
+    scratch.beginBatch(num_nodes);
+    std::vector<std::vector<NodeId>> local(pool.size());
+    parallelSlices(pool, 0, batch.size(),
+                   [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+        std::vector<NodeId> &out = local[w];
+        const auto mark = [&](NodeId v) {
+            if (v < num_nodes && scratch.claim(v))
+                out.push_back(v);
+        };
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            mark(batch[i].src);
+            mark(batch[i].dst);
+        }
+    });
+
+    std::size_t total = 0;
+    for (const auto &part : local)
+        total += part.size();
+    std::vector<NodeId> affected;
+    affected.reserve(total);
+    for (const auto &part : local)
+        affected.insert(affected.end(), part.begin(), part.end());
     return affected;
 }
 

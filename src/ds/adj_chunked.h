@@ -20,6 +20,7 @@
 #include "perfmodel/trace.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
+#include "saga/partitioned_batch.h"
 #include "saga/types.h"
 
 namespace saga {
@@ -34,10 +35,10 @@ class AdjChunkedStore
     {}
 
     std::size_t numChunks() const { return num_chunks_; }
-    /** Hash-partitioned (plain modulo correlates with RMAT id structure). */
+    /** Chunk membership (shared mapping — see chunkOfNode). */
     NodeId chunkOf(NodeId v) const
     {
-        return static_cast<NodeId>(hashNode(v) % num_chunks_);
+        return static_cast<NodeId>(chunkOfNode(v, num_chunks_));
     }
 
     void
@@ -60,9 +61,12 @@ class AdjChunkedStore
     }
 
     /**
-     * Ingest a batch. Every worker scans the whole batch and processes
-     * only the edges whose source vertex lies in its chunk; ownership makes
-     * the inserts lock-free.
+     * Legacy full-scan ingest: every worker scans the whole batch and
+     * processes only the edges whose source vertex lies in a chunk it
+     * owns — O(batch × workers) total scanning. Kept as the pre-pipeline
+     * reference path (bench_ingest measures against it; direct-store
+     * tests use it); DynGraph routes through the PartitionedBatch
+     * overload below.
      */
     void
     updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
@@ -77,11 +81,42 @@ class AdjChunkedStore
             for (std::size_t i = 0; i < batch.size(); ++i) {
                 const Edge &e = batch[i];
                 const NodeId src = reversed ? e.dst : e.src;
-                if (chunkOf(src) % pool.size() != w)
+                if (ownerOf(chunkOf(src), num_chunks_, pool.size()) != w)
                     continue;
                 const NodeId dst = reversed ? e.src : e.dst;
                 if (insertOwned(src, dst, e.weight))
                     ++inserted;
+            }
+            inserted_per_worker[w] = inserted;
+        });
+        for (std::uint64_t n : inserted_per_worker)
+            num_edges_ += n;
+    }
+
+    /**
+     * Partitioned ingest: worker w iterates exactly the buckets of the
+     * chunks it owns — O(batch) total work with sequential, cache-friendly
+     * access. @p parts must be built with numChunks() chunks so bucket
+     * membership matches chunk ownership.
+     */
+    void
+    updateBatch(const PartitionedBatch &parts, ThreadPool &pool,
+                bool reversed)
+    {
+        const NodeId max_node = parts.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        std::vector<std::uint64_t> inserted_per_worker(pool.size(), 0);
+        pool.run([&](std::size_t w) {
+            std::uint64_t inserted = 0;
+            for (std::size_t c = 0; c < num_chunks_; ++c) {
+                if (ownerOf(c, num_chunks_, pool.size()) != w)
+                    continue;
+                for (const Edge &e : parts.bucket(c, reversed)) {
+                    if (insertOwned(e.src, e.dst, e.weight))
+                        ++inserted;
+                }
             }
             inserted_per_worker[w] = inserted;
         });

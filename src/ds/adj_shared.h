@@ -19,11 +19,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "ds/hash_util.h"
 #include "perfmodel/trace.h"
 #include "platform/parallel_for.h"
 #include "platform/spinlock.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
+#include "saga/partitioned_batch.h"
 #include "saga/types.h"
 
 namespace saga {
@@ -56,9 +58,13 @@ class AdjSharedStore
     }
 
     /**
-     * Ingest a batch: all workers share the edge range; per-vertex locks
-     * serialize same-source inserts. @p reversed swaps src/dst (used for
-     * the in-neighbor copy of directed graphs).
+     * Legacy interleaved ingest: all workers share the raw edge range;
+     * per-vertex locks serialize same-source inserts, and a hot source
+     * interleaved through the batch makes its lock (and row cache lines)
+     * bounce between workers. Kept as the pre-pipeline reference path;
+     * DynGraph routes through the PartitionedBatch overload below.
+     * @p reversed swaps src/dst (used for the in-neighbor copy of
+     * directed graphs).
      */
     void
     updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
@@ -72,6 +78,33 @@ class AdjSharedStore
             const NodeId src = reversed ? e.dst : e.src;
             const NodeId dst = reversed ? e.src : e.dst;
             insert(src, dst, e.weight);
+        });
+    }
+
+    /**
+     * Partitioned ingest: buckets are pre-sharded work ranges — all
+     * edges of a source land in one bucket, and a bucket has exactly one
+     * owning worker, so the per-vertex locks are never contended and a
+     * source's row stays in its owner's cache. The locks are still taken
+     * (an uncontended spinlock is two uncontended atomics) so the insert
+     * path keeps a single concurrency story.
+     */
+    void
+    updateBatch(const PartitionedBatch &parts, ThreadPool &pool,
+                bool reversed)
+    {
+        const NodeId max_node = parts.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        const std::size_t chunks = parts.numChunks();
+        pool.run([&](std::size_t w) {
+            for (std::size_t c = 0; c < chunks; ++c) {
+                if (ownerOf(c, chunks, pool.size()) != w)
+                    continue;
+                for (const Edge &e : parts.bucket(c, reversed))
+                    insert(e.src, e.dst, e.weight);
+            }
         });
     }
 

@@ -32,6 +32,7 @@
 #include "perfmodel/trace.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
+#include "saga/partitioned_batch.h"
 #include "saga/types.h"
 
 namespace saga {
@@ -335,10 +336,10 @@ class DahStore
 
     std::size_t numChunks() const { return num_chunks_; }
     const DahConfig &config() const { return config_; }
-    /** Hash-partitioned (plain modulo correlates with RMAT id structure). */
+    /** Chunk membership (shared mapping — see chunkOfNode). */
     NodeId chunkOf(NodeId v) const
     {
-        return static_cast<NodeId>(hashNode(v) % num_chunks_);
+        return static_cast<NodeId>(chunkOfNode(v, num_chunks_));
     }
 
     void
@@ -374,6 +375,11 @@ class DahStore
         return chunk.low.countKey(v);
     }
 
+    /**
+     * Legacy full-scan ingest (O(batch × workers) total scanning); kept
+     * as the pre-pipeline reference path. DynGraph routes through the
+     * PartitionedBatch overload below.
+     */
     void
     updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
     {
@@ -385,15 +391,42 @@ class DahStore
             for (std::size_t i = 0; i < batch.size(); ++i) {
                 const Edge &e = batch[i];
                 const NodeId src = reversed ? e.dst : e.src;
-                if (chunkOf(src) % pool.size() != w)
+                if (ownerOf(chunkOf(src), num_chunks_, pool.size()) != w)
                     continue;
                 const NodeId dst = reversed ? e.src : e.dst;
                 insertOwned(src, dst, e.weight);
             }
             // End-of-batch flush so traversal sees each vertex in exactly
             // one table.
-            for (std::size_t c = w; c < num_chunks_; c += pool.size())
+            for (std::size_t c = 0; c < num_chunks_; ++c) {
+                if (ownerOf(c, num_chunks_, pool.size()) == w)
+                    flushChunk(chunks_[c]);
+            }
+        });
+    }
+
+    /**
+     * Partitioned ingest: worker w consumes exactly the buckets of its
+     * owned chunks. @p parts must be built with numChunks() chunks.
+     */
+    void
+    updateBatch(const PartitionedBatch &parts, ThreadPool &pool,
+                bool reversed)
+    {
+        const NodeId max_node = parts.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        pool.run([&](std::size_t w) {
+            for (std::size_t c = 0; c < num_chunks_; ++c) {
+                if (ownerOf(c, num_chunks_, pool.size()) != w)
+                    continue;
+                for (const Edge &e : parts.bucket(c, reversed))
+                    insertOwned(e.src, e.dst, e.weight);
+                // End-of-batch flush so traversal sees each vertex in
+                // exactly one table.
                 flushChunk(chunks_[c]);
+            }
         });
     }
 

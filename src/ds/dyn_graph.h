@@ -21,6 +21,7 @@
 
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
+#include "saga/partitioned_batch.h"
 #include "saga/types.h"
 
 namespace saga {
@@ -35,6 +36,12 @@ namespace saga {
  *   std::uint32_t degree(NodeId v) const;
  *   void updateBatch(const EdgeBatch &, ThreadPool &, bool reversed);
  *   template <typename Fn> void forNeighbors(NodeId v, Fn &&) const;
+ *
+ * Stores may additionally accept
+ *   void updateBatch(const PartitionedBatch &, ThreadPool &, bool);
+ * in which case update() scatters the batch once (see PartitionedBatch)
+ * and feeds both orientations from the buckets; stores without the
+ * overload (Reference, CSR) fall back to the raw-batch path.
  */
 template <typename Store>
 class DynGraph
@@ -67,16 +74,33 @@ class DynGraph
      * Update phase: ingest a batch (deduplicating). For directed graphs
      * the reversed copy is ingested into the in-store; for undirected
      * graphs both orientations go into the single store.
+     *
+     * Stores with a PartitionedBatch overload get the scatter pipeline:
+     * one counting-sort pass builds both orientations' buckets (and
+     * maxNode), amortized over the two updateBatch consumers. The
+     * scatter scratch lives on the graph, so steady-state ingestion does
+     * not allocate.
      */
     void
     update(const EdgeBatch &batch, ThreadPool &pool)
     {
-        if (directed_) {
-            out_.updateBatch(batch, pool, /*reversed=*/false);
-            in_.updateBatch(batch, pool, /*reversed=*/true);
+        if constexpr (kPartitionedIngest) {
+            parts_.build(batch, pool, ingestChunks(pool));
+            if (directed_) {
+                out_.updateBatch(parts_, pool, /*reversed=*/false);
+                in_.updateBatch(parts_, pool, /*reversed=*/true);
+            } else {
+                out_.updateBatch(parts_, pool, /*reversed=*/false);
+                out_.updateBatch(parts_, pool, /*reversed=*/true);
+            }
         } else {
-            out_.updateBatch(batch, pool, /*reversed=*/false);
-            out_.updateBatch(batch, pool, /*reversed=*/true);
+            if (directed_) {
+                out_.updateBatch(batch, pool, /*reversed=*/false);
+                in_.updateBatch(batch, pool, /*reversed=*/true);
+            } else {
+                out_.updateBatch(batch, pool, /*reversed=*/false);
+                out_.updateBatch(batch, pool, /*reversed=*/true);
+            }
         }
     }
 
@@ -112,9 +136,28 @@ class DynGraph
     const Store &inStore() const { return directed_ ? in_ : out_; }
 
   private:
+    static constexpr bool kPartitionedIngest =
+        requires(Store &s, const PartitionedBatch &p, ThreadPool &pl) {
+            s.updateBatch(p, pl, false);
+        };
+
+    /**
+     * Bucket count for the scatter: chunked stores need their own chunk
+     * count (bucket == chunk); shared stores shard by worker.
+     */
+    std::size_t
+    ingestChunks(ThreadPool &pool) const
+    {
+        if constexpr (requires(const Store &s) { s.numChunks(); })
+            return out_.numChunks();
+        else
+            return pool.size();
+    }
+
     bool directed_;
     Store out_;
     Store in_; // unused when undirected
+    PartitionedBatch parts_; // reusable scatter scratch
 };
 
 } // namespace saga

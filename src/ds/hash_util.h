@@ -1,11 +1,13 @@
 /**
  * @file
- * Hashing primitives shared by the hash-based data structures.
+ * Hashing and partitioning primitives shared by the data structures and
+ * the batch-ingestion pipeline.
  */
 
 #ifndef SAGA_DS_HASH_UTIL_H_
 #define SAGA_DS_HASH_UTIL_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "saga/types.h"
@@ -36,6 +38,39 @@ inline std::uint64_t
 hashEdgeKey(NodeId src, NodeId dst)
 {
     return hashU64((static_cast<std::uint64_t>(src) << 32) | dst);
+}
+
+/**
+ * Chunk that vertex @p v belongs to when the vertex space is partitioned
+ * into @p num_chunks chunks. Hash-partitioned (plain modulo correlates
+ * with RMAT id structure). This is the single source of truth for chunk
+ * membership: the chunked stores (AC, DAH) and the PartitionedBatch
+ * scatter must agree on it, or the scatter would hand workers edges whose
+ * chunk they do not own.
+ */
+inline std::size_t
+chunkOfNode(NodeId v, std::size_t num_chunks)
+{
+    return static_cast<std::size_t>(hashNode(v) % num_chunks);
+}
+
+/**
+ * Worker that owns chunk @p chunk during a batch update with @p workers
+ * workers over @p num_chunks chunks.
+ *
+ * Contiguous block mapping: worker w owns chunks
+ * [ceil(w*C/W), ceil((w+1)*C/W)), balanced to within one chunk. This
+ * replaces the old `chunkOf(v) % workers` mapping, which idled high-id
+ * workers when chunks < workers (chunk ids never reached them) and
+ * aliased unevenly when chunks was not a multiple of workers (the
+ * double-modulo gave the low workers one extra chunk each). When
+ * chunks < workers some workers necessarily own nothing — ownership is
+ * exclusive — but every chunk still maps to a distinct worker.
+ */
+inline std::size_t
+ownerOf(std::size_t chunk, std::size_t num_chunks, std::size_t workers)
+{
+    return chunk * workers / num_chunks;
 }
 
 } // namespace saga

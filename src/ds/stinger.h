@@ -20,12 +20,14 @@
 #include <memory>
 #include <vector>
 
+#include "ds/hash_util.h"
 #include "perfmodel/trace.h"
 #include "platform/atomic_ops.h"
 #include "platform/parallel_for.h"
 #include "platform/spinlock.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
+#include "saga/partitioned_batch.h"
 #include "saga/types.h"
 
 namespace saga {
@@ -83,6 +85,12 @@ class StingerStore
         return headers_[v].degree.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Legacy interleaved ingest (shared raw edge range; hot vertices'
+     * insert locks and block lists bounce between workers). Kept as the
+     * pre-pipeline reference path; DynGraph routes through the
+     * PartitionedBatch overload below.
+     */
     void
     updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
     {
@@ -95,6 +103,33 @@ class StingerStore
             const NodeId src = reversed ? e.dst : e.src;
             const NodeId dst = reversed ? e.src : e.dst;
             insert(src, dst, e.weight);
+        });
+    }
+
+    /**
+     * Partitioned ingest: buckets act as pre-sharded work ranges — a
+     * source's edges are contiguous in one bucket with one owning
+     * worker, so its insert lock never contends and its block list stays
+     * in one cache. insert() keeps its full two-pass protocol (the store
+     * must remain correct for concurrent same-source writers, e.g. via
+     * the legacy path), it just stops paying contention here.
+     */
+    void
+    updateBatch(const PartitionedBatch &parts, ThreadPool &pool,
+                bool reversed)
+    {
+        const NodeId max_node = parts.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        const std::size_t chunks = parts.numChunks();
+        pool.run([&](std::size_t w) {
+            for (std::size_t c = 0; c < chunks; ++c) {
+                if (ownerOf(c, chunks, pool.size()) != w)
+                    continue;
+                for (const Edge &e : parts.bucket(c, reversed))
+                    insert(e.src, e.dst, e.weight);
+            }
         });
     }
 

@@ -3,6 +3,69 @@
 #include <cstdint>
 
 namespace saga {
+namespace {
+
+/**
+ * Spin budget before parking. The pause stage (~a microsecond of busy
+ * polling) covers back-to-back run() calls; the yield stage keeps an
+ * oversubscribed machine (more workers than cores — this container has
+ * one core) from burning a scheduling quantum before giving the core to
+ * whoever holds the work.
+ */
+constexpr int kPauseSpins = 2048;
+constexpr int kYieldSpins = 64;
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+}
+
+/**
+ * Spin until pred() holds or the budget runs out.
+ * @return true if pred() held.
+ */
+template <typename Pred>
+bool
+spinUntil(const Pred &pred)
+{
+    for (int spin = 0; spin < kPauseSpins; ++spin) {
+        if (pred())
+            return true;
+        cpuRelax();
+    }
+    for (int spin = 0; spin < kYieldSpins; ++spin) {
+        if (pred())
+            return true;
+        std::this_thread::yield();
+    }
+    return pred();
+}
+
+} // namespace
+
+/*
+ * Memory-order contract.
+ *
+ * Publication: run() stores task_/remaining_ plainly, then bumps
+ * generation_ (seq_cst RMW = release). A worker reads generation_ with at
+ * least acquire before touching task_, so the task pointer and counters
+ * are visible. Symmetrically, each worker's task-side writes happen
+ * before its seq_cst fetch_sub of remaining_, and run() reads
+ * remaining_ == 0 before returning, so the caller observes all task
+ * effects.
+ *
+ * Parking: both park sides use the Dekker pattern
+ *     sleeper:  W(flag)        seq_cst; R(state) seq_cst; park if stale
+ *     waker:    W(state)       seq_cst; R(flag)  seq_cst; notify if set
+ * With all four accesses seq_cst, at least one side sees the other's
+ * store, so a notification cannot fall between the sleeper's last check
+ * and its wait — the lost-wakeup window is closed without taking the
+ * mutex on the fast path. Notifiers do take the mutex, which pins the
+ * sleeper either before its predicate re-check or fully inside wait().
+ */
 
 ThreadPool::ThreadPool(std::size_t num_workers)
     : num_workers_(num_workers ? num_workers
@@ -16,9 +79,9 @@ ThreadPool::ThreadPool(std::size_t num_workers)
 
 ThreadPool::~ThreadPool()
 {
+    stop_.store(true, std::memory_order_seq_cst);
     {
         std::lock_guard<std::mutex> hold(mutex_);
-        stop_ = true;
     }
     wake_.notify_all();
     for (auto &thread : threads_)
@@ -33,19 +96,28 @@ ThreadPool::run(const std::function<void(std::size_t)> &task)
         return;
     }
 
-    {
+    task_ = &task;
+    remaining_.store(num_workers_ - 1, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) != 0) {
         std::lock_guard<std::mutex> hold(mutex_);
-        task_ = &task;
-        ++generation_;
-        remaining_ = num_workers_ - 1;
+        wake_.notify_all();
     }
-    wake_.notify_all();
 
     // The calling thread doubles as worker 0.
     task(0);
 
-    std::unique_lock<std::mutex> hold(mutex_);
-    done_.wait(hold, [this] { return remaining_ == 0; });
+    const auto finished = [this] {
+        return remaining_.load(std::memory_order_seq_cst) == 0;
+    };
+    if (!spinUntil(finished)) {
+        caller_parked_.store(true, std::memory_order_seq_cst);
+        {
+            std::unique_lock<std::mutex> hold(mutex_);
+            done_.wait(hold, finished);
+        }
+        caller_parked_.store(false, std::memory_order_relaxed);
+    }
     task_ = nullptr;
 }
 
@@ -54,27 +126,34 @@ ThreadPool::workerLoop(std::size_t id)
 {
     std::uint64_t seen_generation = 0;
     for (;;) {
-        const std::function<void(std::size_t)> *task;
-        {
-            std::unique_lock<std::mutex> hold(mutex_);
-            wake_.wait(hold, [&] {
-                return stop_ || generation_ != seen_generation;
-            });
-            if (stop_)
-                return;
-            seen_generation = generation_;
-            task = task_;
+        // Await the next generation (or stop): spin, then park.
+        const auto ready = [&] {
+            return generation_.load(std::memory_order_seq_cst) !=
+                       seen_generation ||
+                   stop_.load(std::memory_order_seq_cst);
+        };
+        if (!spinUntil(ready)) {
+            sleepers_.fetch_add(1, std::memory_order_seq_cst);
+            {
+                std::unique_lock<std::mutex> hold(mutex_);
+                wake_.wait(hold, ready);
+            }
+            sleepers_.fetch_sub(1, std::memory_order_relaxed);
         }
 
-        (*task)(id);
+        const std::uint64_t generation =
+            generation_.load(std::memory_order_seq_cst);
+        if (generation == seen_generation)
+            return; // stop_ with no new work
+        seen_generation = generation;
 
-        bool last;
-        {
+        (*task_)(id);
+
+        if (remaining_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+            caller_parked_.load(std::memory_order_seq_cst)) {
             std::lock_guard<std::mutex> hold(mutex_);
-            last = (--remaining_ == 0);
-        }
-        if (last)
             done_.notify_one();
+        }
     }
 }
 

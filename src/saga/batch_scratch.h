@@ -1,0 +1,73 @@
+/**
+ * @file
+ * BatchScratch — reusable per-runner scratch for per-batch vertex marking.
+ *
+ * The INC engine's affectedVertices() used to allocate (and zero) an O(V)
+ * `seen` array on every batch — pure harness overhead charged to the
+ * measured compute phase. BatchScratch keeps one epoch-stamped membership
+ * array alive across batches: "marked this batch" means stamp[v] ==
+ * current epoch, so starting a new batch is one counter bump instead of an
+ * O(V) clear or reallocation. The byte-sized stamp wraps every 255
+ * batches, at which point a single real fill keeps stale stamps from
+ * aliasing the fresh epoch (same idiom as the INC engine's visited
+ * bitvector).
+ */
+
+#ifndef SAGA_SAGA_BATCH_SCRATCH_H_
+#define SAGA_SAGA_BATCH_SCRATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "platform/atomic_ops.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Epoch-stamped "seen this batch" set over the vertex space. */
+class BatchScratch
+{
+  public:
+    /**
+     * Start a new batch over vertices [0, n): grows the stamp array if
+     * the graph grew and invalidates all previous marks in O(1)
+     * (amortized — one O(V) fill per 255 batches on stamp wrap).
+     */
+    void
+    beginBatch(NodeId n)
+    {
+        if (n > stamps_.size())
+            stamps_.resize(n, 0);
+        if (++epoch_ == 0) {
+            std::fill(stamps_.begin(), stamps_.end(), 0);
+            epoch_ = 1;
+        }
+    }
+
+    /** Vertex capacity covered by the current stamp array. */
+    NodeId numNodes() const { return static_cast<NodeId>(stamps_.size()); }
+
+    /**
+     * Claim @p v for this batch; thread-safe (CAS). @return true exactly
+     * once per (vertex, batch) across all workers.
+     */
+    bool
+    claim(NodeId v)
+    {
+        const std::uint8_t seen = atomicLoad(stamps_[v]);
+        return seen != epoch_ &&
+               atomicClaim<std::uint8_t>(stamps_[v], seen, epoch_);
+    }
+
+    /** True if @p v has been claimed this batch (single-threaded read). */
+    bool marked(NodeId v) const { return stamps_[v] == epoch_; }
+
+  private:
+    std::vector<std::uint8_t> stamps_;
+    std::uint8_t epoch_ = 0;
+};
+
+} // namespace saga
+
+#endif // SAGA_SAGA_BATCH_SCRATCH_H_

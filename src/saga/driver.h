@@ -16,6 +16,7 @@
 
 #include "algo/context.h"
 #include "algo/inc_engine.h"
+#include "saga/batch_scratch.h"
 #include "ds/dah.h"
 #include "ds/dyn_graph.h"
 #include "ds/stinger.h"
@@ -146,8 +147,8 @@ class Runner final : public StreamingRunner
         if (cfg_.model == ModelKind::FS) {
             Alg::computeFs(graph_, pool_, values_, ctx);
         } else {
-            const std::vector<NodeId> affected =
-                affectedVertices(batch, graph_.numNodes());
+            const std::vector<NodeId> affected = affectedVertices(
+                batch, graph_.numNodes(), scratch_, pool_);
             incCompute<Alg>(graph_, pool_, values_, affected, ctx);
         }
         return timer.seconds();
@@ -189,6 +190,7 @@ class Runner final : public StreamingRunner
     ThreadPool pool_;
     DynGraph<Store> graph_;
     std::vector<typename Alg::Value> values_;
+    BatchScratch scratch_; // reused across batches (no O(V) per-batch alloc)
 };
 
 } // namespace saga

@@ -32,10 +32,11 @@ class EdgeBatch
         std::erase_if(edges_, [](const Edge &e) {
             return e.src == kInvalidNode || e.dst == kInvalidNode;
         });
+        for (const Edge &e : edges_)
+            noteEdge(e);
     }
 
     const std::vector<Edge> &edges() const { return edges_; }
-    std::vector<Edge> &edges() { return edges_; }
     std::size_t size() const { return edges_.size(); }
     bool empty() const { return edges_.empty(); }
 
@@ -48,23 +49,28 @@ class EdgeBatch
         if (e.src == kInvalidNode || e.dst == kInvalidNode)
             return;
         edges_.push_back(e);
+        noteEdge(e);
     }
 
-    /** Largest vertex id referenced in this batch, or kInvalidNode if empty. */
-    NodeId
-    maxNode() const
-    {
-        NodeId max_node = kInvalidNode;
-        for (const Edge &e : edges_) {
-            const NodeId hi = std::max(e.src, e.dst);
-            if (max_node == kInvalidNode || hi > max_node)
-                max_node = hi;
-        }
-        return max_node;
-    }
+    /**
+     * Largest vertex id referenced in this batch, or kInvalidNode if
+     * empty. O(1): the value is maintained incrementally by the
+     * constructor and push_back, so the per-direction serial rescans the
+     * stores used to pay (once per updateBatch call) are gone.
+     */
+    NodeId maxNode() const { return max_node_; }
 
   private:
+    void
+    noteEdge(const Edge &e)
+    {
+        const NodeId hi = std::max(e.src, e.dst);
+        if (max_node_ == kInvalidNode || hi > max_node_)
+            max_node_ = hi;
+    }
+
     std::vector<Edge> edges_;
+    NodeId max_node_ = kInvalidNode;
 };
 
 } // namespace saga

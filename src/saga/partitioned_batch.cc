@@ -1,0 +1,100 @@
+#include "saga/partitioned_batch.h"
+
+#include <algorithm>
+
+#include "ds/hash_util.h"
+#include "perfmodel/trace.h"
+#include "platform/parallel_for.h"
+
+namespace saga {
+
+void
+PartitionedBatch::build(const EdgeBatch &batch, ThreadPool &pool,
+                        std::size_t num_chunks)
+{
+    num_chunks_ = num_chunks ? num_chunks : 1;
+    size_ = batch.size();
+    max_node_ = kInvalidNode;
+
+    const std::size_t workers = pool.size();
+    const std::size_t cells = workers * num_chunks_;
+
+    fwd_.resize(size_);
+    rev_.resize(size_);
+    fwd_offsets_.assign(num_chunks_ + 1, 0);
+    rev_offsets_.assign(num_chunks_ + 1, 0);
+    fwd_cursor_.assign(cells, 0);
+    rev_cursor_.assign(cells, 0);
+    worker_max_.assign(workers, 0);
+
+    if (size_ == 0)
+        return;
+
+    // Count pass: per-worker histograms over the worker's static slice
+    // (worker-major rows, so no two workers share a cache line), plus the
+    // per-worker max vertex id. parallelSlices is deterministic in
+    // (count, workers), so the place pass below sees identical slices.
+    parallelSlices(pool, 0, size_,
+                   [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+        std::uint64_t *fwd_row = fwd_cursor_.data() + w * num_chunks_;
+        std::uint64_t *rev_row = rev_cursor_.data() + w * num_chunks_;
+        NodeId max_node = 0;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            const Edge &e = batch[i];
+            perf::touch(&e, sizeof(Edge));
+            ++fwd_row[chunkOfNode(e.src, num_chunks_)];
+            ++rev_row[chunkOfNode(e.dst, num_chunks_)];
+            max_node = std::max(max_node, std::max(e.src, e.dst));
+        }
+        worker_max_[w] = max_node;
+    });
+
+    // Serial prefix sum (workers × chunks cells — tiny next to the
+    // batch): turns the histograms into write cursors laid out
+    // chunk-major, worker-minor, so each bucket is one contiguous run.
+    std::uint64_t fwd_total = 0, rev_total = 0;
+    for (std::size_t c = 0; c < num_chunks_; ++c) {
+        fwd_offsets_[c] = fwd_total;
+        rev_offsets_[c] = rev_total;
+        for (std::size_t w = 0; w < workers; ++w) {
+            std::uint64_t &fwd_cell = fwd_cursor_[w * num_chunks_ + c];
+            std::uint64_t &rev_cell = rev_cursor_[w * num_chunks_ + c];
+            const std::uint64_t fwd_count = fwd_cell;
+            const std::uint64_t rev_count = rev_cell;
+            fwd_cell = fwd_total;
+            rev_cell = rev_total;
+            fwd_total += fwd_count;
+            rev_total += rev_count;
+        }
+    }
+    fwd_offsets_[num_chunks_] = fwd_total;
+    rev_offsets_[num_chunks_] = rev_total;
+
+    // EdgeBatch rejects sentinel endpoints, so with at least one edge the
+    // plain-0-initialized per-worker maxima combine to a valid id.
+    max_node_ = 0;
+    for (NodeId m : worker_max_)
+        max_node_ = std::max(max_node_, m);
+
+    // Place pass: each worker re-reads its slice and scatters every edge
+    // into its reserved cursor positions — disjoint target slots, no
+    // synchronization. Reversed buckets store the edge pre-swapped so
+    // consumers treat both orientations uniformly (e.src owns the edge).
+    parallelSlices(pool, 0, size_,
+                   [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+        std::uint64_t *fwd_row = fwd_cursor_.data() + w * num_chunks_;
+        std::uint64_t *rev_row = rev_cursor_.data() + w * num_chunks_;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            const Edge &e = batch[i];
+            perf::touch(&e, sizeof(Edge));
+            Edge &fwd_slot = fwd_[fwd_row[chunkOfNode(e.src, num_chunks_)]++];
+            fwd_slot = e;
+            perf::touchWrite(&fwd_slot, sizeof(Edge));
+            Edge &rev_slot = rev_[rev_row[chunkOfNode(e.dst, num_chunks_)]++];
+            rev_slot = Edge{e.dst, e.src, e.weight};
+            perf::touchWrite(&rev_slot, sizeof(Edge));
+        }
+    });
+}
+
+} // namespace saga

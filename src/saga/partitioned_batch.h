@@ -1,0 +1,122 @@
+/**
+ * @file
+ * PartitionedBatch — the batch-ingestion pipeline's scatter stage.
+ *
+ * The original update paths made *every* worker scan the *entire* batch
+ * and discard the edges it did not own (chunked stores), or pull
+ * interleaved edges whose sources collide across workers (shared stores).
+ * That is O(batch × workers) total scanning and cache-hostile access.
+ *
+ * PartitionedBatch replaces it with one parallel counting-sort pass over
+ * the raw batch that scatters edges into per-chunk buckets for both
+ * orientations (forward, keyed by src, and reversed, keyed by dst with
+ * the endpoints pre-swapped), computes maxNode as a by-product, and
+ * exposes the buckets as contiguous span views. Store update paths then
+ * touch only the edges they own, sequentially:
+ *
+ *  - chunked stores (AC, DAH): worker w iterates exactly the buckets of
+ *    the chunks it owns — O(batch) total work, cache-friendly streams;
+ *  - shared stores (AS, Stinger): buckets act as pre-sharded work
+ *    ranges — edges with the same source land in the same bucket, so
+ *    per-vertex locks stop bouncing between workers.
+ *
+ * The object is reusable: build() recycles its internal buffers across
+ * batches, so steady-state ingestion does not allocate.
+ */
+
+#ifndef SAGA_SAGA_PARTITIONED_BATCH_H_
+#define SAGA_SAGA_PARTITIONED_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Per-chunk, per-orientation bucket views over one scattered batch. */
+class PartitionedBatch
+{
+  public:
+    /** Contiguous view over one bucket's edges. */
+    class EdgeSpan
+    {
+      public:
+        EdgeSpan(const Edge *first, const Edge *last)
+            : first_(first), last_(last)
+        {}
+
+        const Edge *begin() const { return first_; }
+        const Edge *end() const { return last_; }
+        std::size_t size() const
+        {
+            return static_cast<std::size_t>(last_ - first_);
+        }
+        bool empty() const { return first_ == last_; }
+
+      private:
+        const Edge *first_;
+        const Edge *last_;
+    };
+
+    PartitionedBatch() = default;
+
+    /**
+     * Scatter @p batch into @p num_chunks buckets per orientation using
+     * @p pool. Chunk membership is chunkOfNode(src, num_chunks) — the
+     * same mapping the chunked stores use — evaluated on the bucket-local
+     * source (the original src forward, the original dst reversed).
+     * Replaces any previous contents; buffers are reused.
+     */
+    void build(const EdgeBatch &batch, ThreadPool &pool,
+               std::size_t num_chunks);
+
+    std::size_t numChunks() const { return num_chunks_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Largest vertex id in the batch (kInvalidNode if empty), computed as
+     * a by-product of the scatter pass — no rescans.
+     */
+    NodeId maxNode() const { return max_node_; }
+
+    /**
+     * Bucket of chunk @p chunk. Reversed buckets hold edges with the
+     * endpoints already swapped: for every edge in bucket(c, r),
+     * chunkOfNode(e.src, numChunks()) == c.
+     */
+    EdgeSpan
+    bucket(std::size_t chunk, bool reversed) const
+    {
+        const std::vector<Edge> &edges = reversed ? rev_ : fwd_;
+        const std::vector<std::uint64_t> &offsets =
+            reversed ? rev_offsets_ : fwd_offsets_;
+        return EdgeSpan(edges.data() + offsets[chunk],
+                        edges.data() + offsets[chunk + 1]);
+    }
+
+  private:
+    std::size_t num_chunks_ = 0;
+    std::size_t size_ = 0;
+    NodeId max_node_ = kInvalidNode;
+
+    std::vector<Edge> fwd_;  // bucketed by chunkOfNode(src)
+    std::vector<Edge> rev_;  // endpoint-swapped, bucketed by new src
+    std::vector<std::uint64_t> fwd_offsets_; // num_chunks_ + 1
+    std::vector<std::uint64_t> rev_offsets_; // num_chunks_ + 1
+
+    // Scatter scratch: per-worker histograms / write cursors, both
+    // orientations, chunk-major so a chunk's per-worker runs are
+    // adjacent. Reused across builds.
+    std::vector<std::uint64_t> fwd_cursor_; // workers × num_chunks_
+    std::vector<std::uint64_t> rev_cursor_;
+    std::vector<NodeId> worker_max_;        // per-worker max vertex id
+};
+
+} // namespace saga
+
+#endif // SAGA_SAGA_PARTITIONED_BATCH_H_

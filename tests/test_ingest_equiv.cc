@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Ingestion-pipeline equivalence tests: the PartitionedBatch scatter path
+ * must produce byte-identical graph state (node/edge counts, degrees,
+ * sorted neighbor sets) to the old-style per-edge reference path, for all
+ * four stores × directed/undirected. Plus unit coverage for the scatter
+ * itself, the ownerOf chunk→worker mapping, the BatchScratch arena, and
+ * the EdgeBatch maxNode cache.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ds/adj_chunked.h"
+#include "ds/adj_shared.h"
+#include "ds/dah.h"
+#include "ds/dyn_graph.h"
+#include "ds/hash_util.h"
+#include "ds/reference.h"
+#include "ds/stinger.h"
+#include "algo/inc_engine.h"
+#include "platform/rng.h"
+#include "platform/thread_pool.h"
+#include "saga/batch_scratch.h"
+#include "saga/partitioned_batch.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+/** Build a DynGraph over @p Store with a representative configuration. */
+template <typename Store>
+DynGraph<Store>
+makeGraph(bool directed, std::size_t chunks)
+{
+    if constexpr (std::is_constructible_v<Store, std::size_t>) {
+        return DynGraph<Store>(directed, chunks); // AC, DAH, Stinger(block)
+    } else {
+        (void)chunks;
+        return DynGraph<Store>(directed); // AS, Reference
+    }
+}
+
+/** Hub-heavy batch: most edges touch one hot source and one hot sink. */
+EdgeBatch
+hubBatch(NodeId num_nodes, std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        NodeId src = static_cast<NodeId>(rng.below(num_nodes));
+        NodeId dst = static_cast<NodeId>(rng.below(num_nodes));
+        if (i % 3 == 0)
+            src = 7; // hot out-hub
+        if (i % 3 == 1)
+            dst = 11; // hot in-hub
+        const Weight weight =
+            static_cast<Weight>((src * 2654435761u + dst * 40503u) % 32 + 1);
+        edges.push_back({src, dst, weight});
+    }
+    return EdgeBatch(std::move(edges));
+}
+
+template <typename Store>
+class IngestEquivalenceTest : public ::testing::Test
+{
+  protected:
+    /**
+     * Stream @p batches through the partitioned DynGraph path and the
+     * ReferenceStore per-edge path, then compare full graph state.
+     */
+    void
+    expectEquivalent(const std::vector<EdgeBatch> &batches, bool directed,
+                     std::size_t chunks, std::size_t threads)
+    {
+        ThreadPool pool(threads);
+        DynGraph<Store> graph = makeGraph<Store>(directed, chunks);
+        DynGraph<ReferenceStore> oracle(directed);
+        for (const EdgeBatch &batch : batches) {
+            graph.update(batch, pool);
+            oracle.update(batch, pool);
+        }
+
+        ASSERT_EQ(graph.numNodes(), oracle.numNodes());
+        ASSERT_EQ(graph.numEdges(), oracle.numEdges());
+        for (NodeId v = 0; v < oracle.numNodes(); ++v) {
+            ASSERT_EQ(graph.outDegree(v), oracle.outDegree(v)) << "v=" << v;
+            ASSERT_EQ(graph.inDegree(v), oracle.inDegree(v)) << "v=" << v;
+            ASSERT_EQ(test::sortedOut(graph, v), test::sortedOut(oracle, v))
+                << "v=" << v;
+            ASSERT_EQ(test::sortedIn(graph, v), test::sortedIn(oracle, v))
+                << "v=" << v;
+        }
+    }
+
+    std::vector<EdgeBatch>
+    randomStream(int batches, NodeId num_nodes, std::size_t per_batch,
+                 std::uint64_t seed)
+    {
+        std::vector<EdgeBatch> stream;
+        for (int b = 0; b < batches; ++b)
+            stream.push_back(
+                test::randomBatch(num_nodes, per_batch, seed + b));
+        return stream;
+    }
+};
+
+using IngestStores = ::testing::Types<AdjSharedStore, AdjChunkedStore,
+                                      StingerStore, DahStore>;
+TYPED_TEST_SUITE(IngestEquivalenceTest, IngestStores);
+
+TYPED_TEST(IngestEquivalenceTest, RandomStreamDirected)
+{
+    this->expectEquivalent(this->randomStream(6, 700, 2500, 17),
+                           /*directed=*/true, /*chunks=*/4, /*threads=*/4);
+}
+
+TYPED_TEST(IngestEquivalenceTest, RandomStreamUndirected)
+{
+    this->expectEquivalent(this->randomStream(6, 700, 2500, 23),
+                           /*directed=*/false, /*chunks=*/4, /*threads=*/4);
+}
+
+TYPED_TEST(IngestEquivalenceTest, HubHeavyStream)
+{
+    std::vector<EdgeBatch> stream;
+    for (int b = 0; b < 4; ++b)
+        stream.push_back(hubBatch(400, 3000, 31 + b));
+    this->expectEquivalent(stream, /*directed=*/true, /*chunks=*/4,
+                           /*threads=*/4);
+    this->expectEquivalent(stream, /*directed=*/false, /*chunks=*/4,
+                           /*threads=*/4);
+}
+
+TYPED_TEST(IngestEquivalenceTest, MoreChunksThanWorkers)
+{
+    this->expectEquivalent(this->randomStream(3, 500, 2000, 41),
+                           /*directed=*/true, /*chunks=*/7, /*threads=*/3);
+}
+
+TYPED_TEST(IngestEquivalenceTest, FewerChunksThanWorkers)
+{
+    this->expectEquivalent(this->randomStream(3, 500, 2000, 47),
+                           /*directed=*/true, /*chunks=*/3, /*threads=*/6);
+}
+
+TYPED_TEST(IngestEquivalenceTest, SingleWorker)
+{
+    this->expectEquivalent(this->randomStream(3, 300, 1200, 53),
+                           /*directed=*/true, /*chunks=*/4, /*threads=*/1);
+}
+
+TYPED_TEST(IngestEquivalenceTest, EmptyAndTinyBatches)
+{
+    std::vector<EdgeBatch> stream;
+    stream.push_back(EdgeBatch());
+    stream.push_back(EdgeBatch({{0, 1, 1.0f}}));
+    stream.push_back(EdgeBatch());
+    stream.push_back(EdgeBatch({{1, 0, 2.0f}, {0, 1, 3.0f}}));
+    this->expectEquivalent(stream, /*directed=*/true, /*chunks=*/4,
+                           /*threads=*/4);
+}
+
+/** The partitioned store overload must match the legacy full-scan one. */
+TYPED_TEST(IngestEquivalenceTest, StoreOverloadsAgree)
+{
+    if constexpr (std::is_same_v<TypeParam, AdjChunkedStore> ||
+                  std::is_same_v<TypeParam, DahStore>) {
+        ThreadPool pool(4);
+        TypeParam legacy(5), partitioned(5);
+        PartitionedBatch parts;
+        for (int b = 0; b < 4; ++b) {
+            const EdgeBatch batch = test::randomBatch(300, 1500, 61 + b);
+            const bool reversed = b % 2 == 1;
+            legacy.updateBatch(batch, pool, reversed);
+            parts.build(batch, pool, legacy.numChunks());
+            partitioned.updateBatch(parts, pool, reversed);
+        }
+        ASSERT_EQ(legacy.numNodes(), partitioned.numNodes());
+        ASSERT_EQ(legacy.numEdges(), partitioned.numEdges());
+        for (NodeId v = 0; v < legacy.numNodes(); ++v) {
+            ASSERT_EQ(test::sortedNeighbors(legacy, v),
+                      test::sortedNeighbors(partitioned, v))
+                << "v=" << v;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedBatch unit tests.
+
+std::multiset<std::tuple<NodeId, NodeId, Weight>>
+edgeMultiset(const EdgeBatch &batch)
+{
+    std::multiset<std::tuple<NodeId, NodeId, Weight>> set;
+    for (const Edge &e : batch.edges())
+        set.insert({e.src, e.dst, e.weight});
+    return set;
+}
+
+TEST(PartitionedBatch, BucketsPartitionBothOrientations)
+{
+    ThreadPool pool(4);
+    const EdgeBatch batch = test::randomBatch(200, 5000, 71);
+    PartitionedBatch parts;
+    const std::size_t chunks = 5;
+    parts.build(batch, pool, chunks);
+
+    EXPECT_EQ(parts.numChunks(), chunks);
+    EXPECT_EQ(parts.size(), batch.size());
+    EXPECT_EQ(parts.maxNode(), batch.maxNode());
+
+    std::multiset<std::tuple<NodeId, NodeId, Weight>> fwd, rev;
+    std::size_t fwd_total = 0, rev_total = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        for (const Edge &e : parts.bucket(c, false)) {
+            EXPECT_EQ(chunkOfNode(e.src, chunks), c);
+            fwd.insert({e.src, e.dst, e.weight});
+            ++fwd_total;
+        }
+        for (const Edge &e : parts.bucket(c, true)) {
+            EXPECT_EQ(chunkOfNode(e.src, chunks), c);
+            rev.insert({e.dst, e.src, e.weight}); // un-swap for comparison
+            ++rev_total;
+        }
+    }
+    EXPECT_EQ(fwd_total, batch.size());
+    EXPECT_EQ(rev_total, batch.size());
+    const auto expected = edgeMultiset(batch);
+    EXPECT_EQ(fwd, expected);
+    EXPECT_EQ(rev, expected);
+}
+
+TEST(PartitionedBatch, ReusedAcrossBatchesIncludingShrink)
+{
+    ThreadPool pool(3);
+    PartitionedBatch parts;
+    parts.build(test::randomBatch(500, 4000, 73), pool, 4);
+    EXPECT_EQ(parts.size(), 4000u);
+
+    const EdgeBatch small = test::randomBatch(50, 60, 79);
+    parts.build(small, pool, 4);
+    EXPECT_EQ(parts.size(), 60u);
+    EXPECT_EQ(parts.maxNode(), small.maxNode());
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < 4; ++c)
+        total += parts.bucket(c, false).size();
+    EXPECT_EQ(total, 60u);
+}
+
+TEST(PartitionedBatch, EmptyBatch)
+{
+    ThreadPool pool(2);
+    PartitionedBatch parts;
+    parts.build(EdgeBatch(), pool, 3);
+    EXPECT_TRUE(parts.empty());
+    EXPECT_EQ(parts.maxNode(), kInvalidNode);
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_TRUE(parts.bucket(c, false).empty());
+        EXPECT_TRUE(parts.bucket(c, true).empty());
+    }
+}
+
+TEST(PartitionedBatch, SingleChunkHoldsEverything)
+{
+    ThreadPool pool(4);
+    const EdgeBatch batch = test::randomBatch(100, 1000, 83);
+    PartitionedBatch parts;
+    parts.build(batch, pool, 1);
+    EXPECT_EQ(parts.bucket(0, false).size(), batch.size());
+    EXPECT_EQ(parts.bucket(0, true).size(), batch.size());
+}
+
+// ---------------------------------------------------------------------------
+// ownerOf mapping properties.
+
+TEST(OwnerOf, EveryChunkHasExactlyOneInRangeOwner)
+{
+    for (std::size_t chunks : {1u, 2u, 3u, 5u, 8u, 13u, 64u}) {
+        for (std::size_t workers : {1u, 2u, 3u, 4u, 7u, 16u}) {
+            for (std::size_t c = 0; c < chunks; ++c)
+                EXPECT_LT(ownerOf(c, chunks, workers), workers)
+                    << "chunks=" << chunks << " workers=" << workers;
+        }
+    }
+}
+
+TEST(OwnerOf, BalancedWhenChunksAtLeastWorkers)
+{
+    for (std::size_t chunks : {4u, 5u, 8u, 13u, 64u}) {
+        for (std::size_t workers : {2u, 3u, 4u}) {
+            if (chunks < workers)
+                continue;
+            std::vector<std::size_t> owned(workers, 0);
+            for (std::size_t c = 0; c < chunks; ++c)
+                ++owned[ownerOf(c, chunks, workers)];
+            const auto [lo, hi] =
+                std::minmax_element(owned.begin(), owned.end());
+            EXPECT_GE(*lo, 1u) << "chunks=" << chunks
+                               << " workers=" << workers;
+            EXPECT_LE(*hi - *lo, 1u)
+                << "chunks=" << chunks << " workers=" << workers;
+        }
+    }
+}
+
+TEST(OwnerOf, DistinctOwnersWhenFewerChunksThanWorkers)
+{
+    // chunks < workers: idle workers are unavoidable (ownership is
+    // exclusive), but no two chunks may share a worker.
+    std::set<std::size_t> owners;
+    for (std::size_t c = 0; c < 3; ++c)
+        owners.insert(ownerOf(c, 3, 8));
+    EXPECT_EQ(owners.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// BatchScratch + parallel affectedVertices.
+
+std::set<NodeId>
+asSet(const std::vector<NodeId> &v)
+{
+    return std::set<NodeId>(v.begin(), v.end());
+}
+
+TEST(BatchScratch, ParallelAffectedMatchesSerial)
+{
+    ThreadPool pool(4);
+    BatchScratch scratch;
+    for (int b = 0; b < 10; ++b) {
+        const EdgeBatch batch = test::randomBatch(400, 3000, 89 + b);
+        const auto serial = affectedVertices(batch, 400);
+        const auto parallel = affectedVertices(batch, 400, scratch, pool);
+        EXPECT_EQ(asSet(parallel), asSet(serial)) << "batch " << b;
+        EXPECT_EQ(parallel.size(), serial.size()) << "batch " << b;
+    }
+}
+
+TEST(BatchScratch, OutOfRangeVerticesIgnored)
+{
+    ThreadPool pool(2);
+    BatchScratch scratch;
+    const EdgeBatch batch({{1, 9, 1.0f}, {2, 3, 1.0f}});
+    const auto affected = affectedVertices(batch, 5, scratch, pool);
+    EXPECT_EQ(asSet(affected), (std::set<NodeId>{1, 2, 3}));
+}
+
+TEST(BatchScratch, EpochWrapKeepsMarksFresh)
+{
+    // The uint8 epoch wraps every 255 batches; stale stamps must never
+    // leak into a fresh batch.
+    ThreadPool pool(2);
+    BatchScratch scratch;
+    const EdgeBatch batch({{0, 1, 1.0f}, {1, 2, 1.0f}});
+    for (int b = 0; b < 600; ++b) {
+        const auto affected = affectedVertices(batch, 3, scratch, pool);
+        ASSERT_EQ(asSet(affected), (std::set<NodeId>{0, 1, 2}))
+            << "batch " << b;
+    }
+}
+
+TEST(BatchScratch, GrowsWithGraph)
+{
+    ThreadPool pool(2);
+    BatchScratch scratch;
+    affectedVertices(EdgeBatch({{0, 1, 1.0f}}), 2, scratch, pool);
+    EXPECT_EQ(scratch.numNodes(), 2u);
+    const auto affected = affectedVertices(
+        EdgeBatch({{999, 5, 1.0f}}), 1000, scratch, pool);
+    EXPECT_EQ(scratch.numNodes(), 1000u);
+    EXPECT_EQ(asSet(affected), (std::set<NodeId>{5, 999}));
+}
+
+// ---------------------------------------------------------------------------
+// EdgeBatch maxNode cache.
+
+TEST(EdgeBatchMaxNode, MaintainedByPushBack)
+{
+    EdgeBatch batch;
+    EXPECT_EQ(batch.maxNode(), kInvalidNode);
+    batch.push_back({3, 1, 1.0f});
+    EXPECT_EQ(batch.maxNode(), 3u);
+    batch.push_back({2, 9, 1.0f});
+    EXPECT_EQ(batch.maxNode(), 9u);
+    batch.push_back({4, 5, 1.0f}); // below the current max
+    EXPECT_EQ(batch.maxNode(), 9u);
+    batch.push_back({kInvalidNode, 40, 1.0f}); // rejected sentinel edge
+    EXPECT_EQ(batch.maxNode(), 9u);
+    batch.push_back({40, 0, 1.0f});
+    EXPECT_EQ(batch.maxNode(), 40u);
+}
+
+TEST(EdgeBatchMaxNode, ConstructorSeedsCacheAfterSentinelFiltering)
+{
+    const EdgeBatch batch(
+        {{1, 2, 1.0f}, {kInvalidNode, 99, 1.0f}, {5, 3, 1.0f}});
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch.maxNode(), 5u);
+}
+
+} // namespace
+} // namespace saga

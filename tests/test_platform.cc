@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -76,6 +77,48 @@ TEST(ThreadPool, ReusableAcrossManyRuns)
     for (int i = 0; i < 200; ++i)
         pool.run([&](std::size_t) { total.fetch_add(1); });
     EXPECT_EQ(total.load(), 600);
+}
+
+TEST(ThreadPool, BarrierStressManyTinyRuns)
+{
+    // Hammer the spin-then-park wakeup/completion barrier with tasks far
+    // shorter than the spin budget: every run() must still dispatch each
+    // worker exactly once and the caller must never return early.
+    ThreadPool pool(4);
+    constexpr int kRuns = 20000;
+    std::vector<long> per_worker(pool.size(), 0);
+    for (int i = 0; i < kRuns; ++i)
+        pool.run([&](std::size_t w) { ++per_worker[w]; });
+    for (std::size_t w = 0; w < pool.size(); ++w)
+        EXPECT_EQ(per_worker[w], kRuns) << "worker " << w;
+}
+
+TEST(ThreadPool, BarrierParkPathAfterIdleGaps)
+{
+    // Sleep between run() calls so workers exhaust their spin budget and
+    // take the park/notify slow path; the next run() must wake them.
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int i = 0; i < 5; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        pool.run([&](std::size_t) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 15);
+}
+
+TEST(ThreadPool, CallerSeesAllTaskEffects)
+{
+    // Completion-barrier publication: plain (non-atomic) writes made by
+    // workers must be visible to the caller after run() returns.
+    ThreadPool pool(4);
+    std::vector<std::vector<int>> data(pool.size());
+    for (int i = 0; i < 500; ++i) {
+        pool.run([&](std::size_t w) { data[w].push_back(i); });
+        for (std::size_t w = 0; w < pool.size(); ++w) {
+            ASSERT_EQ(data[w].size(), static_cast<std::size_t>(i + 1));
+            ASSERT_EQ(data[w].back(), i);
+        }
+    }
 }
 
 TEST(ThreadPool, SingleWorkerRunsInline)
