@@ -11,6 +11,13 @@
  *    are recomputed; changes larger than the trigger threshold propagate
  *    iteration-by-iteration to neighbors via a CAS-guarded visited
  *    bitvector, until no vertex triggers.
+ *
+ * Concurrency contract: the values array and visited marks are plain
+ * storage shared across workers within a phase; every cross-thread access
+ * goes through the platform/atomic_ops.h helpers (atomicLoad/atomicStore/
+ * atomicClaim) — never raw loads or std::atomic_ref. saga_lint's
+ * kernel-atomics rule enforces this for all of src/algo/ and the pool
+ * barrier publishes each phase's results to the next.
  */
 
 #ifndef SAGA_ALGO_INC_ENGINE_H_

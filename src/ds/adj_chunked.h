@@ -8,6 +8,12 @@
  * exclusively owns chunk w (workers filter the shared batch for edges whose
  * source falls in their chunk), so no locks are needed. The intra-chunk
  * insert path is identical to AS (scan the vector, append if absent).
+ *
+ * Concurrency contract (machine-checked under Clang -Wthread-safety):
+ * insertOwned() requires the ChunkOwnership phantom capability — callers
+ * must declare via declareChunksOwned() that they are the worker the
+ * ownerOf() mapping assigned (or that the store is quiescent). See
+ * platform/chunk_ownership.h.
  */
 
 #ifndef SAGA_DS_ADJ_CHUNKED_H_
@@ -18,6 +24,8 @@
 
 #include "ds/hash_util.h"
 #include "perfmodel/trace.h"
+#include "platform/chunk_ownership.h"
+#include "platform/thread_annotations.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
@@ -77,6 +85,7 @@ class AdjChunkedStore
 
         std::vector<std::uint64_t> inserted_per_worker(pool.size(), 0);
         pool.run([&](std::size_t w) {
+            declareChunksOwned(); // worker w touches only chunks it owns
             std::uint64_t inserted = 0;
             for (std::size_t i = 0; i < batch.size(); ++i) {
                 const Edge &e = batch[i];
@@ -109,6 +118,7 @@ class AdjChunkedStore
 
         std::vector<std::uint64_t> inserted_per_worker(pool.size(), 0);
         pool.run([&](std::size_t w) {
+            declareChunksOwned(); // worker w iterates only owned buckets
             std::uint64_t inserted = 0;
             for (std::size_t c = 0; c < num_chunks_; ++c) {
                 if (ownerOf(c, num_chunks_, pool.size()) != w)
@@ -125,11 +135,21 @@ class AdjChunkedStore
     }
 
     /**
-     * Lock-free insert; caller must own the chunk containing @p src.
+     * Declare chunk ownership to the thread-safety analysis: the caller
+     * is the pool worker that ownerOf() assigned the chunks it is about
+     * to mutate, or the store is quiescent (single-threaded test/setup
+     * code). Compile-time only; emits no code.
+     */
+    void declareChunksOwned() const SAGA_ASSERT_CAPABILITY(ownership_) {}
+
+    /**
+     * Lock-free insert; caller must own the chunk containing @p src
+     * (declared via declareChunksOwned()).
      * @return true if a new edge was added.
      */
     bool
     insertOwned(NodeId src, NodeId dst, Weight weight)
+        SAGA_REQUIRES(ownership_)
     {
         perf::ops(1);
         std::vector<Neighbor> &row = rows_[src];
@@ -162,6 +182,7 @@ class AdjChunkedStore
     NodeId num_nodes_ = 0;
     std::vector<std::vector<Neighbor>> rows_;
     std::uint64_t num_edges_ = 0;
+    ChunkOwnership ownership_;
 };
 
 } // namespace saga

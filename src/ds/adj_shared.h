@@ -2,14 +2,21 @@
  * @file
  * AS — adjacency list with shared-style multithreading (paper III-A1).
  *
- * An array of vectors, one vector of (neighbor, weight) entries per source
- * vertex, plus one spinlock per source vertex. Every worker pulls edges from
- * the shared batch; to ingest an edge a worker (1) locks the source vertex's
- * vector, (2) scans it for the target (edges are ingested uniquely), and
- * (3) appends if absent. The whole vector is locked, so there is no
+ * An array of rows, one vector of (neighbor, weight) entries plus one
+ * spinlock per source vertex. Every worker pulls edges from the shared
+ * batch; to ingest an edge a worker (1) locks the source vertex's row,
+ * (2) scans it for the target (edges are ingested uniquely), and
+ * (3) appends if absent. The whole row is locked, so there is no
  * intra-vertex parallelism — the behaviour the paper shows melting down on
  * heavy-tailed batches — but updates to different vertices proceed in
  * parallel.
+ *
+ * Concurrency contract (machine-checked under Clang -Wthread-safety):
+ * Row::data is SAGA_GUARDED_BY(Row::lock) — every update-phase access
+ * goes through insert(), which holds the row's lock. Compute-phase reads
+ * (degree / forNeighbors) are lock-free by design: the pool barrier ends
+ * the update phase before any compute phase starts, so they go through
+ * Row::quiescent(), the annotated phase-separation escape hatch.
  */
 
 #ifndef SAGA_DS_ADJ_SHARED_H_
@@ -23,6 +30,7 @@
 #include "perfmodel/trace.h"
 #include "platform/parallel_for.h"
 #include "platform/spinlock.h"
+#include "platform/thread_annotations.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
@@ -38,23 +46,24 @@ class AdjSharedStore
     void
     ensureNodes(NodeId n)
     {
-        if (n > rows_.size()) {
+        if (n > rows_.size())
             rows_.resize(n);
-            locks_.resize(n);
-        }
     }
 
     NodeId numNodes() const { return static_cast<NodeId>(rows_.size()); }
     std::uint64_t numEdges() const
     {
+        // relaxed: monotonic counter; readers only need an eventual value
+        // (exact counts are read after the pool barrier).
         return num_edges_.load(std::memory_order_relaxed);
     }
 
     std::uint32_t
     degree(NodeId v) const
     {
-        perf::touch(&rows_[v], sizeof(rows_[v]));
-        return static_cast<std::uint32_t>(rows_[v].size());
+        const std::vector<Neighbor> &row = rows_[v].quiescent();
+        perf::touch(&row, sizeof(row));
+        return static_cast<std::uint32_t>(row.size());
     }
 
     /**
@@ -118,9 +127,9 @@ class AdjSharedStore
     insert(NodeId src, NodeId dst, Weight weight)
     {
         perf::ops(1);
-        SpinGuard hold(locks_[src]);
-        std::vector<Neighbor> &row = rows_[src];
-        for (Neighbor &nbr : row) {
+        Row &row = rows_[src];
+        SpinGuard hold(row.lock);
+        for (Neighbor &nbr : row.data) {
             perf::touch(&nbr, sizeof(nbr));
             if (nbr.node == dst) {
                 if (weight < nbr.weight)
@@ -128,8 +137,9 @@ class AdjSharedStore
                 return;
             }
         }
-        row.push_back({dst, weight});
-        perf::touchWrite(&row.back(), sizeof(Neighbor));
+        row.data.push_back({dst, weight});
+        perf::touchWrite(&row.data.back(), sizeof(Neighbor));
+        // relaxed: monotonic counter increment; never read mid-phase.
         num_edges_.fetch_add(1, std::memory_order_relaxed);
     }
 
@@ -138,15 +148,43 @@ class AdjSharedStore
     void
     forNeighbors(NodeId v, Fn &&fn) const
     {
-        for (const Neighbor &nbr : rows_[v]) {
+        for (const Neighbor &nbr : rows_[v].quiescent()) {
             perf::touch(&nbr, sizeof(nbr));
             fn(nbr);
         }
     }
 
   private:
-    std::vector<std::vector<Neighbor>> rows_;
-    std::vector<SpinLock> locks_;
+    /** One vertex's adjacency row together with the lock guarding it. */
+    struct Row
+    {
+        SpinLock lock;
+        std::vector<Neighbor> data SAGA_GUARDED_BY(lock);
+
+        Row() = default;
+        // Safe without holding other.lock: rows only relocate during
+        // ensureNodes(), which runs strictly before the parallel region
+        // (quiescent state — every lock is free; SpinLock's copy-ctor
+        // asserts that in debug builds).
+        Row(const Row &other) SAGA_NO_THREAD_SAFETY_ANALYSIS
+            : lock(other.lock), data(other.data)
+        {}
+        Row &operator=(const Row &) = delete;
+
+        /**
+         * Phase-separated read access. Safe without holding lock: the
+         * compute phase starts only after the update phase's pool
+         * barrier, so no writer is live and the barrier publishes all
+         * row contents.
+         */
+        const std::vector<Neighbor> &
+        quiescent() const SAGA_NO_THREAD_SAFETY_ANALYSIS
+        {
+            return data;
+        }
+    };
+
+    std::vector<Row> rows_;
     std::atomic<std::uint64_t> num_edges_{0};
 };
 

@@ -19,6 +19,12 @@
  *
  * Multithreading is chunked like AC: worker w exclusively owns chunk w, so
  * all per-chunk state is lock-free.
+ *
+ * Concurrency contract (machine-checked under Clang -Wthread-safety):
+ * insertOwned() and flushChunk() require the ChunkOwnership phantom
+ * capability — callers must declare via declareChunksOwned() that they
+ * are the worker the ownerOf() mapping assigned (or that the store is
+ * quiescent). See platform/chunk_ownership.h.
  */
 
 #ifndef SAGA_DS_DAH_H_
@@ -30,6 +36,8 @@
 
 #include "ds/hash_util.h"
 #include "perfmodel/trace.h"
+#include "platform/chunk_ownership.h"
+#include "platform/thread_annotations.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
@@ -202,6 +210,10 @@ class RobinHoodEdgeTable
 
     static constexpr std::size_t kInitialCapacity = 1024;
     static constexpr std::int16_t kMaxProbe = 30000;
+    // home()/next() index with `& (capacity - 1)`; rehash() only ever
+    // doubles, so power-of-two at the seed keeps the mask valid forever.
+    static_assert((kInitialCapacity & (kInitialCapacity - 1)) == 0,
+                  "Robin-Hood table capacity must be a power of two");
 
     std::size_t home(NodeId src) const
     {
@@ -249,7 +261,11 @@ class HighDegreeTable
   public:
     explicit HighDegreeTable(std::size_t initial_capacity = 32)
     {
-        std::size_t cap = 16;
+        // Doubling from a power-of-two seed keeps capacity a power of
+        // two, which the `& (capacity - 1)` probe masks rely on.
+        static_assert((kMinCapacity & (kMinCapacity - 1)) == 0,
+                      "high-degree table capacity must be a power of two");
+        std::size_t cap = kMinCapacity;
         while (cap < initial_capacity * 2)
             cap *= 2;
         slots_.assign(cap, Neighbor{kInvalidNode, 0});
@@ -309,6 +325,8 @@ class HighDegreeTable
     }
 
   private:
+    static constexpr std::size_t kMinCapacity = 16;
+
     void
     grow()
     {
@@ -388,6 +406,7 @@ class DahStore
             ensureNodes(max_node + 1);
 
         pool.run([&](std::size_t w) {
+            declareChunksOwned(); // worker w touches only chunks it owns
             for (std::size_t i = 0; i < batch.size(); ++i) {
                 const Edge &e = batch[i];
                 const NodeId src = reversed ? e.dst : e.src;
@@ -418,6 +437,7 @@ class DahStore
             ensureNodes(max_node + 1);
 
         pool.run([&](std::size_t w) {
+            declareChunksOwned(); // worker w iterates only owned buckets
             for (std::size_t c = 0; c < num_chunks_; ++c) {
                 if (ownerOf(c, num_chunks_, pool.size()) != w)
                     continue;
@@ -430,9 +450,21 @@ class DahStore
         });
     }
 
-    /** Lock-free insert; caller must own the chunk containing @p src. */
+    /**
+     * Declare chunk ownership to the thread-safety analysis: the caller
+     * is the pool worker that ownerOf() assigned the chunks it is about
+     * to mutate, or the store is quiescent (single-threaded test/setup
+     * code). Compile-time only; emits no code.
+     */
+    void declareChunksOwned() const SAGA_ASSERT_CAPABILITY(ownership_) {}
+
+    /**
+     * Lock-free insert; caller must own the chunk containing @p src
+     * (declared via declareChunksOwned()).
+     */
     void
     insertOwned(NodeId src, NodeId dst, Weight weight)
+        SAGA_REQUIRES(ownership_)
     {
         perf::ops(1);
         Chunk &chunk = chunks_[chunkOf(src)];
@@ -511,7 +543,14 @@ class DahStore
         std::uint32_t insertsSinceFlush = 0;
         std::uint64_t numEdges = 0;
 
-        Chunk() : highIndex(64, 0) {}
+        // findHigh()/indexInsert() index with `& (size - 1)`; growIndex()
+        // only doubles, so the power-of-two seed keeps the mask valid.
+        static constexpr std::size_t kInitialIndexCapacity = 64;
+        static_assert(
+            (kInitialIndexCapacity & (kInitialIndexCapacity - 1)) == 0,
+            "high-degree directory capacity must be a power of two");
+
+        Chunk() : highIndex(kInitialIndexCapacity, 0) {}
 
         HighDegreeTable *
         findHigh(NodeId v)
@@ -567,7 +606,7 @@ class DahStore
 
     /** Migrate pending vertices from the low to the high-degree table. */
     void
-    flushChunk(Chunk &chunk)
+    flushChunk(Chunk &chunk) SAGA_REQUIRES(ownership_)
     {
         chunk.insertsSinceFlush = 0;
         for (NodeId v : chunk.pending) {
@@ -587,6 +626,7 @@ class DahStore
     DahConfig config_;
     NodeId num_nodes_ = 0;
     std::vector<Chunk> chunks_;
+    ChunkOwnership ownership_;
 };
 
 } // namespace saga

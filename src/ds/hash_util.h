@@ -15,7 +15,7 @@
 namespace saga {
 
 /** splitmix64 finalizer — fast, well-mixed 64-bit hash. */
-inline std::uint64_t
+constexpr std::uint64_t
 hashU64(std::uint64_t x)
 {
     x ^= x >> 30;
@@ -27,18 +27,26 @@ hashU64(std::uint64_t x)
 }
 
 /** Hash of a vertex id. */
-inline std::uint64_t
+constexpr std::uint64_t
 hashNode(NodeId v)
 {
     return hashU64(v);
 }
 
 /** Hash of a (src, dst) pair. */
-inline std::uint64_t
+constexpr std::uint64_t
 hashEdgeKey(NodeId src, NodeId dst)
 {
     return hashU64((static_cast<std::uint64_t>(src) << 32) | dst);
 }
+
+// The finalizer must be a bijection (no two vertex ids may be forced to
+// collide before the modulo); spot-check that it is not degenerate and
+// that distinct nearby ids separate.
+static_assert(hashU64(0) != hashU64(1) && hashU64(1) != hashU64(2),
+              "splitmix64 finalizer is degenerate");
+static_assert(hashEdgeKey(1, 2) != hashEdgeKey(2, 1),
+              "edge key must distinguish direction");
 
 /**
  * Chunk that vertex @p v belongs to when the vertex space is partitioned
@@ -48,7 +56,7 @@ hashEdgeKey(NodeId src, NodeId dst)
  * scatter must agree on it, or the scatter would hand workers edges whose
  * chunk they do not own.
  */
-inline std::size_t
+constexpr std::size_t
 chunkOfNode(NodeId v, std::size_t num_chunks)
 {
     return static_cast<std::size_t>(hashNode(v) % num_chunks);
@@ -67,11 +75,68 @@ chunkOfNode(NodeId v, std::size_t num_chunks)
  * chunks < workers some workers necessarily own nothing — ownership is
  * exclusive — but every chunk still maps to a distinct worker.
  */
-inline std::size_t
+constexpr std::size_t
 ownerOf(std::size_t chunk, std::size_t num_chunks, std::size_t workers)
 {
     return chunk * workers / num_chunks;
 }
+
+namespace detail {
+
+/** ownerOf() stays in [0, workers) for every chunk of every layout. */
+constexpr bool
+ownerRangeValid(std::size_t num_chunks, std::size_t workers)
+{
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+        if (ownerOf(c, num_chunks, workers) >= workers)
+            return false;
+    }
+    return true;
+}
+
+/** Every worker w <= chunks gets at least one chunk (no idle workers). */
+constexpr bool
+ownerCoversWorkers(std::size_t num_chunks, std::size_t workers)
+{
+    for (std::size_t w = 0; w < workers; ++w) {
+        bool owns = false;
+        for (std::size_t c = 0; c < num_chunks; ++c)
+            owns = owns || (ownerOf(c, num_chunks, workers) == w);
+        if (!owns)
+            return false;
+    }
+    return true;
+}
+
+/** chunkOfNode() stays in [0, num_chunks) for a sample of vertex ids. */
+constexpr bool
+chunkRangeValid(std::size_t num_chunks)
+{
+    for (NodeId v = 0; v < 64; ++v) {
+        if (chunkOfNode(v, num_chunks) >= num_chunks)
+            return false;
+    }
+    return true;
+}
+
+// Compile-time checks of the partitioning contract over representative
+// layouts: even split, chunks not a multiple of workers (the case the old
+// double-modulo mapping got wrong), oversubscription, and 1-worker.
+static_assert(ownerRangeValid(8, 8) && ownerRangeValid(7, 3) &&
+                  ownerRangeValid(64, 12) && ownerRangeValid(5, 1),
+              "ownerOf must map every chunk to a real worker");
+static_assert(ownerCoversWorkers(8, 8) && ownerCoversWorkers(7, 3) &&
+                  ownerCoversWorkers(64, 12) && ownerCoversWorkers(5, 5),
+              "ownerOf must not idle workers when chunks >= workers");
+static_assert(chunkRangeValid(1) && chunkRangeValid(3) &&
+                  chunkRangeValid(8),
+              "chunkOfNode must stay inside the chunk space");
+// Monotone block mapping: chunk 0 belongs to worker 0 and the last chunk
+// to the last worker whenever workers <= chunks.
+static_assert(ownerOf(0, 8, 4) == 0 && ownerOf(7, 8, 4) == 3,
+              "ownerOf block mapping must span the worker range");
+
+} // namespace detail
 
 } // namespace saga
 

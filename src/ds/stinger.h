@@ -10,6 +10,15 @@
  * edge is absent a second pass finds an empty slot. The second pass holds
  * the vertex's insert lock — the fine-grained trade-off that lets searches
  * for a hot vertex proceed in parallel with at most one writer.
+ *
+ * Concurrency contract (machine-checked under Clang -Wthread-safety):
+ * all *mutation* of a vertex's block chain (count/next/first stores,
+ * entry writes) happens in appendLocked()/finishInsert(), which are
+ * SAGA_REQUIRES(header.insertLock). The chain links and counts are
+ * atomics so the lock-free search pass may read them concurrently;
+ * release-stores under the lock publish entries to acquire-loads in the
+ * searchers (that part of the contract is the acquire/release pairing,
+ * which TSan — not TSA — checks).
  */
 
 #ifndef SAGA_DS_STINGER_H_
@@ -25,6 +34,7 @@
 #include "platform/atomic_ops.h"
 #include "platform/parallel_for.h"
 #include "platform/spinlock.h"
+#include "platform/thread_annotations.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
@@ -38,6 +48,9 @@ class StingerStore
   public:
     /** Edges per block; 16 matches the paper's implementation. */
     static constexpr std::uint32_t kBlockCapacity = 16;
+    static_assert(kBlockCapacity == 16,
+                  "paper III-A3 characterizes Stinger with 16-edge blocks; "
+                  "use the StingerStore(block_capacity) ctor for ablations");
 
     StingerStore() = default;
     explicit StingerStore(std::uint32_t block_capacity)
@@ -53,15 +66,20 @@ class StingerStore
     clear()
     {
         for (Header &h : headers_) {
+            // relaxed: teardown/reset is single-threaded by contract
+            // (no concurrent updates), so no ordering is needed.
             EdgeBlock *block = h.first.load(std::memory_order_relaxed);
             while (block) {
+                // relaxed: same single-threaded teardown walk.
                 EdgeBlock *next = block->next.load(std::memory_order_relaxed);
-                destroyBlock(block);
+                delete block;
                 block = next;
             }
+            // relaxed: same single-threaded teardown walk.
             h.first.store(nullptr, std::memory_order_relaxed);
         }
         headers_.clear();
+        // relaxed: single-threaded reset of a monotonic counter.
         num_edges_.store(0, std::memory_order_relaxed);
     }
 
@@ -75,6 +93,8 @@ class StingerStore
     NodeId numNodes() const { return static_cast<NodeId>(headers_.size()); }
     std::uint64_t numEdges() const
     {
+        // relaxed: monotonic counter; exact values are read after the
+        // pool barrier.
         return num_edges_.load(std::memory_order_relaxed);
     }
 
@@ -82,6 +102,8 @@ class StingerStore
     degree(NodeId v) const
     {
         perf::touch(&headers_[v], sizeof(Header));
+        // relaxed: degree is advisory during a batch; the pool barrier
+        // publishes the final value before compute phases read it.
         return headers_[v].degree.load(std::memory_order_relaxed);
     }
 
@@ -177,7 +199,86 @@ class StingerStore
         }
 
         SpinGuard hold(header.insertLock);
+        appendLocked(header, dst, weight, tail0, count0);
+    }
 
+    /** Visit every neighbor of @p v: fn(const Neighbor &). */
+    template <typename Fn>
+    void
+    forNeighbors(NodeId v, Fn &&fn) const
+    {
+        const EdgeBlock *block =
+            headers_[v].first.load(std::memory_order_acquire);
+        while (block) {
+            perf::touch(block, 16); // block header / pointer chase
+            const std::uint32_t count =
+                block->count.load(std::memory_order_acquire);
+            for (std::uint32_t slot = 0; slot < count; ++slot) {
+                perf::touch(&block->entries[slot], sizeof(Neighbor));
+                fn(block->entries[slot]);
+            }
+            block = block->next.load(std::memory_order_acquire);
+        }
+    }
+
+    std::uint32_t blockCapacity() const { return block_capacity_; }
+
+  private:
+    struct EdgeBlock
+    {
+        std::atomic<std::uint32_t> count{0};
+        std::atomic<EdgeBlock *> next{nullptr};
+        std::unique_ptr<Neighbor[]> entries; // block_capacity_ entries
+    };
+
+    struct Header
+    {
+        std::atomic<std::uint32_t> degree{0};
+        std::atomic<EdgeBlock *> first{nullptr};
+        SpinLock insertLock;
+
+        Header() = default;
+        // Headers only move while the structure is quiescent (resize
+        // happens before the parallel region).
+        // relaxed: quiescent-state relocation; nothing concurrent to
+        // order against (and insertLock is free, per SpinLock's copy).
+        Header(const Header &other)
+            : degree(other.degree.load(std::memory_order_relaxed)),
+              // relaxed: quiescent-state relocation, as above.
+              first(other.first.load(std::memory_order_relaxed))
+        {}
+        Header &
+        operator=(const Header &other)
+        {
+            // relaxed: quiescent-state relocation, as above.
+            degree.store(other.degree.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+            // relaxed: quiescent-state relocation, as above.
+            first.store(other.first.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+            return *this;
+        }
+    };
+
+    EdgeBlock *
+    makeBlock()
+    {
+        auto *block = new EdgeBlock;
+        block->entries = std::make_unique<Neighbor[]>(block_capacity_);
+        return block;
+    }
+
+    /**
+     * The serialized half of insert(): re-check entries appended since
+     * the lock-free snapshot (@p tail0 / @p count0), then append into the
+     * first block with space (or a fresh block). Every store to the
+     * chain happens here, under @p header's insert lock.
+     */
+    void
+    appendLocked(Header &header, NodeId dst, Weight weight,
+                 EdgeBlock *tail0, std::uint32_t count0)
+        SAGA_REQUIRES(header.insertLock)
+    {
         // Re-check only entries appended since the snapshot.
         {
             EdgeBlock *block =
@@ -236,74 +337,6 @@ class StingerStore
         finishInsert(header);
     }
 
-    /** Visit every neighbor of @p v: fn(const Neighbor &). */
-    template <typename Fn>
-    void
-    forNeighbors(NodeId v, Fn &&fn) const
-    {
-        const EdgeBlock *block =
-            headers_[v].first.load(std::memory_order_acquire);
-        while (block) {
-            perf::touch(block, 16); // block header / pointer chase
-            const std::uint32_t count =
-                block->count.load(std::memory_order_acquire);
-            for (std::uint32_t slot = 0; slot < count; ++slot) {
-                perf::touch(&block->entries[slot], sizeof(Neighbor));
-                fn(block->entries[slot]);
-            }
-            block = block->next.load(std::memory_order_acquire);
-        }
-    }
-
-    std::uint32_t blockCapacity() const { return block_capacity_; }
-
-  private:
-    struct EdgeBlock
-    {
-        std::atomic<std::uint32_t> count{0};
-        std::atomic<EdgeBlock *> next{nullptr};
-        Neighbor *entries = nullptr; // block_capacity_ entries
-    };
-
-    struct Header
-    {
-        std::atomic<std::uint32_t> degree{0};
-        std::atomic<EdgeBlock *> first{nullptr};
-        SpinLock insertLock;
-
-        Header() = default;
-        // Headers only move while the structure is quiescent (resize
-        // happens before the parallel region).
-        Header(const Header &other)
-            : degree(other.degree.load(std::memory_order_relaxed)),
-              first(other.first.load(std::memory_order_relaxed))
-        {}
-        Header &
-        operator=(const Header &other)
-        {
-            degree.store(other.degree.load(std::memory_order_relaxed),
-                         std::memory_order_relaxed);
-            first.store(other.first.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
-            return *this;
-        }
-    };
-
-    EdgeBlock *
-    makeBlock()
-    {
-        auto *block = new EdgeBlock;
-        block->entries = new Neighbor[block_capacity_];
-        return block;
-    }
-
-    static void
-    destroyBlock(EdgeBlock *block)
-    {
-        delete[] block->entries;
-        delete block;
-    }
-
     bool
     findEdge(const Header &header, NodeId dst) const
     {
@@ -323,9 +356,13 @@ class StingerStore
     }
 
     void
-    finishInsert(Header &header)
+    finishInsert(Header &header) SAGA_REQUIRES(header.insertLock)
     {
+        // relaxed: monotonic counters; readers (degree/numEdges) accept
+        // any momentary value and the pool barrier publishes the final
+        // one.
         header.degree.fetch_add(1, std::memory_order_relaxed);
+        // relaxed: same monotonic-counter rationale as degree above.
         num_edges_.fetch_add(1, std::memory_order_relaxed);
     }
 

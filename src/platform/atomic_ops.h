@@ -23,6 +23,8 @@ namespace saga {
 template <typename T>
 T
 atomicLoad(const T &slot,
+           // relaxed: default for intra-phase value reads — the pool
+           // barrier, not the load, publishes cross-phase results.
            std::memory_order order = std::memory_order_relaxed)
 {
     // atomic_ref<const T> arrives in C++26; the cast is safe because the
@@ -38,6 +40,8 @@ atomicLoad(const T &slot,
 template <typename T>
 void
 atomicStore(T &slot, T value,
+            // relaxed: default for intra-phase value writes — the pool
+            // barrier publishes them to the next phase.
             std::memory_order order = std::memory_order_relaxed)
 {
     std::atomic_ref<T> ref(slot);
@@ -53,8 +57,11 @@ bool
 atomicFetchMin(T &slot, T value)
 {
     std::atomic_ref<T> ref(slot);
+    // relaxed: monotone min over a single slot; the kernels only need
+    // atomicity, and the pool barrier publishes the converged value.
     T current = ref.load(std::memory_order_relaxed);
     while (value < current) {
+        // relaxed: see monotone-min rationale above.
         if (ref.compare_exchange_weak(current, value,
                                       std::memory_order_relaxed))
             return true;
@@ -71,8 +78,10 @@ bool
 atomicFetchMax(T &slot, T value)
 {
     std::atomic_ref<T> ref(slot);
+    // relaxed: monotone max over a single slot, as atomicFetchMin.
     T current = ref.load(std::memory_order_relaxed);
     while (value > current) {
+        // relaxed: see monotone-max rationale above.
         if (ref.compare_exchange_weak(current, value,
                                       std::memory_order_relaxed))
             return true;
@@ -86,6 +95,8 @@ bool
 atomicClaim(T &slot, T expected, T desired)
 {
     std::atomic_ref<T> ref(slot);
+    // relaxed: claim flags carry no payload; winners only need the CAS
+    // to be atomic, and the pool barrier orders the phase's results.
     return ref.compare_exchange_strong(expected, desired,
                                        std::memory_order_relaxed);
 }

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Phantom capability for the chunked-ownership stores (AC, DAH).
+ *
+ * The chunked multithreading style has no locks to annotate: worker w
+ * exclusively owns chunk w during a batch, and everything per-chunk is
+ * lock-free single-writer. Thread Safety Analysis can still machine-check
+ * the *calling discipline* — "mutating a chunk is only legal from code
+ * that has declared ownership" — by modelling ownership as a capability
+ * that is never really locked, only asserted.
+ *
+ * A store embeds one ChunkOwnership and annotates its owner-only mutators
+ * `SAGA_REQUIRES(ownership_)`. The batch-update worker lambdas (and any
+ * single-threaded caller, e.g. tests) declare ownership by calling the
+ * store's `assertOwned()` before mutating; a call path that skips the
+ * declaration fails to compile under `-Wthread-safety -Werror` (see
+ * tests/compile_fail/missing_lock_method_call.cc). The assertion is a
+ * compile-time construct only — it emits no code — so the lock-free hot
+ * path stays lock-free.
+ */
+
+#ifndef SAGA_PLATFORM_CHUNK_OWNERSHIP_H_
+#define SAGA_PLATFORM_CHUNK_OWNERSHIP_H_
+
+#include "platform/thread_annotations.h"
+
+namespace saga {
+
+/** Compile-time-only capability: "this thread owns the chunk it touches". */
+class SAGA_CAPABILITY("chunk-ownership") ChunkOwnership
+{
+  public:
+    /**
+     * Declare to the analysis that the calling context owns the chunks it
+     * is about to mutate (because it is the pool worker the owner mapping
+     * assigned, or because the store is single-threaded-quiescent).
+     */
+    void declareOwned() const SAGA_ASSERT_CAPABILITY(this) {}
+};
+
+} // namespace saga
+
+#endif // SAGA_PLATFORM_CHUNK_OWNERSHIP_H_

@@ -6,30 +6,56 @@
  * adjacency and possibly append), so a test-and-test-and-set spinlock is a
  * better fit than std::mutex: it is one byte, never syscalls, and can be
  * embedded per vertex or per edge block without blowing up the footprint.
+ *
+ * SpinLock is a Thread Safety Analysis *capability*: fields annotated
+ * `SAGA_GUARDED_BY(lock)` can only be touched while the lock is held, and
+ * a Clang `-Wthread-safety -Werror` build enforces that at compile time.
  */
 
 #ifndef SAGA_PLATFORM_SPINLOCK_H_
 #define SAGA_PLATFORM_SPINLOCK_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
+
+#include "platform/thread_annotations.h"
 
 namespace saga {
 
 /** Test-and-test-and-set spinlock. Satisfies BasicLockable. */
-class SpinLock
+class SAGA_CAPABILITY("SpinLock") SpinLock
 {
   public:
     SpinLock() = default;
-    SpinLock(const SpinLock &) : SpinLock() {}
-    SpinLock &operator=(const SpinLock &) { return *this; }
+
+    /**
+     * Copying is a construction-time affair only: it exists so that
+     * std::vector<SpinLock> (and structs embedding a SpinLock) can
+     * relocate elements when ensureNodes() grows the vertex space, which
+     * happens strictly before the parallel region — i.e. while every lock
+     * is free. Copying a *held* lock would silently yield an unlocked
+     * copy, so debug builds assert the source is free; there is no
+     * legitimate reason to copy-assign a lock at all, so that is deleted.
+     */
+    SpinLock(const SpinLock &other) : SpinLock()
+    {
+        // relaxed: debug-only sanity read; the copy happens while the
+        // structure is quiescent, so there is nothing to order against.
+        assert(!other.flag_.load(std::memory_order_relaxed) &&
+               "copying a held SpinLock");
+        (void)other;
+    }
+    SpinLock &operator=(const SpinLock &) = delete;
 
     void
-    lock()
+    lock() SAGA_ACQUIRE()
     {
         for (;;) {
             if (!flag_.exchange(true, std::memory_order_acquire))
                 return;
+            // relaxed: pure spin-wait poll; the acquiring exchange above
+            // provides the ordering once the lock is observed free.
             while (flag_.load(std::memory_order_relaxed)) {
 #if defined(__x86_64__) || defined(__i386__)
                 __builtin_ia32_pause();
@@ -39,13 +65,18 @@ class SpinLock
     }
 
     bool
-    try_lock()
+    try_lock() SAGA_TRY_ACQUIRE(true)
     {
+        // relaxed: optimistic pre-check only; the acquiring exchange is
+        // what actually takes the lock (and orders the critical section).
         return !flag_.load(std::memory_order_relaxed) &&
                !flag_.exchange(true, std::memory_order_acquire);
     }
 
-    void unlock() { flag_.store(false, std::memory_order_release); }
+    void unlock() SAGA_RELEASE()
+    {
+        flag_.store(false, std::memory_order_release);
+    }
 
   private:
     std::atomic<bool> flag_{false};
@@ -53,13 +84,18 @@ class SpinLock
 
 /**
  * RAII guard for SpinLock (std::lock_guard works too; this avoids the
- * <mutex> include in hot headers).
+ * <mutex> include in hot headers). A scoped capability: the analysis
+ * credits the constructor with acquiring the lock and the destructor
+ * with releasing it.
  */
-class SpinGuard
+class SAGA_SCOPED_CAPABILITY SpinGuard
 {
   public:
-    explicit SpinGuard(SpinLock &lock) : lock_(lock) { lock_.lock(); }
-    ~SpinGuard() { lock_.unlock(); }
+    explicit SpinGuard(SpinLock &lock) SAGA_ACQUIRE(lock) : lock_(lock)
+    {
+        lock_.lock();
+    }
+    ~SpinGuard() SAGA_RELEASE() { lock_.unlock(); }
     SpinGuard(const SpinGuard &) = delete;
     SpinGuard &operator=(const SpinGuard &) = delete;
 

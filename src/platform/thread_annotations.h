@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis macro shim.
+ *
+ * SAGA's four dynamic stores each rely on a different hand-written
+ * locking/ownership discipline. PR 1 proved those disciplines correct
+ * *dynamically* (TSan); these macros make them machine-checked at
+ * *compile time*: every lock-protected field and lock-requiring method
+ * carries its contract as an attribute, and a Clang build with
+ * `-Wthread-safety -Werror` (the CI `static-analysis` job, or any local
+ * Clang configure) rejects code that touches a guarded field without
+ * holding its capability. On compilers without the analysis (GCC) every
+ * macro expands to nothing, so the annotations are zero-cost
+ * documentation there.
+ *
+ * Naming follows the Clang documentation's canonical mutex.h shim
+ * (capability / guarded_by / requires_capability / acquire / release),
+ * prefixed SAGA_ to keep the macro namespace ours.
+ */
+
+#ifndef SAGA_PLATFORM_THREAD_ANNOTATIONS_H_
+#define SAGA_PLATFORM_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SAGA_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef SAGA_THREAD_ANNOTATION_
+#define SAGA_THREAD_ANNOTATION_(x) // no-op off Clang
+#endif
+
+/** Marks a class as a capability (lockable) type. */
+#define SAGA_CAPABILITY(name) SAGA_THREAD_ANNOTATION_(capability(name))
+
+/** Marks an RAII class whose ctor acquires and dtor releases a capability. */
+#define SAGA_SCOPED_CAPABILITY SAGA_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Field access requires the given capability to be held. */
+#define SAGA_GUARDED_BY(x) SAGA_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Dereferencing this pointer requires the given capability. */
+#define SAGA_PT_GUARDED_BY(x) SAGA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** Caller must hold the listed capabilities (and does not release them). */
+#define SAGA_REQUIRES(...) \
+    SAGA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define SAGA_ACQUIRE(...) \
+    SAGA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities (caller must hold them). */
+#define SAGA_RELEASE(...) \
+    SAGA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function attempts to acquire; first arg is the success return value. */
+#define SAGA_TRY_ACQUIRE(...) \
+    SAGA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define SAGA_EXCLUDES(...) SAGA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Asserts (to the analysis) that the capability is held in this scope. */
+#define SAGA_ASSERT_CAPABILITY(x) \
+    SAGA_THREAD_ANNOTATION_(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define SAGA_RETURN_CAPABILITY(x) SAGA_THREAD_ANNOTATION_(lock_returned(x))
+
+/**
+ * Escape hatch: disables the analysis inside one function. Used only for
+ * the documented phase-separation reads (compute phases read store fields
+ * without locks because the pool barrier orders them strictly after the
+ * update phase) and for quiescent-state relocation (vector growth copying
+ * rows while no worker runs). Every use must carry a comment naming the
+ * barrier that makes it safe.
+ */
+#define SAGA_NO_THREAD_SAFETY_ANALYSIS \
+    SAGA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif // SAGA_PLATFORM_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,7 @@
+// saga-lint: allow-file(no-std-mutex): condvar parking needs a real mutex
 #include "platform/thread_pool.h"
 
+#include <atomic>
 #include <cstdint>
 
 namespace saga {
@@ -97,6 +99,8 @@ ThreadPool::run(const std::function<void(std::size_t)> &task)
     }
 
     task_ = &task;
+    // relaxed: published by the seq_cst generation_ bump below; nobody
+    // reads remaining_ for this generation before observing that bump.
     remaining_.store(num_workers_ - 1, std::memory_order_relaxed);
     generation_.fetch_add(1, std::memory_order_seq_cst);
     if (sleepers_.load(std::memory_order_seq_cst) != 0) {
@@ -116,6 +120,8 @@ ThreadPool::run(const std::function<void(std::size_t)> &task)
             std::unique_lock<std::mutex> hold(mutex_);
             done_.wait(hold, finished);
         }
+        // relaxed: only this thread parks itself; clearing the flag late
+        // at worst costs one spurious notify.
         caller_parked_.store(false, std::memory_order_relaxed);
     }
     task_ = nullptr;
@@ -138,6 +144,8 @@ ThreadPool::workerLoop(std::size_t id)
                 std::unique_lock<std::mutex> hold(mutex_);
                 wake_.wait(hold, ready);
             }
+            // relaxed: decrementing after waking; a waker that still sees
+            // the stale count only pays one spurious notify.
             sleepers_.fetch_sub(1, std::memory_order_relaxed);
         }
 

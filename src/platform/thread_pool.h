@@ -12,7 +12,18 @@
  *    shared range and synchronizes on per-vertex / per-block locks;
  *  - chunked style (AC, DAH): worker w exclusively owns chunk w and only
  *    processes edges whose source hashes to its chunk.
+ *
+ * Concurrency contract: the barrier state (generation_/remaining_/
+ * sleepers_/caller_parked_/task_) is guarded by the seq_cst Dekker
+ * handshake documented in thread_pool.cc, not by mutex_ — the mutex and
+ * condvars exist only to park and wake; no field is mutex-protected.
+ * That handshake is outside what Thread Safety Analysis can express, so
+ * this file carries no capability annotations; TSan (PR 1) and the
+ * barrier stress tests are its checkers. The pool is the one sanctioned
+ * user of <mutex> in src/ (parking needs a condvar); saga_lint enforces
+ * that everything else uses platform/spinlock.h.
  */
+// saga-lint: allow-file(no-std-mutex): condvar parking needs a real mutex
 
 #ifndef SAGA_PLATFORM_THREAD_POOL_H_
 #define SAGA_PLATFORM_THREAD_POOL_H_

@@ -1,0 +1,47 @@
+// Positive control: follows every concurrency contract, so it must
+// compile cleanly under -Wthread-safety -Werror. If this file fails, an
+// annotation somewhere became over-restrictive.
+
+#include "ds/adj_chunked.h"
+#include "platform/spinlock.h"
+
+namespace {
+
+struct Counter
+{
+    saga::SpinLock lock;
+    int value SAGA_GUARDED_BY(lock) = 0;
+};
+
+int
+bumpWithLock(Counter &counter)
+{
+    saga::SpinGuard hold(counter.lock);
+    counter.value += 1;
+    return counter.value;
+}
+
+int
+bumpExplicit(Counter &counter)
+{
+    counter.lock.lock();
+    counter.value += 1;
+    const int seen = counter.value;
+    counter.lock.unlock();
+    return seen;
+}
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    bumpWithLock(counter);
+    bumpExplicit(counter);
+
+    saga::AdjChunkedStore store(1);
+    store.ensureNodes(2);
+    store.declareChunksOwned(); // quiescent single-threaded caller
+    return store.insertOwned(0, 1, 1.0f) ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// Negative-compile case: calling AdjChunkedStore::insertOwned() without
+// first declaring chunk ownership (declareChunksOwned()) must be rejected
+// — insertOwned is annotated SAGA_REQUIRES(ownership_).
+
+#include "ds/adj_chunked.h"
+
+int
+main()
+{
+    saga::AdjChunkedStore store(1);
+    store.ensureNodes(2);
+    // BAD: the ChunkOwnership capability was never asserted on this path.
+    return store.insertOwned(0, 1, 1.0f) ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// Negative-compile case: SpinLock copy-assignment is deleted (a lock's
+// identity is its address; assigning one over another is always a bug).
+// Unlike the thread-safety cases this fails under every compiler, so it
+// runs even where only GCC is available.
+
+#include "platform/spinlock.h"
+
+int
+main()
+{
+    saga::SpinLock a;
+    saga::SpinLock b;
+    a = b; // BAD: operator= is deleted
+    return 0;
+}

@@ -1,0 +1,28 @@
+// Negative-compile case: writing a SAGA_GUARDED_BY field without holding
+// its lock must be rejected by -Wthread-safety.
+
+#include "platform/spinlock.h"
+
+namespace {
+
+struct Counter
+{
+    saga::SpinLock lock;
+    int value SAGA_GUARDED_BY(lock) = 0;
+};
+
+int
+bumpWithoutLock(Counter &counter)
+{
+    counter.value += 1; // BAD: `lock` is not held
+    return counter.value;
+}
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    return bumpWithoutLock(counter);
+}

@@ -1,0 +1,12 @@
+// Negative-compile case: releasing a SpinLock that is not held must be
+// rejected — unlock() is annotated SAGA_RELEASE().
+
+#include "platform/spinlock.h"
+
+int
+main()
+{
+    saga::SpinLock lock;
+    lock.unlock(); // BAD: releasing a capability this scope never acquired
+    return 0;
+}

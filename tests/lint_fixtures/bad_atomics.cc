@@ -1,0 +1,22 @@
+// Seeded violations: atomic-discipline rules. Every construct below must
+// be flagged by saga_lint; see README.md in this directory.
+#include <cstdint>
+
+// Violates the include-what-you-use rule: names the std atomic types but
+// pulls in no header for them.
+std::atomic<int> naked_counter{0};
+
+void
+bad_kernel(std::atomic<std::uint32_t> &flag, int &slot)
+{
+    // Raw member ops instead of the platform helpers (kernel sandbox).
+    flag.store(1);
+    (void)flag.load();
+    flag.fetch_add(1);
+
+    // atomic_ref outside platform/atomic_ops.h.
+    std::atomic_ref<int> ref(slot);
+
+    // Weak ordering with no justification comment anywhere near.
+    ref.store(2, std::memory_order_relaxed);
+}

@@ -1,0 +1,28 @@
+// Seeded violations: locking / allocation / RNG discipline. Every
+// construct below must be flagged by saga_lint; see README.md.
+#include <cstdlib>
+#include <mutex>
+
+// no-std-mutex: <mutex> primitives instead of platform/spinlock.h.
+std::mutex global_mutex;
+std::condition_variable global_cv;
+
+// no-volatile: volatile used as a (non-)synchronization primitive.
+volatile int spin_flag = 0;
+
+int
+bad_setup()
+{
+    // no-rand: racy global C RNG instead of platform/rng.h.
+    srand(42);
+    const int jitter = rand();
+
+    // no-pthread: raw pthreads under the platform layer.
+    pthread_t tid = 0;
+    (void)tid;
+
+    // no-new-array: naked array new in a store-like allocation.
+    int *slots = new int[jitter + 1];
+    delete[] slots;
+    return jitter;
+}

@@ -50,11 +50,16 @@ TEST(SpinLock, TryLockReflectsState)
     lock.unlock();
 }
 
-TEST(SpinLock, CopyYieldsUnlockedLock)
+TEST(SpinLock, CopyYieldsUnlockedIndependentLock)
 {
+    // Copying is construction-time-only (vector growth while quiescent):
+    // the source must be free — copying a *held* lock asserts in debug
+    // builds — and the copy starts unlocked, independent of the source.
     SpinLock a;
-    a.lock();
-    SpinLock b(a); // copy while locked -> new lock must be unlocked
+    SpinLock b(a);
+    EXPECT_TRUE(b.try_lock());
+    b.unlock();
+    a.lock(); // locking the source must not affect the copy
     EXPECT_TRUE(b.try_lock());
     b.unlock();
     a.unlock();

@@ -127,18 +127,20 @@ TEST_P(ProfileSweep, ResultInvariantsHold)
         // Every edge relaxes: depth(dst) <= depth(src) + 1.
         EXPECT_EQ(values[profile.source], 0);
         for (const Edge &e : edges) {
-            if (!std::isinf(values[e.src]))
+            if (!std::isinf(values[e.src])) {
                 EXPECT_LE(values[e.dst], values[e.src] + 1)
                     << e.src << "->" << e.dst;
+            }
         }
         break;
       case AlgKind::SSSP:
         EXPECT_EQ(values[profile.source], 0);
         for (const Edge &e : edges) {
-            if (!std::isinf(values[e.src]))
+            if (!std::isinf(values[e.src])) {
                 EXPECT_LE(values[e.dst],
                           values[e.src] + maxW(e) + 1e-3)
                     << e.src << "->" << e.dst;
+            }
         }
         break;
       case AlgKind::SSWP:

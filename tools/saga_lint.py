@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""saga_lint — SAGA-Bench's atomic-discipline linter.
+
+Enforces the repo-specific concurrency rules that neither the compiler nor
+Clang Thread Safety Analysis can express (TSA checks lock contracts; these
+rules pin down *which primitives may appear where*):
+
+  atomic-ref-confined   std::atomic_ref only inside platform/atomic_ops.h;
+                        everything else uses the atomicLoad/atomicStore/
+                        atomicFetchMin/Max/atomicClaim helpers.
+  kernel-atomics        src/algo/ (the compute kernels) may not call raw
+                        .load()/.store()/.exchange()/.fetch_*()/
+                        compare_exchange* — kernels go through the helpers
+                        so every cross-thread access shares one discipline.
+  no-std-mutex          <mutex> primitives are banned in src/ (locking goes
+                        through platform/spinlock.h); the thread pool is
+                        the one sanctioned exception (condvar parking) and
+                        carries a file-level suppression.
+  no-volatile           volatile is not a concurrency primitive.
+  no-rand               rand()/srand() are racy global state; use
+                        platform/rng.h.
+  no-pthread            raw pthread_* calls bypass the platform layer.
+  no-new-array          naked `new T[...]` in the stores (src/ds/) leaks on
+                        exception paths; use std::make_unique<T[]> or a
+                        container.
+  relaxed-needs-reason  every std::memory_order_relaxed must carry a
+                        `relaxed:` justification comment on the same line
+                        or within the three preceding lines.
+  atomic-include        a src/ file that names std::atomic / std::memory_order
+                        must #include <atomic> itself (include-what-you-use
+                        for the concurrency surface).
+
+Suppressions (all require the rule name, keeping waivers greppable):
+
+  // saga-lint: allow(rule-a, rule-b) <reason>      this line only
+  // saga-lint: allow-next(rule) <reason>           the following line
+  // saga-lint: allow-file(rule): <reason>          the whole file
+
+Usage:
+  saga_lint.py [--root DIR] [paths...]   lint paths (default: src bench
+                                         tests examples, minus fixture and
+                                         negative-compile directories)
+  saga_lint.py --list-rules              print the rules table
+
+Exit status: 0 = clean, 1 = violations, 2 = usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# Directories (relative to the repo root) holding intentionally-bad inputs:
+# negative-compile cases and the linter's own seeded fixtures. They are
+# skipped when a *directory* is expanded, but linted when named explicitly
+# (that is how the seeded-fixture ctest drives them).
+DEFAULT_EXCLUDES = ("tests/lint_fixtures", "tests/compile_fail")
+
+DEFAULT_PATHS = ("src", "bench", "tests", "examples")
+
+# The seeded-fixture sandbox is linted with *every* rule active (its whole
+# point is to violate them), regardless of each rule's path scope.
+FIXTURE_DIR = "tests/lint_fixtures"
+
+SUPPRESS_RE = re.compile(
+    r"//\s*saga-lint:\s*(allow|allow-next|allow-file)\(([^)]*)\)")
+
+
+class Rule:
+    """One lint rule: a name, a scope predicate, and a line checker."""
+
+    def __init__(self, name, summary, applies, pattern, message,
+                 strip_comments=True):
+        self.name = name
+        self.summary = summary
+        self.applies = applies  # fn(relpath) -> bool
+        self.pattern = re.compile(pattern)
+        self.message = message
+        # Most rules ignore commented-out code; relaxed-needs-reason must
+        # see comments (the justification lives in one).
+        self.strip_comments = strip_comments
+
+    def check_line(self, line):
+        return self.pattern.search(line) is not None
+
+
+def in_dir(*prefixes):
+    def applies(relpath):
+        if relpath.startswith(FIXTURE_DIR + "/"):
+            return True
+        return any(relpath.startswith(p + "/") or relpath == p
+                   for p in prefixes)
+    return applies
+
+
+def everywhere_except(*exempt):
+    def applies(relpath):
+        return relpath not in exempt
+    return applies
+
+
+RULES = [
+    Rule("atomic-ref-confined",
+         "std::atomic_ref only inside platform/atomic_ops.h",
+         everywhere_except("src/platform/atomic_ops.h"),
+         r"\bstd::atomic_ref\b",
+         "raw std::atomic_ref outside platform/atomic_ops.h — use "
+         "atomicLoad/atomicStore/atomicFetchMin/Max/atomicClaim"),
+    Rule("kernel-atomics",
+         "kernels (src/algo/) use the atomic helpers, not raw member ops",
+         in_dir("src/algo"),
+         r"\.\s*(load|store|exchange|fetch_\w+|compare_exchange_\w+)\s*\(",
+         "raw atomic member op in a kernel — use the platform/atomic_ops.h "
+         "helpers"),
+    Rule("no-std-mutex",
+         "src/ locks via platform/spinlock.h, not <mutex>",
+         in_dir("src"),
+         r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+         r"scoped_lock|lock_guard|unique_lock|shared_lock|"
+         r"condition_variable\w*)\b",
+         "std::mutex-family primitive in src/ — use SpinLock/SpinGuard "
+         "(platform/spinlock.h)"),
+    Rule("no-volatile",
+         "volatile is not a concurrency primitive",
+         in_dir("src"),
+         r"\bvolatile\b",
+         "volatile in src/ — use std::atomic or the atomic helpers"),
+    Rule("no-rand",
+         "rand()/srand() are racy global state",
+         in_dir("src", "bench", "examples"),
+         r"\b(s?rand)\s*\(",
+         "C rand()/srand() — use platform/rng.h"),
+    Rule("no-pthread",
+         "raw pthreads bypass the platform layer",
+         in_dir("src"),
+         r"\bpthread_\w+",
+         "raw pthread_* call in src/ — use ThreadPool / std::thread"),
+    Rule("no-new-array",
+         "stores allocate arrays via make_unique/containers",
+         in_dir("src/ds"),
+         r"\bnew\s+[A-Za-z_][\w:<>, ]*\[",
+         "naked new[] in a store — use std::make_unique<T[]> or a "
+         "container"),
+    Rule("relaxed-needs-reason",
+         "memory_order_relaxed needs a `relaxed:` justification comment",
+         in_dir("src"),
+         r"\bmemory_order_relaxed\b",
+         "memory_order_relaxed without a `// relaxed: ...` justification "
+         "on this line or the three lines above",
+         strip_comments=False),
+]
+
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_noncode(line, in_block_comment):
+    """Remove string literals and comments; track /* */ state."""
+    line = STRING_RE.sub('""', line)
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        start_block = line.find("/*", i)
+        start_line = line.find("//", i)
+        if start_line >= 0 and (start_block < 0 or start_line < start_block):
+            out.append(line[i:start_line])
+            return "".join(out), False
+        if start_block >= 0:
+            out.append(line[i:start_block])
+            i = start_block + 2
+            in_block_comment = True
+            continue
+        out.append(line[i:])
+        break
+    return "".join(out), in_block_comment
+
+
+def parse_suppressions(lines):
+    """Return (file_level_rules, line_allow, next_allow) rule-name sets."""
+    file_level = set()
+    line_allow = {}   # lineno -> set(rule)
+    next_allow = {}   # lineno the suppression *protects* -> set(rule)
+    for lineno, line in enumerate(lines, 1):
+        for kind, rule_list in SUPPRESS_RE.findall(line):
+            rules = {r.strip() for r in rule_list.split(",") if r.strip()}
+            if kind == "allow-file":
+                file_level |= rules
+            elif kind == "allow":
+                line_allow.setdefault(lineno, set()).update(rules)
+            elif kind == "allow-next":
+                next_allow.setdefault(lineno + 1, set()).update(rules)
+    return file_level, line_allow, next_allow
+
+
+def relaxed_is_justified(lines, idx):
+    """`relaxed:` comment on the line or within the three lines above."""
+    for back in range(0, 4):
+        j = idx - back
+        if j < 0:
+            break
+        if "relaxed:" in lines[j]:
+            return True
+    return False
+
+
+def has_atomic_include(lines):
+    """True if the file has a real (non-comment) #include <atomic>."""
+    in_block = False
+    for line in lines:
+        code, in_block = strip_noncode(line, in_block)
+        if re.search(r'#\s*include\s*<atomic>', code):
+            return True
+    return False
+
+
+def lint_file(path, relpath):
+    """Yield (lineno, rule, message) findings for one file."""
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as err:
+        yield 0, "io-error", str(err)
+        return
+
+    file_level, line_allow, next_allow = parse_suppressions(lines)
+
+    def suppressed(rule_name, lineno):
+        return (rule_name in file_level or
+                rule_name in line_allow.get(lineno, ()) or
+                rule_name in next_allow.get(lineno, ()))
+
+    active = [r for r in RULES if r.applies(relpath)]
+
+    in_block = False
+    uses_atomic_tokens = False
+    for idx, raw in enumerate(lines):
+        code, in_block = strip_noncode(raw, in_block)
+        if re.search(r"\bstd::(atomic|memory_order)", code):
+            uses_atomic_tokens = True
+        for rule in active:
+            subject = raw if not rule.strip_comments else code
+            if not rule.check_line(subject):
+                continue
+            if rule.name == "relaxed-needs-reason" and \
+                    relaxed_is_justified(lines, idx):
+                continue
+            if suppressed(rule.name, idx + 1):
+                continue
+            yield idx + 1, rule.name, rule.message
+
+    if (relpath.startswith("src/") or
+            relpath.startswith(FIXTURE_DIR + "/")) and \
+            uses_atomic_tokens and \
+            not has_atomic_include(lines) and \
+            "atomic-include" not in file_level:
+        yield 1, "atomic-include", (
+            "file names std::atomic/std::memory_order but does not "
+            "#include <atomic> (include-what-you-use)")
+
+
+def collect_files(root, paths):
+    """Expand paths to (abspath, relpath) C++ files, honoring excludes."""
+    seen = []
+    for p in paths:
+        abspath = p if os.path.isabs(p) else os.path.join(root, p)
+        abspath = os.path.normpath(abspath)
+        if os.path.isfile(abspath):
+            seen.append(abspath)
+            continue
+        for dirpath, dirnames, filenames in os.walk(abspath):
+            rel = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            # Prune excluded subtrees only during implicit expansion of a
+            # directory that *contains* them — naming an excluded
+            # directory on the command line lints it.
+            pruned = []
+            for d in list(dirnames):
+                child = (rel + "/" + d).lstrip("./")
+                if child in DEFAULT_EXCLUDES and \
+                        os.path.normpath(abspath) != \
+                        os.path.normpath(os.path.join(root, child)):
+                    dirnames.remove(d)
+                    pruned.append(d)
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    seen.append(os.path.join(dirpath, name))
+    out = []
+    for abspath in sorted(set(seen)):
+        relpath = os.path.relpath(abspath, root).replace(os.sep, "/")
+        out.append((abspath, relpath))
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="saga_lint",
+        description="SAGA-Bench atomic-discipline linter")
+    parser.add_argument("--root", default=".",
+                        help="repo root (rules scope by path relative to "
+                             "this; default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rules table and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: %s)" % " ".join(DEFAULT_PATHS))
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(r.name) for r in RULES)
+        for rule in RULES:
+            print("%-*s  %s" % (width, rule.name, rule.summary))
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print("saga_lint: no such root: %s" % root, file=sys.stderr)
+        return 2
+    paths = args.paths or [p for p in DEFAULT_PATHS
+                           if os.path.isdir(os.path.join(root, p))]
+
+    findings = 0
+    checked = 0
+    for abspath, relpath in collect_files(root, paths):
+        checked += 1
+        for lineno, rule, message in lint_file(abspath, relpath):
+            findings += 1
+            print("%s:%d: [%s] %s" % (relpath, lineno, rule, message))
+
+    if findings:
+        print("saga_lint: %d violation(s) in %d file(s) checked" %
+              (findings, checked), file=sys.stderr)
+        return 1
+    print("saga_lint: clean (%d files checked)" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

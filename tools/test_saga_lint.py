@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/saga_lint.py — one per rule, plus suppression,
+scoping, and comment/string handling. Run directly (`python3
+tools/test_saga_lint.py`) or via the `saga_lint_selftest` ctest target."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import saga_lint  # noqa: E402
+
+
+def lint_source(source, relpath):
+    """Lint `source` as if it lived at `relpath`; return finding rules."""
+    with tempfile.NamedTemporaryFile("w", suffix=".cc", delete=False) as f:
+        f.write(source)
+        path = f.name
+    try:
+        return [rule for _, rule, _ in saga_lint.lint_file(path, relpath)]
+    finally:
+        os.unlink(path)
+
+
+class AtomicRefConfined(unittest.TestCase):
+    def test_flags_atomic_ref_outside_platform(self):
+        rules = lint_source("std::atomic_ref<int> r(x);\n", "src/algo/x.h")
+        self.assertIn("atomic-ref-confined", rules)
+
+    def test_allows_atomic_ref_in_atomic_ops(self):
+        rules = lint_source("std::atomic_ref<int> r(x);\n"
+                            "#include <atomic>\n",
+                            "src/platform/atomic_ops.h")
+        self.assertNotIn("atomic-ref-confined", rules)
+
+
+class KernelAtomics(unittest.TestCase):
+    def test_flags_raw_load_in_kernel(self):
+        rules = lint_source("auto v = flag.load(std::memory_order_acquire);\n"
+                            "#include <atomic>\n", "src/algo/bfs.h")
+        self.assertIn("kernel-atomics", rules)
+
+    def test_flags_fetch_add_and_cas(self):
+        src = ("count.fetch_add(1);\n"
+               "ref.compare_exchange_weak(a, b);\n")
+        rules = lint_source(src, "src/algo/pr.h")
+        self.assertEqual(rules.count("kernel-atomics"), 2)
+
+    def test_helpers_and_non_kernel_paths_ok(self):
+        self.assertNotIn("kernel-atomics",
+                         lint_source("atomicLoad(values[v]);\n",
+                                     "src/algo/cc.h"))
+        self.assertNotIn("kernel-atomics",
+                         lint_source("count.fetch_add(1);\n#include <atomic>\n",
+                                     "src/ds/stinger.h"))
+
+    def test_comment_mention_is_not_flagged(self):
+        rules = lint_source("// uses .load() internally\n", "src/algo/x.h")
+        self.assertNotIn("kernel-atomics", rules)
+
+
+class NoStdMutex(unittest.TestCase):
+    def test_flags_mutex_family_in_src(self):
+        src = ("std::mutex m;\n"
+               "std::lock_guard<std::mutex> g(m);\n"
+               "std::condition_variable cv;\n")
+        rules = lint_source(src, "src/saga/driver.cc")
+        self.assertGreaterEqual(rules.count("no-std-mutex"), 3)
+
+    def test_tests_may_use_mutex(self):
+        rules = lint_source("std::mutex m;\n", "tests/test_x.cc")
+        self.assertNotIn("no-std-mutex", rules)
+
+
+class NoVolatile(unittest.TestCase):
+    def test_flags_volatile_in_src(self):
+        rules = lint_source("volatile int x = 0;\n", "src/gen/rmat.cc")
+        self.assertIn("no-volatile", rules)
+
+
+class NoRand(unittest.TestCase):
+    def test_flags_rand_and_srand(self):
+        rules = lint_source("srand(42);\nint x = rand();\n",
+                            "bench/micro.cc")
+        self.assertEqual(rules.count("no-rand"), 2)
+
+    def test_mt19937_is_fine(self):
+        rules = lint_source("std::mt19937_64 gen(7);\n", "bench/micro.cc")
+        self.assertNotIn("no-rand", rules)
+
+
+class NoPthread(unittest.TestCase):
+    def test_flags_pthread_call(self):
+        rules = lint_source("pthread_create(&t, 0, fn, 0);\n",
+                            "src/platform/x.cc")
+        self.assertIn("no-pthread", rules)
+
+
+class NoNewArray(unittest.TestCase):
+    def test_flags_naked_new_array_in_stores(self):
+        rules = lint_source("entries = new Neighbor[16];\n",
+                            "src/ds/stinger.h")
+        self.assertIn("no-new-array", rules)
+
+    def test_make_unique_ok(self):
+        rules = lint_source(
+            "entries = std::make_unique<Neighbor[]>(16);\n",
+            "src/ds/stinger.h")
+        self.assertNotIn("no-new-array", rules)
+
+    def test_scalar_new_ok(self):
+        rules = lint_source("auto *b = new EdgeBlock;\n", "src/ds/stinger.h")
+        self.assertNotIn("no-new-array", rules)
+
+
+class RelaxedNeedsReason(unittest.TestCase):
+    def test_flags_unjustified_relaxed(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "n.load(std::memory_order_relaxed);\n", "src/ds/x.h")
+        self.assertIn("relaxed-needs-reason", rules)
+
+    def test_same_line_justification(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "n.load(std::memory_order_relaxed); // relaxed: counter\n",
+            "src/ds/x.h")
+        self.assertNotIn("relaxed-needs-reason", rules)
+
+    def test_justification_up_to_three_lines_above(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "// relaxed: monotonic counter\n"
+            "n.store(0,\n"
+            "        std::memory_order_relaxed);\n", "src/ds/x.h")
+        self.assertNotIn("relaxed-needs-reason", rules)
+
+    def test_justification_too_far_above(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "// relaxed: far away\n"
+            "int a;\nint b;\nint c;\n"
+            "n.load(std::memory_order_relaxed);\n", "src/ds/x.h")
+        self.assertIn("relaxed-needs-reason", rules)
+
+
+class AtomicInclude(unittest.TestCase):
+    def test_flags_missing_include(self):
+        rules = lint_source("std::atomic<int> n{0};\n", "src/saga/x.h")
+        self.assertIn("atomic-include", rules)
+
+    def test_include_present_ok(self):
+        rules = lint_source("#include <atomic>\nstd::atomic<int> n{0};\n",
+                            "src/saga/x.h")
+        self.assertNotIn("atomic-include", rules)
+
+    def test_memory_order_token_requires_include(self):
+        rules = lint_source(
+            "// relaxed: x\nfoo(std::memory_order_relaxed);\n",
+            "src/saga/x.h")
+        self.assertIn("atomic-include", rules)
+
+
+class Suppressions(unittest.TestCase):
+    def test_same_line_allow(self):
+        rules = lint_source(
+            "volatile int x; // saga-lint: allow(no-volatile) MMIO shim\n",
+            "src/platform/x.h")
+        self.assertNotIn("no-volatile", rules)
+
+    def test_allow_next_line(self):
+        rules = lint_source(
+            "// saga-lint: allow-next(no-volatile) MMIO shim\n"
+            "volatile int x;\n", "src/platform/x.h")
+        self.assertNotIn("no-volatile", rules)
+
+    def test_allow_file(self):
+        rules = lint_source(
+            "// saga-lint: allow-file(no-std-mutex): parking needs one\n"
+            "std::mutex a;\nstd::mutex b;\n", "src/platform/pool.cc")
+        self.assertNotIn("no-std-mutex", rules)
+
+    def test_allow_wrong_rule_does_not_suppress(self):
+        rules = lint_source(
+            "volatile int x; // saga-lint: allow(no-rand) wrong rule\n",
+            "src/platform/x.h")
+        self.assertIn("no-volatile", rules)
+
+    def test_multiple_rules_in_one_allow(self):
+        rules = lint_source(
+            "volatile int x = rand(); "
+            "// saga-lint: allow(no-volatile, no-rand) fixture\n",
+            "src/platform/x.h")
+        self.assertNotIn("no-volatile", rules)
+        self.assertNotIn("no-rand", rules)
+
+
+class FixtureSandbox(unittest.TestCase):
+    def test_all_rules_active_in_fixture_dir(self):
+        # src/-scoped rules must fire inside tests/lint_fixtures/ too.
+        rules = lint_source("std::mutex m;\nvolatile int x;\n",
+                            "tests/lint_fixtures/bad.cc")
+        self.assertIn("no-std-mutex", rules)
+        self.assertIn("no-volatile", rules)
+
+
+class StringAndCommentHandling(unittest.TestCase):
+    def test_string_literal_not_flagged(self):
+        rules = lint_source('const char *s = "volatile std::mutex";\n',
+                            "src/stats/x.cc")
+        self.assertEqual(rules, [])
+
+    def test_block_comment_not_flagged(self):
+        rules = lint_source("/* std::mutex m;\n   volatile int x; */\n",
+                            "src/stats/x.cc")
+        self.assertEqual(rules, [])
+
+
+class TreeIsClean(unittest.TestCase):
+    def test_repo_tree_lints_clean(self):
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        self.assertEqual(saga_lint.main(["--root", root]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
