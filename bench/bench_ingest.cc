@@ -10,10 +10,15 @@
  * machine-readable BENCH_ingest.json next to the table.
  *
  * Flags:
- *   --smoke       small sizes, 1 rep, and a regression gate on the AC/DAH
- *                 speedup (exit 1 if pathologically slower) — used by CI
- *   --threads N   worker threads (default: hardware concurrency)
- *   --out PATH    JSON output path (default: BENCH_ingest.json)
+ *   --smoke             small sizes, 1 rep, and a regression gate on the
+ *                       AC/DAH speedup (exit 1 if pathologically slower)
+ *                       — used by CI
+ *   --threads N         worker threads (default: hardware concurrency)
+ *   --out PATH          JSON output path (default: BENCH_ingest.json)
+ *   --telemetry=PATH    enable runtime metrics; write the telemetry JSON
+ *                       dump (docs/TELEMETRY.md schema) at exit
+ *   --trace=PATH        record per-batch update/scatter/apply spans; write
+ *                       Chrome trace_event JSON at exit
  */
 
 #include <algorithm>
@@ -34,6 +39,7 @@
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
 #include "stats/table.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 namespace {
@@ -43,6 +49,8 @@ struct Options
     bool smoke = false;
     std::size_t threads = 0; // 0 = hardware concurrency
     std::string out = "BENCH_ingest.json";
+    std::string telemetry; // metrics JSON dump path ("" = disabled)
+    std::string trace;     // Chrome trace path ("" = disabled)
 };
 
 struct Measurement
@@ -87,6 +95,11 @@ runLegacy(const MakeStore &make, const std::vector<EdgeBatch> &batches,
     auto in = make();
     Timer timer;
     for (const EdgeBatch &batch : batches) {
+        // The scope mirrors the driver's per-batch "update" phase so the
+        // trace shows one span per batch (no-op unless telemetry is on).
+        telemetry::PhaseScope scope(telemetry::Phase::Update,
+                                    telemetry::PhaseScope::kSamplePerf);
+        SAGA_PHASE(telemetry::Phase::UpdateApply);
         out.updateBatch(batch, pool, false);
         in.updateBatch(batch, pool, true);
     }
@@ -104,7 +117,10 @@ runPartitioned(const MakeStore &make, const std::vector<EdgeBatch> &batches,
     PartitionedBatch parts;
     Timer timer;
     for (const EdgeBatch &batch : batches) {
-        parts.build(batch, pool, chunks);
+        telemetry::PhaseScope scope(telemetry::Phase::Update,
+                                    telemetry::PhaseScope::kSamplePerf);
+        parts.build(batch, pool, chunks); // times itself: update/scatter
+        SAGA_PHASE(telemetry::Phase::UpdateApply);
         out.updateBatch(parts, pool, false);
         in.updateBatch(parts, pool, true);
     }
@@ -165,6 +181,15 @@ writeJson(const std::string &path, const Options &opt, std::size_t threads,
 int
 run(const Options &opt)
 {
+    // Perf counters must open before the pool exists (inherit=1 folds
+    // later-created workers into the counts — see perf_counters.h).
+    if (!opt.telemetry.empty()) {
+        telemetry::enablePerf();
+        telemetry::setEnabled(true);
+    }
+    if (!opt.trace.empty())
+        telemetry::setTraceEnabled(true);
+
     ThreadPool pool(opt.threads);
     const std::size_t threads = pool.size();
     const std::size_t chunks = threads; // matches the driver default
@@ -219,6 +244,22 @@ run(const Options &opt)
     writeJson(opt.out, opt, threads, results);
     std::cout << "\nWrote " << opt.out << "\n";
 
+    if (!opt.telemetry.empty()) {
+        if (!telemetry::writeMetricsJson(opt.telemetry)) {
+            std::cerr << "FAIL: cannot write " << opt.telemetry << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << opt.telemetry
+                  << " (perf: " << telemetry::perfStatus() << ")\n";
+    }
+    if (!opt.trace.empty()) {
+        if (!telemetry::writeTraceJson(opt.trace)) {
+            std::cerr << "FAIL: cannot write " << opt.trace << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << opt.trace << "\n";
+    }
+
     // Smoke regression gate: the scatter path must never be pathologically
     // slower than the legacy scan for the chunk-owned stores (AC/DAH),
     // whatever the runner's core count. The >= 2x claim is checked on
@@ -257,9 +298,13 @@ main(int argc, char **argv)
             opt.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
         } else if (arg == "--out" && i + 1 < argc) {
             opt.out = argv[++i];
+        } else if (arg.rfind("--telemetry=", 0) == 0) {
+            opt.telemetry = arg.substr(12);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.trace = arg.substr(8);
         } else {
             std::cerr << "usage: bench_ingest [--smoke] [--threads N] "
-                         "[--out PATH]\n";
+                         "[--out PATH] [--telemetry=PATH] [--trace=PATH]\n";
             return 2;
         }
     }

@@ -8,11 +8,22 @@
  * Expected shape: update contributes >= ~40% in many cells — the paper's
  * headline finding that the update phase is a first-class performance
  * limiter in streaming graph analytics.
+ *
+ * The share comes from WorkloadStages::updateSharePct() — the same
+ * PhaseScope measurements the telemetry layer exports, so this figure and
+ * a --telemetry dump of the run can never disagree.
+ *
+ * Flags:
+ *   --telemetry=PATH   enable runtime metrics; write the telemetry JSON
+ *                      dump (docs/TELEMETRY.md schema) at exit
+ *   --trace=PATH       record phase spans; write Chrome trace_event JSON
  */
 
 #include <iostream>
+#include <string>
 
 #include "bench_util.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 namespace {
@@ -38,9 +49,7 @@ run()
             std::vector<std::string> row{toString(alg), profile.name,
                                          toString(cfg.ds)};
             for (int stage = 0; stage < 3; ++stage) {
-                const double update = stages.update.stage(stage).mean;
-                const double total = stages.total.stage(stage).mean;
-                const double pct = total > 0 ? 100.0 * update / total : 0;
+                const double pct = stages.updateSharePct(stage);
                 row.push_back(formatDouble(pct, 1));
                 ++cells;
                 if (pct >= 40.0)
@@ -65,8 +74,47 @@ run()
 } // namespace saga
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string telemetry, trace;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--telemetry=", 0) == 0) {
+            telemetry = arg.substr(12);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace = arg.substr(8);
+        } else {
+            std::cerr << "usage: fig8_update_share [--telemetry=PATH] "
+                         "[--trace=PATH]\n";
+            return 2;
+        }
+    }
+
+    // Perf counters must open before any worker pool exists (inherit=1
+    // folds later-created workers into the counts — see perf_counters.h).
+    if (!telemetry.empty()) {
+        saga::telemetry::enablePerf();
+        saga::telemetry::setEnabled(true);
+    }
+    if (!trace.empty())
+        saga::telemetry::setTraceEnabled(true);
+
     saga::run();
+
+    if (!telemetry.empty()) {
+        if (!saga::telemetry::writeMetricsJson(telemetry)) {
+            std::cerr << "FAIL: cannot write " << telemetry << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << telemetry
+                  << " (perf: " << saga::telemetry::perfStatus() << ")\n";
+    }
+    if (!trace.empty()) {
+        if (!saga::telemetry::writeTraceJson(trace)) {
+            std::cerr << "FAIL: cannot write " << trace << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << trace << "\n";
+    }
     return 0;
 }

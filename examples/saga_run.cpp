@@ -10,6 +10,12 @@
  *   saga_run [--dataset lj|orkut|rmat|wiki|talk] [--ds as|ac|stinger|dah]
  *            [--alg bfs|cc|mc|pr|sssp|sswp] [--model inc|fs]
  *            [--scale F] [--threads N] [--seed S] [--per-batch]
+ *            [--telemetry=PATH] [--trace=PATH]
+ *
+ * --telemetry enables the runtime metrics layer and writes the JSON dump
+ * (docs/TELEMETRY.md schema) at exit; --trace additionally records every
+ * phase span and writes Chrome trace_event JSON loadable in
+ * chrome://tracing / Perfetto.
  */
 
 #include <cstdlib>
@@ -19,6 +25,7 @@
 #include "saga/experiment.h"
 #include "saga/stream_source.h"
 #include "stats/table.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -29,7 +36,8 @@ usage(const char *argv0)
         << "usage: " << argv0
         << " [--dataset lj|orkut|rmat|wiki|talk] [--ds as|ac|stinger|dah]\n"
            "       [--alg bfs|cc|mc|pr|sssp|sswp] [--model inc|fs]\n"
-           "       [--scale F] [--threads N] [--seed S] [--per-batch]\n";
+           "       [--scale F] [--threads N] [--seed S] [--per-batch]\n"
+           "       [--telemetry=PATH] [--trace=PATH]\n";
     std::exit(2);
 }
 
@@ -48,6 +56,7 @@ main(int argc, char **argv)
     double scale = 1.0;
     std::uint64_t seed = 1;
     bool per_batch = false;
+    std::string telemetry, trace;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -73,6 +82,10 @@ main(int argc, char **argv)
                 seed = std::strtoull(next().c_str(), nullptr, 10);
             } else if (arg == "--per-batch") {
                 per_batch = true;
+            } else if (arg.rfind("--telemetry=", 0) == 0) {
+                telemetry = arg.substr(12);
+            } else if (arg.rfind("--trace=", 0) == 0) {
+                trace = arg.substr(8);
             } else {
                 usage(argv[0]);
             }
@@ -88,6 +101,15 @@ main(int argc, char **argv)
         usage(argv[0]);
     }
     const DatasetProfile profile = base->scaled(scale);
+
+    // Perf counters must open before the runner's worker pool exists
+    // (inherit=1 folds later-created workers into the counts).
+    if (!telemetry.empty()) {
+        telemetry::enablePerf();
+        telemetry::setEnabled(true);
+    }
+    if (!trace.empty())
+        telemetry::setTraceEnabled(true);
 
     std::cout << "dataset=" << profile.name << " |V|=" << profile.numNodes
               << " |E|=" << profile.numEdges << " batch="
@@ -129,5 +151,21 @@ main(int argc, char **argv)
                            formatDouble(total.stage(s).ciHalfWidth, 5)});
     }
     stages.print(std::cout);
+
+    if (!telemetry.empty()) {
+        if (!telemetry::writeMetricsJson(telemetry)) {
+            std::cerr << "error: cannot write " << telemetry << "\n";
+            return 1;
+        }
+        std::cout << "\nWrote " << telemetry
+                  << " (perf: " << telemetry::perfStatus() << ")\n";
+    }
+    if (!trace.empty()) {
+        if (!telemetry::writeTraceJson(trace)) {
+            std::cerr << "error: cannot write " << trace << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << trace << "\n";
+    }
     return 0;
 }

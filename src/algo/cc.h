@@ -21,6 +21,7 @@
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -78,6 +79,9 @@ struct Cc
         std::vector<char> changed(pool.size(), 1);
         bool any_change = true;
         while (any_change) {
+            SAGA_PHASE(telemetry::Phase::ComputeRound);
+            SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+            SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices, n);
             std::fill(changed.begin(), changed.end(), 0);
             parallelSlices(pool, 0, n,
                            [&](std::size_t w, std::uint64_t lo,

@@ -12,6 +12,7 @@
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -25,6 +26,12 @@ std::vector<NodeId>
 expandFrontier(ThreadPool &pool, const std::vector<NodeId> &frontier,
                const Body &body)
 {
+    // Every frontier sweep is one compute round (FS traversals and INC
+    // propagation both come through here).
+    SAGA_PHASE(telemetry::Phase::ComputeRound);
+    SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+    SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
+               frontier.size());
     std::vector<std::vector<NodeId>> local(pool.size());
     parallelSlices(pool, 0, frontier.size(),
                    [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {

@@ -36,6 +36,7 @@
 #include "saga/batch_scratch.h"
 #include "saga/edge_batch.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -61,6 +62,8 @@ affectedVertices(const EdgeBatch &batch, NodeId num_nodes)
         mark(batch[i].src);
         mark(batch[i].dst);
     }
+    SAGA_COUNT(telemetry::Counter::ComputeAffectedVertices,
+               affected.size());
     return affected;
 }
 
@@ -98,6 +101,8 @@ affectedVertices(const EdgeBatch &batch, NodeId num_nodes,
     affected.reserve(total);
     for (const auto &part : local)
         affected.insert(affected.end(), part.begin(), part.end());
+    SAGA_COUNT(telemetry::Counter::ComputeAffectedVertices,
+               affected.size());
     return affected;
 }
 

@@ -23,6 +23,7 @@
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -80,6 +81,9 @@ struct Pr
         std::vector<double> worker_delta(pool.size(), 0);
 
         for (std::uint32_t iter = 0; iter < ctx.prMaxIters; ++iter) {
+            SAGA_PHASE(telemetry::Phase::ComputeRound);
+            SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+            SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices, n);
             parallelSlices(pool, 0, n,
                            [&](std::size_t w, std::uint64_t lo,
                                std::uint64_t hi) {

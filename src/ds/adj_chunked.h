@@ -30,6 +30,7 @@
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -83,6 +84,7 @@ class AdjChunkedStore
         if (max_node != kInvalidNode)
             ensureNodes(max_node + 1);
 
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, batch.size());
         std::vector<std::uint64_t> inserted_per_worker(pool.size(), 0);
         pool.run([&](std::size_t w) {
             declareChunksOwned(); // worker w touches only chunks it owns
@@ -116,6 +118,7 @@ class AdjChunkedStore
         if (max_node != kInvalidNode)
             ensureNodes(max_node + 1);
 
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, parts.size());
         std::vector<std::uint64_t> inserted_per_worker(pool.size(), 0);
         pool.run([&](std::size_t w) {
             declareChunksOwned(); // worker w iterates only owned buckets
@@ -158,11 +161,13 @@ class AdjChunkedStore
             if (nbr.node == dst) {
                 if (weight < nbr.weight)
                     nbr.weight = weight; // duplicates keep the min weight
+                SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
                 return false;
             }
         }
         row.push_back({dst, weight});
         perf::touchWrite(&row.back(), sizeof(Neighbor));
+        SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
         return true;
     }
 

@@ -35,6 +35,7 @@
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -82,6 +83,7 @@ class AdjSharedStore
         if (max_node != kInvalidNode)
             ensureNodes(max_node + 1);
 
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, batch.size());
         parallelFor(pool, 0, batch.size(), [&](std::uint64_t i) {
             const Edge &e = batch[i];
             const NodeId src = reversed ? e.dst : e.src;
@@ -106,6 +108,7 @@ class AdjSharedStore
         if (max_node != kInvalidNode)
             ensureNodes(max_node + 1);
 
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, parts.size());
         const std::size_t chunks = parts.numChunks();
         pool.run([&](std::size_t w) {
             for (std::size_t c = 0; c < chunks; ++c) {
@@ -134,11 +137,13 @@ class AdjSharedStore
             if (nbr.node == dst) {
                 if (weight < nbr.weight)
                     nbr.weight = weight;
+                SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
                 return;
             }
         }
         row.data.push_back({dst, weight});
         perf::touchWrite(&row.data.back(), sizeof(Neighbor));
+        SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
         // relaxed: monotonic counter increment; never read mid-phase.
         num_edges_.fetch_add(1, std::memory_order_relaxed);
     }

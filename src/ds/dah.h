@@ -42,6 +42,7 @@
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -405,6 +406,7 @@ class DahStore
         if (max_node != kInvalidNode)
             ensureNodes(max_node + 1);
 
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, batch.size());
         pool.run([&](std::size_t w) {
             declareChunksOwned(); // worker w touches only chunks it owns
             for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -436,6 +438,7 @@ class DahStore
         if (max_node != kInvalidNode)
             ensureNodes(max_node + 1);
 
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, parts.size());
         pool.run([&](std::size_t w) {
             declareChunksOwned(); // worker w iterates only owned buckets
             for (std::size_t c = 0; c < num_chunks_; ++c) {
@@ -471,8 +474,12 @@ class DahStore
 
         // Meta-op: decide which table the vertex lives in.
         if (HighDegreeTable *table = chunk.findHigh(src)) {
-            if (table->insertUnique(dst, weight))
+            if (table->insertUnique(dst, weight)) {
                 ++chunk.numEdges;
+                SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
+            } else {
+                SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
+            }
             return;
         }
 
@@ -487,11 +494,14 @@ class DahStore
                     w = weight; // duplicates keep the min weight
             }
         });
-        if (duplicate)
+        if (duplicate) {
+            SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
             return;
+        }
 
         chunk.low.insert(src, dst, weight);
         ++chunk.numEdges;
+        SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
         // ">=": duplicates can make the degree skip the exact threshold
         // crossing, and the vertex must still be promoted (flushChunk
         // deduplicates pending entries).
@@ -608,10 +618,12 @@ class DahStore
     void
     flushChunk(Chunk &chunk) SAGA_REQUIRES(ownership_)
     {
+        SAGA_COUNT(telemetry::Counter::DahFlushes, 1);
         chunk.insertsSinceFlush = 0;
         for (NodeId v : chunk.pending) {
             if (chunk.findHigh(v))
                 continue; // already promoted
+            SAGA_COUNT(telemetry::Counter::DahPromotions, 1);
             HighDegreeTable table(config_.promoteThreshold * 2);
             chunk.low.forEachOfKey(v, [&](NodeId dst, Weight weight) {
                 table.insertUnique(dst, weight);

@@ -23,6 +23,7 @@
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -84,8 +85,11 @@ class DynGraph
     void
     update(const EdgeBatch &batch, ThreadPool &pool)
     {
+        SAGA_COUNT(telemetry::Counter::IngestBatches, 1);
         if constexpr (kPartitionedIngest) {
+            // build() times itself as the "update/scatter" phase.
             parts_.build(batch, pool, ingestChunks(pool));
+            SAGA_PHASE(telemetry::Phase::UpdateApply);
             if (directed_) {
                 out_.updateBatch(parts_, pool, /*reversed=*/false);
                 in_.updateBatch(parts_, pool, /*reversed=*/true);
@@ -94,6 +98,7 @@ class DynGraph
                 out_.updateBatch(parts_, pool, /*reversed=*/true);
             }
         } else {
+            SAGA_PHASE(telemetry::Phase::UpdateApply);
             if (directed_) {
                 out_.updateBatch(batch, pool, /*reversed=*/false);
                 in_.updateBatch(batch, pool, /*reversed=*/true);

@@ -39,6 +39,7 @@
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -120,6 +121,7 @@ class StingerStore
         if (max_node != kInvalidNode)
             ensureNodes(max_node + 1);
 
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, batch.size());
         parallelFor(pool, 0, batch.size(), [&](std::uint64_t i) {
             const Edge &e = batch[i];
             const NodeId src = reversed ? e.dst : e.src;
@@ -144,6 +146,7 @@ class StingerStore
         if (max_node != kInvalidNode)
             ensureNodes(max_node + 1);
 
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, parts.size());
         const std::size_t chunks = parts.numChunks();
         pool.run([&](std::size_t w) {
             for (std::size_t c = 0; c < chunks; ++c) {
@@ -189,6 +192,8 @@ class StingerStore
                         // search pass runs lock-free).
                         atomicFetchMin(block->entries[slot].weight,
                                        weight);
+                        SAGA_COUNT(telemetry::Counter::IngestDuplicates,
+                                   1);
                         return;
                     }
                 }
@@ -263,6 +268,7 @@ class StingerStore
     EdgeBlock *
     makeBlock()
     {
+        SAGA_COUNT(telemetry::Counter::StingerBlocksAllocated, 1);
         auto *block = new EdgeBlock;
         block->entries = std::make_unique<Neighbor[]>(block_capacity_);
         return block;
@@ -292,6 +298,8 @@ class StingerStore
                     if (block->entries[slot].node == dst) {
                         atomicFetchMin(block->entries[slot].weight,
                                        weight);
+                        SAGA_COUNT(telemetry::Counter::IngestDuplicates,
+                                   1);
                         return;
                     }
                 }
@@ -364,6 +372,7 @@ class StingerStore
         header.degree.fetch_add(1, std::memory_order_relaxed);
         // relaxed: same monotonic-counter rationale as degree above.
         num_edges_.fetch_add(1, std::memory_order_relaxed);
+        SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
     }
 
     std::uint32_t block_capacity_ = kBlockCapacity;

@@ -21,9 +21,9 @@
 #include "ds/dyn_graph.h"
 #include "ds/stinger.h"
 #include "platform/thread_pool.h"
-#include "platform/timer.h"
 #include "saga/edge_batch.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -130,28 +130,40 @@ class Runner final : public StreamingRunner
         : cfg_(cfg), pool_(cfg.threads), graph_(makeGraph(cfg, pool_))
     {}
 
+    // Both phases derive their returned latency from the telemetry
+    // PhaseScope, so BatchResult and the exported "update"/"compute"
+    // phase sums are one measurement, not two clocks that drift
+    // (kAlwaysTime keeps the timing live with telemetry off).
     double
     updatePhase(const EdgeBatch &batch) override
     {
-        Timer timer;
+        telemetry::PhaseScope scope(telemetry::Phase::Update,
+                                    telemetry::PhaseScope::kAlwaysTime |
+                                        telemetry::PhaseScope::kSamplePerf);
         graph_.update(batch, pool_);
-        return timer.seconds();
+        return scope.finish();
     }
 
     double
     computePhase(const EdgeBatch &batch) override
     {
-        Timer timer;
+        telemetry::PhaseScope scope(telemetry::Phase::Compute,
+                                    telemetry::PhaseScope::kAlwaysTime |
+                                        telemetry::PhaseScope::kSamplePerf);
         AlgContext ctx = cfg_.ctx;
         ctx.numNodesHint = graph_.numNodes();
         if (cfg_.model == ModelKind::FS) {
             Alg::computeFs(graph_, pool_, values_, ctx);
         } else {
-            const std::vector<NodeId> affected = affectedVertices(
-                batch, graph_.numNodes(), scratch_, pool_);
+            std::vector<NodeId> affected;
+            {
+                SAGA_PHASE(telemetry::Phase::ComputeAffected);
+                affected = affectedVertices(batch, graph_.numNodes(),
+                                            scratch_, pool_);
+            }
             incCompute<Alg>(graph_, pool_, values_, affected, ctx);
         }
-        return timer.seconds();
+        return scope.finish();
     }
 
     NodeId numNodes() const override { return graph_.numNodes(); }

@@ -54,6 +54,18 @@ runStream(const DatasetProfile &profile, RunConfig cfg, std::uint64_t seed)
     return run;
 }
 
+double
+WorkloadStages::updateSharePct(int stage) const
+{
+    const Summary &u = update.stage(stage);
+    const Summary &t = total.stage(stage);
+    // Σ = mean x count (Summary keeps both), so the ratio is sum-based
+    // even when the stages pooled different sample counts.
+    const double update_sum = u.mean * static_cast<double>(u.count);
+    const double total_sum = t.mean * static_cast<double>(t.count);
+    return total_sum > 0 ? 100.0 * update_sum / total_sum : 0;
+}
+
 WorkloadStages
 measureWorkload(const DatasetProfile &profile, RunConfig cfg,
                 int repetitions)

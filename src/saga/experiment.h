@@ -41,6 +41,20 @@ struct WorkloadStages
     StageSummary update;
     StageSummary compute;
     StageSummary total;
+
+    /**
+     * Percentage of stage @p stage's batch latency spent in the update
+     * phase — the paper's Fig. 8 quantity, defined as
+     * 100 x Σ update / Σ total over the stage's pooled samples.
+     *
+     * This is the single source of truth for the update share: the
+     * summands come from BatchResult, whose phase latencies are the
+     * telemetry PhaseScope measurements themselves (driver.h), so the
+     * figure, the telemetry JSON phase sums, and this ratio can never
+     * disagree. (A ratio of per-batch means would weight batches
+     * unevenly whenever the update/total sample counts differ.)
+     */
+    double updateSharePct(int stage) const;
 };
 
 /**

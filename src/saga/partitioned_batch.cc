@@ -5,6 +5,7 @@
 #include "ds/hash_util.h"
 #include "perfmodel/trace.h"
 #include "platform/parallel_for.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -12,6 +13,7 @@ void
 PartitionedBatch::build(const EdgeBatch &batch, ThreadPool &pool,
                         std::size_t num_chunks)
 {
+    SAGA_PHASE(telemetry::Phase::UpdateScatter);
     num_chunks_ = num_chunks ? num_chunks : 1;
     size_ = batch.size();
     max_node_ = kInvalidNode;
@@ -29,6 +31,8 @@ PartitionedBatch::build(const EdgeBatch &batch, ThreadPool &pool,
 
     if (size_ == 0)
         return;
+
+    SAGA_COUNT(telemetry::Counter::ScatterEdges, size_);
 
     // Count pass: per-worker histograms over the worker's static slice
     // (worker-major rows, so no two workers share a cache line), plus the

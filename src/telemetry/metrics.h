@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The metrics contract: every counter and phase the telemetry layer can
+ * export, as closed enums with stable names.
+ *
+ * The enums are deliberately closed (no dynamic registration): hot paths
+ * index fixed per-thread arrays with a compile-time constant, the JSON
+ * schema is enumerable without running anything, and docs/TELEMETRY.md can
+ * document every name — which `tools/check_telemetry.py` enforces in CI.
+ * Adding a metric means adding an enumerator + a name here *and* a row in
+ * docs/TELEMETRY.md.
+ */
+
+#ifndef SAGA_TELEMETRY_METRICS_H_
+#define SAGA_TELEMETRY_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace saga {
+namespace telemetry {
+
+/** Exported JSON schema identity (see docs/TELEMETRY.md). */
+inline constexpr const char *kSchemaName = "saga.telemetry";
+inline constexpr int kSchemaVersion = 1;
+
+/** Trace-export schema identity (Chrome trace_event JSON). */
+inline constexpr const char *kTraceSchemaName = "saga.trace";
+inline constexpr int kTraceSchemaVersion = 1;
+
+/**
+ * Monotonic event counters, accumulated per thread on the hot paths and
+ * summed only at aggregation time.
+ */
+enum class Counter : std::uint32_t {
+    IngestBatches,        ///< batches handed to DynGraph::update
+    IngestEdgesSeen,      ///< raw edges offered to a store updateBatch pass
+    IngestEdgesInserted,  ///< edges that created a new adjacency entry
+    IngestDuplicates,     ///< edges deduplicated against an existing entry
+    ScatterEdges,         ///< edges scattered by PartitionedBatch::build
+    StingerBlocksAllocated, ///< fresh Stinger edge blocks
+    DahPromotions,        ///< vertices promoted to DAH high-degree tables
+    DahFlushes,           ///< DAH chunk flush operations
+    ComputeRounds,        ///< frontier/power-iteration rounds executed
+    ComputeFrontierVertices, ///< vertices processed across all rounds
+    ComputeAffectedVertices, ///< batch-affected vertices fed to INC
+    kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+/**
+ * Timed phases. Names form a hierarchy by prefix: "update/scatter" is
+ * always nested inside an "update" span (see docs/TELEMETRY.md for the
+ * full tree). The aggregated metrics are flat per-name sums; the nesting
+ * is visible in the trace export.
+ */
+enum class Phase : std::uint32_t {
+    Update,          ///< whole update phase of one batch
+    UpdateScatter,   ///< PartitionedBatch counting-sort scatter
+    UpdateApply,     ///< store updateBatch consumption (both orientations)
+    Compute,         ///< whole compute phase of one batch
+    ComputeAffected, ///< affected-vertex collection (INC)
+    ComputeRound,    ///< one frontier / power-iteration round
+    kCount
+};
+
+inline constexpr std::size_t kNumPhases =
+    static_cast<std::size_t>(Phase::kCount);
+
+constexpr const char *
+name(Counter c)
+{
+    switch (c) {
+      case Counter::IngestBatches: return "ingest.batches";
+      case Counter::IngestEdgesSeen: return "ingest.edges_seen";
+      case Counter::IngestEdgesInserted: return "ingest.edges_inserted";
+      case Counter::IngestDuplicates: return "ingest.duplicates";
+      case Counter::ScatterEdges: return "scatter.edges";
+      case Counter::StingerBlocksAllocated:
+        return "stinger.blocks_allocated";
+      case Counter::DahPromotions: return "dah.promotions";
+      case Counter::DahFlushes: return "dah.flushes";
+      case Counter::ComputeRounds: return "compute.rounds";
+      case Counter::ComputeFrontierVertices:
+        return "compute.frontier_vertices";
+      case Counter::ComputeAffectedVertices:
+        return "compute.affected_vertices";
+      case Counter::kCount: break;
+    }
+    return "?";
+}
+
+constexpr const char *
+name(Phase p)
+{
+    switch (p) {
+      case Phase::Update: return "update";
+      case Phase::UpdateScatter: return "update/scatter";
+      case Phase::UpdateApply: return "update/apply";
+      case Phase::Compute: return "compute";
+      case Phase::ComputeAffected: return "compute/affected";
+      case Phase::ComputeRound: return "compute/round";
+      case Phase::kCount: break;
+    }
+    return "?";
+}
+
+} // namespace telemetry
+} // namespace saga
+
+#endif // SAGA_TELEMETRY_METRICS_H_

@@ -1,0 +1,182 @@
+#include "telemetry/perf_counters.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace saga {
+namespace telemetry {
+
+#if defined(__linux__)
+
+namespace {
+
+/** type + config for each PerfEvent, in enum order. */
+struct EventSpec
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr std::uint64_t
+cacheConfig(std::uint64_t cache, std::uint64_t op, std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+constexpr EventSpec kSpecs[kNumPerfEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+int
+openEvent(const EventSpec &spec)
+{
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1; // usable at perf_event_paranoid <= 2
+    attr.exclude_hv = 1;
+    // inherit=1 folds threads created after this open into the count on
+    // read — this is why a PerfSampler must open before the ThreadPool
+    // exists. (inherit aggregation requires one fd per event; that is
+    // why the events are not a PERF_FORMAT_GROUP.)
+    attr.inherit = 1;
+
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1,
+                                    /*group_fd=*/-1, /*flags=*/0UL));
+}
+
+} // namespace
+
+bool
+PerfSampler::open()
+{
+    if (opened_)
+        return available_;
+    opened_ = true;
+
+    int first_errno = 0;
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i) {
+        fds_[i] = openEvent(kSpecs[i]);
+        if (fds_[i] >= 0)
+            ++live;
+        else if (first_errno == 0)
+            first_errno = errno;
+    }
+    available_ = live > 0;
+
+    char buf[160];
+    if (live == kNumPerfEvents) {
+        std::snprintf(buf, sizeof(buf), "all %zu events live", live);
+    } else if (live > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "%zu of %zu events live (first failure: %s)", live,
+                      kNumPerfEvents, std::strerror(first_errno));
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "perf_event_open failed: %s (perf_event_paranoid=%d)",
+                      std::strerror(first_errno), paranoidLevel());
+    }
+    status_ = buf;
+    return available_;
+}
+
+void
+PerfSampler::close()
+{
+    for (int &fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+    opened_ = false;
+    available_ = false;
+    status_ = "closed";
+}
+
+PerfValues
+PerfSampler::read() const
+{
+    PerfValues out;
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i) {
+        if (fds_[i] < 0)
+            continue;
+        std::uint64_t value = 0;
+        if (::read(fds_[i], &value, sizeof(value)) ==
+            static_cast<ssize_t>(sizeof(value)))
+            out.value[i] = value;
+    }
+    return out;
+}
+
+int
+PerfSampler::paranoidLevel()
+{
+    std::FILE *f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+    if (!f)
+        return -2;
+    int level = -2;
+    if (std::fscanf(f, "%d", &level) != 1)
+        level = -2;
+    std::fclose(f);
+    return level;
+}
+
+#else // !__linux__
+
+bool
+PerfSampler::open()
+{
+    opened_ = true;
+    available_ = false;
+    status_ = "perf_event_open unavailable on this platform";
+    return false;
+}
+
+void
+PerfSampler::close()
+{
+    opened_ = false;
+    available_ = false;
+    status_ = "closed";
+}
+
+PerfValues
+PerfSampler::read() const
+{
+    return PerfValues{};
+}
+
+int
+PerfSampler::paranoidLevel()
+{
+    return -2;
+}
+
+#endif
+
+} // namespace telemetry
+} // namespace saga

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * perf_event_open wrapper — real hardware counters for the phase profile.
+ *
+ * The paper characterizes the update/compute phases with Intel PCM
+ * (cycles, instructions, cache hit ratios, MPKI — Fig. 10). Where the
+ * kernel and permissions allow it, this wrapper samples the generic
+ * perf events (cycles, instructions, L1D and last-level-cache read
+ * accesses/misses) around the telemetry phases so a run on real hardware
+ * reports measured hit ratios and MPKI next to the wall-clock numbers.
+ *
+ * Portability and privilege are both best-effort by design:
+ *  - non-Linux builds compile to a permanent "unavailable" stub;
+ *  - on Linux, every event is opened independently and a refused event
+ *    (EACCES under a strict perf_event_paranoid, ENOENT on a PMU-less
+ *    VM) simply stays unavailable — the run continues, and the JSON dump
+ *    records which events were live and why the rest were not;
+ *  - the kernel has no *generic* private-L2 event (L2 is
+ *    microarchitecture-specific), so the portable pair here is L1D + LLC;
+ *    docs/TELEMETRY.md maps this onto the paper's L2/LLC methodology.
+ *
+ * Counters are opened with inherit=1: threads created *after* open() are
+ * aggregated into the same counts, so open() must run before the worker
+ * pool is constructed (the bench mains do this).
+ */
+
+#ifndef SAGA_TELEMETRY_PERF_COUNTERS_H_
+#define SAGA_TELEMETRY_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace saga {
+namespace telemetry {
+
+/** The sampled hardware events, in fixed order. */
+enum class PerfEvent : std::uint32_t {
+    Cycles,
+    Instructions,
+    L1dLoads,
+    L1dMisses,
+    LlcLoads,
+    LlcMisses,
+    kCount
+};
+
+inline constexpr std::size_t kNumPerfEvents =
+    static_cast<std::size_t>(PerfEvent::kCount);
+
+constexpr const char *
+name(PerfEvent e)
+{
+    switch (e) {
+      case PerfEvent::Cycles: return "cycles";
+      case PerfEvent::Instructions: return "instructions";
+      case PerfEvent::L1dLoads: return "l1d_loads";
+      case PerfEvent::L1dMisses: return "l1d_misses";
+      case PerfEvent::LlcLoads: return "llc_loads";
+      case PerfEvent::LlcMisses: return "llc_misses";
+      case PerfEvent::kCount: break;
+    }
+    return "?";
+}
+
+/** One sample: the current value of every event (0 if unavailable). */
+struct PerfValues
+{
+    std::array<std::uint64_t, kNumPerfEvents> value{};
+
+    std::uint64_t
+    operator[](PerfEvent e) const
+    {
+        return value[static_cast<std::size_t>(e)];
+    }
+};
+
+/**
+ * A set of independently opened hardware counters for this process.
+ *
+ * Thread ownership: open(), close(), and read() must all be called from
+ * the same thread (the driver thread that brackets the sampled phases);
+ * worker activity is captured via inherit, not via concurrent reads.
+ */
+class PerfSampler
+{
+  public:
+    PerfSampler() = default;
+    ~PerfSampler() { close(); }
+
+    PerfSampler(const PerfSampler &) = delete;
+    PerfSampler &operator=(const PerfSampler &) = delete;
+
+    /**
+     * Try to open every event. Idempotent. @return true if at least one
+     * event is live. On failure the sampler stays usable as a no-op and
+     * status() explains what happened.
+     */
+    bool open();
+
+    void close();
+
+    /** True if at least one event opened successfully. */
+    bool available() const { return available_; }
+
+    /** True if this specific event is live. */
+    bool
+    eventAvailable(PerfEvent e) const
+    {
+        return fds_[static_cast<std::size_t>(e)] >= 0;
+    }
+
+    /** Human-readable open outcome (also exported to the JSON dump). */
+    const std::string &status() const { return status_; }
+
+    /** Read all live events (unavailable events read as 0). */
+    PerfValues read() const;
+
+    /**
+     * Value of /proc/sys/kernel/perf_event_paranoid, or -2 when the file
+     * is unreadable (non-Linux, masked /proc). Level <= 2 is generally
+     * required for unprivileged per-process counting.
+     */
+    static int paranoidLevel();
+
+  private:
+    std::array<int, kNumPerfEvents> fds_{-1, -1, -1, -1, -1, -1};
+    bool opened_ = false;
+    bool available_ = false;
+    std::string status_ = "not opened";
+};
+
+} // namespace telemetry
+} // namespace saga
+
+#endif // SAGA_TELEMETRY_PERF_COUNTERS_H_

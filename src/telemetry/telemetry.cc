@@ -1,0 +1,551 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "platform/spinlock.h"
+#include "platform/thread_annotations.h"
+
+namespace saga {
+namespace telemetry {
+
+namespace {
+
+/** Emit a double that always parses as a JSON number. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os << buf;
+}
+
+/** Shared metrics-JSON writer (enabled and compiled-out builds emit the
+    same schema; compiled-out dumps are all zeros). */
+void
+writeMetricsJsonImpl(std::ostream &os, const MetricsSnapshot &snap,
+                     bool metricsOn, bool traceOn, bool compiledOut)
+{
+    os << "{\n";
+    os << "  \"schema\": \"" << kSchemaName << "\",\n";
+    os << "  \"version\": " << kSchemaVersion << ",\n";
+    os << "  \"enabled\": " << (metricsOn ? "true" : "false") << ",\n";
+    os << "  \"compiled_out\": " << (compiledOut ? "true" : "false")
+       << ",\n";
+    os << "  \"threads\": " << snap.threads << ",\n";
+
+    os << "  \"counters\": {";
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        os << '"' << name(static_cast<Counter>(i))
+           << "\": " << snap.counters[i];
+    }
+    os << "\n  },\n";
+
+    os << "  \"phases\": {";
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+        const PhaseTotals &pt = snap.phases[i];
+        double total = static_cast<double>(pt.totalNs) * 1e-9;
+        double mean = pt.count ? total / static_cast<double>(pt.count) : 0;
+        os << (i ? ",\n    " : "\n    ");
+        os << '"' << name(static_cast<Phase>(i)) << "\": {\"count\": "
+           << pt.count << ", \"total_s\": ";
+        jsonNumber(os, total);
+        os << ", \"mean_s\": ";
+        jsonNumber(os, mean);
+        os << ", \"min_s\": ";
+        jsonNumber(os, static_cast<double>(pt.minNs) * 1e-9);
+        os << ", \"max_s\": ";
+        jsonNumber(os, static_cast<double>(pt.maxNs) * 1e-9);
+        os << '}';
+    }
+    os << "\n  },\n";
+
+    os << "  \"perf\": {\n";
+    os << "    \"available\": " << (snap.perfAvailable ? "true" : "false")
+       << ",\n";
+    os << "    \"status\": \"" << snap.perfStatus << "\",\n";
+    os << "    \"paranoid_level\": " << PerfSampler::paranoidLevel()
+       << ",\n";
+    os << "    \"events\": {";
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i) {
+        os << (i ? ", " : "");
+        os << '"' << name(static_cast<PerfEvent>(i))
+           << "\": " << (snap.perfEventLive[i] ? "true" : "false");
+    }
+    os << "},\n";
+    os << "    \"phases\": {";
+    bool firstPhase = true;
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+        const PerfPhaseTotals &pp = snap.perf[i];
+        if (pp.samples == 0)
+            continue;
+        os << (firstPhase ? "\n      " : ",\n      ");
+        firstPhase = false;
+        os << '"' << name(static_cast<Phase>(i))
+           << "\": {\"samples\": " << pp.samples;
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            os << ", \"" << name(static_cast<PerfEvent>(e))
+               << "\": " << pp.delta[e];
+
+        auto live = [&](PerfEvent e) {
+            return snap.perfEventLive[static_cast<std::size_t>(e)];
+        };
+        auto delta = [&](PerfEvent e) {
+            return static_cast<double>(
+                pp.delta[static_cast<std::size_t>(e)]);
+        };
+        double instructions = delta(PerfEvent::Instructions);
+        if (live(PerfEvent::Cycles) && live(PerfEvent::Instructions) &&
+            delta(PerfEvent::Cycles) > 0) {
+            os << ", \"ipc\": ";
+            jsonNumber(os, instructions / delta(PerfEvent::Cycles));
+        }
+        if (live(PerfEvent::L1dLoads) && live(PerfEvent::L1dMisses) &&
+            delta(PerfEvent::L1dLoads) > 0) {
+            os << ", \"l1d_hit_ratio\": ";
+            jsonNumber(os, 1.0 - delta(PerfEvent::L1dMisses) /
+                                     delta(PerfEvent::L1dLoads));
+        }
+        if (live(PerfEvent::L1dMisses) && live(PerfEvent::Instructions) &&
+            instructions > 0) {
+            os << ", \"l1d_mpki\": ";
+            jsonNumber(os,
+                       delta(PerfEvent::L1dMisses) / instructions * 1000.0);
+        }
+        if (live(PerfEvent::LlcLoads) && live(PerfEvent::LlcMisses) &&
+            delta(PerfEvent::LlcLoads) > 0) {
+            os << ", \"llc_hit_ratio\": ";
+            jsonNumber(os, 1.0 - delta(PerfEvent::LlcMisses) /
+                                     delta(PerfEvent::LlcLoads));
+        }
+        if (live(PerfEvent::LlcMisses) && live(PerfEvent::Instructions) &&
+            instructions > 0) {
+            os << ", \"llc_mpki\": ";
+            jsonNumber(os,
+                       delta(PerfEvent::LlcMisses) / instructions * 1000.0);
+        }
+        os << '}';
+    }
+    os << (firstPhase ? "" : "\n    ") << "}\n";
+    os << "  },\n";
+
+    os << "  \"trace\": {\"enabled\": " << (traceOn ? "true" : "false")
+       << ", \"events\": " << snap.traceEvents
+       << ", \"dropped\": " << snap.traceDropped << "}\n";
+    os << "}\n";
+}
+
+void
+writeTraceJsonImpl(std::ostream &os, const std::vector<TraceEvent> &events)
+{
+    os << "{\"traceEvents\":[\n";
+    os << " {\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+          "\"args\":{\"name\":\"saga\"}}";
+    std::uint32_t maxTid = 0;
+    for (const TraceEvent &ev : events)
+        maxTid = std::max(maxTid, ev.tid);
+    if (!events.empty()) {
+        for (std::uint32_t t = 0; t <= maxTid; ++t)
+            os << ",\n {\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+               << "\"tid\":" << t << ",\"args\":{\"name\":\"saga thread "
+               << t << "\"}}";
+    }
+    for (const TraceEvent &ev : events) {
+        char ts[40];
+        std::snprintf(ts, sizeof(ts), "%.3f",
+                      static_cast<double>(ev.tsNs) / 1000.0);
+        os << ",\n {\"name\":\"" << name(ev.phase)
+           << "\",\"cat\":\"saga\",\"ph\":\"" << ev.type
+           << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << ts << '}';
+    }
+    os << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"schema\":\""
+       << kTraceSchemaName << "\",\"version\":" << kTraceSchemaVersion
+       << "}}\n";
+}
+
+} // namespace
+
+#ifndef SAGA_TELEMETRY_DISABLED
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_trace_enabled{false};
+} // namespace detail
+
+namespace {
+
+/** Cap per thread; beyond it events are counted as dropped, never
+    silently truncated (the dump reports the drop count). */
+constexpr std::size_t kMaxTraceEventsPerThread = std::size_t(1) << 20;
+
+struct PhaseAcc
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t minNs = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t maxNs = 0;
+};
+
+struct TraceRec
+{
+    std::uint64_t tsNs;
+    Phase phase;
+    char type;
+};
+
+/**
+ * One thread's private accumulators. Cache-line aligned so two threads'
+ * slots never share a line; all mutation is by the owning thread, with
+ * aggregation happening only at quiescent points (the pool barrier that
+ * separates phases orders those reads after the workers' writes).
+ */
+struct alignas(64) ThreadSlot
+{
+    std::array<std::uint64_t, kNumCounters> counters{};
+    std::array<PhaseAcc, kNumPhases> phases{};
+    std::vector<TraceRec> trace;
+    std::uint64_t traceDropped = 0;
+
+    void
+    reset()
+    {
+        counters.fill(0);
+        phases.fill(PhaseAcc{});
+        trace.clear();
+        traceDropped = 0;
+    }
+};
+
+class Registry
+{
+  public:
+    static Registry &
+    instance()
+    {
+        static Registry r;
+        return r;
+    }
+
+    /** This thread's slot, registering it on first use. The slot pointer
+        stays valid for the thread's lifetime (slots are never freed while
+        the registry lives; growth moves only the owning unique_ptrs). */
+    ThreadSlot &
+    slot()
+    {
+        thread_local ThreadSlot *tls = nullptr;
+        if (!tls)
+            tls = registerThread();
+        return *tls;
+    }
+
+    std::uint64_t
+    nowNs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+    }
+
+    MetricsSnapshot
+    aggregate()
+    {
+        MetricsSnapshot out;
+        SpinGuard guard(lock_);
+        out.threads = slots_.size();
+        for (const auto &slotPtr : slots_) {
+            const ThreadSlot &s = *slotPtr;
+            for (std::size_t i = 0; i < kNumCounters; ++i)
+                out.counters[i] += s.counters[i];
+            for (std::size_t i = 0; i < kNumPhases; ++i) {
+                const PhaseAcc &acc = s.phases[i];
+                if (acc.count == 0)
+                    continue;
+                PhaseTotals &pt = out.phases[i];
+                if (pt.count == 0)
+                    pt.minNs = acc.minNs;
+                else
+                    pt.minNs = std::min(pt.minNs, acc.minNs);
+                pt.count += acc.count;
+                pt.totalNs += acc.totalNs;
+                pt.maxNs = std::max(pt.maxNs, acc.maxNs);
+            }
+            out.traceEvents += s.trace.size();
+            out.traceDropped += s.traceDropped;
+        }
+        return out;
+    }
+
+    std::vector<TraceEvent>
+    collectTrace()
+    {
+        std::vector<TraceEvent> out;
+        SpinGuard guard(lock_);
+        for (std::size_t t = 0; t < slots_.size(); ++t) {
+            for (const TraceRec &rec : slots_[t]->trace) {
+                TraceEvent ev;
+                ev.tsNs = rec.tsNs;
+                ev.tid = static_cast<std::uint32_t>(t);
+                ev.phase = rec.phase;
+                ev.type = rec.type;
+                out.push_back(ev);
+            }
+        }
+        return out;
+    }
+
+    void
+    resetAll()
+    {
+        SpinGuard guard(lock_);
+        for (const auto &slotPtr : slots_)
+            slotPtr->reset();
+    }
+
+  private:
+    Registry() = default;
+
+    ThreadSlot *
+    registerThread()
+    {
+        SpinGuard guard(lock_);
+        slots_.push_back(std::make_unique<ThreadSlot>());
+        return slots_.back().get();
+    }
+
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+    SpinLock lock_;
+    std::vector<std::unique_ptr<ThreadSlot>> slots_ SAGA_GUARDED_BY(lock_);
+};
+
+/**
+ * Process perf counters plus the per-phase delta accumulators. The
+ * sampler itself is driver-thread-only (see perf_counters.h); the
+ * accumulators take a spinlock because sampling is per-phase, not
+ * per-element — never on the element hot path.
+ */
+struct PerfState
+{
+    PerfSampler sampler;
+    SpinLock lock;
+    std::array<PerfPhaseTotals, kNumPhases> perPhase SAGA_GUARDED_BY(lock);
+};
+
+PerfState &
+perfState()
+{
+    static PerfState p;
+    return p;
+}
+
+void
+pushTrace(Phase phase, char type, std::uint64_t tsNs)
+{
+    ThreadSlot &s = Registry::instance().slot();
+    if (s.trace.size() >= kMaxTraceEventsPerThread) {
+        ++s.traceDropped;
+        return;
+    }
+    s.trace.push_back(TraceRec{tsNs, phase, type});
+}
+
+} // namespace
+
+namespace detail {
+
+void
+addCount(Counter c, std::uint64_t n)
+{
+    Registry::instance().slot().counters[static_cast<std::size_t>(c)] += n;
+}
+
+} // namespace detail
+
+PhaseScope::PhaseScope(Phase phase, unsigned flags) : phase_(phase)
+{
+    record_ = enabled();
+    trace_ = traceEnabled();
+    perf_ = (flags & kSamplePerf) != 0 && record_ &&
+            perfState().sampler.available();
+    timed_ = record_ || trace_ || (flags & kAlwaysTime) != 0;
+    armed_ = true;
+    if (perf_)
+        perfStart_ = perfState().sampler.read();
+    if (timed_)
+        startNs_ = Registry::instance().nowNs();
+    if (trace_)
+        pushTrace(phase_, 'B', startNs_);
+}
+
+double
+PhaseScope::finish()
+{
+    if (!armed_)
+        return seconds_;
+    armed_ = false;
+
+    std::uint64_t endNs = 0;
+    std::uint64_t elapsed = 0;
+    if (timed_) {
+        endNs = Registry::instance().nowNs();
+        elapsed = endNs - startNs_;
+        seconds_ = static_cast<double>(elapsed) * 1e-9;
+    }
+    if (trace_)
+        pushTrace(phase_, 'E', endNs);
+    if (record_) {
+        PhaseAcc &acc = Registry::instance()
+                            .slot()
+                            .phases[static_cast<std::size_t>(phase_)];
+        ++acc.count;
+        acc.totalNs += elapsed;
+        acc.minNs = std::min(acc.minNs, elapsed);
+        acc.maxNs = std::max(acc.maxNs, elapsed);
+    }
+    if (perf_) {
+        PerfState &ps = perfState();
+        PerfValues end = ps.sampler.read();
+        SpinGuard guard(ps.lock);
+        PerfPhaseTotals &acc =
+            ps.perPhase[static_cast<std::size_t>(phase_)];
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            acc.delta[e] += end.value[e] - perfStart_.value[e];
+        ++acc.samples;
+    }
+    return seconds_;
+}
+
+void
+setEnabled(bool on)
+{
+    // relaxed: quiescent-toggle flag; see enabled().
+    detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool on)
+{
+    // relaxed: quiescent-toggle flag; see traceEnabled().
+    detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+enablePerf()
+{
+    return perfState().sampler.open();
+}
+
+bool
+perfAvailable()
+{
+    return perfState().sampler.available();
+}
+
+std::string
+perfStatus()
+{
+    return perfState().sampler.status();
+}
+
+MetricsSnapshot
+snapshot()
+{
+    MetricsSnapshot out = Registry::instance().aggregate();
+    PerfState &ps = perfState();
+    out.perfAvailable = ps.sampler.available();
+    out.perfStatus = ps.sampler.status();
+    for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+        out.perfEventLive[e] =
+            ps.sampler.eventAvailable(static_cast<PerfEvent>(e));
+    {
+        SpinGuard guard(ps.lock);
+        out.perf = ps.perPhase;
+    }
+    for (std::size_t i = 0; i < kNumPhases; ++i)
+        if (out.phases[i].count == 0)
+            out.phases[i].minNs = 0;
+    return out;
+}
+
+std::vector<TraceEvent>
+traceSnapshot()
+{
+    return Registry::instance().collectTrace();
+}
+
+void
+reset()
+{
+    Registry::instance().resetAll();
+    PerfState &ps = perfState();
+    SpinGuard guard(ps.lock);
+    ps.perPhase.fill(PerfPhaseTotals{});
+}
+
+void
+writeMetricsJson(std::ostream &os)
+{
+    writeMetricsJsonImpl(os, snapshot(), enabled(), traceEnabled(),
+                         /*compiledOut=*/false);
+}
+
+void
+writeTraceJson(std::ostream &os)
+{
+    writeTraceJsonImpl(os, traceSnapshot());
+}
+
+#else // SAGA_TELEMETRY_DISABLED
+
+void
+writeMetricsJson(std::ostream &os)
+{
+    MetricsSnapshot snap;
+    snap.perfStatus = "telemetry compiled out";
+    writeMetricsJsonImpl(os, snap, /*metricsOn=*/false,
+                         /*traceOn=*/false, /*compiledOut=*/true);
+}
+
+void
+writeTraceJson(std::ostream &os)
+{
+    writeTraceJsonImpl(os, {});
+}
+
+#endif // SAGA_TELEMETRY_DISABLED
+
+bool
+writeMetricsJson(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeMetricsJson(os);
+    return static_cast<bool>(os);
+}
+
+bool
+writeTraceJson(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeTraceJson(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace telemetry
+} // namespace saga

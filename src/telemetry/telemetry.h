@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Runtime telemetry — low-overhead metrics, phase timing, and tracing.
+ *
+ * Design (DESIGN.md §8):
+ *  - *Per-thread accumulation.* Every counter increment and phase sample
+ *    lands in the calling thread's cache-line-aligned slot; no locks and
+ *    no shared atomics on the hot path. Aggregation walks the slots only
+ *    when a snapshot/export is requested, which by contract happens while
+ *    the system is quiescent (between phases / after a run) — exactly the
+ *    same phase-separation contract the stores' quiescent reads use
+ *    (DESIGN.md §7).
+ *  - *Closed metric set.* Counters and phases are the enums in
+ *    metrics.h, so hot paths index fixed arrays and the exported schema
+ *    is statically enumerable (docs/TELEMETRY.md documents every name;
+ *    CI enforces it).
+ *  - *Off by default.* Metrics and tracing are runtime flags; disabled,
+ *    the instrumentation costs one predictable branch on a relaxed flag
+ *    load. Compiling with SAGA_TELEMETRY_DISABLED (cmake
+ *    -DSAGA_TELEMETRY=OFF) reduces the macros to nothing at all.
+ *
+ * Hot-path API: SAGA_COUNT(Counter::X, n) and SAGA_PHASE(Phase::X) — the
+ * linter requires the argument to be a literal enumerator so the set of
+ * live metrics stays greppable. Control/export API at the bottom.
+ */
+
+#ifndef SAGA_TELEMETRY_TELEMETRY_H_
+#define SAGA_TELEMETRY_TELEMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/perf_counters.h"
+
+#ifndef SAGA_TELEMETRY_DISABLED
+#include <atomic>
+#else
+#include <chrono>
+#endif
+
+namespace saga {
+namespace telemetry {
+
+/** Aggregated timing of one phase across all threads. */
+struct PhaseTotals
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t minNs = 0;
+    std::uint64_t maxNs = 0;
+};
+
+/** Hardware-counter deltas attributed to one phase. */
+struct PerfPhaseTotals
+{
+    std::array<std::uint64_t, kNumPerfEvents> delta{};
+    std::uint64_t samples = 0;
+};
+
+/** One quiescent aggregation of everything the registry holds. */
+struct MetricsSnapshot
+{
+    std::array<std::uint64_t, kNumCounters> counters{};
+    std::array<PhaseTotals, kNumPhases> phases{};
+    std::array<PerfPhaseTotals, kNumPhases> perf{};
+    bool perfAvailable = false;
+    std::array<bool, kNumPerfEvents> perfEventLive{};
+    std::string perfStatus;
+    std::size_t threads = 0;
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceDropped = 0;
+};
+
+/** One begin/end trace record (tests and the Chrome exporter read these). */
+struct TraceEvent
+{
+    std::uint64_t tsNs = 0; ///< nanoseconds since the registry epoch
+    std::uint32_t tid = 0;  ///< slot index of the recording thread
+    Phase phase = Phase::Update;
+    char type = 'B'; ///< 'B' or 'E'
+};
+
+#ifndef SAGA_TELEMETRY_DISABLED
+
+namespace detail {
+// Runtime switches. Toggled only while the system is quiescent; hot
+// paths read them with relaxed loads.
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_trace_enabled;
+
+void addCount(Counter c, std::uint64_t n);
+} // namespace detail
+
+/** True if metric recording is on (hot-path check). */
+inline bool
+enabled()
+{
+    // relaxed: a pure on/off flag flipped only while no phase is
+    // running; readers need no ordering, just the eventual value.
+    return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/** True if trace-span recording is on (hot-path check). */
+inline bool
+traceEnabled()
+{
+    // relaxed: same quiescent-toggle flag rationale as enabled().
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/** Add @p n to counter @p c on this thread's slot (if enabled). */
+inline void
+count(Counter c, std::uint64_t n = 1)
+{
+    if (enabled())
+        detail::addCount(c, n);
+}
+
+/**
+ * RAII phase span: times the enclosed scope, records it into the
+ * per-thread phase accumulator (metrics), emits a B/E trace pair
+ * (tracing), and samples hardware counters around it (kSamplePerf).
+ *
+ * finish() ends the span early and returns its duration in seconds —
+ * the streaming driver uses this so that BatchResult latencies and the
+ * telemetry phase sums are one measurement, not two (the fig8
+ * single-source-of-truth fix).
+ */
+class PhaseScope
+{
+  public:
+    enum Flags : unsigned {
+        kNone = 0,
+        /** Measure time even when telemetry is disabled (caller needs
+            the duration regardless, e.g. BatchResult). */
+        kAlwaysTime = 1,
+        /** Sample the process perf counters across the span. Only
+            meaningful on the thread that owns the PerfSampler (the
+            driver thread); nested sampled scopes double-count. */
+        kSamplePerf = 2,
+    };
+
+    explicit PhaseScope(Phase phase, unsigned flags = kNone);
+    ~PhaseScope()
+    {
+        if (armed_)
+            finish();
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+    /** End the span (idempotent) and return elapsed seconds. */
+    double finish();
+
+  private:
+    Phase phase_;
+    bool record_ = false;
+    bool trace_ = false;
+    bool perf_ = false;
+    bool timed_ = false;
+    bool armed_ = false;
+    std::uint64_t startNs_ = 0;
+    double seconds_ = 0;
+    PerfValues perfStart_{};
+};
+
+/** Turn metric recording on/off. Call only while quiescent. */
+void setEnabled(bool on);
+
+/** Turn trace-span recording on/off. Call only while quiescent. */
+void setTraceEnabled(bool on);
+
+/**
+ * Open the process hardware counters (idempotent). Must run before the
+ * worker pools are created (inherit semantics — see perf_counters.h).
+ * @return true if at least one event is live.
+ */
+bool enablePerf();
+
+/** True if enablePerf() opened at least one event. */
+bool perfAvailable();
+
+/** Human-readable perf open status (also in the JSON dump). */
+std::string perfStatus();
+
+/** Aggregate all thread slots. Call only while quiescent. */
+MetricsSnapshot snapshot();
+
+/** All recorded trace events, per-thread-ordered. Quiescent only. */
+std::vector<TraceEvent> traceSnapshot();
+
+/** Zero every counter, phase accumulator, and trace buffer. Quiescent
+    only; thread slots stay registered. */
+void reset();
+
+/** Write the versioned metrics JSON (docs/TELEMETRY.md schema). */
+void writeMetricsJson(std::ostream &os);
+
+/** Write Chrome trace_event JSON loadable in chrome://tracing/Perfetto. */
+void writeTraceJson(std::ostream &os);
+
+/** File-path conveniences; @return false if the file cannot be opened. */
+bool writeMetricsJson(const std::string &path);
+bool writeTraceJson(const std::string &path);
+
+#else // SAGA_TELEMETRY_DISABLED
+
+// Compiled-out mode: the whole subsystem reduces to inline no-ops. The
+// only behavior kept is PhaseScope's kAlwaysTime timing, because the
+// streaming driver derives BatchResult latencies from it.
+
+constexpr bool enabled() { return false; }
+constexpr bool traceEnabled() { return false; }
+inline void count(Counter, std::uint64_t = 1) {}
+
+class PhaseScope
+{
+  public:
+    enum Flags : unsigned { kNone = 0, kAlwaysTime = 1, kSamplePerf = 2 };
+
+    explicit PhaseScope(Phase, unsigned flags = kNone)
+    {
+        if (flags & kAlwaysTime) {
+            timed_ = true;
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+    double
+    finish()
+    {
+        if (timed_) {
+            seconds_ = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+            timed_ = false;
+        }
+        return seconds_;
+    }
+
+  private:
+    bool timed_ = false;
+    double seconds_ = 0;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+inline void setEnabled(bool) {}
+inline void setTraceEnabled(bool) {}
+inline bool enablePerf() { return false; }
+inline bool perfAvailable() { return false; }
+inline std::string perfStatus() { return "telemetry compiled out"; }
+inline MetricsSnapshot snapshot() { return {}; }
+inline std::vector<TraceEvent> traceSnapshot() { return {}; }
+inline void reset() {}
+void writeMetricsJson(std::ostream &os);
+void writeTraceJson(std::ostream &os);
+bool writeMetricsJson(const std::string &path);
+bool writeTraceJson(const std::string &path);
+
+#endif // SAGA_TELEMETRY_DISABLED
+
+} // namespace telemetry
+} // namespace saga
+
+#define SAGA_TELEMETRY_CAT2(a, b) a##b
+#define SAGA_TELEMETRY_CAT(a, b) SAGA_TELEMETRY_CAT2(a, b)
+
+#ifndef SAGA_TELEMETRY_DISABLED
+
+/**
+ * Time the rest of the enclosing scope as telemetry phase @p phase.
+ * The argument must be a literal ::saga::telemetry::Phase enumerator
+ * (enforced by saga_lint's telemetry-enum-qualified rule).
+ */
+#define SAGA_PHASE(phase)                                                  \
+    ::saga::telemetry::PhaseScope SAGA_TELEMETRY_CAT(saga_phase_scope_,   \
+                                                     __LINE__)((phase))
+
+/** Add @p n to telemetry counter @p counter (literal enumerator). */
+#define SAGA_COUNT(counter, n) ::saga::telemetry::count((counter), (n))
+
+#else
+
+#define SAGA_PHASE(phase) ((void)0)
+#define SAGA_COUNT(counter, n) ((void)0)
+
+#endif
+
+#endif // SAGA_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,17 @@
+// Seeded violations: telemetry macro discipline. SAGA_PHASE/SAGA_COUNT
+// must be handed a qualified telemetry::Phase:: / telemetry::Counter::
+// enumerator so instrumentation points grep to the closed enums in
+// src/telemetry/metrics.h; see README.md in this directory.
+
+enum class Phase { Update };
+inline constexpr int kBatchCounter = 0;
+
+void
+bad_telemetry(int n)
+{
+    // Unqualified enumerator — reads like the real thing, greps to nothing.
+    SAGA_PHASE(Phase::Update);
+
+    // Not a Counter:: enumerator at all.
+    SAGA_COUNT(kBatchCounter, n);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Compile-out probe for the telemetry layer: built with
+ * SAGA_TELEMETRY_DISABLED (cmake -DSAGA_TELEMETRY=OFF) against its own
+ * copies of telemetry.cc/perf_counters.cc — deliberately NOT linked
+ * against the saga library, whose objects are built in the enabled mode
+ * (mixing the two in one binary would be an ODR violation).
+ *
+ * Verifies the disabled-mode contract the hot paths rely on:
+ *  - the macros reduce to no-ops and recording can never turn on;
+ *  - PhaseScope still times under kAlwaysTime (BatchResult needs it);
+ *  - the JSON writers still emit the full schema, flagged compiled_out.
+ *
+ * Exits 0 on success; prints the first failed check and exits 1 otherwise.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+#ifndef SAGA_TELEMETRY_DISABLED
+#error "this probe must be compiled with SAGA_TELEMETRY_DISABLED"
+#endif
+
+namespace {
+
+int g_failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::cerr << "FAIL: " << what << "\n";
+        ++g_failures;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace saga::telemetry;
+
+    // Recording is statically off; the setters must not resurrect it.
+    setEnabled(true);
+    setTraceEnabled(true);
+    check(!enabled(), "enabled() must stay false when compiled out");
+    check(!traceEnabled(), "traceEnabled() must stay false");
+    check(!enablePerf(), "enablePerf() must report unavailable");
+    check(!perfAvailable(), "perfAvailable() must stay false");
+
+    // The macros must compile to nothing and leave no state behind.
+    SAGA_COUNT(saga::telemetry::Counter::IngestBatches, 5);
+    {
+        SAGA_PHASE(saga::telemetry::Phase::Update);
+    }
+    const MetricsSnapshot snap = snapshot();
+    check(snap.counters[static_cast<std::size_t>(
+              Counter::IngestBatches)] == 0,
+          "SAGA_COUNT must be a no-op");
+    check(snap.phases[static_cast<std::size_t>(Phase::Update)].count == 0,
+          "SAGA_PHASE must record nothing");
+    check(traceSnapshot().empty(), "trace buffer must stay empty");
+
+    // kAlwaysTime is the one behavior that survives: the streaming driver
+    // derives BatchResult latencies from finish().
+    PhaseScope scope(Phase::Update, PhaseScope::kAlwaysTime);
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + 1;
+    const double first = scope.finish();
+    check(first > 0.0, "kAlwaysTime finish() must measure elapsed time");
+    check(scope.finish() == first, "finish() must be idempotent");
+    PhaseScope untimed(Phase::Update);
+    check(untimed.finish() == 0.0,
+          "finish() without kAlwaysTime must return 0");
+
+    // Dumps keep the documented schema so tooling never needs a special
+    // case for compiled-out builds.
+    std::ostringstream metrics;
+    writeMetricsJson(metrics);
+    const std::string mjson = metrics.str();
+    check(mjson.find("\"schema\": \"saga.telemetry\"") != std::string::npos,
+          "metrics dump must carry the schema stamp");
+    check(mjson.find("\"compiled_out\": true") != std::string::npos,
+          "metrics dump must flag compiled_out");
+    check(mjson.find("\"ingest.batches\": 0") != std::string::npos,
+          "metrics dump must enumerate counters (zeros)");
+
+    std::ostringstream trace;
+    writeTraceJson(trace);
+    const std::string tjson = trace.str();
+    check(tjson.find("{\"traceEvents\":[") == 0,
+          "trace dump must be Chrome trace_event JSON");
+    check(tjson.find("\"schema\":\"saga.trace\"") != std::string::npos,
+          "trace dump must carry the schema stamp");
+
+    if (g_failures) {
+        std::cerr << g_failures << " check(s) failed\n";
+        return 1;
+    }
+    std::cout << "telemetry_disabled_probe: all checks passed\n";
+    return 0;
+}

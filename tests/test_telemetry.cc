@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Telemetry layer: per-thread aggregation exactness (TSan covers the
+ * races), phase accumulator semantics, trace well-formedness, JSON schema
+ * completeness, the no-op-when-disabled contract, and the ingest-counter
+ * invariant (edges_seen == inserted + duplicates).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ds/adj_shared.h"
+#include "ds/dyn_graph.h"
+#include "platform/thread_pool.h"
+#include "telemetry/telemetry.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+using telemetry::Counter;
+using telemetry::MetricsSnapshot;
+using telemetry::Phase;
+using telemetry::PhaseScope;
+using telemetry::TraceEvent;
+
+std::uint64_t
+counterValue(const MetricsSnapshot &snap, Counter c)
+{
+    return snap.counters[static_cast<std::size_t>(c)];
+}
+
+const telemetry::PhaseTotals &
+phaseTotals(const MetricsSnapshot &snap, Phase p)
+{
+    return snap.phases[static_cast<std::size_t>(p)];
+}
+
+/** Every test starts and ends with telemetry off and zeroed — the flags
+    and slots are process-global. */
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { quiesce(); }
+    void TearDown() override { quiesce(); }
+
+    static void quiesce()
+    {
+        telemetry::setEnabled(false);
+        telemetry::setTraceEnabled(false);
+        telemetry::reset();
+    }
+};
+
+TEST_F(TelemetryTest, MetricsJsonNamesEveryCounterAndPhase)
+{
+    // The docs/TELEMETRY.md contract: a dump enumerates the full closed
+    // metric set, zeros included, in every build mode.
+    std::ostringstream os;
+    telemetry::writeMetricsJson(os);
+    const std::string json = os.str();
+
+    EXPECT_NE(json.find("\"schema\": \"saga.telemetry\""), std::string::npos);
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    for (std::size_t i = 0; i < telemetry::kNumCounters; ++i) {
+        const std::string quoted =
+            std::string("\"") + name(static_cast<Counter>(i)) + "\"";
+        EXPECT_NE(json.find(quoted), std::string::npos)
+            << "metrics dump missing counter " << quoted;
+    }
+    for (std::size_t i = 0; i < telemetry::kNumPhases; ++i) {
+        const std::string quoted =
+            std::string("\"") + name(static_cast<Phase>(i)) + "\"";
+        EXPECT_NE(json.find(quoted), std::string::npos)
+            << "metrics dump missing phase " << quoted;
+    }
+    for (std::size_t i = 0; i < telemetry::kNumPerfEvents; ++i) {
+        const std::string quoted =
+            std::string("\"") +
+            name(static_cast<telemetry::PerfEvent>(i)) + "\"";
+        EXPECT_NE(json.find(quoted), std::string::npos)
+            << "metrics dump missing perf event " << quoted;
+    }
+    EXPECT_NE(json.find("\"trace\""), std::string::npos);
+}
+
+#ifndef SAGA_TELEMETRY_DISABLED
+
+TEST_F(TelemetryTest, DisabledRecordingIsNoOp)
+{
+    SAGA_COUNT(telemetry::Counter::IngestBatches, 7);
+    {
+        SAGA_PHASE(telemetry::Phase::Update);
+    }
+    const MetricsSnapshot snap = telemetry::snapshot();
+    EXPECT_EQ(counterValue(snap, Counter::IngestBatches), 0u);
+    EXPECT_EQ(phaseTotals(snap, Phase::Update).count, 0u);
+    EXPECT_TRUE(telemetry::traceSnapshot().empty());
+}
+
+TEST_F(TelemetryTest, CountsAggregateExactlyAcrossPoolWorkers)
+{
+    telemetry::setEnabled(true);
+    ThreadPool pool(4);
+    constexpr std::uint64_t kReps = 1000;
+    pool.run([&](std::size_t worker) {
+        for (std::uint64_t i = 0; i < kReps; ++i)
+            SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, worker + 1);
+    });
+    // Aggregation happens at a quiescent point (pool.run has joined), so
+    // the per-thread slots must sum exactly: reps * (1+2+3+4).
+    const MetricsSnapshot snap = telemetry::snapshot();
+    EXPECT_EQ(counterValue(snap, Counter::IngestEdgesSeen), kReps * 10);
+    EXPECT_GE(snap.threads, pool.size());
+}
+
+TEST_F(TelemetryTest, PhaseAccumulatorTracksCountMinMax)
+{
+    telemetry::setEnabled(true);
+    for (int i = 0; i < 2; ++i) {
+        SAGA_PHASE(telemetry::Phase::Compute);
+    }
+    const MetricsSnapshot snap = telemetry::snapshot();
+    const telemetry::PhaseTotals &pt = phaseTotals(snap, Phase::Compute);
+    EXPECT_EQ(pt.count, 2u);
+    EXPECT_LE(pt.minNs, pt.maxNs);
+    // With exactly two samples the total is the sum of the extremes.
+    EXPECT_EQ(pt.totalNs, pt.minNs + pt.maxNs);
+}
+
+TEST_F(TelemetryTest, FinishIsIdempotentAndRecordsOnce)
+{
+    telemetry::setEnabled(true);
+    PhaseScope scope(Phase::Update, PhaseScope::kAlwaysTime);
+    const double first = scope.finish();
+    const double second = scope.finish();
+    EXPECT_GE(first, 0.0);
+    EXPECT_EQ(first, second);
+    // The destructor must not record a second sample after finish().
+    {
+        PhaseScope inner(Phase::Update);
+        inner.finish();
+    }
+    const MetricsSnapshot snap = telemetry::snapshot();
+    EXPECT_EQ(phaseTotals(snap, Phase::Update).count, 2u);
+}
+
+TEST_F(TelemetryTest, AlwaysTimeMeasuresEvenWhenDisabled)
+{
+    PhaseScope scope(Phase::Update, PhaseScope::kAlwaysTime);
+    volatile std::uint64_t sink = 0; // keep the timed region non-empty
+    for (int i = 0; i < 10000; ++i)
+        sink = sink + 1;
+    EXPECT_GT(scope.finish(), 0.0);
+    const MetricsSnapshot snap = telemetry::snapshot();
+    EXPECT_EQ(phaseTotals(snap, Phase::Update).count, 0u);
+}
+
+TEST_F(TelemetryTest, TraceSpansBalanceAndTimestampsAreMonotonic)
+{
+    telemetry::setEnabled(true);
+    telemetry::setTraceEnabled(true);
+    ThreadPool pool(4);
+    pool.run([&](std::size_t) {
+        SAGA_PHASE(telemetry::Phase::Update);
+        {
+            SAGA_PHASE(telemetry::Phase::UpdateApply);
+        }
+    });
+
+    const std::vector<TraceEvent> events = telemetry::traceSnapshot();
+    ASSERT_EQ(events.size(), pool.size() * 4); // two B/E pairs per worker
+
+    std::map<std::uint32_t, std::uint64_t> last_ts;
+    std::map<std::uint32_t, std::vector<Phase>> stack;
+    for (const TraceEvent &ev : events) {
+        auto it = last_ts.find(ev.tid);
+        if (it != last_ts.end()) {
+            EXPECT_GE(ev.tsNs, it->second) << "tid " << ev.tid;
+        }
+        last_ts[ev.tid] = ev.tsNs;
+        if (ev.type == 'B') {
+            stack[ev.tid].push_back(ev.phase);
+        } else {
+            ASSERT_EQ(ev.type, 'E');
+            ASSERT_FALSE(stack[ev.tid].empty()) << "E without B";
+            EXPECT_EQ(stack[ev.tid].back(), ev.phase) << "unnested span";
+            stack[ev.tid].pop_back();
+        }
+    }
+    for (const auto &entry : stack)
+        EXPECT_TRUE(entry.second.empty()) << "unclosed span";
+}
+
+TEST_F(TelemetryTest, TraceJsonIsChromeLoadable)
+{
+    telemetry::setEnabled(true);
+    telemetry::setTraceEnabled(true);
+    {
+        SAGA_PHASE(telemetry::Phase::Compute);
+    }
+    std::ostringstream os;
+    telemetry::writeTraceJson(os);
+    const std::string json = os.str();
+
+    EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema\":\"saga.trace\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ResetClearsEverything)
+{
+    telemetry::setEnabled(true);
+    telemetry::setTraceEnabled(true);
+    SAGA_COUNT(telemetry::Counter::DahFlushes, 3);
+    {
+        SAGA_PHASE(telemetry::Phase::Update);
+    }
+    telemetry::reset();
+    const MetricsSnapshot snap = telemetry::snapshot();
+    EXPECT_EQ(counterValue(snap, Counter::DahFlushes), 0u);
+    EXPECT_EQ(phaseTotals(snap, Phase::Update).count, 0u);
+    EXPECT_TRUE(telemetry::traceSnapshot().empty());
+}
+
+TEST_F(TelemetryTest, IngestCountersSatisfyTheSeenInvariant)
+{
+    telemetry::setEnabled(true);
+    ThreadPool pool(2);
+    DynGraph<AdjSharedStore> g(/*directed=*/true);
+    const EdgeBatch batch = test::randomBatch(64, 500, /*seed=*/7);
+    g.update(batch, pool);
+    g.update(batch, pool); // second pass: every edge is a duplicate
+
+    const MetricsSnapshot snap = telemetry::snapshot();
+    // Each update ingests the batch into the out- and in-stores, and each
+    // store pass counts every edge exactly once.
+    EXPECT_EQ(counterValue(snap, Counter::IngestBatches), 2u);
+    EXPECT_EQ(counterValue(snap, Counter::IngestEdgesSeen),
+              4 * batch.size());
+    EXPECT_EQ(counterValue(snap, Counter::IngestEdgesSeen),
+              counterValue(snap, Counter::IngestEdgesInserted) +
+                  counterValue(snap, Counter::IngestDuplicates));
+    // Both stores hold every deduplicated edge after either pass.
+    EXPECT_EQ(counterValue(snap, Counter::IngestEdgesInserted),
+              2 * g.numEdges());
+}
+
+#endif // !SAGA_TELEMETRY_DISABLED
+
+} // namespace
+} // namespace saga

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""check_telemetry — validate SAGA-Bench telemetry artifacts.
+
+Three checks, all stdlib-only so CI can run it anywhere:
+
+  1. The metrics dump (--metrics) conforms to the `saga.telemetry`
+     schema v1: every required key present, counters/phases well-typed,
+     the perf block complete, derived perf metrics only where their
+     source events are live.
+  2. The Chrome trace (--trace) is loadable trace_event JSON: metadata
+     events present, every B has a matching same-phase E on the same
+     thread, per-thread timestamps monotonic.
+  3. The metrics contract (--docs, default docs/TELEMETRY.md) documents
+     every exported counter, phase, and perf-event name appearing in the
+     dump — the docs cannot silently fall behind the code.
+
+Usage:
+  check_telemetry.py --metrics PATH [--trace PATH] [--docs PATH]
+                     [--expect-phase NAME]...
+
+Exit status: 0 = all checks pass, 1 = violations, 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "saga.telemetry"
+TRACE_SCHEMA = "saga.trace"
+VERSION = 1
+
+PHASE_KEYS = ("count", "total_s", "mean_s", "min_s", "max_s")
+PERF_DERIVED = ("ipc", "l1d_hit_ratio", "l1d_mpki", "llc_hit_ratio",
+                "llc_mpki")
+
+
+class Checker:
+    def __init__(self):
+        self.failures = []
+
+    def expect(self, ok, message):
+        if not ok:
+            self.failures.append(message)
+        return ok
+
+
+def load_json(path, chk):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        chk.expect(False, "%s: not readable JSON: %s" % (path, err))
+        return None
+
+
+def check_metrics(doc, chk):
+    """Structural checks on the saga.telemetry dump."""
+    for key in ("schema", "version", "enabled", "compiled_out", "threads",
+                "counters", "phases", "perf", "trace"):
+        if not chk.expect(key in doc, "metrics: missing key %r" % key):
+            return
+    chk.expect(doc["schema"] == SCHEMA,
+               "metrics: schema is %r, want %r" % (doc["schema"], SCHEMA))
+    chk.expect(doc["version"] == VERSION,
+               "metrics: version is %r, want %d" % (doc["version"], VERSION))
+
+    counters = doc["counters"]
+    chk.expect(isinstance(counters, dict) and counters,
+               "metrics: counters must be a non-empty object")
+    for name, value in counters.items():
+        chk.expect(isinstance(value, int) and value >= 0,
+                   "metrics: counter %r must be a non-negative integer" %
+                   name)
+
+    phases = doc["phases"]
+    chk.expect(isinstance(phases, dict) and phases,
+               "metrics: phases must be a non-empty object")
+    for name, stats in phases.items():
+        for key in PHASE_KEYS:
+            chk.expect(isinstance(stats, dict) and key in stats,
+                       "metrics: phase %r missing %r" % (name, key))
+        if isinstance(stats, dict) and all(k in stats for k in PHASE_KEYS):
+            chk.expect(stats["min_s"] <= stats["max_s"] <= stats["total_s"]
+                       or stats["count"] == 0,
+                       "metrics: phase %r min/max/total inconsistent" % name)
+
+    perf = doc["perf"]
+    for key in ("available", "status", "paranoid_level", "events", "phases"):
+        chk.expect(key in perf, "metrics: perf block missing %r" % key)
+    events = perf.get("events", {})
+    for name, live in events.items():
+        chk.expect(isinstance(live, bool),
+                   "metrics: perf event %r liveness must be a bool" % name)
+    for name, stats in perf.get("phases", {}).items():
+        chk.expect(name in phases,
+                   "metrics: perf phase %r is not a known phase" % name)
+        chk.expect(stats.get("samples", 0) > 0,
+                   "metrics: perf phase %r exported with zero samples" %
+                   name)
+        # Derived metrics may only appear when their source events are
+        # live — the exporter must not fabricate ratios from dead fds.
+        if not (events.get("cycles") and events.get("instructions")):
+            chk.expect("ipc" not in stats,
+                       "metrics: perf phase %r has ipc without live "
+                       "cycles+instructions" % name)
+        if not (events.get("l1d_loads") and events.get("l1d_misses")):
+            chk.expect("l1d_hit_ratio" not in stats,
+                       "metrics: perf phase %r has l1d_hit_ratio without "
+                       "live L1D events" % name)
+
+    trace = doc["trace"]
+    for key in ("enabled", "events", "dropped"):
+        chk.expect(key in trace, "metrics: trace block missing %r" % key)
+
+
+def check_trace(doc, chk, expect_phases):
+    """Chrome trace_event checks: loadability, nesting, monotonicity."""
+    if not chk.expect(isinstance(doc, dict) and "traceEvents" in doc,
+                      "trace: missing traceEvents"):
+        return
+    events = doc["traceEvents"]
+    chk.expect(doc.get("otherData", {}).get("schema") == TRACE_SCHEMA,
+               "trace: otherData.schema must be %r" % TRACE_SCHEMA)
+    chk.expect(any(e.get("ph") == "M" and e.get("name") == "process_name"
+                   for e in events),
+               "trace: missing process_name metadata event")
+
+    last_ts = {}
+    stacks = {}
+    seen_phases = set()
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if not chk.expect(ph in ("B", "E"),
+                          "trace: unexpected event type %r" % ph):
+            continue
+        for key in ("name", "pid", "tid", "ts"):
+            chk.expect(key in event, "trace: %s event missing %r" % (ph, key))
+        tid = event.get("tid")
+        ts = event.get("ts", 0)
+        if tid in last_ts:
+            chk.expect(ts >= last_ts[tid],
+                       "trace: tid %s timestamps not monotonic" % tid)
+        last_ts[tid] = ts
+        name = event.get("name")
+        seen_phases.add(name)
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(name)
+        else:
+            if chk.expect(stack, "trace: tid %s has E without B" % tid):
+                chk.expect(stack[-1] == name,
+                           "trace: tid %s span %r closed while %r open" %
+                           (tid, name, stack[-1]))
+                stack.pop()
+    for tid, stack in stacks.items():
+        chk.expect(not stack,
+                   "trace: tid %s has unclosed span(s) %s" % (tid, stack))
+    for name in expect_phases:
+        chk.expect(name in seen_phases,
+                   "trace: expected at least one %r span" % name)
+
+
+def check_docs(doc, docs_path, chk):
+    """Every exported metric name must appear in the metrics contract."""
+    try:
+        with open(docs_path, encoding="utf-8") as f:
+            docs = f.read()
+    except OSError as err:
+        chk.expect(False, "docs: cannot read %s: %s" % (docs_path, err))
+        return
+    names = list(doc.get("counters", {}))
+    names += list(doc.get("phases", {}))
+    names += list(doc.get("perf", {}).get("events", {}))
+    names += PERF_DERIVED
+    for name in names:
+        chk.expect("`%s`" % name in docs,
+                   "docs: %s does not document `%s`" % (docs_path, name))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="check_telemetry",
+        description="validate SAGA-Bench telemetry artifacts")
+    parser.add_argument("--metrics", required=True,
+                        help="saga.telemetry JSON dump")
+    parser.add_argument("--trace",
+                        help="Chrome trace_event JSON (optional)")
+    parser.add_argument("--docs", default="docs/TELEMETRY.md",
+                        help="metrics contract to check names against "
+                             "(default: %(default)s)")
+    parser.add_argument("--expect-phase", action="append", default=[],
+                        metavar="NAME",
+                        help="require at least one trace span named NAME "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    chk = Checker()
+    metrics = load_json(args.metrics, chk)
+    if metrics is not None:
+        check_metrics(metrics, chk)
+        check_docs(metrics, args.docs, chk)
+    if args.trace:
+        trace = load_json(args.trace, chk)
+        if trace is not None:
+            check_trace(trace, chk, args.expect_phase)
+
+    for failure in chk.failures:
+        print("check_telemetry: %s" % failure, file=sys.stderr)
+    if chk.failures:
+        print("check_telemetry: %d failure(s)" % len(chk.failures),
+              file=sys.stderr)
+        return 1
+    print("check_telemetry: ok (%s%s)" %
+          (args.metrics, ", " + args.trace if args.trace else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,12 @@ rules pin down *which primitives may appear where*):
   atomic-include        a src/ file that names std::atomic / std::memory_order
                         must #include <atomic> itself (include-what-you-use
                         for the concurrency surface).
+  telemetry-enum-qualified
+                        SAGA_PHASE / SAGA_COUNT take a qualified
+                        telemetry::Phase:: / telemetry::Counter::
+                        enumerator — never a bare name or an expression —
+                        so every instrumentation point greps to the closed
+                        enums in src/telemetry/metrics.h.
 
 Suppressions (all require the rule name, keeping waivers greppable):
 
@@ -101,6 +107,14 @@ def everywhere_except(*exempt):
     return applies
 
 
+def telemetry_macro_scope(relpath):
+    # telemetry.h *defines* the macros (`#define SAGA_PHASE(phase) ...`),
+    # so its parameter names would trip the qualification check.
+    if relpath == "src/telemetry/telemetry.h":
+        return False
+    return in_dir("src", "bench", "examples", "tests")(relpath)
+
+
 RULES = [
     Rule("atomic-ref-confined",
          "std::atomic_ref only inside platform/atomic_ops.h",
@@ -150,6 +164,14 @@ RULES = [
          "memory_order_relaxed without a `// relaxed: ...` justification "
          "on this line or the three lines above",
          strip_comments=False),
+    Rule("telemetry-enum-qualified",
+         "SAGA_PHASE/SAGA_COUNT take qualified Phase::/Counter:: enumerators",
+         telemetry_macro_scope,
+         r"\bSAGA_PHASE\s*\(\s*(?!(::)?(saga::)?telemetry::Phase::)"
+         r"|\bSAGA_COUNT\s*\(\s*(?!(::)?(saga::)?telemetry::Counter::)",
+         "SAGA_PHASE/SAGA_COUNT argument must be a qualified "
+         "telemetry::Phase::/telemetry::Counter:: enumerator "
+         "(src/telemetry/metrics.h)"),
 ]
 
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')

@@ -163,6 +163,34 @@ class AtomicInclude(unittest.TestCase):
         self.assertIn("atomic-include", rules)
 
 
+class TelemetryEnumQualified(unittest.TestCase):
+    def test_flags_unqualified_phase(self):
+        rules = lint_source("SAGA_PHASE(Phase::Update);\n", "src/ds/x.h")
+        self.assertIn("telemetry-enum-qualified", rules)
+
+    def test_flags_non_enumerator_counter(self):
+        rules = lint_source("SAGA_COUNT(kMyCounter, 1);\n", "bench/x.cc")
+        self.assertIn("telemetry-enum-qualified", rules)
+
+    def test_qualified_uses_ok(self):
+        src = ("SAGA_PHASE(telemetry::Phase::Update);\n"
+               "SAGA_COUNT(telemetry::Counter::IngestBatches, 1);\n"
+               "SAGA_COUNT(saga::telemetry::Counter::ScatterEdges, n);\n"
+               "SAGA_PHASE(::saga::telemetry::Phase::Compute);\n")
+        rules = lint_source(src, "src/ds/x.h")
+        self.assertNotIn("telemetry-enum-qualified", rules)
+
+    def test_macro_definition_header_exempt(self):
+        rules = lint_source("#define SAGA_PHASE(phase) ((void)0)\n",
+                            "src/telemetry/telemetry.h")
+        self.assertNotIn("telemetry-enum-qualified", rules)
+
+    def test_comment_mention_is_not_flagged(self):
+        rules = lint_source("// wrap it in SAGA_PHASE(...) to time it\n",
+                            "src/ds/x.h")
+        self.assertNotIn("telemetry-enum-qualified", rules)
+
+
 class Suppressions(unittest.TestCase):
     def test_same_line_allow(self):
         rules = lint_source(
