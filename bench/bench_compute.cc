@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Compute-engine microbenchmark: the pre-engine kernels (push-only
+ * vertex-balanced BFS, full-sweep CC, vertex-balanced PR/MC) vs the
+ * direction-optimizing, edge-balanced engine in src/algo/, per store, on
+ * a power-law graph with planted hubs — the skew regime the α/β
+ * heuristic and the edge-balanced split were built for.
+ *
+ * The legacy kernels below are faithful copies of the pre-engine
+ * computeFs bodies (see git history of src/algo/{bfs,cc,pr,mc}.h), kept
+ * here so the comparison measures the engine against what it replaced,
+ * not against a strawman. Emits BENCH_compute.json next to the table.
+ *
+ * Flags:
+ *   --smoke             small graph, 1 rep, and a regression gate: the
+ *                       engine must not be pathologically slower and the
+ *                       direction heuristic must actually take pull
+ *                       rounds (bfs.pull_rounds > 0) — used by CI
+ *   --threads N         worker threads (default: hardware concurrency)
+ *   --out PATH          JSON output path (default: BENCH_compute.json)
+ *   --telemetry=PATH    enable perf counters; write the telemetry JSON
+ *                       dump (docs/TELEMETRY.md schema) at exit
+ *   --trace=PATH        record compute spans; write Chrome trace JSON
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/frontier.h"
+#include "algo/mc.h"
+#include "algo/pr.h"
+#include "ds/adj_chunked.h"
+#include "ds/dyn_graph.h"
+#include "ds/stinger.h"
+#include "gen/powerlaw.h"
+#include "perfmodel/trace.h"
+#include "platform/atomic_ops.h"
+#include "platform/parallel_for.h"
+#include "platform/thread_pool.h"
+#include "platform/timer.h"
+#include "saga/edge_batch.h"
+#include "stats/table.h"
+#include "telemetry/telemetry.h"
+
+namespace saga {
+namespace {
+
+struct Options
+{
+    bool smoke = false;
+    std::size_t threads = 0; // 0 = hardware concurrency
+    std::string out = "BENCH_compute.json";
+    std::string telemetry; // metrics JSON dump path ("" = disabled)
+    std::string trace;     // Chrome trace path ("" = disabled)
+};
+
+struct Measurement
+{
+    std::string store;
+    std::string alg;
+    double legacySeconds = 0;
+    double engineSeconds = 0;
+    std::uint64_t pushRounds = 0; // engine rounds, from telemetry deltas
+    std::uint64_t pullRounds = 0;
+
+    double speedup() const { return legacySeconds / engineSeconds; }
+};
+
+std::uint64_t
+counterNow(telemetry::Counter c)
+{
+    return telemetry::snapshot()
+        .counters[static_cast<std::size_t>(c)];
+}
+
+// ---------------------------------------------------------------------------
+// Legacy kernels: the pre-engine computeFs bodies, copied verbatim
+// (including the per-arc perf:: hooks the shipped kernels carried) minus
+// the SAGA_COUNT/SAGA_PHASE macros, so the timed loops match what
+// shipped before the engine.
+// ---------------------------------------------------------------------------
+
+/** Push-only level-synchronous BFS, vertex-balanced frontier slices. */
+struct LegacyBfs
+{
+    template <typename Graph>
+    static void
+    run(const Graph &g, ThreadPool &pool, std::vector<Bfs::Value> &values,
+        const AlgContext &ctx)
+    {
+        constexpr Bfs::Value kInf = Bfs::kInf;
+        const NodeId n = g.numNodes();
+        values.assign(n, kInf);
+        if (ctx.source >= n)
+            return;
+        values[ctx.source] = 0;
+
+        std::vector<NodeId> frontier{ctx.source};
+        Bfs::Value depth = 0;
+        while (!frontier.empty()) {
+            ++depth;
+            frontier = expandFrontier(pool, frontier,
+                                      [&](NodeId v, auto &push) {
+                g.outNeigh(v, [&](const Neighbor &nbr) {
+                    perf::ops(1);
+                    perf::touch(&values[nbr.node], sizeof(Bfs::Value));
+                    if (atomicLoad(values[nbr.node]) == kInf &&
+                        atomicClaim(values[nbr.node], kInf, depth)) {
+                        perf::touchWrite(&values[nbr.node],
+                                         sizeof(Bfs::Value));
+                        push(nbr.node);
+                    }
+                });
+            });
+        }
+    }
+};
+
+/** Full-sweep min-label iteration until a pass makes no change. */
+struct LegacyCc
+{
+    template <typename Graph>
+    static void
+    run(const Graph &g, ThreadPool &pool, std::vector<Cc::Value> &values,
+        const AlgContext &)
+    {
+        const NodeId n = g.numNodes();
+        values.resize(n);
+        for (NodeId v = 0; v < n; ++v)
+            values[v] = v;
+
+        std::vector<char> changed(pool.size(), 1);
+        bool any_change = true;
+        while (any_change) {
+            std::fill(changed.begin(), changed.end(), 0);
+            parallelSlices(pool, 0, n,
+                           [&](std::size_t w, std::uint64_t lo,
+                               std::uint64_t hi) {
+                char local_change = 0;
+                for (NodeId v = static_cast<NodeId>(lo); v < hi; ++v) {
+                    Cc::Value best = values[v];
+                    const auto relax = [&](const Neighbor &nbr) {
+                        perf::ops(1);
+                        perf::touch(&values[nbr.node],
+                                    sizeof(Cc::Value));
+                        const Cc::Value label =
+                            atomicLoad(values[nbr.node]);
+                        if (label < best)
+                            best = label;
+                    };
+                    g.inNeigh(v, relax);
+                    g.outNeigh(v, relax);
+                    if (best < values[v]) {
+                        atomicStore(values[v], best);
+                        perf::touchWrite(&values[v], sizeof(Cc::Value));
+                        local_change = 1;
+                    }
+                }
+                changed[w] = local_change;
+            });
+            any_change = false;
+            for (char c : changed)
+                any_change |= (c != 0);
+        }
+    }
+};
+
+/** Vertex-balanced pull power iteration. */
+struct LegacyPr
+{
+    template <typename Graph>
+    static void
+    run(const Graph &g, ThreadPool &pool, std::vector<Pr::Value> &values,
+        const AlgContext &ctx)
+    {
+        const NodeId n = g.numNodes();
+        if (n == 0) {
+            values.clear();
+            return;
+        }
+        values.assign(n, 1.0 / n);
+        std::vector<Pr::Value> next(n, 0);
+        std::vector<double> worker_delta(pool.size(), 0);
+
+        for (std::uint32_t iter = 0; iter < ctx.prMaxIters; ++iter) {
+            parallelSlices(pool, 0, n,
+                           [&](std::size_t w, std::uint64_t lo,
+                               std::uint64_t hi) {
+                double delta = 0;
+                for (NodeId v = static_cast<NodeId>(lo); v < hi; ++v) {
+                    next[v] = Pr::recompute(g, v, values, ctx);
+                    delta += std::fabs(next[v] - values[v]);
+                }
+                worker_delta[w] = delta;
+            });
+            values.swap(next);
+            double total_delta = 0;
+            for (double d : worker_delta)
+                total_delta += d;
+            if (total_delta < ctx.prTolerance)
+                break;
+        }
+    }
+};
+
+/** Max-label propagation, vertex-balanced, no insertion dedup. */
+struct LegacyMc
+{
+    template <typename Graph>
+    static void
+    run(const Graph &g, ThreadPool &pool, std::vector<Mc::Value> &values,
+        const AlgContext &)
+    {
+        const NodeId n = g.numNodes();
+        values.resize(n);
+        std::vector<NodeId> frontier(n);
+        for (NodeId v = 0; v < n; ++v) {
+            values[v] = v;
+            frontier[v] = v;
+        }
+
+        while (!frontier.empty()) {
+            frontier = expandFrontier(pool, frontier,
+                                      [&](NodeId v, auto &push) {
+                const Mc::Value value = atomicLoad(values[v]);
+                g.outNeigh(v, [&](const Neighbor &nbr) {
+                    perf::ops(1);
+                    perf::touch(&values[nbr.node], sizeof(Mc::Value));
+                    if (atomicFetchMax(values[nbr.node], value)) {
+                        perf::touchWrite(&values[nbr.node],
+                                         sizeof(Mc::Value));
+                        push(nbr.node);
+                    }
+                });
+            });
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename Alg, typename Legacy, typename Graph>
+Measurement
+measure(const std::string &store, const std::string &alg, const Graph &g,
+        ThreadPool &pool, const AlgContext &ctx, int reps,
+        telemetry::Counter push_counter, telemetry::Counter pull_counter)
+{
+    Measurement m;
+    m.store = store;
+    m.alg = alg;
+
+    std::vector<typename Alg::Value> legacy_values;
+    std::vector<typename Alg::Value> engine_values;
+    for (int r = 0; r < reps; ++r) {
+        Timer legacy_timer;
+        Legacy::run(g, pool, legacy_values, ctx);
+        const double legacy_s = legacy_timer.seconds();
+
+        const std::uint64_t push0 = counterNow(push_counter);
+        const std::uint64_t pull0 = counterNow(pull_counter);
+        Timer engine_timer;
+        {
+            telemetry::PhaseScope scope(telemetry::Phase::Compute,
+                                        telemetry::PhaseScope::kSamplePerf);
+            Alg::computeFs(g, pool, engine_values, ctx);
+        }
+        const double engine_s = engine_timer.seconds();
+        m.pushRounds = counterNow(push_counter) - push0;
+        m.pullRounds = counterNow(pull_counter) - pull0;
+
+        if (r == 0) {
+            m.legacySeconds = legacy_s;
+            m.engineSeconds = engine_s;
+        } else { // best-of-reps
+            m.legacySeconds = std::min(m.legacySeconds, legacy_s);
+            m.engineSeconds = std::min(m.engineSeconds, engine_s);
+        }
+    }
+
+    // Cross-check: both kernels computed the same fixpoint. PR iterates
+    // to a tolerance, so compare exactly only for the discrete algs.
+    if (alg != "pr" && legacy_values != engine_values) {
+        std::cerr << "FAIL: " << store << "/" << alg
+                  << " engine result differs from legacy kernel\n";
+        std::exit(1);
+    }
+    std::cerr << "." << std::flush;
+    return m;
+}
+
+template <typename Graph>
+void
+measureStore(const std::string &store, const Graph &g, ThreadPool &pool,
+             int reps, std::vector<Measurement> &results)
+{
+    AlgContext ctx;
+    ctx.source = 0; // the planted out-hub: a fat frontier by round 2
+    ctx.numNodesHint = g.numNodes();
+    using C = telemetry::Counter;
+    results.push_back(measure<Bfs, LegacyBfs>(store, "bfs", g, pool, ctx,
+                                              reps, C::BfsPushRounds,
+                                              C::BfsPullRounds));
+    results.push_back(measure<Cc, LegacyCc>(store, "cc", g, pool, ctx,
+                                            reps, C::CcSparseRounds,
+                                            C::CcDenseRounds));
+    results.push_back(measure<Pr, LegacyPr>(store, "pr", g, pool, ctx,
+                                            reps, C::ComputeRounds,
+                                            C::ComputeRounds));
+    results.push_back(measure<Mc, LegacyMc>(store, "mc", g, pool, ctx,
+                                            reps, C::ComputeRounds,
+                                            C::ComputeRounds));
+}
+
+void
+writeJson(const std::string &path, const Options &opt, std::size_t threads,
+          std::uint64_t num_nodes, std::uint64_t num_edges,
+          const std::vector<Measurement> &results)
+{
+    std::ofstream os(path);
+    os << "{\n"
+       << "  \"bench\": \"bench_compute\",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"smoke\": " << (opt.smoke ? "true" : "false") << ",\n"
+       << "  \"num_nodes\": " << num_nodes << ",\n"
+       << "  \"num_edges\": " << num_edges << ",\n"
+       << "  \"note\": \"FS compute phase, power-law graph with planted "
+          "hubs; speedup = legacy_seconds / engine_seconds; rounds are "
+          "push/pull for bfs, sparse/dense for cc, total for pr and mc\",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Measurement &m = results[i];
+        os << "    {\"store\": \"" << m.store << "\", \"alg\": \""
+           << m.alg << "\", \"legacy_seconds\": " << m.legacySeconds
+           << ", \"engine_seconds\": " << m.engineSeconds
+           << ", \"speedup\": " << formatDouble(m.speedup(), 3)
+           << ", \"push_rounds\": " << m.pushRounds
+           << ", \"pull_rounds\": " << m.pullRounds << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+int
+run(const Options &opt)
+{
+    // Perf counters must open before the pool exists (inherit=1 folds
+    // later-created workers into the counts — see perf_counters.h).
+    if (!opt.telemetry.empty())
+        telemetry::enablePerf();
+    // Counters stay on even without --telemetry: the round counts in the
+    // JSON (and the smoke gate on pull rounds) come from snapshots.
+    telemetry::setEnabled(true);
+    if (!opt.trace.empty())
+        telemetry::setTraceEnabled(true);
+
+    ThreadPool pool(opt.threads);
+    const std::size_t threads = pool.size();
+    const std::size_t chunks = threads; // matches the driver default
+
+    std::cout << "==============================================\n"
+              << "SAGA-Bench compute engine: legacy kernels vs "
+                 "direction-optimizing, edge-balanced engine\n"
+              << "threads=" << threads << " (hardware_concurrency="
+              << std::thread::hardware_concurrency() << ")"
+              << (opt.smoke ? "  [smoke]" : "") << "\n"
+              << "==============================================\n";
+
+    PowerLawParams params;
+    params.numNodes = opt.smoke ? (1u << 15) : (1u << 17);
+    params.numEdges = opt.smoke ? (1ull << 19) : (1ull << 22);
+    // Planted hubs: the BFS source is a fat out-hub (the frontier's
+    // out-degree sum explodes by round 2, tripping the α switch) and a
+    // handful of in-hubs give the pull rounds skewed in-degrees for the
+    // edge-balanced split to flatten.
+    params.hubs = {{0, 0.05, 0.0},
+                   {3, 0.0, 0.04},
+                   {7, 0.02, 0.02},
+                   {11, 0.0, 0.03}};
+    const std::vector<Edge> edges = generatePowerLaw(params);
+    const EdgeBatch batch{std::vector<Edge>(edges)};
+    const int reps = opt.smoke ? 1 : 3;
+
+    std::vector<Measurement> results;
+    {
+        DynGraph<AdjChunkedStore> g(/*directed=*/true, chunks);
+        g.update(batch, pool);
+        measureStore("AC", g, pool, reps, results);
+    }
+    {
+        DynGraph<StingerStore> g(/*directed=*/true);
+        g.update(batch, pool);
+        measureStore("Stinger", g, pool, reps, results);
+    }
+    std::cerr << "\n";
+
+    TextTable table({"Store", "Alg", "Legacy ms", "Engine ms", "Speedup",
+                     "Rounds (push/pull)"});
+    for (const Measurement &m : results) {
+        table.addRow({m.store, m.alg,
+                      formatDouble(m.legacySeconds * 1e3, 2),
+                      formatDouble(m.engineSeconds * 1e3, 2),
+                      formatDouble(m.speedup(), 2),
+                      std::to_string(m.pushRounds) + "/" +
+                          std::to_string(m.pullRounds)});
+    }
+    table.print(std::cout);
+    writeJson(opt.out, opt, threads, params.numNodes, edges.size(),
+              results);
+    std::cout << "\nWrote " << opt.out << "\n";
+
+    if (!opt.telemetry.empty()) {
+        if (!telemetry::writeMetricsJson(opt.telemetry)) {
+            std::cerr << "FAIL: cannot write " << opt.telemetry << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << opt.telemetry
+                  << " (perf: " << telemetry::perfStatus() << ")\n";
+    }
+    if (!opt.trace.empty()) {
+        if (!telemetry::writeTraceJson(opt.trace)) {
+            std::cerr << "FAIL: cannot write " << opt.trace << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << opt.trace << "\n";
+    }
+
+    if (opt.smoke) {
+        bool ok = true;
+        for (const Measurement &m : results) {
+            // Loose perf floor: CI runners are too noisy/small for the
+            // >= 2x claim (that is checked on multi-worker perf runs and
+            // recorded in the committed BENCH_compute.json); here the
+            // engine must only never be pathologically slower.
+            if (m.speedup() < 0.5) {
+                std::cerr << "FAIL: " << m.store << "/" << m.alg
+                          << " engine is "
+                          << formatDouble(1.0 / m.speedup(), 2)
+                          << "x slower than the legacy kernel\n";
+                ok = false;
+            }
+#ifndef SAGA_TELEMETRY_DISABLED
+            // Hard functional gate: on this hub graph the α heuristic
+            // must actually switch BFS to pull, or the whole direction
+            // machinery silently degenerated to push-only.
+            if (m.alg == "bfs" && m.pullRounds == 0) {
+                std::cerr << "FAIL: " << m.store
+                          << "/bfs took no pull rounds — direction "
+                             "heuristic never switched\n";
+                ok = false;
+            }
+#endif
+        }
+        if (!ok)
+            return 1;
+        std::cout << "smoke gate passed (speedup >= 0.5x, "
+                     "bfs.pull_rounds > 0)\n";
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace saga
+
+int
+main(int argc, char **argv)
+{
+    saga::Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opt.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (arg == "--out" && i + 1 < argc) {
+            opt.out = argv[++i];
+        } else if (arg.rfind("--telemetry=", 0) == 0) {
+            opt.telemetry = arg.substr(12);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.trace = arg.substr(8);
+        } else {
+            std::cerr << "usage: bench_compute [--smoke] [--threads N] "
+                         "[--out PATH] [--telemetry=PATH] [--trace=PATH]\n";
+            return 2;
+        }
+    }
+    return saga::run(opt);
+}

@@ -5,13 +5,21 @@
  * Table I vertex function:
  *   v.depth <- min over in-edges e of (e.source.depth + 1)
  *
- * FS implementation: level-synchronous parallel BFS from the source over
- * out-edges (GAP-style, without the direction-optimizing heuristic).
+ * FS implementation: direction-optimizing level-synchronous BFS (Beamer
+ * et al., the GAP reference design). Sparse rounds push over out-edges
+ * from a queue frontier with CAS-claimed insertion (each vertex enters
+ * the next frontier exactly once); dense rounds pull over in-edges into
+ * a bitmap frontier, early-exiting a vertex's scan at its first parent.
+ * The α/β heuristic picks the direction per round: switch to pull when
+ * the frontier's out-degree sum exceeds (unexplored edges)/α, back to
+ * push when the frontier shrinks below |V|/β and is no longer growing.
+ * ctx.direction pins either path (ForcePush / ForcePull).
  */
 
 #ifndef SAGA_ALGO_BFS_H_
 #define SAGA_ALGO_BFS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -20,8 +28,10 @@
 #include "algo/context.h"
 #include "algo/frontier.h"
 #include "perfmodel/trace.h"
+#include "platform/edge_ranges.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
+#include "telemetry/telemetry.h"
 
 namespace saga {
 
@@ -69,7 +79,7 @@ struct Bfs
         return old_value != new_value;
     }
 
-    /** From-scratch compute: level-synchronous BFS. */
+    /** From-scratch compute: direction-optimizing level-synchronous BFS. */
     template <typename Graph>
     static void
     computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
@@ -81,25 +91,189 @@ struct Bfs
             return;
         values[ctx.source] = 0;
 
-        std::vector<NodeId> frontier{ctx.source};
+        Frontier frontier;
+        frontier.assignSparse({ctx.source});
+        EdgeBalancedRanges push_ranges;
+        EdgeBalancedRanges pull_ranges;
+        bool pull_ranges_built = false;
+        std::vector<std::uint64_t> next_bits;
+        std::vector<std::uint64_t> worker_awake(pool.size(), 0);
+
+        // Heuristic state: unexplored out-edge mass (α condition) and
+        // the frontier-size trajectory (β condition).
+        std::uint64_t edges_remaining = g.numEdges();
+        std::uint64_t awake = 1;
+        std::uint64_t old_awake = 0;
+        bool was_pull = false;
         Value depth = 0;
-        while (!frontier.empty()) {
+
+        while (awake > 0) {
             ++depth;
-            frontier = expandFrontier(pool, frontier,
-                                      [&](NodeId v, auto &push) {
-                g.outNeigh(v, [&](const Neighbor &nbr) {
+            bool pull;
+            if (ctx.direction == Direction::ForcePull) {
+                pull = true;
+            } else if (ctx.direction == Direction::ForcePush) {
+                pull = false;
+            } else if (was_pull) {
+                // Keep pulling while the frontier is still growing or
+                // still holds at least |V|/β vertices.
+                pull = awake >= old_awake ||
+                       awake > static_cast<std::uint64_t>(n / ctx.doBeta);
+            } else {
+                // Candidate push round: the frontier's exact out-degree
+                // sum comes from the edge-balanced prefix built below,
+                // so the α test runs on measured edge mass.
+                pull = false;
+            }
+
+            if (!pull) {
+                frontier.toSparse(pool);
+                push_ranges.build(pool, frontier.count(),
+                                  [&](std::uint64_t i) {
+                    return g.outDegree(frontier.sparse()[i]);
+                });
+                const std::uint64_t scout = push_ranges.edgeSum();
+                if (ctx.direction == Direction::Auto && !was_pull &&
+                    scout > static_cast<std::uint64_t>(edges_remaining /
+                                                       ctx.doAlpha)) {
+                    pull = true; // hub-heavy frontier: pull instead
+                } else {
+                    edges_remaining -=
+                        scout < edges_remaining ? scout : edges_remaining;
+                    std::vector<NodeId> next =
+                        pushRound(g, pool, values, frontier.sparse(),
+                                  push_ranges, depth);
+                    old_awake = awake;
+                    awake = next.size();
+                    frontier.assignSparse(std::move(next));
+                    was_pull = false;
+                    continue;
+                }
+            }
+
+            frontier.toDense(pool, n);
+            if (!pull_ranges_built) {
+                pull_ranges.build(pool, n, [&](std::uint64_t v) {
+                    return g.inDegree(static_cast<NodeId>(v));
+                });
+                pull_ranges_built = true;
+            }
+            old_awake = awake;
+            awake = pullRound(g, pool, values, frontier, pull_ranges,
+                              next_bits, worker_awake, depth, n);
+            was_pull = true;
+        }
+    }
+
+  private:
+    /**
+     * One sparse top-down round: claim-then-enqueue over out-edges.
+     * The CAS claim dedups frontier insertion — a vertex reachable from
+     * several frontier members is pushed by exactly one worker.
+     */
+    template <typename Graph>
+    static std::vector<NodeId>
+    pushRound(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
+              const std::vector<NodeId> &frontier,
+              const EdgeBalancedRanges &ranges, Value depth)
+    {
+        SAGA_PHASE(telemetry::Phase::ComputeRound);
+        SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+        SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
+                   frontier.size());
+        SAGA_COUNT(telemetry::Counter::BfsPushRounds, 1);
+        std::vector<std::vector<NodeId>> local(pool.size());
+        ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
+                                   std::uint64_t hi) {
+            std::vector<NodeId> &queue = local[w];
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                g.outNeigh(frontier[i], [&](const Neighbor &nbr) {
                     perf::ops(1);
                     perf::touch(&values[nbr.node], sizeof(Value));
                     // Atomic pre-check: the slot races with concurrent
                     // atomicClaim RMWs from other workers.
                     if (atomicLoad(values[nbr.node]) == kInf &&
                         atomicClaim(values[nbr.node], kInf, depth)) {
-                        perf::touchWrite(&values[nbr.node], sizeof(Value));
-                        push(nbr.node);
+                        perf::touchWrite(&values[nbr.node],
+                                         sizeof(Value));
+                        queue.push_back(nbr.node);
                     }
                 });
-            });
-        }
+            }
+        });
+
+        std::size_t total = 0;
+        for (const auto &queue : local)
+            total += queue.size();
+        std::vector<NodeId> next;
+        next.reserve(total);
+        for (const auto &queue : local)
+            next.insert(next.end(), queue.begin(), queue.end());
+        return next;
+    }
+
+    /**
+     * One dense bottom-up round: every unvisited vertex scans its
+     * in-neighbor runs for a parent in the current frontier bitmap,
+     * stopping at the first hit. Newly reached vertices set their bit
+     * in @p next_bits; the caller's Frontier adopts it.
+     * @return the number of vertices awakened this round.
+     */
+    template <typename Graph>
+    static std::uint64_t
+    pullRound(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
+              Frontier &frontier, const EdgeBalancedRanges &ranges,
+              std::vector<std::uint64_t> &next_bits,
+              std::vector<std::uint64_t> &worker_awake, Value depth,
+              NodeId n)
+    {
+        SAGA_PHASE(telemetry::Phase::ComputeRound);
+        SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+        SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
+                   frontier.count());
+        SAGA_COUNT(telemetry::Counter::BfsPullRounds, 1);
+        next_bits.assign(Frontier::words(n), 0);
+        std::fill(worker_awake.begin(), worker_awake.end(), 0);
+        const std::vector<std::uint64_t> &cur_bits = frontier.bits();
+        ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
+                                   std::uint64_t hi) {
+            std::uint64_t found = 0;
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                const NodeId v = static_cast<NodeId>(i);
+                // Depths are claimed level-synchronously; anything
+                // reached in an earlier round is final this round.
+                if (atomicLoad(values[v]) != kInf)
+                    continue;
+                bool has_parent = false;
+                g.inNeighBlock(v, [&](const Neighbor *run,
+                                      std::uint32_t len) {
+                    perf::ops(len);
+                    for (std::uint32_t j = 0; j < len; ++j) {
+                        if (Frontier::testBit(cur_bits, run[j].node)) {
+                            has_parent = true;
+                            return false; // first parent suffices
+                        }
+                    }
+                    return true;
+                });
+                if (has_parent) {
+                    // v is owned by this worker's slice; the store only
+                    // races with atomicLoad pre-checks elsewhere.
+                    atomicStore(values[v], depth);
+                    perf::touchWrite(&values[v], sizeof(Value));
+                    atomicFetchOr(next_bits[i >> 6],
+                                  std::uint64_t{1} << (i & 63));
+                    ++found;
+                }
+            }
+            worker_awake[w] = found;
+        });
+
+        std::uint64_t awake = 0;
+        for (std::uint64_t found : worker_awake)
+            awake += found;
+        frontier.adoptDense(next_bits, awake, n);
+        return awake;
     }
 };
 

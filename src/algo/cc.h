@@ -8,16 +8,30 @@
  * Connectivity is weak (edge direction ignored), so both the FS iteration
  * and the INC engine pull from in- AND out-neighbors and propagate in both
  * directions.
+ *
+ * FS implementation: adaptive frontier-based label propagation. Every
+ * round works only on the vertices whose label changed last round.
+ * Large frontiers (edge mass above the kDenseBreakEven share of total
+ * arcs) run as a dense edge-balanced pull sweep over all vertices using
+ * the stores' block iteration; small ones run as sparse pushes (atomic
+ * min + round-
+ * stamped claim dedup). Label propagation is monotone, so any mix of
+ * round types converges to the same componentwise minimum; ctx.direction
+ * pins one round type for tests and benches.
  */
 
 #ifndef SAGA_ALGO_CC_H_
 #define SAGA_ALGO_CC_H_
 
+#include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "algo/context.h"
+#include "algo/frontier.h"
 #include "perfmodel/trace.h"
 #include "platform/atomic_ops.h"
+#include "platform/edge_ranges.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
@@ -33,6 +47,16 @@ struct Cc
     static constexpr bool kUsesBothDirections = true;
 
     static Value init(NodeId v, const AlgContext &) { return v; }
+
+    /**
+     * Dense/sparse break-even. Unlike BFS pull (which early-exits on the
+     * first reached parent, making dense rounds cheap — hence Beamer's
+     * aggressive α=15), a dense CC sweep always scans all 2|E| arcs. A
+     * sparse round costs ~2·(frontier arc mass) atomic-min pushes, each
+     * a few times the cost of a pull read, so dense only wins when the
+     * frontier covers roughly a third of the total arc mass.
+     */
+    static constexpr std::uint64_t kDenseBreakEven = 3;
 
     template <typename Graph>
     static Value
@@ -60,12 +84,7 @@ struct Cc
         return old_value != new_value;
     }
 
-    /**
-     * From-scratch compute: synchronous min-label iteration until a full
-     * pass makes no change (deterministic; labels are pulled from the
-     * previous pass via a double buffer-free sweep, which still converges
-     * to the componentwise minimum).
-     */
+    /** From-scratch compute: adaptive dense/sparse label propagation. */
     template <typename Graph>
     static void
     computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
@@ -73,36 +92,202 @@ struct Cc
     {
         const NodeId n = g.numNodes();
         values.resize(n);
-        for (NodeId v = 0; v < n; ++v)
-            values[v] = v;
+        std::iota(values.begin(), values.end(), Value{0});
+        if (n == 0)
+            return;
 
-        std::vector<char> changed(pool.size(), 1);
-        bool any_change = true;
-        while (any_change) {
-            SAGA_PHASE(telemetry::Phase::ComputeRound);
-            SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
-            SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices, n);
-            std::fill(changed.begin(), changed.end(), 0);
-            parallelSlices(pool, 0, n,
-                           [&](std::size_t w, std::uint64_t lo,
-                               std::uint64_t hi) {
-                char local_change = 0;
-                for (NodeId v = static_cast<NodeId>(lo); v < hi; ++v) {
-                    const Value best = recompute(g, v, values, ctx);
-                    // v belongs to this worker's slice, but other workers
-                    // concurrently read values[v] through relax.
-                    if (best < values[v]) {
-                        atomicStore(values[v], best);
-                        perf::touchWrite(&values[v], sizeof(Value));
-                        local_change = 1;
+        const auto degreeBoth = [&](NodeId v) {
+            return static_cast<std::uint64_t>(g.inDegree(v)) +
+                   g.outDegree(v);
+        };
+
+        // Round 1 starts with every vertex active, so the Auto heuristic
+        // naturally begins dense and shifts to sparse as labels settle.
+        std::vector<NodeId> frontier(n);
+        std::iota(frontier.begin(), frontier.end(), NodeId{0});
+
+        EdgeBalancedRanges full_ranges;    // all vertices, built once
+        EdgeBalancedRanges frontier_ranges; // rebuilt per round
+        bool full_ranges_built = false;
+        std::uint64_t total_arcs = 0;
+        std::vector<std::uint32_t> enqueued(n, 0);
+        std::uint32_t round = 0;
+
+        while (!frontier.empty()) {
+            frontier_ranges.build(pool, frontier.size(),
+                                  [&](std::uint64_t i) {
+                return degreeBoth(frontier[i]);
+            });
+
+            bool dense;
+            if (ctx.direction == Direction::ForcePull) {
+                dense = true;
+            } else if (ctx.direction == Direction::ForcePush) {
+                dense = false;
+            } else {
+                if (!full_ranges_built) {
+                    // Lazy: ForcePush never needs the full prefix.
+                    full_ranges.build(pool, n, [&](std::uint64_t v) {
+                        return degreeBoth(static_cast<NodeId>(v));
+                    });
+                    total_arcs = full_ranges.edgeSum();
+                    full_ranges_built = true;
+                }
+                dense = frontier_ranges.edgeSum() * kDenseBreakEven >
+                        total_arcs;
+            }
+
+            if (dense) {
+                if (!full_ranges_built) {
+                    full_ranges.build(pool, n, [&](std::uint64_t v) {
+                        return degreeBoth(static_cast<NodeId>(v));
+                    });
+                    full_ranges_built = true;
+                }
+                frontier = denseRound(g, pool, values, full_ranges);
+            } else {
+                ++round;
+                frontier = sparseRound(g, pool, values, frontier,
+                                       frontier_ranges, enqueued, round);
+            }
+        }
+    }
+
+  private:
+    /**
+     * Dense pull sweep over all vertices with edge-balanced slices and
+     * block neighbor iteration. Returns the vertices whose label
+     * dropped (each collected once, by its owning worker).
+     */
+    template <typename Graph>
+    static std::vector<NodeId>
+    denseRound(const Graph &g, ThreadPool &pool,
+               std::vector<Value> &values,
+               const EdgeBalancedRanges &ranges)
+    {
+        SAGA_PHASE(telemetry::Phase::ComputeRound);
+        SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+        SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
+                   ranges.count());
+        SAGA_COUNT(telemetry::Counter::CcDenseRounds, 1);
+        std::vector<std::vector<NodeId>> local(pool.size());
+        ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
+                                   std::uint64_t hi) {
+            std::vector<NodeId> &changed = local[w];
+            const auto scan = [&](const Neighbor *run, std::uint32_t len,
+                                  Value &best) {
+                perf::ops(len);
+                for (std::uint32_t j = 0; j < len; ++j) {
+                    const Value label = atomicLoad(values[run[j].node]);
+                    if (label < best)
+                        best = label;
+                }
+                return true;
+            };
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                const NodeId v = static_cast<NodeId>(i);
+                const Value cur = atomicLoad(values[v]);
+                // Floor skip: labels are vertex ids and only decrease,
+                // so a vertex already at the global floor can never
+                // improve; its neighbors pull values[v] themselves, so
+                // its scan contributes nothing. On skewed graphs most
+                // vertices hit the floor after the first sweep, making
+                // later dense rounds nearly free.
+                if (cur == 0)
+                    continue;
+                Value best = cur;
+                // Pointer-jumping shortcut: a label is a vertex id in
+                // v's own component, so its label is too — min it in for
+                // Shiloach-Vishkin-style exponential label collapse.
+                const Value hop = atomicLoad(values[best]);
+                if (hop < best)
+                    best = hop;
+                g.inNeighBlock(v, [&](const Neighbor *run,
+                                      std::uint32_t len) {
+                    return scan(run, len, best);
+                });
+                g.outNeighBlock(v, [&](const Neighbor *run,
+                                       std::uint32_t len) {
+                    return scan(run, len, best);
+                });
+                // v belongs to this worker's slice (dense rounds store
+                // only through the owner), but other workers
+                // concurrently read values[v] through their scans.
+                if (best < cur) {
+                    atomicStore(values[v], best);
+                    perf::touchWrite(&values[v], sizeof(Value));
+                    changed.push_back(v);
+                }
+            }
+        });
+
+        std::size_t total = 0;
+        for (const auto &part : local)
+            total += part.size();
+        std::vector<NodeId> next;
+        next.reserve(total);
+        for (const auto &part : local)
+            next.insert(next.end(), part.begin(), part.end());
+        return next;
+    }
+
+    /**
+     * Sparse push round: every frontier vertex pushes its label to both
+     * neighbor directions with an atomic min; a lowered neighbor enters
+     * the next frontier exactly once (round-stamped claim, the SSSP
+     * bucket-push discipline).
+     */
+    template <typename Graph>
+    static std::vector<NodeId>
+    sparseRound(const Graph &g, ThreadPool &pool,
+                std::vector<Value> &values,
+                const std::vector<NodeId> &frontier,
+                const EdgeBalancedRanges &ranges,
+                std::vector<std::uint32_t> &enqueued, std::uint32_t round)
+    {
+        SAGA_PHASE(telemetry::Phase::ComputeRound);
+        SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+        SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
+                   frontier.size());
+        SAGA_COUNT(telemetry::Counter::CcSparseRounds, 1);
+        std::vector<std::vector<NodeId>> local(pool.size());
+        ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
+                                   std::uint64_t hi) {
+            std::vector<NodeId> &queue = local[w];
+            const auto relax = [&](const Neighbor &nbr, Value label) {
+                perf::ops(1);
+                perf::touch(&values[nbr.node], sizeof(Value));
+                if (atomicFetchMin(values[nbr.node], label)) {
+                    perf::touchWrite(&values[nbr.node], sizeof(Value));
+                    const std::uint32_t seen =
+                        atomicLoad(enqueued[nbr.node]);
+                    if (seen != round &&
+                        atomicClaim(enqueued[nbr.node], seen, round)) {
+                        queue.push_back(nbr.node);
                     }
                 }
-                changed[w] = local_change;
-            });
-            any_change = false;
-            for (char c : changed)
-                any_change |= (c != 0);
-        }
+            };
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                const NodeId v = frontier[i];
+                // Races with concurrent atomicFetchMin RMWs on the slot.
+                const Value label = atomicLoad(values[v]);
+                g.outNeigh(v, [&](const Neighbor &nbr) {
+                    relax(nbr, label);
+                });
+                g.inNeigh(v, [&](const Neighbor &nbr) {
+                    relax(nbr, label);
+                });
+            }
+        });
+
+        std::size_t total = 0;
+        for (const auto &part : local)
+            total += part.size();
+        std::vector<NodeId> next;
+        next.reserve(total);
+        for (const auto &part : local)
+            next.insert(next.end(), part.begin(), part.end());
+        return next;
     }
 };
 

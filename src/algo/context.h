@@ -12,6 +12,18 @@
 
 namespace saga {
 
+/**
+ * Traversal-direction policy for the direction-optimizing kernels (BFS,
+ * CC). Auto applies Beamer's α/β heuristic; the forced modes pin one
+ * code path (tests run both under TSan, benches use them to measure the
+ * crossover).
+ */
+enum class Direction : std::uint8_t {
+    Auto,      ///< α/β heuristic picks push or pull per round
+    ForcePush, ///< always sparse top-down
+    ForcePull, ///< always dense bottom-up
+};
+
 /** Parameters shared by the FS and INC engines. */
 struct AlgContext
 {
@@ -38,6 +50,21 @@ struct AlgContext
 
     /** Delta-stepping bucket width for SSSP FS. */
     double delta = 8.0;
+
+    /** Push/pull policy for the direction-optimizing kernels. */
+    Direction direction = Direction::Auto;
+
+    /**
+     * Beamer α: switch push → pull when the frontier's out-degree sum
+     * exceeds (unexplored edges) / α (GAP default 15).
+     */
+    double doAlpha = 15.0;
+
+    /**
+     * Beamer β: switch pull → push when the frontier shrinks below
+     * |V| / β vertices (GAP default 18).
+     */
+    double doBeta = 18.0;
 };
 
 } // namespace saga

@@ -1,14 +1,35 @@
 /**
  * @file
- * Parallel frontier expansion shared by the FS and INC engines.
+ * Frontier machinery shared by the FS and INC engines.
+ *
+ * Two pieces:
+ *
+ *  - Frontier — a GAP-style dual-representation vertex set: a sparse
+ *    queue (one NodeId per member, the push engines' natural form) and a
+ *    dense bitmap (one bit per vertex, the pull engines' natural form),
+ *    with cheap parallel conversion between them. The direction-
+ *    optimizing kernels (bfs.h, cc.h) flip representation at the push ⇄
+ *    pull crossover instead of paying O(n) per round unconditionally.
+ *
+ *  - expandFrontier / expandFrontierBalanced — one parallel sweep over a
+ *    sparse frontier, collecting pushed vertices into per-worker queues
+ *    that are concatenated into the next frontier. The balanced variant
+ *    splits the frontier by edge mass (degree prefix sum,
+ *    platform/edge_ranges.h) instead of by vertex count, so a hub vertex
+ *    no longer serializes the round on power-law graphs.
  */
 
 #ifndef SAGA_ALGO_FRONTIER_H_
 #define SAGA_ALGO_FRONTIER_H_
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "platform/atomic_ops.h"
+#include "platform/edge_ranges.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
@@ -17,9 +38,132 @@
 namespace saga {
 
 /**
+ * Dual-representation vertex frontier: sparse NodeId queue + dense
+ * bitmap. Exactly one representation is authoritative at a time;
+ * toDense()/toSparse() convert in parallel and are no-ops when the
+ * frontier is already in the requested form. Buffers are reused across
+ * conversions (capacity persists), so round-to-round flips in a
+ * traversal do not allocate in steady state.
+ */
+class Frontier
+{
+  public:
+    /** Bitmap words needed for @p n vertices. */
+    static constexpr std::uint64_t
+    words(NodeId n)
+    {
+        return (static_cast<std::uint64_t>(n) + 63) / 64;
+    }
+
+    /** Membership test against a dense bitmap. */
+    static bool
+    testBit(const std::vector<std::uint64_t> &bits, NodeId v)
+    {
+        return (bits[v >> 6] >> (v & 63)) & 1u;
+    }
+
+    /** Replace the contents with a sparse queue. */
+    void
+    assignSparse(std::vector<NodeId> queue)
+    {
+        queue_ = std::move(queue);
+        count_ = queue_.size();
+        dense_ = false;
+    }
+
+    /**
+     * Replace the contents with a dense bitmap over @p n vertices whose
+     * population count the caller already knows (pull rounds count
+     * awakened vertices as they set bits). The bitmap is *swapped* in,
+     * leaving the previous one behind in @p bits for reuse.
+     */
+    void
+    adoptDense(std::vector<std::uint64_t> &bits, std::uint64_t count,
+               NodeId n)
+    {
+        bits_.swap(bits);
+        count_ = count;
+        num_nodes_ = n;
+        dense_ = true;
+    }
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool dense() const { return dense_; }
+
+    /** The sparse queue (valid only when !dense()). */
+    const std::vector<NodeId> &sparse() const { return queue_; }
+
+    /** The dense bitmap (valid only when dense()). */
+    const std::vector<std::uint64_t> &bits() const { return bits_; }
+
+    /**
+     * Convert to the dense representation over @p n vertices: clear the
+     * bitmap and scatter the queue's bits in parallel (two O(n/64 +
+     * |frontier|/P) passes).
+     */
+    void
+    toDense(ThreadPool &pool, NodeId n)
+    {
+        if (dense_)
+            return;
+        bits_.assign(words(n), 0);
+        num_nodes_ = n;
+        parallelFor(pool, 0, queue_.size(), [&](std::uint64_t i) {
+            const NodeId v = queue_[i];
+            // Two queue entries can share a word; the OR must be atomic.
+            atomicFetchOr(bits_[v >> 6],
+                          std::uint64_t{1} << (v & 63));
+        });
+        dense_ = true;
+    }
+
+    /**
+     * Convert to the sparse representation: per-worker gathers over word
+     * slices, concatenated. Vertex order is bitmap order, not insertion
+     * order — the parallel sweeps do not observe ordering.
+     */
+    void
+    toSparse(ThreadPool &pool)
+    {
+        if (!dense_)
+            return;
+        std::vector<std::vector<NodeId>> local(pool.size());
+        parallelSlices(pool, 0, bits_.size(),
+                       [&](std::size_t w, std::uint64_t lo,
+                           std::uint64_t hi) {
+            std::vector<NodeId> &out = local[w];
+            for (std::uint64_t word = lo; word < hi; ++word) {
+                std::uint64_t m = bits_[word];
+                while (m) {
+                    const int bit = std::countr_zero(m);
+                    out.push_back(
+                        static_cast<NodeId>(word * 64 + bit));
+                    m &= m - 1;
+                }
+            }
+        });
+        queue_.clear();
+        queue_.reserve(count_);
+        for (const auto &part : local)
+            queue_.insert(queue_.end(), part.begin(), part.end());
+        dense_ = false;
+    }
+
+  private:
+    std::vector<NodeId> queue_;
+    std::vector<std::uint64_t> bits_;
+    std::uint64_t count_ = 0;
+    NodeId num_nodes_ = 0;
+    bool dense_ = false;
+};
+
+/**
  * Apply body(v, push) to every vertex in @p frontier in parallel;
  * push(NodeId) collects vertices into per-worker queues which are
- * concatenated into the returned next frontier.
+ * concatenated into the returned next frontier. Vertex-balanced static
+ * split — kept as the reference partitioning (bench_compute measures
+ * the edge-balanced variant against it).
  */
 template <typename Body>
 std::vector<NodeId>
@@ -35,6 +179,44 @@ expandFrontier(ThreadPool &pool, const std::vector<NodeId> &frontier,
     std::vector<std::vector<NodeId>> local(pool.size());
     parallelSlices(pool, 0, frontier.size(),
                    [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+        std::vector<NodeId> &queue = local[w];
+        auto push = [&queue](NodeId v) { queue.push_back(v); };
+        for (std::uint64_t i = lo; i < hi; ++i)
+            body(frontier[i], push);
+    });
+
+    std::size_t total = 0;
+    for (const auto &queue : local)
+        total += queue.size();
+    std::vector<NodeId> next;
+    next.reserve(total);
+    for (const auto &queue : local)
+        next.insert(next.end(), queue.begin(), queue.end());
+    return next;
+}
+
+/**
+ * expandFrontier with edge-balanced work division: @p ranges is rebuilt
+ * over the frontier using degree(v) weights, and each worker receives a
+ * contiguous slice of ~equal edge mass. @p ranges is caller-owned so its
+ * prefix buffer is reused across rounds.
+ */
+template <typename DegreeFn, typename Body>
+std::vector<NodeId>
+expandFrontierBalanced(ThreadPool &pool,
+                       const std::vector<NodeId> &frontier,
+                       EdgeBalancedRanges &ranges, const DegreeFn &degree,
+                       const Body &body)
+{
+    SAGA_PHASE(telemetry::Phase::ComputeRound);
+    SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+    SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
+               frontier.size());
+    ranges.build(pool, frontier.size(),
+                 [&](std::uint64_t i) { return degree(frontier[i]); });
+    std::vector<std::vector<NodeId>> local(pool.size());
+    ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
+                               std::uint64_t hi) {
         std::vector<NodeId> &queue = local[w];
         auto push = [&queue](NodeId v) { queue.push_back(v); };
         for (std::uint64_t i = lo; i < hi; ++i)

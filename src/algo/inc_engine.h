@@ -31,6 +31,7 @@
 #include "algo/context.h"
 #include "algo/frontier.h"
 #include "perfmodel/trace.h"
+#include "platform/edge_ranges.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/batch_scratch.h"
@@ -176,14 +177,24 @@ incCompute(const Graph &g, ThreadPool &pool,
             g.inNeigh(v, enqueue);
     };
 
+    // Edge-balanced rounds: processVertex pulls v's in-edges (recompute)
+    // and scans the push directions on a trigger, so a vertex's work is
+    // proportional to its total degree — split slices by that, not by
+    // vertex count, or one affected hub serializes every round.
+    EdgeBalancedRanges ranges;
+    const auto degreeOf = [&](NodeId v) {
+        return static_cast<std::uint64_t>(g.inDegree(v)) + g.outDegree(v);
+    };
+
     // Lines 6-15: parallel sweep over the affected vertices.
-    std::vector<NodeId> frontier =
-        expandFrontier(pool, affected, processVertex);
+    std::vector<NodeId> frontier = expandFrontierBalanced(
+        pool, affected, ranges, degreeOf, processVertex);
 
     // Lines 17-25: propagate until no vertex triggers.
     while (!frontier.empty()) {
         nextRound(); // line 20, O(frontier) instead of O(n)
-        frontier = expandFrontier(pool, frontier, processVertex);
+        frontier = expandFrontierBalanced(pool, frontier, ranges,
+                                          degreeOf, processVertex);
     }
 }
 

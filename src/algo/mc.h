@@ -15,11 +15,13 @@
 #ifndef SAGA_ALGO_MC_H_
 #define SAGA_ALGO_MC_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "platform/atomic_ops.h"
 #include "algo/context.h"
 #include "algo/frontier.h"
+#include "platform/edge_ranges.h"
 #include "perfmodel/trace.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
@@ -59,7 +61,12 @@ struct Mc
         return old_value != new_value;
     }
 
-    /** From-scratch compute: push-based worklist max propagation. */
+    /**
+     * From-scratch compute: push-based worklist max propagation with
+     * edge-balanced rounds (per-round out-degree prefix sum) and round-
+     * stamped claim dedup — a vertex raised by several frontier members
+     * enters the next frontier once.
+     */
     template <typename Graph>
     static void
     computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
@@ -73,9 +80,16 @@ struct Mc
             frontier[v] = v;
         }
 
+        EdgeBalancedRanges ranges;
+        std::vector<std::uint32_t> enqueued(n, 0);
+        std::uint32_t round = 0;
+
         while (!frontier.empty()) {
-            frontier = expandFrontier(pool, frontier,
-                                      [&](NodeId v, auto &push) {
+            ++round;
+            frontier = expandFrontierBalanced(
+                pool, frontier, ranges,
+                [&](NodeId v) { return g.outDegree(v); },
+                [&](NodeId v, auto &push) {
                 // Races with concurrent atomicFetchMax RMWs on this slot.
                 const Value value = atomicLoad(values[v]);
                 g.outNeigh(v, [&](const Neighbor &nbr) {
@@ -83,7 +97,12 @@ struct Mc
                     perf::touch(&values[nbr.node], sizeof(Value));
                     if (atomicFetchMax(values[nbr.node], value)) {
                         perf::touchWrite(&values[nbr.node], sizeof(Value));
-                        push(nbr.node);
+                        const std::uint32_t seen =
+                            atomicLoad(enqueued[nbr.node]);
+                        if (seen != round &&
+                            atomicClaim(enqueued[nbr.node], seen, round)) {
+                            push(nbr.node);
+                        }
                     }
                 });
             });

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared monotone-worklist core for the single-source path algorithms.
+ *
+ * SSSP (delta-stepping, atomic min) and SSWP (widest path, atomic max)
+ * are the same engine with a different relaxation operator: buckets of
+ * priority-binned vertices, parallel bucket expansion with round-stamped
+ * claim dedup, and re-binning of relaxed vertices. This header is that
+ * engine once, so the two kernels cannot drift apart.
+ *
+ * Policy concept:
+ *   using Value;
+ *   static Value unreached();              // initial value
+ *   static Value sourceValue();            // value of ctx.source
+ *   static Value relax(Value src, Weight w);        // candidate for dst
+ *   static bool improve(Value &slot, Value cand);   // atomic min/max RMW
+ *   static std::size_t bucketOf(Value v, double delta); // priority bin
+ *
+ * A policy whose bucketOf is constant degenerates into a plain worklist
+ * (SSWP: width order does not affect the monotone fixpoint); SSSP bins
+ * by distance/delta for the classic delta-stepping work ordering.
+ */
+
+#ifndef SAGA_ALGO_MONOTONE_WORKLIST_H_
+#define SAGA_ALGO_MONOTONE_WORKLIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "platform/atomic_ops.h"
+#include "algo/context.h"
+#include "algo/frontier.h"
+#include "perfmodel/trace.h"
+#include "platform/edge_ranges.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Bucketed monotone relaxation from ctx.source (see file comment). */
+template <typename Policy, typename Graph>
+void
+monotoneWorklistCompute(const Graph &g, ThreadPool &pool,
+                        std::vector<typename Policy::Value> &values,
+                        const AlgContext &ctx)
+{
+    using Value = typename Policy::Value;
+
+    const NodeId n = g.numNodes();
+    values.assign(n, Policy::unreached());
+    if (ctx.source >= n)
+        return;
+    values[ctx.source] = Policy::sourceValue();
+
+    const double delta = ctx.delta > 0 ? ctx.delta : 1.0;
+    std::vector<std::vector<NodeId>> buckets;
+    const auto place = [&](NodeId v, Value value) {
+        const std::size_t b = Policy::bucketOf(value, delta);
+        if (b >= buckets.size())
+            buckets.resize(b + 1);
+        buckets[b].push_back(v);
+    };
+    place(ctx.source, values[ctx.source]);
+
+    // Round-stamped membership marks: several workers can improve the
+    // same vertex in one round, but only the worker whose claim CAS
+    // succeeds pushes it, so each vertex enters a bucket round at most
+    // once (instead of once per successful relaxation).
+    std::vector<std::uint32_t> enqueued(n, 0);
+    std::uint32_t round = 0;
+    EdgeBalancedRanges ranges;
+
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        // A vertex may be re-binned several times; process until this
+        // bucket stays empty (re-insertions into bucket b happen when
+        // an improved same-bucket value is found).
+        while (!buckets[b].empty()) {
+            std::vector<NodeId> frontier = std::move(buckets[b]);
+            buckets[b].clear();
+            ++round;
+
+            std::vector<NodeId> relaxed = expandFrontierBalanced(
+                pool, frontier, ranges,
+                [&](NodeId v) { return g.outDegree(v); },
+                [&](NodeId v, auto &push) {
+                // Concurrent improve() RMWs target this slot, so the
+                // read must be atomic too.
+                const Value value = atomicLoad(values[v]);
+                // Skip stale entries (v was re-binned with a better
+                // value already processed).
+                if (Policy::bucketOf(value, delta) != b)
+                    return;
+                g.outNeigh(v, [&](const Neighbor &nbr) {
+                    perf::ops(1);
+                    const Value cand = Policy::relax(value, nbr.weight);
+                    perf::touch(&values[nbr.node], sizeof(Value));
+                    if (Policy::improve(values[nbr.node], cand)) {
+                        perf::touchWrite(&values[nbr.node],
+                                         sizeof(Value));
+                        const std::uint32_t seen =
+                            atomicLoad(enqueued[nbr.node]);
+                        if (seen != round &&
+                            atomicClaim(enqueued[nbr.node], seen,
+                                        round)) {
+                            push(nbr.node);
+                        }
+                    }
+                });
+            });
+
+            for (NodeId v : relaxed)
+                place(v, values[v]);
+        }
+    }
+}
+
+} // namespace saga
+
+#endif // SAGA_ALGO_MONOTONE_WORKLIST_H_

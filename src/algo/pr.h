@@ -20,6 +20,7 @@
 #include "algo/context.h"
 #include "perfmodel/trace.h"
 #include "platform/atomic_ops.h"
+#include "platform/edge_ranges.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
@@ -65,7 +66,13 @@ struct Pr
         return std::fabs(old_value - new_value) > ctx.epsilon;
     }
 
-    /** From-scratch compute: pull power iteration. */
+    /**
+     * From-scratch compute: pull power iteration. The vertex range is
+     * split by in-edge mass (degree prefix sum, built once — the graph
+     * is static during compute), so hub-heavy slices no longer
+     * serialize an iteration, and each vertex pulls its in-neighbors as
+     * contiguous runs via the store block hooks.
+     */
     template <typename Graph>
     static void
     computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
@@ -79,17 +86,36 @@ struct Pr
         values.assign(n, 1.0 / n);
         std::vector<Value> next(n, 0);
         std::vector<double> worker_delta(pool.size(), 0);
+        const double base = (1.0 - ctx.damping) / n;
+
+        EdgeBalancedRanges ranges;
+        ranges.build(pool, n, [&](std::uint64_t v) {
+            return g.inDegree(static_cast<NodeId>(v));
+        });
 
         for (std::uint32_t iter = 0; iter < ctx.prMaxIters; ++iter) {
             SAGA_PHASE(telemetry::Phase::ComputeRound);
             SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
             SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices, n);
-            parallelSlices(pool, 0, n,
-                           [&](std::size_t w, std::uint64_t lo,
-                               std::uint64_t hi) {
+            ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
+                                       std::uint64_t hi) {
                 double delta = 0;
-                for (NodeId v = static_cast<NodeId>(lo); v < hi; ++v) {
-                    next[v] = recompute(g, v, values, ctx);
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                    const NodeId v = static_cast<NodeId>(i);
+                    double sum = 0;
+                    g.inNeighBlock(v, [&](const Neighbor *run,
+                                          std::uint32_t len) {
+                        perf::ops(len);
+                        for (std::uint32_t j = 0; j < len; ++j) {
+                            const std::uint32_t out_degree =
+                                g.outDegree(run[j].node);
+                            if (out_degree > 0)
+                                sum += atomicLoad(values[run[j].node]) /
+                                       out_degree;
+                        }
+                        return true;
+                    });
+                    next[v] = base + ctx.damping * sum;
                     perf::touchWrite(&next[v], sizeof(Value));
                     delta += std::fabs(next[v] - values[v]);
                 }

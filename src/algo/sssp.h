@@ -9,20 +9,22 @@
  * the paper credits for SSSP's competitive FS results, Section V-C
  * footnote 7). Vertices are binned into buckets of width ctx.delta and
  * buckets are processed in order; relaxations use atomic min so a bucket
- * can be expanded in parallel.
+ * can be expanded in parallel. The bucket engine itself is the shared
+ * monotone worklist (algo/monotone_worklist.h) — SSWP runs the same core
+ * with the max/min-width operator.
  */
 
 #ifndef SAGA_ALGO_SSSP_H_
 #define SAGA_ALGO_SSSP_H_
 
 #include <cmath>
-#include <cstdint>
+#include <cstddef>
 #include <limits>
 #include <vector>
 
 #include "platform/atomic_ops.h"
 #include "algo/context.h"
-#include "algo/frontier.h"
+#include "algo/monotone_worklist.h"
 #include "perfmodel/trace.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
@@ -73,78 +75,33 @@ struct Sssp
                static_cast<Value>(ctx.epsilon);
     }
 
-    /** From-scratch compute: delta-stepping. */
+    /** Monotone-worklist policy: shortest paths = min over (dist + w). */
+    struct Policy
+    {
+        using Value = Sssp::Value;
+        static Value unreached() { return kInf; }
+        static Value sourceValue() { return 0.0f; }
+        static Value relax(Value src, Weight w) { return src + w; }
+        static bool
+        improve(Value &slot, Value cand)
+        {
+            return atomicFetchMin(slot, cand);
+        }
+        /** Delta-stepping bucket: distance binned by ctx.delta. */
+        static std::size_t
+        bucketOf(Value value, double delta)
+        {
+            return static_cast<std::size_t>(value / delta);
+        }
+    };
+
+    /** From-scratch compute: delta-stepping on the shared core. */
     template <typename Graph>
     static void
     computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
               const AlgContext &ctx)
     {
-        const NodeId n = g.numNodes();
-        values.assign(n, kInf);
-        if (ctx.source >= n)
-            return;
-        values[ctx.source] = 0.0f;
-
-        const double delta = ctx.delta > 0 ? ctx.delta : 1.0;
-        std::vector<std::vector<NodeId>> buckets;
-        const auto bucketFor = [&](Value dist) {
-            return static_cast<std::size_t>(dist / delta);
-        };
-        const auto place = [&](NodeId v, Value dist) {
-            const std::size_t b = bucketFor(dist);
-            if (b >= buckets.size())
-                buckets.resize(b + 1);
-            buckets[b].push_back(v);
-        };
-        place(ctx.source, 0.0f);
-
-        // Round-stamped membership marks: several workers can lower the
-        // same vertex in one round, but only the worker whose claim CAS
-        // succeeds pushes it, so each vertex enters a bucket round at most
-        // once (instead of once per successful relaxation).
-        std::vector<std::uint32_t> enqueued(n, 0);
-        std::uint32_t round = 0;
-
-        for (std::size_t b = 0; b < buckets.size(); ++b) {
-            // A vertex may be re-binned several times; process until this
-            // bucket stays empty (re-insertions into bucket b happen when
-            // a shorter same-bucket path is found).
-            while (!buckets[b].empty()) {
-                std::vector<NodeId> frontier = std::move(buckets[b]);
-                buckets[b].clear();
-                ++round;
-
-                std::vector<NodeId> relaxed = expandFrontier(
-                    pool, frontier, [&](NodeId v, auto &push) {
-                    // Concurrent atomicFetchMin RMWs target this slot, so
-                    // the read must be atomic too.
-                    const Value dist = atomicLoad(values[v]);
-                    // Skip stale entries (v was re-binned with a shorter
-                    // path already processed).
-                    if (bucketFor(dist) != b)
-                        return;
-                    g.outNeigh(v, [&](const Neighbor &nbr) {
-                        perf::ops(1);
-                        const Value cand = dist + nbr.weight;
-                        perf::touch(&values[nbr.node], sizeof(Value));
-                        if (atomicFetchMin(values[nbr.node], cand)) {
-                            perf::touchWrite(&values[nbr.node],
-                                             sizeof(Value));
-                            const std::uint32_t seen =
-                                atomicLoad(enqueued[nbr.node]);
-                            if (seen != round &&
-                                atomicClaim(enqueued[nbr.node], seen,
-                                            round)) {
-                                push(nbr.node);
-                            }
-                        }
-                    });
-                });
-
-                for (NodeId v : relaxed)
-                    place(v, values[v]);
-            }
-        }
+        monotoneWorklistCompute<Policy>(g, pool, values, ctx);
     }
 };
 

@@ -6,8 +6,11 @@
  *   v.path <- max over in-edges e of min(e.source.path, e.weight)
  *
  * The source has infinite width; unreached vertices have width 0. Like MC,
- * SSWP is implemented natively (GAP lacks it): the FS compute is a
- * push-based monotone worklist propagation with atomic max.
+ * SSWP is implemented natively (GAP lacks it): the FS compute runs the
+ * shared monotone worklist (algo/monotone_worklist.h) — SSSP's delta-
+ * stepping core — with the widest-path operator and a single priority
+ * bucket (width ordering does not change the monotone fixpoint, so the
+ * engine degenerates into a plain round-synchronous worklist).
  */
 
 #ifndef SAGA_ALGO_SSWP_H_
@@ -15,12 +18,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <vector>
 
 #include "platform/atomic_ops.h"
 #include "algo/context.h"
-#include "algo/frontier.h"
+#include "algo/monotone_worklist.h"
 #include "perfmodel/trace.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
@@ -72,35 +76,33 @@ struct Sswp
                static_cast<Value>(ctx.epsilon);
     }
 
+    /** Monotone-worklist policy: widest paths = max over min(width, w). */
+    struct Policy
+    {
+        using Value = Sswp::Value;
+        static Value unreached() { return 0.0f; }
+        static Value sourceValue() { return kInf; }
+        static Value
+        relax(Value src, Weight w)
+        {
+            return std::min(src, w);
+        }
+        static bool
+        improve(Value &slot, Value cand)
+        {
+            return atomicFetchMax(slot, cand);
+        }
+        /** Single bucket: a plain worklist is already the fixpoint. */
+        static std::size_t bucketOf(Value, double) { return 0; }
+    };
+
     /** From-scratch compute: worklist widest-path propagation. */
     template <typename Graph>
     static void
     computeFs(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
               const AlgContext &ctx)
     {
-        const NodeId n = g.numNodes();
-        values.assign(n, 0.0f);
-        if (ctx.source >= n)
-            return;
-        values[ctx.source] = kInf;
-
-        std::vector<NodeId> frontier{ctx.source};
-        while (!frontier.empty()) {
-            frontier = expandFrontier(pool, frontier,
-                                      [&](NodeId v, auto &push) {
-                // Races with concurrent atomicFetchMax RMWs on this slot.
-                const Value width = atomicLoad(values[v]);
-                g.outNeigh(v, [&](const Neighbor &nbr) {
-                    perf::ops(1);
-                    const Value cand = std::min(width, nbr.weight);
-                    perf::touch(&values[nbr.node], sizeof(Value));
-                    if (atomicFetchMax(values[nbr.node], cand)) {
-                        perf::touchWrite(&values[nbr.node], sizeof(Value));
-                        push(nbr.node);
-                    }
-                });
-            });
-        }
+        monotoneWorklistCompute<Policy>(g, pool, values, ctx);
     }
 };
 

@@ -182,6 +182,22 @@ class AdjChunkedStore
         }
     }
 
+    /**
+     * Block iteration for the hot pull loops: fn(const Neighbor *run,
+     * std::uint32_t len) -> bool, return false to stop. A row is one
+     * contiguous run here.
+     */
+    template <typename Fn>
+    void
+    forNeighborsBlock(NodeId v, Fn &&fn) const
+    {
+        const std::vector<Neighbor> &row = rows_[v];
+        if (!row.empty()) {
+            perf::touch(row.data(), row.size() * sizeof(Neighbor));
+            fn(row.data(), static_cast<std::uint32_t>(row.size()));
+        }
+    }
+
   private:
     std::size_t num_chunks_;
     NodeId num_nodes_ = 0;

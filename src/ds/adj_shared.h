@@ -159,6 +159,22 @@ class AdjSharedStore
         }
     }
 
+    /**
+     * Block iteration for the hot pull loops: fn(const Neighbor *run,
+     * std::uint32_t len) -> bool, return false to stop. A row is one
+     * contiguous run here.
+     */
+    template <typename Fn>
+    void
+    forNeighborsBlock(NodeId v, Fn &&fn) const
+    {
+        const std::vector<Neighbor> &row = rows_[v].quiescent();
+        if (!row.empty()) {
+            perf::touch(row.data(), row.size() * sizeof(Neighbor));
+            fn(row.data(), static_cast<std::uint32_t>(row.size()));
+        }
+    }
+
   private:
     /** One vertex's adjacency row together with the lock guarding it. */
     struct Row

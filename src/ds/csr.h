@@ -58,6 +58,21 @@ class CsrGraph
             fn(neighbors_[i]);
     }
 
+    /**
+     * Block iteration for the hot pull loops: fn(const Neighbor *run,
+     * std::uint32_t len) -> bool, return false to stop. A CSR row is
+     * one contiguous run by construction.
+     */
+    template <typename Fn>
+    void
+    forNeighborsBlock(NodeId v, Fn &&fn) const
+    {
+        const std::uint64_t lo = offsets_[v];
+        const std::uint64_t hi = offsets_[v + 1];
+        if (lo < hi)
+            fn(&neighbors_[lo], static_cast<std::uint32_t>(hi - lo));
+    }
+
   private:
     std::vector<std::uint64_t> offsets_;  // numNodes + 1
     std::vector<Neighbor> neighbors_;     // sorted within each row
@@ -104,6 +119,14 @@ class CsrStore
     forNeighbors(NodeId v, Fn &&fn) const
     {
         csr_.forNeighbors(v, std::forward<Fn>(fn));
+    }
+
+    /** Block iteration (see CsrGraph::forNeighborsBlock). */
+    template <typename Fn>
+    void
+    forNeighborsBlock(NodeId v, Fn &&fn) const
+    {
+        csr_.forNeighborsBlock(v, std::forward<Fn>(fn));
     }
 
     const CsrGraph &csr() const { return csr_; }

@@ -325,6 +325,33 @@ class HighDegreeTable
         }
     }
 
+    /**
+     * Visit the occupied slots as maximal contiguous runs:
+     * fn(const Neighbor *run, std::uint32_t len) -> bool, return false
+     * to stop. At high load factors most of the table is one long run,
+     * so pull loops scan it without a per-neighbor hole test.
+     */
+    template <typename Fn>
+    void
+    forRuns(Fn &&fn) const
+    {
+        const std::size_t cap = slots_.size();
+        std::size_t i = 0;
+        while (i < cap) {
+            if (slots_[i].node == kInvalidNode) {
+                ++i;
+                continue;
+            }
+            std::size_t end = i + 1;
+            while (end < cap && slots_[end].node != kInvalidNode)
+                ++end;
+            perf::touch(&slots_[i], (end - i) * sizeof(Neighbor));
+            if (!fn(&slots_[i], static_cast<std::uint32_t>(end - i)))
+                return;
+            i = end + 1; // slots_[end] is a hole (or one past the end)
+        }
+    }
+
   private:
     static constexpr std::size_t kMinCapacity = 16;
 
@@ -529,6 +556,32 @@ class DahStore
         }
         chunk.low.forEachOfKey(v, [&](NodeId dst, Weight weight) {
             fn(Neighbor{dst, weight});
+        });
+    }
+
+    /**
+     * Block iteration for the hot pull loops: fn(const Neighbor *run,
+     * std::uint32_t len) -> bool, return false to stop. High-degree
+     * vertices iterate their table's contiguous occupied runs; low-
+     * degree vertices (Robin-Hood slots keyed by source, not Neighbor-
+     * shaped) fall back to single-entry runs.
+     */
+    template <typename Fn>
+    void
+    forNeighborsBlock(NodeId v, Fn &&fn) const
+    {
+        const Chunk &chunk = chunks_[chunkOf(v)];
+        perf::ops(1); // table-location meta-op
+        if (const HighDegreeTable *table = chunk.findHigh(v)) {
+            table->forRuns(fn);
+            return;
+        }
+        bool keep_going = true;
+        chunk.low.forEachOfKey(v, [&](NodeId dst, Weight weight) {
+            if (!keep_going)
+                return;
+            const Neighbor nbr{dst, weight};
+            keep_going = fn(&nbr, 1u);
         });
     }
 

@@ -135,12 +135,50 @@ class DynGraph
             out_.forNeighbors(v, std::forward<Fn>(fn));
     }
 
+    /**
+     * Visit out-neighbors of @p v as contiguous runs:
+     * fn(const Neighbor *run, std::uint32_t len) -> bool, return false
+     * to stop early. Stores with a forNeighborsBlock hook (AS/AC rows,
+     * Stinger edge blocks, DAH table runs, CSR rows) hand out real
+     * blocks; other stores fall back to single-entry runs so the pull
+     * kernels stay generic.
+     */
+    template <typename Fn>
+    void
+    outNeighBlock(NodeId v, Fn &&fn) const
+    {
+        storeNeighBlock(out_, v, std::forward<Fn>(fn));
+    }
+
+    /** In-neighbor counterpart of outNeighBlock(). */
+    template <typename Fn>
+    void
+    inNeighBlock(NodeId v, Fn &&fn) const
+    {
+        storeNeighBlock(directed_ ? in_ : out_, v, std::forward<Fn>(fn));
+    }
+
     Store &outStore() { return out_; }
     const Store &outStore() const { return out_; }
     Store &inStore() { return directed_ ? in_ : out_; }
     const Store &inStore() const { return directed_ ? in_ : out_; }
 
   private:
+    template <typename Fn>
+    static void
+    storeNeighBlock(const Store &store, NodeId v, Fn &&fn)
+    {
+        if constexpr (requires { store.forNeighborsBlock(v, fn); }) {
+            store.forNeighborsBlock(v, std::forward<Fn>(fn));
+        } else {
+            bool keep_going = true;
+            store.forNeighbors(v, [&](const Neighbor &nbr) {
+                if (keep_going)
+                    keep_going = fn(&nbr, std::uint32_t{1});
+            });
+        }
+    }
+
     static constexpr bool kPartitionedIngest =
         requires(Store &s, const PartitionedBatch &p, ThreadPool &pl) {
             s.updateBatch(p, pl, false);

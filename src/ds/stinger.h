@@ -226,6 +226,33 @@ class StingerStore
         }
     }
 
+    /**
+     * Block iteration for the hot pull loops: fn(const Neighbor *run,
+     * std::uint32_t len) -> bool, return false to stop. One run per
+     * edge block — the pull kernels scan a block's entries without a
+     * callback per neighbor, and the pointer chase happens once per
+     * blockCapacity() entries.
+     */
+    template <typename Fn>
+    void
+    forNeighborsBlock(NodeId v, Fn &&fn) const
+    {
+        const EdgeBlock *block =
+            headers_[v].first.load(std::memory_order_acquire);
+        while (block) {
+            perf::touch(block, 16); // block header / pointer chase
+            const std::uint32_t count =
+                block->count.load(std::memory_order_acquire);
+            if (count > 0) {
+                perf::touch(block->entries.get(),
+                            count * sizeof(Neighbor));
+                if (!fn(block->entries.get(), count))
+                    return;
+            }
+            block = block->next.load(std::memory_order_acquire);
+        }
+    }
+
     std::uint32_t blockCapacity() const { return block_capacity_; }
 
   private:

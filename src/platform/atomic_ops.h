@@ -101,6 +101,21 @@ atomicClaim(T &slot, T expected, T desired)
                                        std::memory_order_relaxed);
 }
 
+/**
+ * Atomically OR @p mask into a plain integer slot. Used for the dense
+ * frontier bitmaps, where several workers set bits in the same word
+ * during one pull round.
+ */
+template <typename T>
+void
+atomicFetchOr(T &slot, T mask)
+{
+    std::atomic_ref<T> ref(slot);
+    // relaxed: bitmap bits are write-once flags within a round; readers
+    // only see them after the pool barrier publishes the round.
+    ref.fetch_or(mask, std::memory_order_relaxed);
+}
+
 } // namespace saga
 
 #endif // SAGA_PLATFORM_ATOMIC_OPS_H_

@@ -44,6 +44,10 @@ enum class Counter : std::uint32_t {
     ComputeRounds,        ///< frontier/power-iteration rounds executed
     ComputeFrontierVertices, ///< vertices processed across all rounds
     ComputeAffectedVertices, ///< batch-affected vertices fed to INC
+    BfsPushRounds,        ///< BFS rounds run sparse / top-down (push)
+    BfsPullRounds,        ///< BFS rounds run dense / bottom-up (pull)
+    CcSparseRounds,       ///< CC rounds run as sparse frontier pushes
+    CcDenseRounds,        ///< CC rounds run as dense full-graph pulls
     kCount
 };
 
@@ -87,6 +91,10 @@ name(Counter c)
         return "compute.frontier_vertices";
       case Counter::ComputeAffectedVertices:
         return "compute.affected_vertices";
+      case Counter::BfsPushRounds: return "bfs.push_rounds";
+      case Counter::BfsPullRounds: return "bfs.pull_rounds";
+      case Counter::CcSparseRounds: return "cc.sparse_rounds";
+      case Counter::CcDenseRounds: return "cc.dense_rounds";
       case Counter::kCount: break;
     }
     return "?";

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Compute-engine tests: the direction-optimizing kernels (BFS, CC) must
+ * match the serial oracles across all 4 stores × directed/undirected ×
+ * FS/INC, in every direction mode (Auto + forced push + forced pull, so
+ * both code paths run under TSan); plus unit/property coverage for the
+ * Frontier dual representation, the edge-balanced range splitter, and
+ * the store block-iteration hooks.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/inc_engine.h"
+#include "algo/frontier.h"
+#include "ds/adj_chunked.h"
+#include "ds/adj_shared.h"
+#include "ds/dah.h"
+#include "ds/dyn_graph.h"
+#include "ds/reference.h"
+#include "ds/stinger.h"
+#include "platform/edge_ranges.h"
+#include "platform/rng.h"
+#include "platform/thread_pool.h"
+#include "reference_algos.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+/** Build a DynGraph over @p Store with a representative configuration. */
+template <typename Store>
+DynGraph<Store>
+makeGraph(bool directed, std::size_t chunks)
+{
+    if constexpr (std::is_constructible_v<Store, std::size_t>) {
+        return DynGraph<Store>(directed, chunks); // AC, DAH, Stinger(block)
+    } else {
+        (void)chunks;
+        return DynGraph<Store>(directed); // AS, Reference
+    }
+}
+
+/** Hub-heavy batch: a few vertices carry most of the edge mass, which is
+    exactly the skew the α heuristic and the edge-balanced split target. */
+EdgeBatch
+hubBatch(NodeId num_nodes, std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        NodeId src = static_cast<NodeId>(rng.below(num_nodes));
+        NodeId dst = static_cast<NodeId>(rng.below(num_nodes));
+        if (i % 4 == 0)
+            src = 0; // hot out-hub at the BFS source
+        if (i % 4 == 1)
+            dst = 3; // hot in-hub
+        const Weight weight =
+            static_cast<Weight>((src * 2654435761u + dst * 40503u) % 32 + 1);
+        edges.push_back({src, dst, weight});
+    }
+    return EdgeBatch(std::move(edges));
+}
+
+/** The graph's out-adjacency as an oracle AdjList (undirected graphs
+    already hold both orientations in the out store). */
+template <typename Graph>
+test::AdjList
+oracleAdj(const Graph &g)
+{
+    test::AdjList adj(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        adj[v] = test::sortedOut(g, v);
+    return adj;
+}
+
+/** Unique directed edges of the graph (for the union-find CC oracle). */
+template <typename Graph>
+std::vector<Edge>
+oracleEdges(const Graph &g)
+{
+    std::vector<Edge> edges;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        g.outNeigh(v, [&](const Neighbor &nbr) {
+            edges.push_back({v, nbr.node, nbr.weight});
+        });
+    return edges;
+}
+
+constexpr Direction kAllDirections[] = {
+    Direction::Auto, Direction::ForcePush, Direction::ForcePull};
+
+template <typename Store>
+class ComputeEngineTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kChunks = 4;
+
+    /** BFS and CC, every direction mode, against the serial oracles. */
+    void
+    expectFsMatchesOracle(const std::vector<EdgeBatch> &batches,
+                          bool directed, NodeId source)
+    {
+        ThreadPool pool(4);
+        DynGraph<Store> g = makeGraph<Store>(directed, kChunks);
+        for (const EdgeBatch &batch : batches)
+            g.update(batch, pool);
+
+        const test::AdjList adj = oracleAdj(g);
+        const auto ref_depth = test::refBfs(adj, source);
+        const auto ref_label =
+            test::refCc(oracleEdges(g), g.numNodes());
+
+        for (Direction dir : kAllDirections) {
+            AlgContext ctx;
+            ctx.source = source;
+            ctx.direction = dir;
+            std::vector<Bfs::Value> depth;
+            Bfs::computeFs(g, pool, depth, ctx);
+            ASSERT_EQ(depth.size(), ref_depth.size());
+            for (NodeId v = 0; v < g.numNodes(); ++v)
+                ASSERT_EQ(depth[v], ref_depth[v])
+                    << "bfs v=" << v << " dir=" << static_cast<int>(dir)
+                    << " directed=" << directed;
+
+            std::vector<Cc::Value> label;
+            Cc::computeFs(g, pool, label, ctx);
+            ASSERT_EQ(label.size(), ref_label.size());
+            for (NodeId v = 0; v < g.numNodes(); ++v)
+                ASSERT_EQ(label[v], ref_label[v])
+                    << "cc v=" << v << " dir=" << static_cast<int>(dir)
+                    << " directed=" << directed;
+        }
+    }
+
+    /** INC BFS/CC values after each batch must equal the oracle on the
+        cumulative graph (additions only, so both are monotone). */
+    void
+    expectIncMatchesOracle(const std::vector<EdgeBatch> &batches,
+                           bool directed, NodeId source)
+    {
+        ThreadPool pool(4);
+        DynGraph<Store> g = makeGraph<Store>(directed, kChunks);
+        AlgContext ctx;
+        ctx.source = source;
+        std::vector<Bfs::Value> depth;
+        std::vector<Cc::Value> label;
+
+        for (const EdgeBatch &batch : batches) {
+            g.update(batch, pool);
+            const std::vector<NodeId> affected =
+                affectedVertices(batch, g.numNodes());
+            incCompute<Bfs>(g, pool, depth, affected, ctx);
+            incCompute<Cc>(g, pool, label, affected, ctx);
+
+            const test::AdjList adj = oracleAdj(g);
+            const auto ref_depth = test::refBfs(adj, source);
+            const auto ref_label =
+                test::refCc(oracleEdges(g), g.numNodes());
+            for (NodeId v = 0; v < g.numNodes(); ++v) {
+                ASSERT_EQ(depth[v], ref_depth[v])
+                    << "inc bfs v=" << v << " directed=" << directed;
+                ASSERT_EQ(label[v], ref_label[v])
+                    << "inc cc v=" << v << " directed=" << directed;
+            }
+        }
+    }
+};
+
+using ComputeStores = ::testing::Types<AdjSharedStore, AdjChunkedStore,
+                                       StingerStore, DahStore>;
+TYPED_TEST_SUITE(ComputeEngineTest, ComputeStores);
+
+TYPED_TEST(ComputeEngineTest, FsRandomDirected)
+{
+    this->expectFsMatchesOracle({test::randomBatch(120, 400, 11),
+                                 test::randomBatch(120, 400, 12)},
+                                /*directed=*/true, /*source=*/0);
+}
+
+TYPED_TEST(ComputeEngineTest, FsRandomUndirected)
+{
+    this->expectFsMatchesOracle({test::randomBatch(120, 400, 21),
+                                 test::randomBatch(120, 400, 22)},
+                                /*directed=*/false, /*source=*/5);
+}
+
+TYPED_TEST(ComputeEngineTest, FsHubHeavyDirected)
+{
+    this->expectFsMatchesOracle({hubBatch(150, 900, 31)},
+                                /*directed=*/true, /*source=*/0);
+}
+
+TYPED_TEST(ComputeEngineTest, FsHubHeavyUndirected)
+{
+    this->expectFsMatchesOracle({hubBatch(150, 900, 41)},
+                                /*directed=*/false, /*source=*/0);
+}
+
+TYPED_TEST(ComputeEngineTest, FsSparseDisconnected)
+{
+    // Many unreachable vertices: the pull rounds must leave them kInf
+    // and the heuristic must terminate with a shrinking frontier.
+    this->expectFsMatchesOracle({test::randomBatch(300, 150, 51)},
+                                /*directed=*/true, /*source=*/1);
+}
+
+TYPED_TEST(ComputeEngineTest, IncStreamDirected)
+{
+    this->expectIncMatchesOracle({test::randomBatch(100, 250, 61),
+                                  test::randomBatch(100, 250, 62),
+                                  hubBatch(100, 400, 63)},
+                                 /*directed=*/true, /*source=*/0);
+}
+
+TYPED_TEST(ComputeEngineTest, IncStreamUndirected)
+{
+    this->expectIncMatchesOracle({test::randomBatch(100, 250, 71),
+                                  hubBatch(100, 400, 72),
+                                  test::randomBatch(100, 250, 73)},
+                                 /*directed=*/false, /*source=*/2);
+}
+
+TYPED_TEST(ComputeEngineTest, BlockIterationMatchesForNeighbors)
+{
+    ThreadPool pool(2);
+    DynGraph<TypeParam> g = makeGraph<TypeParam>(true, this->kChunks);
+    g.update(hubBatch(80, 600, 81), pool);
+
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        std::vector<Neighbor> via_blocks;
+        g.outNeighBlock(v, [&](const Neighbor *run, std::uint32_t len) {
+            via_blocks.insert(via_blocks.end(), run, run + len);
+            return true;
+        });
+        std::sort(via_blocks.begin(), via_blocks.end(),
+                  [](const Neighbor &a, const Neighbor &b) {
+                      return a.node < b.node;
+                  });
+        ASSERT_EQ(via_blocks, test::sortedOut(g, v)) << "v=" << v;
+
+        via_blocks.clear();
+        g.inNeighBlock(v, [&](const Neighbor *run, std::uint32_t len) {
+            via_blocks.insert(via_blocks.end(), run, run + len);
+            return true;
+        });
+        std::sort(via_blocks.begin(), via_blocks.end(),
+                  [](const Neighbor &a, const Neighbor &b) {
+                      return a.node < b.node;
+                  });
+        ASSERT_EQ(via_blocks, test::sortedIn(g, v)) << "v=" << v;
+    }
+}
+
+TYPED_TEST(ComputeEngineTest, BlockIterationEarlyStop)
+{
+    ThreadPool pool(2);
+    DynGraph<TypeParam> g = makeGraph<TypeParam>(true, this->kChunks);
+    g.update(hubBatch(40, 400, 91), pool);
+
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (g.outDegree(v) == 0)
+            continue;
+        // Stop after the first run: the callback must not fire again.
+        int calls = 0;
+        std::uint32_t first_len = 0;
+        g.outNeighBlock(v, [&](const Neighbor *, std::uint32_t len) {
+            ++calls;
+            first_len = len;
+            return false;
+        });
+        EXPECT_EQ(calls, 1) << "v=" << v;
+        EXPECT_GE(first_len, 1u) << "v=" << v;
+    }
+}
+
+TEST(FrontierTest, SparseDenseRoundTrip)
+{
+    ThreadPool pool(3);
+    Rng rng(7);
+    const NodeId n = 500;
+    std::set<NodeId> members;
+    std::vector<NodeId> queue;
+    for (int i = 0; i < 120; ++i) {
+        const NodeId v = static_cast<NodeId>(rng.below(n));
+        if (members.insert(v).second)
+            queue.push_back(v);
+    }
+
+    Frontier f;
+    f.assignSparse(queue);
+    EXPECT_FALSE(f.dense());
+    EXPECT_EQ(f.count(), members.size());
+
+    f.toDense(pool, n);
+    EXPECT_TRUE(f.dense());
+    EXPECT_EQ(f.count(), members.size());
+    for (NodeId v = 0; v < n; ++v)
+        EXPECT_EQ(Frontier::testBit(f.bits(), v), members.count(v) > 0)
+            << "v=" << v;
+
+    f.toSparse(pool);
+    EXPECT_FALSE(f.dense());
+    std::set<NodeId> back(f.sparse().begin(), f.sparse().end());
+    EXPECT_EQ(back, members);
+}
+
+TEST(FrontierTest, EmptyAndConversionIdempotence)
+{
+    ThreadPool pool(2);
+    Frontier f;
+    f.assignSparse({});
+    EXPECT_TRUE(f.empty());
+    f.toDense(pool, 100);
+    EXPECT_TRUE(f.empty());
+    f.toDense(pool, 100); // no-op
+    f.toSparse(pool);
+    EXPECT_TRUE(f.sparse().empty());
+    f.toSparse(pool); // no-op
+}
+
+TEST(EdgeBalancedRangesTest, SlicesPartitionExactly)
+{
+    ThreadPool pool(4);
+    Rng rng(13);
+    const std::uint64_t count = 777;
+    std::vector<std::uint32_t> degree(count);
+    for (auto &d : degree)
+        d = static_cast<std::uint32_t>(rng.below(100));
+    degree[5] = 50000; // hub
+
+    EdgeBalancedRanges ranges;
+    ranges.build(pool, count,
+                 [&](std::uint64_t i) { return degree[i]; });
+
+    for (std::size_t workers : {1u, 3u, 4u, 7u, 16u}) {
+        std::uint64_t expect_lo = 0;
+        for (std::size_t w = 0; w < workers; ++w) {
+            const auto [lo, hi] = ranges.slice(w, workers);
+            EXPECT_EQ(lo, expect_lo) << "w=" << w;
+            EXPECT_LE(lo, hi);
+            expect_lo = hi;
+        }
+        EXPECT_EQ(expect_lo, count) << "workers=" << workers;
+    }
+}
+
+TEST(EdgeBalancedRangesTest, SlicesAreWeightBalanced)
+{
+    ThreadPool pool(4);
+    Rng rng(17);
+    const std::uint64_t count = 1000;
+    std::vector<std::uint32_t> degree(count);
+    std::uint64_t max_weight = 0;
+    for (auto &d : degree) {
+        d = static_cast<std::uint32_t>(rng.below(64));
+        max_weight = std::max<std::uint64_t>(max_weight, d + 1);
+    }
+    degree[0] = 40000; // hub dominates: its slice may exceed the ideal
+    max_weight = std::max<std::uint64_t>(max_weight, 40001);
+
+    EdgeBalancedRanges ranges;
+    ranges.build(pool, count,
+                 [&](std::uint64_t i) { return degree[i]; });
+
+    std::vector<std::uint64_t> prefix(count + 1, 0);
+    for (std::uint64_t i = 0; i < count; ++i)
+        prefix[i + 1] = prefix[i] + degree[i] + 1;
+    ASSERT_EQ(ranges.total(), prefix.back());
+
+    const std::size_t workers = 8;
+    for (std::size_t w = 0; w < workers; ++w) {
+        const auto [lo, hi] = ranges.slice(w, workers);
+        const std::uint64_t weight = prefix[hi] - prefix[lo];
+        // A slice never exceeds the ideal share by more than one item.
+        EXPECT_LE(weight, ranges.total() / workers + max_weight)
+            << "w=" << w;
+    }
+}
+
+TEST(EdgeBalancedRangesTest, ZeroDegreeTailIsCovered)
+{
+    ThreadPool pool(2);
+    // All the edge mass up front, a long zero-degree tail: the +1 item
+    // weights must still distribute the tail across slices.
+    const std::uint64_t count = 100;
+    EdgeBalancedRanges ranges;
+    ranges.build(pool, count, [](std::uint64_t i) {
+        return i < 4 ? 1000u : 0u;
+    });
+    const auto [lo_last, hi_last] = ranges.slice(3, 4);
+    EXPECT_EQ(hi_last, count); // the tail belongs to someone
+    EXPECT_GT(hi_last, lo_last);
+}
+
+TEST(EdgeBalancedRangesTest, EmptyBuild)
+{
+    ThreadPool pool(2);
+    EdgeBalancedRanges ranges;
+    ranges.build(pool, 0, [](std::uint64_t) { return 1u; });
+    EXPECT_EQ(ranges.count(), 0u);
+    EXPECT_EQ(ranges.total(), 0u);
+    int calls = 0;
+    ranges.forSlices(pool, [&](std::size_t, std::uint64_t, std::uint64_t) {
+        ++calls;
+    });
+    EXPECT_EQ(calls, 0);
+}
+
+/** The ReferenceStore has no block hook: the DynGraph fallback must
+    produce single-entry runs equivalent to forNeighbors. */
+TEST(BlockFallbackTest, ReferenceStoreFallsBackToUnitRuns)
+{
+    ThreadPool pool(2);
+    DynGraph<ReferenceStore> g(/*directed=*/true);
+    g.update(test::randomBatch(40, 200, 99), pool);
+
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        std::vector<Neighbor> via_blocks;
+        g.outNeighBlock(v, [&](const Neighbor *run, std::uint32_t len) {
+            EXPECT_EQ(len, 1u);
+            via_blocks.push_back(run[0]);
+            return true;
+        });
+        std::sort(via_blocks.begin(), via_blocks.end(),
+                  [](const Neighbor &a, const Neighbor &b) {
+                      return a.node < b.node;
+                  });
+        ASSERT_EQ(via_blocks, test::sortedOut(g, v)) << "v=" << v;
+    }
+}
+
+} // namespace
+} // namespace saga

@@ -28,13 +28,13 @@ using telemetry::Phase;
 using telemetry::PhaseScope;
 using telemetry::TraceEvent;
 
-std::uint64_t
+[[maybe_unused]] std::uint64_t
 counterValue(const MetricsSnapshot &snap, Counter c)
 {
     return snap.counters[static_cast<std::size_t>(c)];
 }
 
-const telemetry::PhaseTotals &
+[[maybe_unused]] const telemetry::PhaseTotals &
 phaseTotals(const MetricsSnapshot &snap, Phase p)
 {
     return snap.phases[static_cast<std::size_t>(p)];
