@@ -10,7 +10,13 @@
  *   saga_run [--dataset lj|orkut|rmat|wiki|talk] [--ds as|ac|stinger|dah]
  *            [--alg bfs|cc|mc|pr|sssp|sswp] [--model inc|fs]
  *            [--scale F] [--threads N] [--seed S] [--per-batch]
+ *            [--pipeline] [--writers N]
  *            [--telemetry=PATH] [--trace=PATH]
+ *
+ * --pipeline swaps the strict update/compute alternation for the
+ * snapshot-isolated overlap driver (DESIGN.md §9); --writers sets the
+ * writer-lane width (default: half of --threads). Note that perf
+ * sampling is disabled in pipeline mode (overlapping spans).
  *
  * --telemetry enables the runtime metrics layer and writes the JSON dump
  * (docs/TELEMETRY.md schema) at exit; --trace additionally records every
@@ -37,6 +43,7 @@ usage(const char *argv0)
         << " [--dataset lj|orkut|rmat|wiki|talk] [--ds as|ac|stinger|dah]\n"
            "       [--alg bfs|cc|mc|pr|sssp|sswp] [--model inc|fs]\n"
            "       [--scale F] [--threads N] [--seed S] [--per-batch]\n"
+           "       [--pipeline] [--writers N]\n"
            "       [--telemetry=PATH] [--trace=PATH]\n";
     std::exit(2);
 }
@@ -82,6 +89,11 @@ main(int argc, char **argv)
                 seed = std::strtoull(next().c_str(), nullptr, 10);
             } else if (arg == "--per-batch") {
                 per_batch = true;
+            } else if (arg == "--pipeline") {
+                cfg.pipeline = true;
+            } else if (arg == "--writers") {
+                cfg.writerThreads =
+                    std::strtoul(next().c_str(), nullptr, 10);
             } else if (arg.rfind("--telemetry=", 0) == 0) {
                 telemetry = arg.substr(12);
             } else if (arg.rfind("--trace=", 0) == 0) {
@@ -116,9 +128,15 @@ main(int argc, char **argv)
               << profile.batchSize << " (" << profile.batchCount()
               << " batches)  ds=" << toString(cfg.ds) << " alg="
               << toString(cfg.alg) << " model=" << toString(cfg.model)
-              << "\n\n";
+              << (cfg.pipeline ? "  [pipelined]" : "") << "\n\n";
 
     const StreamRun run = runStream(profile, cfg, seed);
+    std::cout << "wall: " << formatDouble(run.wallSeconds, 3) << " s"
+              << (run.pipelined
+                      ? "  (pipelined: per-batch update/compute overlap; "
+                        "their sums over-count)"
+                      : "")
+              << "\n\n";
 
     if (per_batch) {
         TextTable table({"batch", "edges", "nodes", "update_ms",

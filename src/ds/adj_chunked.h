@@ -171,6 +171,31 @@ class AdjChunkedStore
         return true;
     }
 
+    /**
+     * Publish-window append for the pipelined driver: the caller (the
+     * staged-apply pipeline) has already proven (src, dst) absent against
+     * the frozen snapshot and deduplicated it within the batch, so the
+     * search pass is skipped. Caller must own @p src's chunk; the edge
+     * total is settled afterwards via addEdgesPublished().
+     */
+    void
+    appendNewOwned(NodeId src, NodeId dst, Weight weight)
+        SAGA_REQUIRES(ownership_)
+    {
+        perf::ops(1);
+        std::vector<Neighbor> &row = rows_[src];
+        row.push_back({dst, weight});
+        perf::touchWrite(&row.back(), sizeof(Neighbor));
+        SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
+    }
+
+    /**
+     * Fold @p n publish-window appends into the edge total. Quiescent
+     * only (the publish barrier window, after the pool has joined) —
+     * num_edges_ is deliberately not atomic.
+     */
+    void addEdgesPublished(std::uint64_t n) { num_edges_ += n; }
+
     /** Visit every neighbor of @p v: fn(const Neighbor &). */
     template <typename Fn>
     void

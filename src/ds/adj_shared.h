@@ -148,6 +148,27 @@ class AdjSharedStore
         num_edges_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /**
+     * Publish-window append for the pipelined driver: the caller (the
+     * staged-apply pipeline) has already proven (src, dst) absent against
+     * the frozen snapshot and deduplicated it within the batch, so the
+     * search pass is skipped. The row lock is still taken — staged chunks
+     * shard by the source's chunk, but the publish pool may differ in
+     * width from the chunk count, and an uncontended spinlock is cheap.
+     */
+    void
+    appendNew(NodeId src, NodeId dst, Weight weight)
+    {
+        perf::ops(1);
+        Row &row = rows_[src];
+        SpinGuard hold(row.lock);
+        row.data.push_back({dst, weight});
+        perf::touchWrite(&row.data.back(), sizeof(Neighbor));
+        SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
+        // relaxed: monotonic counter increment; never read mid-phase.
+        num_edges_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     /** Visit every neighbor of @p v: fn(const Neighbor &). */
     template <typename Fn>
     void

@@ -22,6 +22,7 @@
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
 #include "saga/partitioned_batch.h"
+#include "saga/staged_apply.h"
 #include "saga/types.h"
 #include "telemetry/telemetry.h"
 
@@ -60,6 +61,12 @@ class DynGraph
     {}
 
     bool directed() const { return directed_; }
+
+    /** True if the store consumes the PartitionedBatch scatter pipeline. */
+    static constexpr bool kPartitionedIngest =
+        requires(Store &s, const PartitionedBatch &p, ThreadPool &pl) {
+            s.updateBatch(p, pl, false);
+        };
 
     /** Number of vertices seen so far (max id + 1). */
     NodeId
@@ -106,6 +113,85 @@ class DynGraph
                 out_.updateBatch(batch, pool, /*reversed=*/false);
                 out_.updateBatch(batch, pool, /*reversed=*/true);
             }
+        }
+    }
+
+    /**
+     * True if the pipelined driver's stage/publish split can overlap the
+     * full dedup classification with compute for this store; stores
+     * without staged-apply support (DAH, fallback stores) only overlap
+     * the scatter and run the apply inside the publish window.
+     */
+    static constexpr bool kStagedIngest =
+        kPartitionedIngest && kStageableStore<Store>;
+
+    /**
+     * Pipelined update, first half: prepare batch @p batch against the
+     * *frozen* current epoch. Read-only on the stores, so it may run on
+     * the writer lane concurrently with compute-phase readers. The
+     * stores themselves do not change until publishBatch().
+     */
+    void
+    stageBatch(const EdgeBatch &batch, ThreadPool &writers)
+    {
+        if constexpr (kPartitionedIngest) {
+            SAGA_COUNT(telemetry::Counter::IngestBatches, 1);
+            // build() times itself as the "update/scatter" phase.
+            parts_.build(batch, writers, ingestChunks(writers));
+            if constexpr (kStagedIngest) {
+                if (directed_) {
+                    staged_out_.stage(out_, parts_, /*reversed=*/false,
+                                      writers);
+                    staged_in_.stage(in_, parts_, /*reversed=*/true,
+                                     writers);
+                } else {
+                    // Both orientations into ONE staged set,
+                    // sequentially: the second pass deduplicates against
+                    // the first through the shared in-batch index,
+                    // mirroring the serial driver's sequential
+                    // orientation applies (a batch holding both (a,b)
+                    // and (b,a) must not double-insert).
+                    staged_out_.stage(out_, parts_, /*reversed=*/false,
+                                      writers);
+                    staged_out_.stage(out_, parts_, /*reversed=*/true,
+                                      writers);
+                }
+            }
+        } else {
+            // No partitioned pipeline: nothing useful to overlap; stash
+            // the batch for publishBatch(). update() counts the batch.
+            staged_raw_ = batch;
+        }
+    }
+
+    /**
+     * Pipelined update, second half: make the staged batch visible. Must
+     * run inside the publish barrier window — no concurrent readers or
+     * stagers anywhere in the graph.
+     */
+    void
+    publishBatch(ThreadPool &writers)
+    {
+        if constexpr (kStagedIngest) {
+            if (directed_) {
+                staged_out_.publish(out_, writers);
+                staged_in_.publish(in_, writers);
+            } else {
+                staged_out_.publish(out_, writers);
+            }
+        } else if constexpr (kPartitionedIngest) {
+            // parts_ still holds the staged batch: the driver publishes
+            // epoch N before staging epoch N+1 rebuilds it.
+            SAGA_PHASE(telemetry::Phase::UpdateApply);
+            if (directed_) {
+                out_.updateBatch(parts_, writers, /*reversed=*/false);
+                in_.updateBatch(parts_, writers, /*reversed=*/true);
+            } else {
+                out_.updateBatch(parts_, writers, /*reversed=*/false);
+                out_.updateBatch(parts_, writers, /*reversed=*/true);
+            }
+        } else {
+            update(staged_raw_, writers);
         }
     }
 
@@ -179,11 +265,6 @@ class DynGraph
         }
     }
 
-    static constexpr bool kPartitionedIngest =
-        requires(Store &s, const PartitionedBatch &p, ThreadPool &pl) {
-            s.updateBatch(p, pl, false);
-        };
-
     /**
      * Bucket count for the scatter: chunked stores need their own chunk
      * count (bucket == chunk); shared stores shard by worker.
@@ -201,6 +282,11 @@ class DynGraph
     Store out_;
     Store in_; // unused when undirected
     PartitionedBatch parts_; // reusable scatter scratch
+
+    // Pipelined-driver staging state (idle on the serial path).
+    StagedApply<Store> staged_out_;
+    StagedApply<Store> staged_in_; // unused when undirected
+    EdgeBatch staged_raw_;         // fallback stores: batch copy
 };
 
 } // namespace saga

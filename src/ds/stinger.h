@@ -207,6 +207,33 @@ class StingerStore
         appendLocked(header, dst, weight, tail0, count0);
     }
 
+    /**
+     * Publish-window append for the pipelined driver: the caller (the
+     * staged-apply pipeline) has already proven (src, dst) absent against
+     * the frozen snapshot and deduplicated it within the batch, so the
+     * lock-free search pass is skipped entirely. Under the insert lock
+     * the chain tail is snapshotted (block headers only) and handed to
+     * appendLocked(), whose duplicate re-check then starts at the tail
+     * and sees nothing — O(degree / blockCapacity) total.
+     */
+    void
+    appendNew(NodeId src, NodeId dst, Weight weight)
+    {
+        perf::ops(1);
+        Header &header = headers_[src];
+        SpinGuard hold(header.insertLock);
+        EdgeBlock *tail0 = nullptr;
+        std::uint32_t count0 = 0;
+        EdgeBlock *block = header.first.load(std::memory_order_acquire);
+        while (block) {
+            perf::touch(block, 16);
+            tail0 = block;
+            count0 = block->count.load(std::memory_order_acquire);
+            block = block->next.load(std::memory_order_acquire);
+        }
+        appendLocked(header, dst, weight, tail0, count0);
+    }
+
     /** Visit every neighbor of @p v: fn(const Neighbor &). */
     template <typename Fn>
     void

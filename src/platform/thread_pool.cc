@@ -165,4 +165,55 @@ ThreadPool::workerLoop(std::size_t id)
     }
 }
 
+AsyncLane::AsyncLane() : thread_([this] { laneLoop(); }) {}
+
+AsyncLane::~AsyncLane()
+{
+    {
+        std::lock_guard<std::mutex> hold(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_one();
+    thread_.join();
+}
+
+void
+AsyncLane::submit(std::function<void()> job)
+{
+    std::unique_lock<std::mutex> hold(mutex_);
+    done_.wait(hold, [this] { return !busy_; });
+    job_ = std::move(job);
+    busy_ = true;
+    hold.unlock();
+    wake_.notify_one();
+}
+
+void
+AsyncLane::wait()
+{
+    std::unique_lock<std::mutex> hold(mutex_);
+    done_.wait(hold, [this] { return !busy_; });
+}
+
+void
+AsyncLane::laneLoop()
+{
+    std::unique_lock<std::mutex> hold(mutex_);
+    for (;;) {
+        wake_.wait(hold, [this] { return busy_ || stop_; });
+        if (!busy_) {
+            if (stop_)
+                return;
+            continue;
+        }
+        std::function<void()> job = std::move(job_);
+        job_ = nullptr;
+        hold.unlock();
+        job();
+        hold.lock();
+        busy_ = false;
+        done_.notify_all();
+    }
+}
+
 } // namespace saga

@@ -99,6 +99,54 @@ class ThreadPool
     std::condition_variable done_;
 };
 
+/**
+ * One-job asynchronous lane: a single long-lived thread that executes one
+ * submitted closure at a time while the submitter does something else.
+ *
+ * The pipelined streaming driver uses it as the *writer lane* master: the
+ * driver thread submits "stage the next batch" (which internally fans out
+ * over the writer ThreadPool), runs the compute phase on the reader pool,
+ * then wait()s — the epoch publish barrier.
+ *
+ * Concurrency contract: deliberately boring. All handoff state is guarded
+ * by the mutex and signalled through condvars — no lock-free fast path,
+ * no relaxed atomics (the epoch handoff is exactly where saga_lint's
+ * pipeline-no-relaxed rule bans them). submit()/wait() happen-before
+ * edges come from the mutex alone. Latency does not matter here: the lane
+ * hands off twice per *batch*, not per task, so a parked-thread wakeup is
+ * noise next to a multi-millisecond stage.
+ *
+ * Single-submitter discipline: one thread calls submit()/wait(); the lane
+ * runs the closures in submission order, one at a time. submit() blocks
+ * while a previous job is still running (it cannot overwrite it).
+ */
+class AsyncLane
+{
+  public:
+    AsyncLane();
+    ~AsyncLane();
+
+    AsyncLane(const AsyncLane &) = delete;
+    AsyncLane &operator=(const AsyncLane &) = delete;
+
+    /** Hand @p job to the lane thread; blocks until the lane is free. */
+    void submit(std::function<void()> job);
+
+    /** Block until the most recently submitted job has finished. */
+    void wait();
+
+  private:
+    void laneLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_; ///< submitter -> lane: job available
+    std::condition_variable done_; ///< lane -> submitter: job finished
+    std::function<void()> job_;    ///< guarded by mutex_
+    bool busy_ = false;            ///< guarded by mutex_
+    bool stop_ = false;            ///< guarded by mutex_
+    std::thread thread_;           ///< last member: starts after state init
+};
+
 } // namespace saga
 
 #endif // SAGA_PLATFORM_THREAD_POOL_H_

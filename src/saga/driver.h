@@ -7,9 +7,11 @@
 #ifndef SAGA_SAGA_DRIVER_H_
 #define SAGA_SAGA_DRIVER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <type_traits>
@@ -60,6 +62,19 @@ struct RunConfig
     std::uint32_t stingerBlock = StingerStore::kBlockCapacity;
     DahConfig dah{};
     AlgContext ctx{};
+    /**
+     * Pipelined (snapshot-isolated) driver: compute on epoch N overlaps
+     * staging of epoch N+1 on a separate writer lane, with a publish
+     * barrier between epochs. false = the paper's strict alternation,
+     * kept as the oracle the pipelined mode must match bit-for-bit.
+     */
+    bool pipeline = false;
+    /**
+     * Writer-lane pool width when pipeline is on; 0 = half the total
+     * thread budget (at least one writer and one reader either way).
+     * The reader (compute) pool gets the remainder.
+     */
+    std::size_t writerThreads = 0;
 };
 
 /** Measured latencies and graph state after one batch. */
@@ -71,8 +86,24 @@ struct BatchResult
     std::uint64_t graphEdges = 0;
     NodeId graphNodes = 0;
 
+    // Pipelined-driver breakdown (zero on the serial path). stageSeconds
+    // is writer-lane wall time that overlapped compute; stallSeconds is
+    // how long the driver blocked waiting for it; publishSeconds is the
+    // quiescent barrier window. updateSeconds = stage + publish so Eq. 1
+    // stays comparable across modes.
+    double stageSeconds = 0;
+    double publishSeconds = 0;
+    double stallSeconds = 0;
+
     /** Batch processing latency (paper Eq. 1). */
     double totalSeconds() const { return updateSeconds + computeSeconds; }
+};
+
+/** What waiting on the writer lane cost (pipelined driver). */
+struct PipelineWaitResult
+{
+    double stageSeconds = 0; ///< writer-lane time for the staged batch
+    double stallSeconds = 0; ///< driver time blocked on the lane
 };
 
 /**
@@ -101,6 +132,27 @@ class StreamingRunner
 
     virtual const RunConfig &config() const = 0;
 
+    /** True if this runner was built with RunConfig::pipeline. */
+    virtual bool pipelined() const { return false; }
+
+    /**
+     * Pipelined driver, step 1: hand @p batch to the writer lane, which
+     * stages it against the frozen current epoch while the caller runs
+     * computePhase() on that same epoch. @p batch must stay alive and
+     * unmodified until the matching waitStage() returns. No-op on
+     * serial runners.
+     */
+    virtual void stageAsync(const EdgeBatch &batch) { (void)batch; }
+
+    /** Pipelined driver, step 2: join the writer lane (epoch barrier). */
+    virtual PipelineWaitResult waitStage() { return {}; }
+
+    /**
+     * Pipelined driver, step 3: publish the staged batch — the quiescent
+     * window in which the new epoch becomes visible. @return seconds.
+     */
+    virtual double publishPhase() { return 0; }
+
     /** Convenience: update + compute with latency bookkeeping. */
     BatchResult
     processBatch(const EdgeBatch &batch)
@@ -127,7 +179,13 @@ class Runner final : public StreamingRunner
 {
   public:
     explicit Runner(const RunConfig &cfg)
-        : cfg_(cfg), pool_(cfg.threads), graph_(makeGraph(cfg, pool_))
+        : cfg_(cfg),
+          writer_pool_(cfg.pipeline
+                           ? std::make_unique<ThreadPool>(writerCount(cfg))
+                           : nullptr),
+          pool_(readerCount(cfg)),
+          graph_(makeGraph(cfg, writer_pool_ ? *writer_pool_ : pool_)),
+          lane_(cfg.pipeline ? std::make_unique<AsyncLane>() : nullptr)
     {}
 
     // Both phases derive their returned latency from the telemetry
@@ -139,8 +197,52 @@ class Runner final : public StreamingRunner
     {
         telemetry::PhaseScope scope(telemetry::Phase::Update,
                                     telemetry::PhaseScope::kAlwaysTime |
-                                        telemetry::PhaseScope::kSamplePerf);
-        graph_.update(batch, pool_);
+                                        perfFlag());
+        graph_.update(batch, ingestPool());
+        return scope.finish();
+    }
+
+    bool pipelined() const override { return lane_ != nullptr; }
+
+    void
+    stageAsync(const EdgeBatch &batch) override
+    {
+        if (!lane_)
+            return;
+        // The lane thread reads the frozen epoch concurrently with the
+        // reader pool's compute; the store is not mutated until
+        // publishPhase(). No kSamplePerf: the span overlaps compute and
+        // the process-wide counters cannot be attributed to either.
+        lane_->submit([this, &batch] {
+            telemetry::PhaseScope scope(
+                telemetry::Phase::PipelineStage,
+                telemetry::PhaseScope::kAlwaysTime);
+            graph_.stageBatch(batch, *writer_pool_);
+            stage_seconds_ = scope.finish();
+        });
+    }
+
+    PipelineWaitResult
+    waitStage() override
+    {
+        if (!lane_)
+            return {};
+        telemetry::PhaseScope stall(telemetry::Phase::PipelineStall,
+                                    telemetry::PhaseScope::kAlwaysTime);
+        lane_->wait();
+        // stage_seconds_ was written by the lane thread; AsyncLane::wait
+        // is the synchronization point that publishes it.
+        return {stage_seconds_, stall.finish()};
+    }
+
+    double
+    publishPhase() override
+    {
+        if (!lane_)
+            return 0;
+        telemetry::PhaseScope scope(telemetry::Phase::PipelinePublish,
+                                    telemetry::PhaseScope::kAlwaysTime);
+        graph_.publishBatch(*writer_pool_);
         return scope.finish();
     }
 
@@ -149,7 +251,7 @@ class Runner final : public StreamingRunner
     {
         telemetry::PhaseScope scope(telemetry::Phase::Compute,
                                     telemetry::PhaseScope::kAlwaysTime |
-                                        telemetry::PhaseScope::kSamplePerf);
+                                        perfFlag());
         AlgContext ctx = cfg_.ctx;
         ctx.numNodesHint = graph_.numNodes();
         if (cfg_.model == ModelKind::FS) {
@@ -172,8 +274,14 @@ class Runner final : public StreamingRunner
     std::vector<double>
     values() const override
     {
-        std::vector<double> widened(values_.size());
-        for (std::size_t i = 0; i < values_.size(); ++i)
+        // Size to the *graph*, not to values_: ingestion may have grown
+        // the vertex range since the last compute sized values_, and
+        // callers compare against numNodes(). The tail (vertices never
+        // computed) is zero-filled.
+        const std::size_t n = graph_.numNodes();
+        std::vector<double> widened(n, 0.0);
+        const std::size_t have = std::min(values_.size(), n);
+        for (std::size_t i = 0; i < have; ++i)
             widened[i] = static_cast<double>(values_[i]);
         return widened;
     }
@@ -198,11 +306,74 @@ class Runner final : public StreamingRunner
         }
     }
 
+    /** Total thread budget (0 = hardware concurrency, as ThreadPool). */
+    static std::size_t
+    totalThreads(const RunConfig &cfg)
+    {
+        return cfg.threads
+                   ? cfg.threads
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency());
+    }
+
+    /** Writer-lane pool width: explicit, else half the budget; >= 1. */
+    static std::size_t
+    writerCount(const RunConfig &cfg)
+    {
+        const std::size_t total = totalThreads(cfg);
+        std::size_t writers =
+            cfg.writerThreads ? cfg.writerThreads
+                              : std::max<std::size_t>(1, total / 2);
+        if (total > 1 && writers >= total)
+            writers = total - 1; // leave at least one reader
+        return std::max<std::size_t>(1, writers);
+    }
+
+    /**
+     * Reader (compute) pool width. Serial mode uses the whole budget —
+     * pipelined equivalence tests match a serial run with threads == R
+     * against a pipelined run with threads == R + W, writerThreads == W,
+     * so the compute pools (and thus any pool-width-dependent scheduling)
+     * are identical.
+     */
+    static std::size_t
+    readerCount(const RunConfig &cfg)
+    {
+        if (!cfg.pipeline)
+            return cfg.threads;
+        const std::size_t total = totalThreads(cfg);
+        return std::max<std::size_t>(1, total - writerCount(cfg));
+    }
+
+    /** Pool that runs ingest phases (writer lane when pipelined). */
+    ThreadPool &
+    ingestPool()
+    {
+        return writer_pool_ ? *writer_pool_ : pool_;
+    }
+
+    /**
+     * Perf sampling is only attributable when phases do not overlap:
+     * the serial driver samples update/compute; the pipelined driver
+     * must not (stage spans run concurrently with compute spans and the
+     * counters are process-wide).
+     */
+    unsigned
+    perfFlag() const
+    {
+        return cfg_.pipeline ? 0u : telemetry::PhaseScope::kSamplePerf;
+    }
+
     RunConfig cfg_;
-    ThreadPool pool_;
+    std::unique_ptr<ThreadPool> writer_pool_; // pipelined mode only
+    ThreadPool pool_;                         // compute / serial pool
     DynGraph<Store> graph_;
     std::vector<typename Alg::Value> values_;
     BatchScratch scratch_; // reused across batches (no O(V) per-batch alloc)
+    std::unique_ptr<AsyncLane> lane_; // pipelined mode only
+    // Written by the lane thread inside stageAsync's job, read by the
+    // driver thread after waitStage(); AsyncLane's mutex orders the two.
+    double stage_seconds_ = 0;
 };
 
 } // namespace saga

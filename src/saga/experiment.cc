@@ -1,6 +1,9 @@
 #include "saga/experiment.h"
 
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <utility>
 
 #include "saga/stream_source.h"
 
@@ -36,6 +39,80 @@ StreamRun::totalLatencies() const
     return values;
 }
 
+namespace {
+
+/**
+ * The epoch overlap loop. Batch N's compute (reader pool) runs while
+ * batch N+1 stages on the writer lane against the frozen epoch; between
+ * epochs the driver joins the lane (waitStage — the stall span measures
+ * how imperfect the overlap was) and runs the quiescent publish window.
+ * The staged batch object must outlive its waitStage, so two batch slots
+ * leapfrog through the loop.
+ */
+void
+drivePipelined(StreamingRunner &runner, StreamSource &stream,
+               StreamRun &run)
+{
+    if (!stream.hasNext())
+        return;
+    EdgeBatch cur = stream.next();
+    runner.stageAsync(cur);
+    PipelineWaitResult wait = runner.waitStage();
+    double publish = runner.publishPhase();
+    for (;;) {
+        BatchResult r;
+        r.batchEdges = cur.size();
+        r.stageSeconds = wait.stageSeconds;
+        r.stallSeconds = wait.stallSeconds;
+        r.publishSeconds = publish;
+        // Eq. 1 comparability: "update" = the work the serial driver
+        // would have done in its update phase, overlap or not.
+        r.updateSeconds = wait.stageSeconds + publish;
+
+        const bool more = stream.hasNext();
+        EdgeBatch next;
+        if (more) {
+            next = stream.next();
+            runner.stageAsync(next); // overlaps the compute below
+        }
+        r.computeSeconds = runner.computePhase(cur);
+        // Safe during the overlap: staging is read-only on the store, so
+        // the counts still describe the epoch cur was published into.
+        r.graphEdges = runner.numEdges();
+        r.graphNodes = runner.numNodes();
+        run.batches.push_back(r);
+
+        if (!more)
+            break;
+        wait = runner.waitStage(); // epoch barrier
+        publish = runner.publishPhase();
+        cur = std::move(next);
+    }
+}
+
+} // namespace
+
+StreamRun
+driveStream(StreamingRunner &runner, StreamSource &stream)
+{
+    StreamRun run;
+    run.pipelined = runner.pipelined();
+    run.batches.reserve(stream.batchCount());
+    const auto start = std::chrono::steady_clock::now();
+    if (run.pipelined) {
+        drivePipelined(runner, stream, run);
+    } else {
+        while (stream.hasNext()) {
+            const EdgeBatch batch = stream.next();
+            run.batches.push_back(runner.processBatch(batch));
+        }
+    }
+    run.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    return run;
+}
+
 StreamRun
 runStream(const DatasetProfile &profile, RunConfig cfg, std::uint64_t seed)
 {
@@ -44,14 +121,7 @@ runStream(const DatasetProfile &profile, RunConfig cfg, std::uint64_t seed)
 
     StreamSource stream(profile.generate(seed), profile.batchSize, seed);
     std::unique_ptr<StreamingRunner> runner = makeRunner(cfg);
-
-    StreamRun run;
-    run.batches.reserve(stream.batchCount());
-    while (stream.hasNext()) {
-        const EdgeBatch batch = stream.next();
-        run.batches.push_back(runner->processBatch(batch));
-    }
-    return run;
+    return driveStream(*runner, stream);
 }
 
 double
@@ -59,11 +129,20 @@ WorkloadStages::updateSharePct(int stage) const
 {
     const Summary &u = update.stage(stage);
     const Summary &t = total.stage(stage);
+    if (u.count == 0 || t.count == 0) {
+        ++degenerateShareCalls;
+        return 0;
+    }
     // Σ = mean x count (Summary keeps both), so the ratio is sum-based
     // even when the stages pooled different sample counts.
     const double update_sum = u.mean * static_cast<double>(u.count);
     const double total_sum = t.mean * static_cast<double>(t.count);
-    return total_sum > 0 ? 100.0 * update_sum / total_sum : 0;
+    // !(> 0) also catches a NaN sum (e.g. a poisoned sample leaked in).
+    if (!(total_sum > 0) || !std::isfinite(update_sum)) {
+        ++degenerateShareCalls;
+        return 0;
+    }
+    return 100.0 * update_sum / total_sum;
 }
 
 WorkloadStages

@@ -22,6 +22,15 @@ struct StreamRun
 {
     std::vector<BatchResult> batches;
 
+    /**
+     * End-to-end wall time of the whole stream loop. For the pipelined
+     * driver this is the honest throughput number: per-batch stage and
+     * compute latencies overlap, so their sum over-counts.
+     */
+    double wallSeconds = 0;
+    /** True if the run used the pipelined (overlapping) driver. */
+    bool pipelined = false;
+
     std::vector<double> updateLatencies() const;
     std::vector<double> computeLatencies() const;
     std::vector<double> totalLatencies() const;
@@ -34,6 +43,18 @@ struct StreamRun
  */
 StreamRun runStream(const DatasetProfile &profile, RunConfig cfg,
                     std::uint64_t seed = 1);
+
+class StreamSource;
+
+/**
+ * Drive @p stream through @p runner batch by batch and collect results.
+ * Serial runners get the paper's strict alternation (processBatch);
+ * pipelined runners get the epoch overlap loop — while batch N's compute
+ * runs on the reader pool, batch N+1 stages on the writer lane against
+ * the frozen epoch, and a publish barrier separates the epochs.
+ * runStream() is a convenience wrapper around this.
+ */
+StreamRun driveStream(StreamingRunner &runner, StreamSource &stream);
 
 /** Latency stage summaries over repeated runs of the same workload. */
 struct WorkloadStages
@@ -53,8 +74,17 @@ struct WorkloadStages
      * figure, the telemetry JSON phase sums, and this ratio can never
      * disagree. (A ratio of per-batch means would weight batches
      * unevenly whenever the update/total sample counts differ.)
+     *
+     * Degenerate stages — no pooled samples (e.g. a stream too short for
+     * three stages), or a zero/non-finite total sum — return 0 instead
+     * of NaN (which used to poison fig8 output) and bump
+     * degenerateShareCalls so harnesses can report how often the figure
+     * fell back.
      */
     double updateSharePct(int stage) const;
+
+    /** Number of updateSharePct() calls that hit a degenerate stage. */
+    mutable std::size_t degenerateShareCalls = 0;
 };
 
 /**

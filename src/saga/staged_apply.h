@@ -1,0 +1,339 @@
+/**
+ * @file
+ * StagedApply — the epoch pipeline's overlappable apply stage.
+ *
+ * The pipelined driver runs compute on epoch N's read view while the next
+ * batch is prepared. The store itself stays *frozen* during that overlap
+ * (the strongest possible snapshot contract — readers can never observe a
+ * half-applied batch because nothing is applied), yet the expensive half
+ * of ingestion still overlaps with compute:
+ *
+ *  - stage():   read-only. For every bucketed edge, runs the dedup search
+ *               against the frozen epoch-N adjacency (the O(degree) scan
+ *               that dominates apply cost) and classifies it as *fresh*
+ *               (absent — staged for a blind append), an *in-batch
+ *               duplicate* (min-weight folded into the staged entry), or
+ *               a *snapshot duplicate* (present with a higher weight —
+ *               staged as a weight fixup; equal-or-higher weights are
+ *               dropped on the spot). Runs on the writer lane while the
+ *               reader lane computes.
+ *  - publish(): mutating, quiescent. Runs inside the publish barrier
+ *               window between epochs (no readers, no stagers): grows the
+ *               vertex range and appends the pre-deduplicated fresh edges
+ *               via the stores' no-search append hooks, O(new edges)
+ *               instead of O(batch x degree).
+ *
+ * Staged buckets follow PartitionedBatch's chunk partition, so both
+ * phases parallelize over the writer pool with the same ownerOf() mapping
+ * the stores' partitioned ingest uses — chunk-owned stores keep their
+ * lock-free single-owner discipline through the publish window.
+ *
+ * Epoch-handoff discipline: this layer contains *no atomics at all* —
+ * ordering between stage, compute, and publish comes entirely from the
+ * AsyncLane/ThreadPool barriers (saga_lint's pipeline-no-relaxed rule
+ * keeps it that way).
+ */
+
+#ifndef SAGA_SAGA_STAGED_APPLY_H_
+#define SAGA_SAGA_STAGED_APPLY_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ds/hash_util.h"
+#include "platform/thread_pool.h"
+#include "saga/partitioned_batch.h"
+#include "saga/types.h"
+#include "telemetry/telemetry.h"
+
+namespace saga {
+
+/** Chunk-owned stores (AC): lock-free append under declared ownership. */
+template <typename Store>
+inline constexpr bool kChunkOwnedAppend =
+    requires(Store &s, NodeId v, Weight w) {
+        s.appendNewOwned(v, v, w);
+        s.declareChunksOwned();
+        s.insertOwned(v, v, w);
+        s.addEdgesPublished(std::uint64_t{0});
+    };
+
+/** Shared stores (AS, Stinger): internally synchronized append. */
+template <typename Store>
+inline constexpr bool kSharedAppend = requires(Store &s, NodeId v, Weight w) {
+    s.appendNew(v, v, w);
+    s.insert(v, v, w);
+};
+
+/**
+ * True if @p Store supports the staged (overlap) pipeline: a no-search
+ * append hook for publish plus block iteration for the read-only dedup
+ * search. Stores without it (DAH — promotion/rehash make a cheap blind
+ * append impossible) fall back to applying the whole batch inside the
+ * publish window; they still overlap the scatter.
+ */
+template <typename Store>
+inline constexpr bool kStageableStore =
+    (kChunkOwnedAppend<Store> || kSharedAppend<Store>)&&requires(
+        const Store &s, NodeId v) {
+        { s.numNodes() } -> std::convertible_to<NodeId>;
+        s.forNeighborsBlock(
+            v, [](const Neighbor *, std::uint32_t) { return true; });
+    };
+
+namespace detail {
+
+/**
+ * Weight of edge (src, dst) in the frozen snapshot, or kInvalidNode-free
+ * "absent" signal via @p found. Read-only; safe concurrently with any
+ * number of readers.
+ */
+template <typename Store>
+inline Weight
+snapshotFindWeight(const Store &store, NodeId src, NodeId dst, bool &found)
+{
+    found = false;
+    Weight weight{};
+    if (src >= store.numNodes())
+        return weight;
+    store.forNeighborsBlock(src, [&](const Neighbor *run,
+                                     std::uint32_t len) {
+        for (std::uint32_t i = 0; i < len; ++i) {
+            if (run[i].node == dst) {
+                found = true;
+                weight = run[i].weight;
+                return false; // stop
+            }
+        }
+        return true;
+    });
+    return weight;
+}
+
+} // namespace detail
+
+/**
+ * Per-chunk open-addressing index over the staged fresh edges, used for
+ * in-batch deduplication: key (src, dst) -> index into the fresh vector.
+ * Single-owner (one writer-pool worker per chunk); buffers are reused
+ * across batches.
+ */
+class StagedEdgeIndex
+{
+  public:
+    /** Index of the staged edge (src, dst), or kAbsent. */
+    static constexpr std::uint32_t kAbsent = ~std::uint32_t{0};
+
+    std::uint32_t
+    find(NodeId src, NodeId dst) const
+    {
+        if (slots_.empty())
+            return kAbsent;
+        std::size_t i = home(src, dst);
+        for (;;) {
+            const Slot &slot = slots_[i];
+            if (slot.pos == 0)
+                return kAbsent;
+            if (slot.src == src && slot.dst == dst)
+                return slot.pos - 1;
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    /** Record that fresh[@p pos] is edge (src, dst). */
+    void
+    add(NodeId src, NodeId dst, std::uint32_t pos)
+    {
+        if ((size_ + 1) * 10 >= slots_.size() * 7)
+            grow();
+        std::size_t i = home(src, dst);
+        while (slots_[i].pos != 0)
+            i = (i + 1) & (slots_.size() - 1);
+        slots_[i] = {src, dst, pos + 1};
+        ++size_;
+    }
+
+    void
+    clear()
+    {
+        if (size_ != 0)
+            slots_.assign(slots_.size(), Slot{});
+        size_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        NodeId src = 0;
+        NodeId dst = 0;
+        std::uint32_t pos = 0; // fresh index + 1; 0 = empty
+    };
+
+    static constexpr std::size_t kInitialCapacity = 64;
+    static_assert((kInitialCapacity & (kInitialCapacity - 1)) == 0,
+                  "probe masks need a power-of-two capacity");
+
+    std::size_t
+    home(NodeId src, NodeId dst) const
+    {
+        // Mix both endpoints; hashNode alone would cluster a hub's edges.
+        return (hashNode(src) ^ (hashNode(dst) * 0x9E3779B97F4A7C15ull)) &
+               (slots_.size() - 1);
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.empty() ? kInitialCapacity : old.size() * 2,
+                      Slot{});
+        size_ = 0;
+        for (const Slot &slot : old) {
+            if (slot.pos != 0)
+                add(slot.src, slot.dst, slot.pos - 1);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+/**
+ * One epoch's staged mutations for a single store. stage() may be called
+ * once per orientation (twice for undirected graphs — the accumulated
+ * index deduplicates across the two passes exactly like the serial
+ * driver's sequential orientation applies); publish() applies everything
+ * and resets.
+ */
+template <typename Store>
+class StagedApply
+{
+  public:
+    /**
+     * Classify @p parts' bucket(c, reversed) edges against the frozen
+     * @p store. Read-only on the store; parallel over @p pool with the
+     * partitioned-ingest ownerOf() mapping.
+     */
+    void
+    stage(const Store &store, const PartitionedBatch &parts, bool reversed,
+          ThreadPool &pool)
+    {
+        const std::size_t num_chunks = parts.numChunks();
+        if (chunks_.size() < num_chunks)
+            chunks_.resize(num_chunks);
+        if (parts.maxNode() != kInvalidNode &&
+            (max_node_ == kInvalidNode || parts.maxNode() > max_node_))
+            max_node_ = parts.maxNode();
+
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, parts.size());
+        pool.run([&](std::size_t w) {
+            for (std::size_t c = 0; c < num_chunks; ++c) {
+                if (ownerOf(c, num_chunks, pool.size()) != w)
+                    continue;
+                stageBucket(store, parts.bucket(c, reversed), chunks_[c]);
+            }
+        });
+    }
+
+    /**
+     * Apply the staged epoch to @p store and reset. Quiescent only: the
+     * publish barrier window, with no concurrent readers or stagers.
+     */
+    void
+    publish(Store &store, ThreadPool &pool)
+    {
+        if (max_node_ != kInvalidNode)
+            store.ensureNodes(max_node_ + 1);
+        const std::size_t num_chunks = chunks_.size();
+        std::vector<std::uint64_t> appended(pool.size(), 0);
+        pool.run([&](std::size_t w) {
+            if constexpr (kChunkOwnedAppend<Store>)
+                store.declareChunksOwned();
+            std::uint64_t count = 0;
+            for (std::size_t c = 0; c < num_chunks; ++c) {
+                if (ownerOf(c, num_chunks, pool.size()) != w)
+                    continue;
+                ChunkStage &stage = chunks_[c];
+                for (const Edge &e : stage.fresh) {
+                    if constexpr (kChunkOwnedAppend<Store>)
+                        store.appendNewOwned(e.src, e.dst, e.weight);
+                    else
+                        store.appendNew(e.src, e.dst, e.weight);
+                    ++count;
+                }
+                // Snapshot duplicates with a lower weight rejoin the
+                // normal insert path, which folds in the minimum.
+                for (const Edge &e : stage.fixups) {
+                    if constexpr (kChunkOwnedAppend<Store>)
+                        store.insertOwned(e.src, e.dst, e.weight);
+                    else
+                        store.insert(e.src, e.dst, e.weight);
+                }
+                stage.clear();
+            }
+            appended[w] = count;
+        });
+        if constexpr (kChunkOwnedAppend<Store>) {
+            std::uint64_t total = 0;
+            for (std::uint64_t n : appended)
+                total += n;
+            store.addEdgesPublished(total);
+        }
+        max_node_ = kInvalidNode;
+    }
+
+  private:
+    struct ChunkStage
+    {
+        std::vector<Edge> fresh;  ///< absent from snapshot; blind-append
+        std::vector<Edge> fixups; ///< present with higher weight
+        StagedEdgeIndex index;    ///< in-batch dedup over fresh
+
+        void
+        clear()
+        {
+            fresh.clear();
+            fixups.clear();
+            index.clear();
+        }
+    };
+
+    void
+    stageBucket(const Store &store, PartitionedBatch::EdgeSpan bucket,
+                ChunkStage &stage)
+    {
+        for (const Edge &e : bucket) {
+            const std::uint32_t pos = stage.index.find(e.src, e.dst);
+            if (pos != StagedEdgeIndex::kAbsent) {
+                // In-batch duplicate: fold the minimum into the staged
+                // entry, exactly what the serial insert would do.
+                if (e.weight < stage.fresh[pos].weight)
+                    stage.fresh[pos].weight = e.weight;
+                SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
+                continue;
+            }
+            bool found = false;
+            const Weight existing =
+                detail::snapshotFindWeight(store, e.src, e.dst, found);
+            if (found) {
+                SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
+                if (e.weight < existing)
+                    stage.fixups.push_back(e);
+                continue;
+            }
+            stage.index.add(
+                e.src, e.dst,
+                static_cast<std::uint32_t>(stage.fresh.size()));
+            stage.fresh.push_back(e);
+        }
+    }
+
+    std::vector<ChunkStage> chunks_;
+    NodeId max_node_ = kInvalidNode;
+};
+
+} // namespace saga
+
+#endif // SAGA_SAGA_STAGED_APPLY_H_

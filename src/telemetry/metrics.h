@@ -67,6 +67,9 @@ enum class Phase : std::uint32_t {
     Compute,         ///< whole compute phase of one batch
     ComputeAffected, ///< affected-vertex collection (INC)
     ComputeRound,    ///< one frontier / power-iteration round
+    PipelineStage,   ///< writer-lane scatter+classify of the next epoch
+    PipelineStall,   ///< driver blocked on the writer lane (no overlap)
+    PipelinePublish, ///< quiescent publish window between epochs
     kCount
 };
 
@@ -110,6 +113,9 @@ name(Phase p)
       case Phase::Compute: return "compute";
       case Phase::ComputeAffected: return "compute/affected";
       case Phase::ComputeRound: return "compute/round";
+      case Phase::PipelineStage: return "pipeline/stage";
+      case Phase::PipelineStall: return "pipeline/stall";
+      case Phase::PipelinePublish: return "pipeline/publish";
       case Phase::kCount: break;
     }
     return "?";

@@ -138,6 +138,87 @@ TEST(Experiment, BenchKnobsDefaults)
     }
 }
 
+TEST(Runner, ValuesSizedToGraphAfterIngestGrowsIt)
+{
+    // Regression: values() used to return values_.size() entries, so an
+    // update that grew the graph left it shorter than numNodes() until
+    // the next compute ran.
+    RunConfig cfg;
+    cfg.ds = DsKind::AS;
+    cfg.alg = AlgKind::PR;
+    cfg.model = ModelKind::FS;
+    cfg.threads = 2;
+    auto runner = makeRunner(cfg);
+    runner->processBatch(test::randomBatch(50, 200, 5));
+    const std::size_t before = runner->numNodes();
+    ASSERT_EQ(runner->values().size(), before);
+
+    // Grow the vertex range without computing.
+    runner->updatePhase(EdgeBatch({{NodeId{80}, NodeId{90}, 1.0f}}));
+    ASSERT_GT(runner->numNodes(), before);
+    const std::vector<double> values = runner->values();
+    ASSERT_EQ(values.size(), runner->numNodes());
+    // The never-computed tail is zero-filled.
+    for (std::size_t v = before; v < values.size(); ++v)
+        EXPECT_EQ(values[v], 0.0) << "vertex " << v;
+}
+
+TEST(Experiment, UpdateSharePctGuardsDegenerateStages)
+{
+    // Empty stages (no samples pooled at all) must yield 0, not NaN.
+    WorkloadStages empty;
+    for (int stage = 1; stage <= 3; ++stage) {
+        const double pct = empty.updateSharePct(stage);
+        EXPECT_TRUE(std::isfinite(pct)) << "stage " << stage;
+        EXPECT_EQ(pct, 0.0) << "stage " << stage;
+    }
+    EXPECT_EQ(empty.degenerateShareCalls, 3u);
+
+    // A stream too short to populate all three stages: the empty stages
+    // fall back to 0 and are recorded; the populated ones stay finite.
+    const DatasetProfile profile = findProfile("talk")->scaled(0.02);
+    RunConfig cfg;
+    cfg.ds = DsKind::AS;
+    cfg.alg = AlgKind::MC;
+    cfg.model = ModelKind::FS;
+    cfg.threads = 1;
+    const WorkloadStages stages = measureWorkload(profile, cfg, 1);
+    for (int stage = 1; stage <= 3; ++stage)
+        EXPECT_TRUE(std::isfinite(stages.updateSharePct(stage)))
+            << "stage " << stage;
+}
+
+TEST(Experiment, StreamSourceRemainderBatchAccounting)
+{
+    // 10 edges in batches of 4: batchCount must say 3 (4+4+2), and the
+    // stream must actually yield exactly that.
+    std::vector<Edge> edges;
+    for (NodeId i = 0; i < 10; ++i)
+        edges.push_back({i, i + 1, 1.0f});
+    StreamSource stream(edges, 4, StreamSource::kNoShuffle);
+    EXPECT_EQ(stream.batchCount(), 3u);
+
+    std::vector<std::size_t> sizes;
+    while (stream.hasNext())
+        sizes.push_back(stream.next().size());
+    ASSERT_EQ(sizes.size(), stream.batchCount());
+    EXPECT_EQ(sizes[0], 4u);
+    EXPECT_EQ(sizes[1], 4u);
+    EXPECT_EQ(sizes[2], 2u);
+
+    // And through the whole driver loop: one BatchResult per promised
+    // batch, remainder included.
+    stream.rewind();
+    RunConfig cfg;
+    cfg.ds = DsKind::AC;
+    cfg.alg = AlgKind::CC;
+    cfg.threads = 2;
+    auto runner = makeRunner(cfg);
+    const StreamRun run = driveStream(*runner, stream);
+    EXPECT_EQ(run.batches.size(), stream.batchCount());
+    EXPECT_EQ(run.batches.back().batchEdges, 2u);
+}
+
 TEST(Runner, ValuesMatchAcrossThreadCounts)
 {
     // Parallel compute must not change results (CC: deterministic min).

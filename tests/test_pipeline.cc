@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Pipelined (snapshot-isolated) driver tests: the serial strict
+ * alternation is the oracle — the overlap loop must match it bit for bit
+ * on every store, model, and directedness, because the store is frozen
+ * during the overlap and the staged publish replays exactly the serial
+ * apply order. The stress tests hammer the epoch handoff for TSan.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "platform/thread_pool.h"
+#include "saga/experiment.h"
+#include "saga/stream_source.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+/**
+ * Paired configs whose compute pools are identical: the serial run's
+ * pool (threads == R) matches the pipelined run's reader pool
+ * (threads == R + W, writerThreads == W), and the serial ingest pool
+ * (R threads) matches the writer pool (W == R), so scatter layout,
+ * chunk ownership, and compute scheduling are the same in both modes —
+ * the precondition for exact value equality.
+ */
+struct ConfigPair
+{
+    RunConfig serial;
+    RunConfig pipelined;
+};
+
+ConfigPair
+pairedConfigs(DsKind ds, AlgKind alg, ModelKind model)
+{
+    RunConfig serial;
+    serial.ds = ds;
+    serial.alg = alg;
+    serial.model = model;
+    serial.threads = 2;
+    serial.chunks = 4;
+
+    RunConfig pipelined = serial;
+    pipelined.pipeline = true;
+    pipelined.threads = 4;
+    pipelined.writerThreads = 2;
+    return {serial, pipelined};
+}
+
+DatasetProfile
+smallProfile(bool directed)
+{
+    // talk = directed heavy tail, orkut = the undirected dataset; shrink
+    // and re-batch so each run streams ~5 batches with a remainder batch.
+    DatasetProfile profile =
+        findProfile(directed ? "talk" : "orkut")->scaled(0.02);
+    profile.batchSize = static_cast<std::size_t>(profile.numEdges / 5 + 3);
+    return profile;
+}
+
+TEST(AsyncLane, RunsJobsInSubmissionOrder)
+{
+    AsyncLane lane;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+        lane.submit([&order, i] { order.push_back(i); });
+    }
+    lane.wait();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(AsyncLane, WaitIsIdempotentAndReusable)
+{
+    AsyncLane lane;
+    std::atomic<int> runs{0};
+    lane.wait(); // no job yet: must not block or crash
+    lane.submit([&runs] { runs.fetch_add(1); });
+    lane.wait();
+    lane.wait();
+    EXPECT_EQ(runs.load(), 1);
+    lane.submit([&runs] { runs.fetch_add(1); });
+    lane.wait();
+    EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(Pipeline, MatchesSerialOracleAcrossStoresModelsDirectedness)
+{
+    for (DsKind ds :
+         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH}) {
+        for (ModelKind model : {ModelKind::FS, ModelKind::INC}) {
+            for (bool directed : {true, false}) {
+                SCOPED_TRACE(std::string(toString(ds)) + "/" +
+                             toString(model) +
+                             (directed ? "/directed" : "/undirected"));
+                // PR: floating-point accumulation makes value equality a
+                // genuine bit-level apply-order check, not just set
+                // equality.
+                const ConfigPair cfg =
+                    pairedConfigs(ds, AlgKind::PR, model);
+                const DatasetProfile profile = smallProfile(directed);
+
+                const StreamRun serial =
+                    runStream(profile, cfg.serial, 7);
+                const StreamRun piped =
+                    runStream(profile, cfg.pipelined, 7);
+
+                EXPECT_FALSE(serial.pipelined);
+                EXPECT_TRUE(piped.pipelined);
+                ASSERT_EQ(serial.batches.size(), profile.batchCount());
+                ASSERT_EQ(piped.batches.size(), profile.batchCount());
+                for (std::size_t b = 0; b < serial.batches.size(); ++b) {
+                    EXPECT_EQ(piped.batches[b].batchEdges,
+                              serial.batches[b].batchEdges);
+                    EXPECT_EQ(piped.batches[b].graphEdges,
+                              serial.batches[b].graphEdges)
+                        << "batch " << b;
+                    EXPECT_EQ(piped.batches[b].graphNodes,
+                              serial.batches[b].graphNodes)
+                        << "batch " << b;
+                }
+            }
+        }
+    }
+}
+
+TEST(Pipeline, FinalValuesBitEqualToSerial)
+{
+    for (DsKind ds :
+         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH}) {
+        for (ModelKind model : {ModelKind::FS, ModelKind::INC}) {
+            for (bool directed : {true, false}) {
+                SCOPED_TRACE(std::string(toString(ds)) + "/" +
+                             toString(model) +
+                             (directed ? "/directed" : "/undirected"));
+                // FS PR: floating-point sums expose any apply-order
+                // difference. INC PR is benignly racy by design (the
+                // engine doc: value reads race with triggered stores),
+                // so the incremental model uses CC — deterministic
+                // min-propagation — as its bit-equality probe.
+                const AlgKind alg =
+                    model == ModelKind::FS ? AlgKind::PR : AlgKind::CC;
+                ConfigPair cfg = pairedConfigs(ds, alg, model);
+                cfg.serial.directed = directed;
+                cfg.pipelined.directed = directed;
+
+                auto serial = makeRunner(cfg.serial);
+                auto piped = makeRunner(cfg.pipelined);
+                const DatasetProfile profile = smallProfile(directed);
+                StreamSource s1(profile.generate(3), profile.batchSize, 3);
+                StreamSource s2(profile.generate(3), profile.batchSize, 3);
+                driveStream(*serial, s1);
+                driveStream(*piped, s2);
+
+                EXPECT_EQ(piped->numNodes(), serial->numNodes());
+                EXPECT_EQ(piped->numEdges(), serial->numEdges());
+                EXPECT_EQ(piped->values(), serial->values());
+            }
+        }
+    }
+}
+
+TEST(Pipeline, RandomizedEquivalenceOverSeeds)
+{
+    // Randomized batches (including cross-orientation duplicates in
+    // undirected mode and in-batch duplicates everywhere) across several
+    // seeds; CC so INC propagation distances vary with batch shape.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        ConfigPair cfg = pairedConfigs(DsKind::AS, AlgKind::CC,
+                                       ModelKind::INC);
+        cfg.serial.directed = false;
+        cfg.pipelined.directed = false;
+        auto serial = makeRunner(cfg.serial);
+        auto piped = makeRunner(cfg.pipelined);
+
+        std::vector<Edge> edges;
+        for (int b = 0; b < 6; ++b) {
+            const EdgeBatch batch =
+                test::randomBatch(120, 400, seed * 100 + b);
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                edges.push_back(batch[i]);
+        }
+        StreamSource s1(edges, 400, StreamSource::kNoShuffle);
+        StreamSource s2(edges, 400, StreamSource::kNoShuffle);
+        const StreamRun r1 = driveStream(*serial, s1);
+        const StreamRun r2 = driveStream(*piped, s2);
+
+        ASSERT_EQ(r1.batches.size(), s1.batchCount());
+        ASSERT_EQ(r2.batches.size(), s2.batchCount());
+        EXPECT_EQ(piped->numEdges(), serial->numEdges());
+        EXPECT_EQ(piped->values(), serial->values());
+    }
+}
+
+TEST(Pipeline, BatchResultBreakdownIsConsistent)
+{
+    const ConfigPair cfg =
+        pairedConfigs(DsKind::AC, AlgKind::PR, ModelKind::FS);
+    const DatasetProfile profile = smallProfile(true);
+    const StreamRun run = runStream(profile, cfg.pipelined, 2);
+    ASSERT_EQ(run.batches.size(), profile.batchCount());
+    EXPECT_GT(run.wallSeconds, 0.0);
+    for (const BatchResult &b : run.batches) {
+        EXPECT_GE(b.stageSeconds, 0.0);
+        EXPECT_GE(b.publishSeconds, 0.0);
+        EXPECT_GE(b.stallSeconds, 0.0);
+        // Eq. 1 comparability contract: update = stage + publish.
+        EXPECT_DOUBLE_EQ(b.updateSeconds,
+                         b.stageSeconds + b.publishSeconds);
+        EXPECT_DOUBLE_EQ(b.totalSeconds(),
+                         b.updateSeconds + b.computeSeconds);
+    }
+}
+
+TEST(Pipeline, SerialRunnerIgnoresPipelineHooks)
+{
+    RunConfig cfg;
+    cfg.ds = DsKind::AS;
+    cfg.alg = AlgKind::CC;
+    cfg.threads = 2;
+    auto runner = makeRunner(cfg);
+    EXPECT_FALSE(runner->pipelined());
+    const EdgeBatch batch = test::randomBatch(50, 100, 1);
+    runner->stageAsync(batch); // no-ops on the serial driver
+    const PipelineWaitResult wait = runner->waitStage();
+    EXPECT_EQ(wait.stageSeconds, 0.0);
+    EXPECT_EQ(wait.stallSeconds, 0.0);
+    EXPECT_EQ(runner->publishPhase(), 0.0);
+    EXPECT_EQ(runner->numEdges(), 0u); // nothing was ingested
+}
+
+/**
+ * Epoch handoff stress for TSan: many tiny batches so the driver spends
+ * its time in stage/compute overlap and publish barriers rather than in
+ * the phases themselves. Any store mutation leaking out of the publish
+ * window, or any unsynchronized stage/compute access, is a data race
+ * TSan will see.
+ */
+TEST(Pipeline, HandoffStressManySmallBatches)
+{
+    for (DsKind ds : {DsKind::AS, DsKind::Stinger}) {
+        SCOPED_TRACE(toString(ds));
+        RunConfig cfg;
+        cfg.ds = ds;
+        cfg.alg = AlgKind::CC;
+        cfg.model = ModelKind::INC;
+        cfg.threads = 4;
+        cfg.writerThreads = 2;
+        cfg.chunks = 4;
+        cfg.pipeline = true;
+        auto runner = makeRunner(cfg);
+
+        std::vector<Edge> edges;
+        const EdgeBatch all = test::randomBatch(200, 4000, 11);
+        for (std::size_t i = 0; i < all.size(); ++i)
+            edges.push_back(all[i]);
+        StreamSource stream(edges, 50, StreamSource::kNoShuffle);
+        const StreamRun run = driveStream(*runner, stream);
+        EXPECT_EQ(run.batches.size(), stream.batchCount());
+        EXPECT_GT(runner->numEdges(), 0u);
+    }
+}
+
+} // namespace
+} // namespace saga

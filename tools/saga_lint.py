@@ -26,6 +26,13 @@ rules pin down *which primitives may appear where*):
   relaxed-needs-reason  every std::memory_order_relaxed must carry a
                         `relaxed:` justification comment on the same line
                         or within the three preceding lines.
+  pipeline-no-relaxed   the pipelined driver's epoch handoff
+                        (saga/staged_apply.h, saga/driver.h,
+                        saga/experiment.*) may not use relaxed atomics at
+                        all, justified or not: stage/publish/compute
+                        hand-offs synchronize through the AsyncLane mutex
+                        or acquire/release, so TSan's verdict on the
+                        overlap is meaningful.
   atomic-include        a src/ file that names std::atomic / std::memory_order
                         must #include <atomic> itself (include-what-you-use
                         for the concurrency surface).
@@ -107,6 +114,18 @@ def everywhere_except(*exempt):
     return applies
 
 
+def epoch_handoff_scope(relpath):
+    # The pipelined driver's epoch-handoff surface: everything between
+    # stageAsync() and the publish barrier. Store-internal relaxed
+    # counters (src/ds/) are out of scope — they answer to
+    # relaxed-needs-reason instead.
+    if relpath.startswith(FIXTURE_DIR + "/"):
+        return True
+    return relpath in ("src/saga/staged_apply.h", "src/saga/driver.h",
+                       "src/saga/driver.cc", "src/saga/experiment.h",
+                       "src/saga/experiment.cc")
+
+
 def telemetry_macro_scope(relpath):
     # telemetry.h *defines* the macros (`#define SAGA_PHASE(phase) ...`),
     # so its parameter names would trip the qualification check.
@@ -164,6 +183,14 @@ RULES = [
          "memory_order_relaxed without a `// relaxed: ...` justification "
          "on this line or the three lines above",
          strip_comments=False),
+    Rule("pipeline-no-relaxed",
+         "no relaxed atomics in the pipelined epoch handoff",
+         epoch_handoff_scope,
+         r"\bmemory_order_relaxed\b",
+         "memory_order_relaxed in the pipelined epoch handoff — "
+         "stage/publish/compute hand-offs must synchronize via the "
+         "AsyncLane mutex or acquire/release; a relaxed counter belongs "
+         "in the store, not here"),
     Rule("telemetry-enum-qualified",
          "SAGA_PHASE/SAGA_COUNT take qualified Phase::/Counter:: enumerators",
          telemetry_macro_scope,

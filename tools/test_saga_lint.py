@@ -146,6 +146,41 @@ class RelaxedNeedsReason(unittest.TestCase):
         self.assertIn("relaxed-needs-reason", rules)
 
 
+class PipelineNoRelaxed(unittest.TestCase):
+    def test_flags_relaxed_in_handoff_even_with_justification(self):
+        # relaxed-needs-reason accepts a justified relaxed; the epoch
+        # handoff does not allow one at all.
+        rules = lint_source(
+            "#include <atomic>\n"
+            "// relaxed: epoch counter\n"
+            "epoch_.load(std::memory_order_relaxed);\n",
+            "src/saga/driver.h")
+        self.assertIn("pipeline-no-relaxed", rules)
+
+    def test_flags_in_staged_apply(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "n.fetch_add(1, std::memory_order_relaxed); // relaxed: x\n",
+            "src/saga/staged_apply.h")
+        self.assertIn("pipeline-no-relaxed", rules)
+
+    def test_store_counters_out_of_scope(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "// relaxed: monotonic counter\n"
+            "n.fetch_add(1, std::memory_order_relaxed);\n",
+            "src/ds/adj_shared.h")
+        self.assertNotIn("pipeline-no-relaxed", rules)
+
+    def test_other_saga_files_out_of_scope(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "// relaxed: monotonic counter\n"
+            "n.fetch_add(1, std::memory_order_relaxed);\n",
+            "src/saga/registry.cc")
+        self.assertNotIn("pipeline-no-relaxed", rules)
+
+
 class AtomicInclude(unittest.TestCase):
     def test_flags_missing_include(self):
         rules = lint_source("std::atomic<int> n{0};\n", "src/saga/x.h")
