@@ -97,7 +97,7 @@ struct Bfs
         EdgeBalancedRanges pull_ranges;
         bool pull_ranges_built = false;
         std::vector<std::uint64_t> next_bits;
-        std::vector<std::uint64_t> worker_awake(pool.size(), 0);
+        PaddedAccumulator<std::uint64_t> worker_awake(pool.size(), 0);
 
         // Heuristic state: unexplored out-edge mass (α condition) and
         // the frontier-size trajectory (β condition).
@@ -182,7 +182,7 @@ struct Bfs
         SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
                    frontier.size());
         SAGA_COUNT(telemetry::Counter::BfsPushRounds, 1);
-        std::vector<std::vector<NodeId>> local(pool.size());
+        PaddedAccumulator<std::vector<NodeId>> local(pool.size());
         ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
                                    std::uint64_t hi) {
             std::vector<NodeId> &queue = local[w];
@@ -201,15 +201,7 @@ struct Bfs
                 });
             }
         });
-
-        std::size_t total = 0;
-        for (const auto &queue : local)
-            total += queue.size();
-        std::vector<NodeId> next;
-        next.reserve(total);
-        for (const auto &queue : local)
-            next.insert(next.end(), queue.begin(), queue.end());
-        return next;
+        return concatWorkerQueues(local);
     }
 
     /**
@@ -224,7 +216,7 @@ struct Bfs
     pullRound(const Graph &g, ThreadPool &pool, std::vector<Value> &values,
               Frontier &frontier, const EdgeBalancedRanges &ranges,
               std::vector<std::uint64_t> &next_bits,
-              std::vector<std::uint64_t> &worker_awake, Value depth,
+              PaddedAccumulator<std::uint64_t> &worker_awake, Value depth,
               NodeId n)
     {
         SAGA_PHASE(telemetry::Phase::ComputeRound);
@@ -233,7 +225,7 @@ struct Bfs
                    frontier.count());
         SAGA_COUNT(telemetry::Counter::BfsPullRounds, 1);
         next_bits.assign(Frontier::words(n), 0);
-        std::fill(worker_awake.begin(), worker_awake.end(), 0);
+        worker_awake.fill(0);
         const std::vector<std::uint64_t> &cur_bits = frontier.bits();
         ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
                                    std::uint64_t hi) {
@@ -269,9 +261,7 @@ struct Bfs
             worker_awake[w] = found;
         });
 
-        std::uint64_t awake = 0;
-        for (std::uint64_t found : worker_awake)
-            awake += found;
+        const std::uint64_t awake = worker_awake.sum();
         frontier.adoptDense(next_bits, awake, n);
         return awake;
     }

@@ -170,7 +170,7 @@ struct Cc
         SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
                    ranges.count());
         SAGA_COUNT(telemetry::Counter::CcDenseRounds, 1);
-        std::vector<std::vector<NodeId>> local(pool.size());
+        PaddedAccumulator<std::vector<NodeId>> local(pool.size());
         ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
                                    std::uint64_t hi) {
             std::vector<NodeId> &changed = local[w];
@@ -220,15 +220,7 @@ struct Cc
                 }
             }
         });
-
-        std::size_t total = 0;
-        for (const auto &part : local)
-            total += part.size();
-        std::vector<NodeId> next;
-        next.reserve(total);
-        for (const auto &part : local)
-            next.insert(next.end(), part.begin(), part.end());
-        return next;
+        return concatWorkerQueues(local);
     }
 
     /**
@@ -250,7 +242,7 @@ struct Cc
         SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
                    frontier.size());
         SAGA_COUNT(telemetry::Counter::CcSparseRounds, 1);
-        std::vector<std::vector<NodeId>> local(pool.size());
+        PaddedAccumulator<std::vector<NodeId>> local(pool.size());
         ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
                                    std::uint64_t hi) {
             std::vector<NodeId> &queue = local[w];
@@ -279,15 +271,7 @@ struct Cc
                 });
             }
         });
-
-        std::size_t total = 0;
-        for (const auto &part : local)
-            total += part.size();
-        std::vector<NodeId> next;
-        next.reserve(total);
-        for (const auto &part : local)
-            next.insert(next.end(), part.begin(), part.end());
-        return next;
+        return concatWorkerQueues(local);
     }
 };
 

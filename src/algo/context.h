@@ -24,6 +24,20 @@ enum class Direction : std::uint8_t {
     ForcePull, ///< always dense bottom-up
 };
 
+/**
+ * PageRank FS execution strategy (mirrors Direction for the
+ * locality-aware PR paths). Auto picks per graph shape: plain pull when
+ * the rank array is cache-resident, the hub-split hybrid on dense
+ * graphs, propagation-blocked push otherwise. The pinned modes are for
+ * tests and the bench_compute ablation.
+ */
+enum class PrVariant : std::uint8_t {
+    Auto,    ///< heuristic on |V| and average degree
+    Pull,    ///< contrib-hoisted pull power iteration
+    Blocked, ///< propagation-blocked push (destination-range bins)
+    Hybrid,  ///< hub rows pulled contiguously, tail via blocked push
+};
+
 /** Parameters shared by the FS and INC engines. */
 struct AlgContext
 {
@@ -65,6 +79,46 @@ struct AlgContext
      * |V| / β vertices (GAP default 18).
      */
     double doBeta = 18.0;
+
+    /** PageRank FS variant policy (see PrVariant). */
+    PrVariant prVariant = PrVariant::Auto;
+
+    /**
+     * Target bytes of rank-accumulator range per destination bin on the
+     * blocked PR path. One bin's slice of the accumulator should fit the
+     * L1; 32 KiB of doubles = 4096 vertices per bin. Rounded to a
+     * power-of-two vertex width so binning is a shift.
+     */
+    std::uint32_t prBinBytes = 32u * 1024u;
+
+    /**
+     * Hybrid hub threshold factor: vertices with in-degree >
+     * prHubFactor × average in-degree are pulled contiguously instead of
+     * receiving binned pushes.
+     */
+    double prHubFactor = 8.0;
+
+    /**
+     * Auto-heuristic crossover: with |V| × 8 bytes at or below this, the
+     * rank array is effectively cache-resident and plain pull wins over
+     * the binning overhead (~LLC of the reference Xeon Gold 6142).
+     */
+    std::uint64_t prResidentBytes = 4ull * 1024 * 1024;
+
+    /**
+     * Auto-heuristic dense crossover: average in-degree at or above this
+     * favors the hub-split hybrid over pure blocked push.
+     */
+    double prHybridAvgDegree = 16.0;
+
+    /**
+     * Shared contribution source for the INC path: when non-null, points
+     * at an array of 1/outDegree(v) (0 for dangling vertices) valid for
+     * the duration of the compute phase. Set by the INC engine via
+     * Pr::prepareIncPhase so Pr::recompute skips the per-edge degree
+     * lookup + division. Never set by callers directly.
+     */
+    const double *prInvOutDegree = nullptr;
 };
 
 } // namespace saga

@@ -30,12 +30,32 @@
 
 #include "platform/atomic_ops.h"
 #include "platform/edge_ranges.h"
+#include "platform/padded.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
 #include "telemetry/telemetry.h"
 
 namespace saga {
+
+/**
+ * Concatenate per-worker output queues into one vector. The queues live
+ * in a PaddedAccumulator (one cache line per worker) so the parallel
+ * push_backs that filled them never falsely shared a line; this runs
+ * after the pool barrier that published them.
+ */
+inline std::vector<NodeId>
+concatWorkerQueues(const PaddedAccumulator<std::vector<NodeId>> &local)
+{
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < local.size(); ++w)
+        total += local[w].size();
+    std::vector<NodeId> out;
+    out.reserve(total);
+    for (std::size_t w = 0; w < local.size(); ++w)
+        out.insert(out.end(), local[w].begin(), local[w].end());
+    return out;
+}
 
 /**
  * Dual-representation vertex frontier: sparse NodeId queue + dense
@@ -128,7 +148,7 @@ class Frontier
     {
         if (!dense_)
             return;
-        std::vector<std::vector<NodeId>> local(pool.size());
+        PaddedAccumulator<std::vector<NodeId>> local(pool.size());
         parallelSlices(pool, 0, bits_.size(),
                        [&](std::size_t w, std::uint64_t lo,
                            std::uint64_t hi) {
@@ -143,10 +163,7 @@ class Frontier
                 }
             }
         });
-        queue_.clear();
-        queue_.reserve(count_);
-        for (const auto &part : local)
-            queue_.insert(queue_.end(), part.begin(), part.end());
+        queue_ = concatWorkerQueues(local);
         dense_ = false;
     }
 
@@ -176,7 +193,7 @@ expandFrontier(ThreadPool &pool, const std::vector<NodeId> &frontier,
     SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
     SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices,
                frontier.size());
-    std::vector<std::vector<NodeId>> local(pool.size());
+    PaddedAccumulator<std::vector<NodeId>> local(pool.size());
     parallelSlices(pool, 0, frontier.size(),
                    [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
         std::vector<NodeId> &queue = local[w];
@@ -184,15 +201,7 @@ expandFrontier(ThreadPool &pool, const std::vector<NodeId> &frontier,
         for (std::uint64_t i = lo; i < hi; ++i)
             body(frontier[i], push);
     });
-
-    std::size_t total = 0;
-    for (const auto &queue : local)
-        total += queue.size();
-    std::vector<NodeId> next;
-    next.reserve(total);
-    for (const auto &queue : local)
-        next.insert(next.end(), queue.begin(), queue.end());
-    return next;
+    return concatWorkerQueues(local);
 }
 
 /**
@@ -214,7 +223,7 @@ expandFrontierBalanced(ThreadPool &pool,
                frontier.size());
     ranges.build(pool, frontier.size(),
                  [&](std::uint64_t i) { return degree(frontier[i]); });
-    std::vector<std::vector<NodeId>> local(pool.size());
+    PaddedAccumulator<std::vector<NodeId>> local(pool.size());
     ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
                                std::uint64_t hi) {
         std::vector<NodeId> &queue = local[w];
@@ -222,15 +231,7 @@ expandFrontierBalanced(ThreadPool &pool,
         for (std::uint64_t i = lo; i < hi; ++i)
             body(frontier[i], push);
     });
-
-    std::size_t total = 0;
-    for (const auto &queue : local)
-        total += queue.size();
-    std::vector<NodeId> next;
-    next.reserve(total);
-    for (const auto &queue : local)
-        next.insert(next.end(), queue.begin(), queue.end());
-    return next;
+    return concatWorkerQueues(local);
 }
 
 } // namespace saga

@@ -32,6 +32,7 @@
 #include "algo/frontier.h"
 #include "perfmodel/trace.h"
 #include "platform/edge_ranges.h"
+#include "platform/padded.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/batch_scratch.h"
@@ -81,7 +82,7 @@ affectedVertices(const EdgeBatch &batch, NodeId num_nodes,
                  BatchScratch &scratch, ThreadPool &pool)
 {
     scratch.beginBatch(num_nodes);
-    std::vector<std::vector<NodeId>> local(pool.size());
+    PaddedAccumulator<std::vector<NodeId>> local(pool.size());
     parallelSlices(pool, 0, batch.size(),
                    [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
         std::vector<NodeId> &out = local[w];
@@ -96,12 +97,12 @@ affectedVertices(const EdgeBatch &batch, NodeId num_nodes,
     });
 
     std::size_t total = 0;
-    for (const auto &part : local)
-        total += part.size();
+    for (std::size_t w = 0; w < local.size(); ++w)
+        total += local[w].size();
     std::vector<NodeId> affected;
     affected.reserve(total);
-    for (const auto &part : local)
-        affected.insert(affected.end(), part.begin(), part.end());
+    for (std::size_t w = 0; w < local.size(); ++w)
+        affected.insert(affected.end(), local[w].begin(), local[w].end());
     SAGA_COUNT(telemetry::Counter::ComputeAffectedVertices,
                affected.size());
     return affected;
@@ -132,6 +133,16 @@ incCompute(const Graph &g, ThreadPool &pool,
     for (NodeId v = old_n; v < n; ++v) {
         values[v] = Alg::init(v, ctx);
         perf::touchWrite(&values[v], sizeof(values[v]));
+    }
+
+    // Algorithms may hoist per-batch invariants (e.g. PageRank's
+    // 1/outDegree array) into scratch the whole phase shares; degrees
+    // are static between here and the end of the phase.
+    std::vector<double> prep_scratch;
+    if constexpr (requires {
+                      Alg::prepareIncPhase(g, pool, ctx, prep_scratch);
+                  }) {
+        Alg::prepareIncPhase(g, pool, ctx, prep_scratch);
     }
 
     // Per-round visited marks, cleared by bumping `epoch` instead of the

@@ -7,8 +7,21 @@
  *   v.rank <- (1-d)/|V| + d * sum over in-edges e of
  *             e.source.rank / outDegree(e.source)
  *
- * FS implementation: GAP-style pull power iteration until the L1 rank
- * change falls below prTolerance (or prMaxIters passes).
+ * FS implementation: power iteration until the L1 rank change falls
+ * below prTolerance (or prMaxIters passes), with three locality-aware
+ * execution strategies (PrVariant, DESIGN.md §10):
+ *
+ *  - Pull: GAP-style pull iteration over in-edges, with the per-edge
+ *    outDegree lookup + division hoisted into a per-iteration
+ *    contrib[] array (one streaming pass instead of |E| divisions).
+ *  - Blocked: propagation-blocked push — contributions are binned by
+ *    destination range into cache-sized slabs, then accumulated per
+ *    bin with no atomics (pr_blocked.h).
+ *  - Hybrid: hub rows pulled contiguously, low-degree tail via blocked
+ *    push.
+ *
+ * Auto picks per graph shape: Pull while the rank array is
+ * cache-resident, Hybrid on dense graphs, Blocked otherwise.
  */
 
 #ifndef SAGA_ALGO_PR_H_
@@ -18,9 +31,11 @@
 #include <vector>
 
 #include "algo/context.h"
+#include "algo/pr_blocked.h"
 #include "perfmodel/trace.h"
 #include "platform/atomic_ops.h"
 #include "platform/edge_ranges.h"
+#include "platform/padded.h"
 #include "platform/parallel_for.h"
 #include "platform/thread_pool.h"
 #include "saga/types.h"
@@ -48,11 +63,20 @@ struct Pr
     {
         const double base = (1.0 - ctx.damping) / g.numNodes();
         double sum = 0;
+        // Shared contribution source: the INC engine materializes
+        // 1/outDegree once per batch (prepareIncPhase) so the hot loop
+        // skips the per-edge degree lookup + division. Degrees are
+        // static during a compute phase; only the rank loads race with
+        // concurrent recomputes, hence the atomicLoad.
+        const double *inv = ctx.prInvOutDegree;
         g.inNeigh(v, [&](const Neighbor &nbr) {
             perf::ops(1);
             perf::touch(&values[nbr.node], sizeof(Value));
+            if (inv != nullptr) {
+                sum += atomicLoad(values[nbr.node]) * inv[nbr.node];
+                return;
+            }
             const std::uint32_t out_degree = g.outDegree(nbr.node);
-            // INC runs recompute concurrently with neighbor updates.
             if (out_degree > 0)
                 sum += atomicLoad(values[nbr.node]) / out_degree;
         });
@@ -67,11 +91,41 @@ struct Pr
     }
 
     /**
-     * From-scratch compute: pull power iteration. The vertex range is
-     * split by in-edge mass (degree prefix sum, built once — the graph
-     * is static during compute), so hub-heavy slices no longer
-     * serialize an iteration, and each vertex pulls its in-neighbors as
-     * contiguous runs via the store block hooks.
+     * INC batch hook: build the shared 1/outDegree array into
+     * caller-owned @p scratch and point the context at it, so every
+     * recompute in this phase multiplies instead of dividing. The
+     * engine calls this once per batch after resizing values.
+     */
+    template <typename Graph>
+    static void
+    prepareIncPhase(const Graph &g, ThreadPool &pool, AlgContext &ctx,
+                    std::vector<double> &scratch)
+    {
+        pr_detail::buildInvOutDegree(g, pool, scratch);
+        ctx.prInvOutDegree = scratch.data();
+    }
+
+    /** Resolve Auto to a concrete variant from the graph shape. */
+    static PrVariant
+    pickVariant(NodeId n, std::uint64_t edges, const AlgContext &ctx)
+    {
+        if (ctx.prVariant != PrVariant::Auto)
+            return ctx.prVariant;
+        // Rank array cache-resident: random pulls mostly hit, binning
+        // overhead can't pay for itself.
+        if (static_cast<std::uint64_t>(n) * sizeof(Value) <=
+            ctx.prResidentBytes)
+            return PrVariant::Pull;
+        const double avg = n > 0 ? static_cast<double>(edges) / n : 0.0;
+        return avg >= ctx.prHybridAvgDegree ? PrVariant::Hybrid
+                                            : PrVariant::Blocked;
+    }
+
+    /**
+     * From-scratch compute. All variants share the same math per
+     * iteration and the same L1-delta convergence test, so they agree
+     * within floating-point reassociation noise (prTolerance-scale;
+     * tests/test_pr_blocked.cc bit-compares against the pull oracle).
      */
     template <typename Graph>
     static void
@@ -85,8 +139,37 @@ struct Pr
         }
         values.assign(n, 1.0 / n);
         std::vector<Value> next(n, 0);
-        std::vector<double> worker_delta(pool.size(), 0);
+        std::vector<double> inv;
+        std::vector<double> contrib;
+        pr_detail::buildInvOutDegree(g, pool, inv);
+
+        PaddedAccumulator<std::uint64_t> worker_edges(pool.size(), 0);
+        parallelSlices(pool, 0, n, [&](std::size_t w, std::uint64_t lo,
+                                       std::uint64_t hi) {
+            std::uint64_t sum = 0;
+            for (std::uint64_t i = lo; i < hi; ++i)
+                sum += g.outDegree(static_cast<NodeId>(i));
+            worker_edges[w] = sum;
+        });
+        const PrVariant variant =
+            pickVariant(n, worker_edges.sum(), ctx);
+
+        if (variant == PrVariant::Blocked ||
+            variant == PrVariant::Hybrid) {
+            pr_detail::runBlocked(g, pool, ctx, values, next, inv,
+                                  contrib, variant == PrVariant::Hybrid);
+            return;
+        }
+
+        // Pull: destination-major power iteration. The vertex range is
+        // split by in-edge mass (degree prefix sum, built once — the
+        // graph is static during compute), so hub-heavy slices don't
+        // serialize an iteration; each vertex pulls its in-neighbors as
+        // contiguous runs via the store block hooks, reading the
+        // barrier-published contrib[] (no per-edge division, no
+        // atomics).
         const double base = (1.0 - ctx.damping) / n;
+        PaddedAccumulator<double> worker_delta(pool.size(), 0.0);
 
         EdgeBalancedRanges ranges;
         ranges.build(pool, n, [&](std::uint64_t v) {
@@ -97,6 +180,9 @@ struct Pr
             SAGA_PHASE(telemetry::Phase::ComputeRound);
             SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
             SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices, n);
+            SAGA_COUNT(telemetry::Counter::PrPullRounds, 1);
+            pr_detail::buildContrib(pool, values, inv, contrib);
+            worker_delta.fill(0.0);
             ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
                                        std::uint64_t hi) {
                 double delta = 0;
@@ -107,11 +193,9 @@ struct Pr
                                           std::uint32_t len) {
                         perf::ops(len);
                         for (std::uint32_t j = 0; j < len; ++j) {
-                            const std::uint32_t out_degree =
-                                g.outDegree(run[j].node);
-                            if (out_degree > 0)
-                                sum += atomicLoad(values[run[j].node]) /
-                                       out_degree;
+                            perf::touch(&contrib[run[j].node],
+                                        sizeof(double));
+                            sum += contrib[run[j].node];
                         }
                         return true;
                     });
@@ -122,10 +206,7 @@ struct Pr
                 worker_delta[w] = delta;
             });
             values.swap(next);
-            double total_delta = 0;
-            for (double d : worker_delta)
-                total_delta += d;
-            if (total_delta < ctx.prTolerance)
+            if (worker_delta.sum() < ctx.prTolerance)
                 break;
         }
     }

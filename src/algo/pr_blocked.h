@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Locality-aware PageRank paths: propagation-blocked push and the
+ * hub-split hybrid (DESIGN.md §10).
+ *
+ * The pull power iteration in pr.h is pure random-access bandwidth: one
+ * rank (contrib) load per edge, landing anywhere in a |V|-sized array —
+ * the paper's Fig. 10 MPKI story. The blocked variant restructures one
+ * iteration into three barrier-separated, atomic-free phases:
+ *
+ *   contrib    contrib[v] = rank[v] / outDegree(v)   (streaming)
+ *   bin        every out-edge appends (dst, contrib[src]) to the slab
+ *              chain of dst's destination-range bin (streaming writes)
+ *   accumulate per bin: zero the bin's rank slice, drain its slabs
+ *              (every += lands in one cache-resident slice), finalize
+ *              next[v] = base + d·acc and the convergence delta
+ *
+ * The hybrid keeps blocked push for the low-degree tail but pulls hub
+ * rows (in-degree > prHubFactor × average) contiguously: hubs receive
+ * so many contributions that binning them is slab churn, while their
+ * pull reads are amortized by one sequential adjacency run.
+ *
+ * Concurrency contract: no atomics anywhere. Each phase partitions its
+ * writes (contrib by vertex slice, bins by worker lane, accumulate by
+ * bin, hubs by hub slice) and the pool barrier between phases publishes
+ * them to the next.
+ */
+
+#ifndef SAGA_ALGO_PR_BLOCKED_H_
+#define SAGA_ALGO_PR_BLOCKED_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "algo/context.h"
+#include "perfmodel/trace.h"
+#include "platform/dest_bins.h"
+#include "platform/edge_ranges.h"
+#include "platform/padded.h"
+#include "platform/parallel_for.h"
+#include "platform/thread_pool.h"
+#include "saga/types.h"
+#include "telemetry/telemetry.h"
+
+namespace saga {
+namespace pr_detail {
+
+/** One binned contribution: destination vertex + its source's share. */
+struct DestContrib
+{
+    NodeId dst;
+    double contrib;
+};
+
+/** Slab granularity: 256 pairs × 16 B = 4 KiB of sequential appends. */
+inline constexpr std::uint32_t kSlabPairs = 256;
+
+/** Destination-range binning geometry: bin(v) = v >> shift. */
+struct BinLayout
+{
+    std::uint32_t shift = 0;
+    std::uint32_t bins = 1;
+
+    static BinLayout
+    pick(NodeId n, std::size_t workers, std::uint32_t bin_bytes)
+    {
+        // Width so one bin's rank slice is ~bin_bytes (power of two).
+        std::uint32_t width = bin_bytes / sizeof(double);
+        std::uint32_t shift = 0;
+        while ((2u << shift) <= width && shift < 30)
+            ++shift;
+        const auto binsFor = [n](std::uint32_t s) {
+            return static_cast<std::uint32_t>(
+                (static_cast<std::uint64_t>(n) + (1ull << s) - 1) >> s);
+        };
+        // Narrow bins until the accumulate phase can be load-balanced.
+        const std::uint32_t want =
+            static_cast<std::uint32_t>(4 * workers);
+        while (shift > 8 && binsFor(shift) < want)
+            --shift;
+        // Cap the per-lane bin bookkeeping on huge graphs.
+        while (binsFor(shift) > 65536 && shift < 30)
+            ++shift;
+        BinLayout layout;
+        layout.shift = shift;
+        layout.bins = binsFor(shift) ? binsFor(shift) : 1;
+        return layout;
+    }
+};
+
+/** inv[v] = 1/outDegree(v), 0 for dangling vertices (their mass
+ *  vanishes, matching the pull formulation and the test oracle). */
+template <typename Graph>
+void
+buildInvOutDegree(const Graph &g, ThreadPool &pool,
+                  std::vector<double> &inv)
+{
+    const NodeId n = g.numNodes();
+    inv.resize(n);
+    parallelSlices(pool, 0, n,
+                   [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            const auto deg = g.outDegree(static_cast<NodeId>(i));
+            inv[i] = deg > 0 ? 1.0 / deg : 0.0;
+        }
+        perf::ops(hi - lo);
+        perf::touchWrite(&inv[lo],
+                         static_cast<std::uint32_t>((hi - lo) *
+                                                    sizeof(double)));
+    });
+}
+
+/** out[i] = a[i] * b[i] over [0, count) — AVX2 when compiled in. */
+inline void
+mulInto(const double *a, const double *b, double *out, std::size_t count)
+{
+    std::size_t i = 0;
+#if defined(__AVX2__)
+    for (; i + 4 <= count; i += 4) {
+        const __m256d va = _mm256_loadu_pd(a + i);
+        const __m256d vb = _mm256_loadu_pd(b + i);
+        _mm256_storeu_pd(out + i, _mm256_mul_pd(va, vb));
+    }
+#endif
+    for (; i < count; ++i)
+        out[i] = a[i] * b[i];
+}
+
+/** contrib[v] = values[v] * inv[v]: the hoisted per-iteration shared
+ *  contribution source (one streaming pass, no per-edge division). */
+inline void
+buildContrib(ThreadPool &pool, const std::vector<double> &values,
+             const std::vector<double> &inv, std::vector<double> &contrib)
+{
+    SAGA_PHASE(telemetry::Phase::ComputeContrib);
+    contrib.resize(values.size());
+    parallelSlices(pool, 0, values.size(),
+                   [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+        mulInto(values.data() + lo, inv.data() + lo, contrib.data() + lo,
+                hi - lo);
+        perf::ops(hi - lo);
+        perf::touch(&values[lo], static_cast<std::uint32_t>(
+                                     (hi - lo) * sizeof(double)));
+        perf::touchWrite(&contrib[lo], static_cast<std::uint32_t>(
+                                           (hi - lo) * sizeof(double)));
+    });
+}
+
+/**
+ * Finalize next[v] = base + damping·next[v] over [lo, hi) and return
+ * the L1 rank delta vs @p values. AVX2 when compiled in (the SIMD slab
+ * "accumulation" lands here: the drain's scatter adds have in-lane
+ * dependences, so the vector win is the finalize + delta sweep).
+ */
+inline double
+finalizeRange(double *next, const double *values, std::uint64_t lo,
+              std::uint64_t hi, double base, double damping)
+{
+    double delta = 0;
+    std::uint64_t i = lo;
+#if defined(__AVX2__)
+    const __m256d vbase = _mm256_set1_pd(base);
+    const __m256d vdamp = _mm256_set1_pd(damping);
+    const __m256d vabs = _mm256_castsi256_pd(
+        _mm256_set1_epi64x(0x7fffffffffffffffll));
+    __m256d vdelta = _mm256_setzero_pd();
+    for (; i + 4 <= hi; i += 4) {
+        const __m256d acc = _mm256_loadu_pd(next + i);
+        const __m256d rank =
+            _mm256_add_pd(vbase, _mm256_mul_pd(vdamp, acc));
+        _mm256_storeu_pd(next + i, rank);
+        const __m256d diff =
+            _mm256_sub_pd(rank, _mm256_loadu_pd(values + i));
+        vdelta = _mm256_add_pd(vdelta, _mm256_and_pd(diff, vabs));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, vdelta);
+    delta = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+#endif
+    for (; i < hi; ++i) {
+        next[i] = base + damping * next[i];
+        delta += std::fabs(next[i] - values[i]);
+    }
+    return delta;
+}
+
+/**
+ * One blocked/hybrid PageRank power iteration loop. @p values must hold
+ * the initial ranks; on return it holds the converged ranks. All scratch
+ * (@p next, @p contrib, @p inv) is caller-owned so repeated computes
+ * reuse allocations.
+ */
+template <typename Graph>
+void
+runBlocked(const Graph &g, ThreadPool &pool, const AlgContext &ctx,
+           std::vector<double> &values, std::vector<double> &next,
+           const std::vector<double> &inv, std::vector<double> &contrib,
+           bool hybrid)
+{
+    const NodeId n = g.numNodes();
+    const double base = (1.0 - ctx.damping) / n;
+
+    // Hub split (hybrid only): vertices whose in-degree exceeds
+    // prHubFactor × average are pulled, not pushed into bins.
+    std::vector<std::uint8_t> is_hub;
+    std::vector<NodeId> hubs;
+    EdgeBalancedRanges hub_ranges;
+    if (hybrid) {
+        PaddedAccumulator<std::uint64_t> worker_edges(pool.size(), 0);
+        parallelSlices(pool, 0, n, [&](std::size_t w, std::uint64_t lo,
+                                       std::uint64_t hi) {
+            std::uint64_t sum = 0;
+            for (std::uint64_t i = lo; i < hi; ++i)
+                sum += g.inDegree(static_cast<NodeId>(i));
+            worker_edges[w] = sum;
+        });
+        const double avg =
+            static_cast<double>(worker_edges.sum()) / n;
+        const double threshold = ctx.prHubFactor * avg;
+        is_hub.assign(n, 0);
+        for (NodeId v = 0; v < n; ++v) {
+            if (g.inDegree(v) > threshold) {
+                is_hub[v] = 1;
+                hubs.push_back(v);
+            }
+        }
+        if (!hubs.empty()) {
+            hub_ranges.build(pool, hubs.size(), [&](std::uint64_t i) {
+                return static_cast<std::uint64_t>(g.inDegree(hubs[i]));
+            });
+        }
+    }
+    const bool split = hybrid && !hubs.empty();
+
+    // Binning sweep is source-major: balance slices by out-degree.
+    EdgeBalancedRanges src_ranges;
+    src_ranges.build(pool, n, [&](std::uint64_t v) {
+        return static_cast<std::uint64_t>(
+            g.outDegree(static_cast<NodeId>(v)));
+    });
+
+    const BinLayout layout = BinLayout::pick(n, pool.size(), ctx.prBinBytes);
+    DestBins<DestContrib> bins;
+    bins.configure(pool.size(), layout.bins, kSlabPairs);
+
+    // Accumulate slices are balanced by binned-pair count + slice width;
+    // the edge set is frozen during FS compute, so the counts are
+    // identical every round — built once after the first bin phase.
+    EdgeBalancedRanges bin_ranges;
+    bool bin_ranges_built = false;
+
+    PaddedAccumulator<double> worker_delta(pool.size(), 0.0);
+
+    for (std::uint32_t iter = 0; iter < ctx.prMaxIters; ++iter) {
+        SAGA_PHASE(telemetry::Phase::ComputeRound);
+        SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);
+        SAGA_COUNT(telemetry::Counter::ComputeFrontierVertices, n);
+        SAGA_COUNT(telemetry::Counter::PrBlockedRounds, 1);
+
+        buildContrib(pool, values, inv, contrib);
+
+        {
+            SAGA_PHASE(telemetry::Phase::ComputeBin);
+            bins.beginRound();
+            src_ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
+                                           std::uint64_t hi) {
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                    const NodeId v = static_cast<NodeId>(i);
+                    const double c = contrib[v];
+                    if (c == 0.0) // dangling: no out-edges to push
+                        continue;
+                    perf::touch(&contrib[v], sizeof(double));
+                    g.outNeighBlock(v, [&](const Neighbor *run,
+                                           std::uint32_t len) {
+                        perf::ops(len);
+                        for (std::uint32_t j = 0; j < len; ++j) {
+                            const NodeId dst = run[j].node;
+                            if (split && is_hub[dst])
+                                continue;
+                            bins.append(w, dst >> layout.shift,
+                                        DestContrib{dst, c});
+                        }
+                        return true;
+                    });
+                }
+            });
+            SAGA_COUNT(telemetry::Counter::PrBinFlushes,
+                       bins.roundFlushes());
+        }
+
+        if (!bin_ranges_built) {
+            bin_ranges.build(pool, layout.bins, [&](std::uint64_t b) {
+                const std::uint64_t vlo = b << layout.shift;
+                const std::uint64_t vhi =
+                    std::min<std::uint64_t>(n, (b + 1) << layout.shift);
+                return bins.pairCount(static_cast<std::uint32_t>(b)) +
+                       (vhi - vlo);
+            });
+            bin_ranges_built = true;
+        }
+
+        {
+            SAGA_PHASE(telemetry::Phase::ComputeAccumulate);
+            worker_delta.fill(0.0);
+            bin_ranges.forSlices(pool, [&](std::size_t w,
+                                           std::uint64_t blo,
+                                           std::uint64_t bhi) {
+                double delta = 0;
+                for (std::uint64_t b = blo; b < bhi; ++b) {
+                    const std::uint64_t vlo = b << layout.shift;
+                    const std::uint64_t vhi = std::min<std::uint64_t>(
+                        n, (b + 1) << layout.shift);
+                    for (std::uint64_t v = vlo; v < vhi; ++v)
+                        next[v] = 0.0;
+                    bins.drainBin(
+                        static_cast<std::uint32_t>(b),
+                        [&](const DestContrib *run, std::uint32_t len) {
+                            perf::ops(len);
+                            std::uint32_t k = 0;
+                            for (; k + 4 <= len; k += 4) {
+                                next[run[k].dst] += run[k].contrib;
+                                next[run[k + 1].dst] += run[k + 1].contrib;
+                                next[run[k + 2].dst] += run[k + 2].contrib;
+                                next[run[k + 3].dst] += run[k + 3].contrib;
+                                perf::touchWrite(&next[run[k].dst],
+                                                 sizeof(double));
+                                perf::touchWrite(&next[run[k + 1].dst],
+                                                 sizeof(double));
+                                perf::touchWrite(&next[run[k + 2].dst],
+                                                 sizeof(double));
+                                perf::touchWrite(&next[run[k + 3].dst],
+                                                 sizeof(double));
+                            }
+                            for (; k < len; ++k) {
+                                next[run[k].dst] += run[k].contrib;
+                                perf::touchWrite(&next[run[k].dst],
+                                                 sizeof(double));
+                            }
+                        });
+                    perf::touch(&values[vlo],
+                                static_cast<std::uint32_t>(
+                                    (vhi - vlo) * sizeof(double)));
+                    perf::touchWrite(&next[vlo],
+                                     static_cast<std::uint32_t>(
+                                         (vhi - vlo) * sizeof(double)));
+                    if (!split) {
+                        delta += finalizeRange(next.data(), values.data(),
+                                               vlo, vhi, base,
+                                               ctx.damping);
+                    } else {
+                        // Hub slots are overwritten by the pull pass
+                        // below; skip them here so the convergence delta
+                        // counts each vertex exactly once.
+                        for (std::uint64_t v = vlo; v < vhi; ++v) {
+                            if (is_hub[v])
+                                continue;
+                            next[v] = base + ctx.damping * next[v];
+                            delta += std::fabs(next[v] - values[v]);
+                        }
+                    }
+                }
+                worker_delta[w] = delta;
+            });
+        }
+
+        if (split) {
+            SAGA_PHASE(telemetry::Phase::ComputeAccumulate);
+            SAGA_COUNT(telemetry::Counter::PrHubVertices, hubs.size());
+            hub_ranges.forSlices(pool, [&](std::size_t w, std::uint64_t lo,
+                                           std::uint64_t hi) {
+                double delta = 0;
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                    const NodeId h = hubs[i];
+                    double sum = 0;
+                    g.inNeighBlock(h, [&](const Neighbor *run,
+                                          std::uint32_t len) {
+                        perf::ops(len);
+                        for (std::uint32_t j = 0; j < len; ++j) {
+                            perf::touch(&contrib[run[j].node],
+                                        sizeof(double));
+                            sum += contrib[run[j].node];
+                        }
+                        return true;
+                    });
+                    next[h] = base + ctx.damping * sum;
+                    perf::touchWrite(&next[h], sizeof(double));
+                    delta += std::fabs(next[h] - values[h]);
+                }
+                worker_delta[w] += delta;
+            });
+        }
+
+        values.swap(next);
+        if (worker_delta.sum() < ctx.prTolerance)
+            break;
+    }
+}
+
+} // namespace pr_detail
+} // namespace saga
+
+#endif // SAGA_ALGO_PR_BLOCKED_H_

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "perfmodel/trace.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
 #include "saga/types.h"
@@ -69,8 +70,15 @@ class CsrGraph
     {
         const std::uint64_t lo = offsets_[v];
         const std::uint64_t hi = offsets_[v + 1];
-        if (lo < hi)
+        if (lo < hi) {
+            // Touch parity with the mutable stores: the cache-sim MPKI
+            // cross-check (bench_compute --mpki) runs over this store,
+            // so its adjacency stream must be modeled too.
+            perf::touch(&neighbors_[lo],
+                        static_cast<std::uint32_t>((hi - lo) *
+                                                   sizeof(Neighbor)));
             fn(&neighbors_[lo], static_cast<std::uint32_t>(hi - lo));
+        }
     }
 
   private:

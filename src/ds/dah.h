@@ -564,7 +564,9 @@ class DahStore
      * std::uint32_t len) -> bool, return false to stop. High-degree
      * vertices iterate their table's contiguous occupied runs; low-
      * degree vertices (Robin-Hood slots keyed by source, not Neighbor-
-     * shaped) fall back to single-entry runs.
+     * shaped) are coalesced into stack-buffered runs so callers pay one
+     * indirect call per ~32 edges instead of per edge. Low degrees are
+     * bounded by the promotion threshold, so most rows fit one buffer.
      */
     template <typename Fn>
     void
@@ -576,13 +578,21 @@ class DahStore
             table->forRuns(fn);
             return;
         }
+        constexpr std::uint32_t kRun = 32;
+        Neighbor buf[kRun];
+        std::uint32_t fill = 0;
         bool keep_going = true;
         chunk.low.forEachOfKey(v, [&](NodeId dst, Weight weight) {
             if (!keep_going)
                 return;
-            const Neighbor nbr{dst, weight};
-            keep_going = fn(&nbr, 1u);
+            buf[fill++] = Neighbor{dst, weight};
+            if (fill == kRun) {
+                keep_going = fn(buf, fill);
+                fill = 0;
+            }
         });
+        if (keep_going && fill > 0)
+            fn(buf, fill);
     }
 
     /** Vertices currently in the high-degree directory (for tests). */

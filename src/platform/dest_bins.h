@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Per-worker destination-range bins for propagation blocking.
+ *
+ * The locality transformation behind the blocked PageRank path (GAP's
+ * propagation blocking): instead of scattering contributions straight
+ * into a |V|-sized accumulator (one random cache line per edge), each
+ * worker appends (destination, payload) pairs to a slab chain owned by
+ * the destination's *bin* — a contiguous destination range small enough
+ * that its accumulator slice stays cache-resident. The append stream is
+ * sequential per (worker, bin), and the later per-bin drain touches only
+ * that bin's slice, so both phases run at streaming bandwidth instead of
+ * random-access latency.
+ *
+ * Memory discipline mirrors BatchScratch: every slab lives in a
+ * per-worker pool that persists across rounds and compute calls —
+ * beginRound() is an O(bins) counter reset per worker, not a free/alloc
+ * cycle. All per-worker state is cache-line-aligned (one Lane per
+ * worker), so concurrent appends never share a line across workers.
+ *
+ * Concurrency contract: append(w, ...) is worker-private (no two threads
+ * may share a lane); drainBin()/pairCount() read every lane and must run
+ * after the pool barrier that ended the append phase.
+ */
+
+#ifndef SAGA_PLATFORM_DEST_BINS_H_
+#define SAGA_PLATFORM_DEST_BINS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "perfmodel/trace.h"
+#include "platform/padded.h"
+
+namespace saga {
+
+/**
+ * Per-worker, per-bin slab chains of Pair records. Pair must be
+ * trivially copyable (it is bulk-moved through the slab pool).
+ */
+template <typename Pair>
+class DestBins
+{
+  public:
+    /**
+     * Shape the bin matrix: @p workers lanes × @p bins destination
+     * ranges, slabs of @p slab_pairs records. Reshaping keeps each
+     * lane's pool memory when the geometry allows it.
+     */
+    void
+    configure(std::size_t workers, std::uint32_t bins,
+              std::uint32_t slab_pairs)
+    {
+        bins_ = bins;
+        slab_pairs_ = slab_pairs;
+        if (lanes_.size() != workers)
+            lanes_.assign(workers, Lane{});
+        for (std::size_t w = 0; w < lanes_.size(); ++w) {
+            Lane &lane = lanes_[w];
+            lane.chains.resize(bins);
+            lane.fill.resize(bins);
+        }
+        beginRound();
+    }
+
+    std::uint32_t numBins() const { return bins_; }
+    std::uint32_t slabPairs() const { return slab_pairs_; }
+    std::size_t workers() const { return lanes_.size(); }
+
+    /**
+     * Reset every lane for a fresh append round. Slab memory is kept;
+     * chains shrink to empty and every bin's open slab becomes "none"
+     * (the full-slab sentinel makes the first append open one lazily).
+     */
+    void
+    beginRound()
+    {
+        for (Lane &lane : lanes_) {
+            lane.next_slab = 0;
+            lane.flushes = 0;
+            for (std::uint32_t b = 0; b < bins_; ++b) {
+                lane.chains[b].clear();
+                lane.fill[b] = slab_pairs_; // sentinel: no open slab
+            }
+        }
+    }
+
+    /**
+     * Append @p p to worker @p w's chain for @p bin. Worker-private:
+     * lane w must only ever be touched by one thread per round.
+     */
+    void
+    append(std::size_t w, std::uint32_t bin, const Pair &p)
+    {
+        Lane &lane = lanes_[w];
+        std::uint32_t fill = lane.fill[bin];
+        if (fill == slab_pairs_) {
+            // Open a fresh slab; sealing a *full* one counts as a flush
+            // (the first slab of a bin is lazy creation, not a flush).
+            if (!lane.chains[bin].empty())
+                ++lane.flushes;
+            const std::uint32_t slab = lane.next_slab++;
+            const std::size_t need =
+                static_cast<std::size_t>(slab + 1) * slab_pairs_;
+            if (lane.pool.size() < need)
+                lane.pool.resize(need);
+            lane.chains[bin].push_back(slab);
+            fill = 0;
+        }
+        Pair *slot = &lane.pool[static_cast<std::size_t>(
+                                    lane.chains[bin].back()) *
+                                    slab_pairs_ +
+                                fill];
+        *slot = p;
+        perf::touchWrite(slot, sizeof(Pair));
+        lane.fill[bin] = fill + 1;
+    }
+
+    /** Slabs sealed full (and replaced) across all lanes this round. */
+    std::uint64_t
+    roundFlushes() const
+    {
+        std::uint64_t total = 0;
+        for (const Lane &lane : lanes_)
+            total += lane.flushes;
+        return total;
+    }
+
+    /** Records appended to @p bin across all lanes this round. */
+    std::uint64_t
+    pairCount(std::uint32_t bin) const
+    {
+        std::uint64_t total = 0;
+        for (const Lane &lane : lanes_) {
+            const std::vector<std::uint32_t> &chain = lane.chains[bin];
+            if (chain.empty())
+                continue;
+            total += static_cast<std::uint64_t>(chain.size() - 1) *
+                         slab_pairs_ +
+                     lane.fill[bin];
+        }
+        return total;
+    }
+
+    /**
+     * Visit every record appended to @p bin as contiguous runs:
+     * fn(const Pair *run, std::uint32_t len). Quiescent only (after the
+     * append phase's barrier); any thread may drain any bin.
+     */
+    template <typename Fn>
+    void
+    drainBin(std::uint32_t bin, Fn &&fn) const
+    {
+        for (const Lane &lane : lanes_) {
+            const std::vector<std::uint32_t> &chain = lane.chains[bin];
+            for (std::size_t k = 0; k < chain.size(); ++k) {
+                const std::uint32_t len = k + 1 < chain.size()
+                                              ? slab_pairs_
+                                              : lane.fill[bin];
+                if (len == 0)
+                    continue;
+                const Pair *run =
+                    &lane.pool[static_cast<std::size_t>(chain[k]) *
+                               slab_pairs_];
+                perf::touch(run, len * sizeof(Pair));
+                fn(run, len);
+            }
+        }
+    }
+
+  private:
+    /** One worker's bin state; aligned so lanes never share a line. */
+    struct alignas(kCacheLineBytes) Lane
+    {
+        std::vector<Pair> pool;       ///< slab backing store, persistent
+        std::vector<std::vector<std::uint32_t>> chains; ///< per-bin slabs
+        std::vector<std::uint32_t> fill; ///< open-slab fill per bin
+        std::uint32_t next_slab = 0;     ///< pool bump allocator
+        std::uint64_t flushes = 0;       ///< full slabs sealed this round
+    };
+
+    std::uint32_t bins_ = 0;
+    std::uint32_t slab_pairs_ = 0;
+    std::vector<Lane> lanes_;
+};
+
+} // namespace saga
+
+#endif // SAGA_PLATFORM_DEST_BINS_H_

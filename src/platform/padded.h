@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cache-line-padded per-worker accumulators.
+ *
+ * The kernels' per-worker reduction arrays used to be packed vectors
+ * (`std::vector<double> worker_delta(pool.size())`): eight workers'
+ * slots share one or two cache lines, so every per-slice write
+ * invalidates the line under every other worker — textbook false
+ * sharing on the hottest reduction paths. PaddedAccumulator gives each
+ * worker its own cache-line-aligned slot, so cross-worker traffic on
+ * the accumulator is zero until the quiescent reduction after the pool
+ * barrier.
+ *
+ * saga_lint's padded-worker-accumulators rule bans the packed pattern
+ * in src/algo/ — per-worker accumulator arrays must come through here
+ * (or carry an explicit alignas(kCacheLineBytes)).
+ */
+
+#ifndef SAGA_PLATFORM_PADDED_H_
+#define SAGA_PLATFORM_PADDED_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace saga {
+
+/** Destructive-interference granule: one x86/ARM cache line. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * A per-worker array of T values, one cache line per slot. T can be a
+ * scalar (reduction accumulators) or a container (per-worker output
+ * queues) — anything default/copy-constructible. Indexing semantics
+ * match a plain vector; only the memory layout differs.
+ */
+template <typename T>
+class PaddedAccumulator
+{
+  public:
+    PaddedAccumulator() = default;
+
+    /** @param workers slot count; every slot starts as a copy of @p init. */
+    explicit PaddedAccumulator(std::size_t workers, const T &init = T{})
+    {
+        assign(workers, init);
+    }
+
+    /** Resize to @p workers slots, each reset to a copy of @p init. */
+    void
+    assign(std::size_t workers, const T &init = T{})
+    {
+        slots_.assign(workers, Slot{init});
+    }
+
+    /** Reset every existing slot to a copy of @p value. */
+    void
+    fill(const T &value)
+    {
+        for (Slot &slot : slots_)
+            slot.value = value;
+    }
+
+    std::size_t size() const { return slots_.size(); }
+    bool empty() const { return slots_.empty(); }
+
+    T &operator[](std::size_t w) { return slots_[w].value; }
+    const T &operator[](std::size_t w) const { return slots_[w].value; }
+
+    /**
+     * Quiescent reduction: fold every slot into @p init with operator+=.
+     * Call only after the pool barrier that published the writes.
+     */
+    T
+    sum(T init = T{}) const
+    {
+        for (const Slot &slot : slots_)
+            init += slot.value;
+        return init;
+    }
+
+  private:
+    struct alignas(kCacheLineBytes) Slot
+    {
+        T value;
+    };
+
+    std::vector<Slot> slots_;
+};
+
+} // namespace saga
+
+#endif // SAGA_PLATFORM_PADDED_H_

@@ -48,6 +48,10 @@ enum class Counter : std::uint32_t {
     BfsPullRounds,        ///< BFS rounds run dense / bottom-up (pull)
     CcSparseRounds,       ///< CC rounds run as sparse frontier pushes
     CcDenseRounds,        ///< CC rounds run as dense full-graph pulls
+    PrPullRounds,         ///< PR rounds run as contrib-hoisted pulls
+    PrBlockedRounds,      ///< PR rounds run propagation-blocked (push)
+    PrBinFlushes,         ///< full destination slabs sealed while binning
+    PrHubVertices,        ///< hub vertices pulled by the hybrid PR path
     kCount
 };
 
@@ -67,6 +71,9 @@ enum class Phase : std::uint32_t {
     Compute,         ///< whole compute phase of one batch
     ComputeAffected, ///< affected-vertex collection (INC)
     ComputeRound,    ///< one frontier / power-iteration round
+    ComputeContrib,  ///< contrib[v] = rank[v]/outDegree(v) build (PR)
+    ComputeBin,      ///< blocked-PR binning sweep over out-edges
+    ComputeAccumulate, ///< blocked-PR per-bin drain + rank finalize
     PipelineStage,   ///< writer-lane scatter+classify of the next epoch
     PipelineStall,   ///< driver blocked on the writer lane (no overlap)
     PipelinePublish, ///< quiescent publish window between epochs
@@ -98,6 +105,10 @@ name(Counter c)
       case Counter::BfsPullRounds: return "bfs.pull_rounds";
       case Counter::CcSparseRounds: return "cc.sparse_rounds";
       case Counter::CcDenseRounds: return "cc.dense_rounds";
+      case Counter::PrPullRounds: return "pr.pull_rounds";
+      case Counter::PrBlockedRounds: return "pr.blocked_rounds";
+      case Counter::PrBinFlushes: return "pr.bin_flushes";
+      case Counter::PrHubVertices: return "pr.hub_vertices";
       case Counter::kCount: break;
     }
     return "?";
@@ -113,6 +124,9 @@ name(Phase p)
       case Phase::Compute: return "compute";
       case Phase::ComputeAffected: return "compute/affected";
       case Phase::ComputeRound: return "compute/round";
+      case Phase::ComputeContrib: return "compute/contrib";
+      case Phase::ComputeBin: return "compute/bin";
+      case Phase::ComputeAccumulate: return "compute/accumulate";
       case Phase::PipelineStage: return "pipeline/stage";
       case Phase::PipelineStall: return "pipeline/stall";
       case Phase::PipelinePublish: return "pipeline/publish";

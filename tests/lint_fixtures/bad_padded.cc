@@ -1,0 +1,18 @@
+// Seeded violations: per-worker accumulator discipline. Kernel-side
+// per-worker arrays sized by pool.size() must be false-sharing safe
+// (PaddedAccumulator or an alignas(64) slot type) — a plain std::vector
+// packs adjacent workers' hot slots into one cache line and the
+// resulting coherence ping-pong erases the parallel speedup the
+// edge-balanced slices bought; see README.md in this directory.
+
+void
+bad_padded(ThreadPool &pool)
+{
+    // Eight workers' deltas in one 64-byte line: every += invalidates
+    // the line for all of them.
+    std::vector<double> worker_delta(pool.size(), 0.0);
+
+    // Per-worker queues: the small-vector headers (ptr/size/cap) still
+    // false-share even though the heap payloads do not.
+    std::vector<std::vector<NodeId>> local{pool.size()};
+}

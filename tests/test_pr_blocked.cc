@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Locality-aware PageRank tests: every PrVariant (pull / blocked /
+ * hybrid / auto) must match the serial push-iteration oracle across all
+ * 4 stores × directed/undirected × thread counts, including the
+ * degenerate shapes the variants treat specially (dangling vertices,
+ * a single dominant hub, empty graphs); plus unit coverage for the
+ * DestBins slab structure and the PaddedAccumulator false-sharing
+ * guard, and dispatch checks that the pinned variants actually take
+ * their own round types.
+ */
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/pr.h"
+#include "ds/adj_chunked.h"
+#include "ds/adj_shared.h"
+#include "ds/dah.h"
+#include "ds/dyn_graph.h"
+#include "ds/stinger.h"
+#include "platform/dest_bins.h"
+#include "platform/padded.h"
+#include "platform/thread_pool.h"
+#include "reference_algos.h"
+#include "telemetry/telemetry.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+constexpr PrVariant kAllVariants[] = {PrVariant::Auto, PrVariant::Pull,
+                                      PrVariant::Blocked,
+                                      PrVariant::Hybrid};
+
+const char *
+variantName(PrVariant v)
+{
+    switch (v) {
+    case PrVariant::Auto:
+        return "auto";
+    case PrVariant::Pull:
+        return "pull";
+    case PrVariant::Blocked:
+        return "blocked";
+    case PrVariant::Hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+template <typename Store>
+DynGraph<Store>
+makeGraph(bool directed, std::size_t chunks)
+{
+    if constexpr (std::is_constructible_v<Store, std::size_t>) {
+        return DynGraph<Store>(directed, chunks); // AC, DAH, Stinger(block)
+    } else {
+        (void)chunks;
+        return DynGraph<Store>(directed); // AS, Reference
+    }
+}
+
+/** The graph's out-adjacency as the refPr oracle input (undirected
+    graphs already hold both orientations in the out store). */
+template <typename Graph>
+test::AdjList
+oracleAdj(const Graph &g)
+{
+    test::AdjList adj(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        adj[v] = test::sortedOut(g, v);
+    return adj;
+}
+
+template <typename Store>
+class PrBlockedTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kChunks = 4;
+
+    /**
+     * All variants vs the push oracle, at several thread counts. The
+     * ctx tweaks force the interesting machinery even on test-sized
+     * graphs: a tiny prResidentBytes makes Auto leave the pull path,
+     * a small prBinBytes gives the blocked path several bins, and a
+     * low prHubFactor makes the hybrid actually split hubs.
+     */
+    void
+    expectAllVariantsMatchOracle(const std::vector<EdgeBatch> &batches,
+                                 bool directed)
+    {
+        DynGraph<Store> g = makeGraph<Store>(directed, kChunks);
+        {
+            ThreadPool build_pool(4);
+            for (const EdgeBatch &batch : batches)
+                g.update(batch, build_pool);
+        }
+        AlgContext ctx;
+        ctx.numNodesHint = g.numNodes();
+        ctx.prResidentBytes = 256;   // Auto must not hide the new paths
+        ctx.prBinBytes = 1024;       // 128 ranks per bin: several bins
+        ctx.prHubFactor = 2.0;       // hub split engages on skewed graphs
+        const auto expected =
+            test::refPr(oracleAdj(g), g.numNodes(), ctx.damping,
+                        ctx.prTolerance, ctx.prMaxIters);
+
+        for (std::size_t threads : {1u, 3u, 8u}) {
+            ThreadPool pool(threads);
+            for (PrVariant variant : kAllVariants) {
+                ctx.prVariant = variant;
+                std::vector<Pr::Value> values;
+                Pr::computeFs(g, pool, values, ctx);
+                ASSERT_EQ(values.size(), expected.size());
+                double l1 = 0;
+                for (NodeId v = 0; v < g.numNodes(); ++v)
+                    l1 += std::fabs(values[v] - expected[v]);
+                // Pull/blocked/push iterations stop at slightly
+                // different points; all are within the convergence
+                // tolerance of the true ranks.
+                EXPECT_LT(l1, 4 * ctx.prTolerance)
+                    << "variant=" << variantName(variant)
+                    << " threads=" << threads << " directed=" << directed;
+            }
+        }
+    }
+};
+
+using PrStores = ::testing::Types<AdjSharedStore, AdjChunkedStore,
+                                  StingerStore, DahStore>;
+TYPED_TEST_SUITE(PrBlockedTest, PrStores);
+
+TYPED_TEST(PrBlockedTest, RandomDirected)
+{
+    this->expectAllVariantsMatchOracle({test::randomBatch(150, 600, 11),
+                                        test::randomBatch(150, 600, 12)},
+                                       /*directed=*/true);
+}
+
+TYPED_TEST(PrBlockedTest, RandomUndirected)
+{
+    this->expectAllVariantsMatchOracle({test::randomBatch(150, 600, 21)},
+                                       /*directed=*/false);
+}
+
+TYPED_TEST(PrBlockedTest, DanglingNodes)
+{
+    // A directed star INTO vertex 0 plus a small chain: vertex 0 and the
+    // chain tail are dangling (out-degree 0), so their rank mass leaves
+    // the system — inv[v] = 0 must match the oracle's skip of empty
+    // out-rows, on every variant.
+    std::vector<Edge> edges;
+    for (NodeId v = 1; v < 40; ++v)
+        edges.push_back({v, 0, 1.0f});
+    edges.push_back({40, 41, 1.0f});
+    edges.push_back({41, 42, 1.0f});
+    this->expectAllVariantsMatchOracle({EdgeBatch(std::move(edges))},
+                                       /*directed=*/true);
+}
+
+TYPED_TEST(PrBlockedTest, SingleDominantHub)
+{
+    // One vertex receives nearly every edge: the hybrid's hub split must
+    // classify it and pull it contiguously while the tail goes through
+    // the bins; the blocked path funnels almost all pairs into one bin.
+    std::vector<Edge> edges;
+    for (NodeId v = 1; v < 120; ++v) {
+        edges.push_back({v, 0, 1.0f});
+        edges.push_back({0, v, 1.0f});
+        if (v % 7 == 0)
+            edges.push_back({v, v / 7, 1.0f});
+    }
+    this->expectAllVariantsMatchOracle({EdgeBatch(std::move(edges))},
+                                       /*directed=*/true);
+}
+
+TYPED_TEST(PrBlockedTest, EmptyAndEdgelessGraphs)
+{
+    ThreadPool pool(2);
+    AlgContext ctx;
+    for (PrVariant variant : kAllVariants) {
+        ctx.prVariant = variant;
+        {
+            DynGraph<TypeParam> g =
+                makeGraph<TypeParam>(true, this->kChunks);
+            std::vector<Pr::Value> values{1.0, 2.0}; // stale, must clear
+            Pr::computeFs(g, pool, values, ctx);
+            EXPECT_TRUE(values.empty())
+                << "variant=" << variantName(variant);
+        }
+        {
+            // Vertices but no edges: everyone keeps the base rank.
+            DynGraph<TypeParam> g =
+                makeGraph<TypeParam>(true, this->kChunks);
+            ThreadPool build_pool(2);
+            g.update(EdgeBatch({{0, 4, 1.0f}}), build_pool);
+            ctx.numNodesHint = g.numNodes();
+            std::vector<Pr::Value> values;
+            Pr::computeFs(g, pool, values, ctx);
+            ASSERT_EQ(values.size(), 5u);
+            const double base = (1.0 - ctx.damping) / 5;
+            // Vertices 1..3 have no in-edges at all.
+            EXPECT_NEAR(values[1], base, 1e-12)
+                << "variant=" << variantName(variant);
+        }
+    }
+}
+
+/** Blocked and hybrid must agree with pull bit-for-bit in iteration
+    count, so rank agreement is much tighter than the oracle bound. */
+TYPED_TEST(PrBlockedTest, VariantsAgreeTightly)
+{
+    ThreadPool pool(4);
+    DynGraph<TypeParam> g = makeGraph<TypeParam>(true, this->kChunks);
+    g.update(test::randomBatch(200, 1200, 31), pool);
+
+    AlgContext ctx;
+    ctx.numNodesHint = g.numNodes();
+    ctx.prBinBytes = 1024;
+    ctx.prHubFactor = 2.0;
+
+    ctx.prVariant = PrVariant::Pull;
+    std::vector<Pr::Value> pull;
+    Pr::computeFs(g, pool, pull, ctx);
+
+    for (PrVariant variant : {PrVariant::Blocked, PrVariant::Hybrid}) {
+        ctx.prVariant = variant;
+        std::vector<Pr::Value> values;
+        Pr::computeFs(g, pool, values, ctx);
+        ASSERT_EQ(values.size(), pull.size());
+        for (NodeId v = 0; v < g.numNodes(); ++v)
+            EXPECT_NEAR(values[v], pull[v], 1e-12)
+                << "variant=" << variantName(variant) << " v=" << v;
+    }
+}
+
+#ifndef SAGA_TELEMETRY_DISABLED
+/** The pinned variants must take their own round types, and Auto must
+    respect the prResidentBytes / prHybridAvgDegree crossovers. */
+TYPED_TEST(PrBlockedTest, VariantDispatch)
+{
+    ThreadPool pool(2);
+    DynGraph<TypeParam> g = makeGraph<TypeParam>(true, this->kChunks);
+    g.update(test::randomBatch(100, 500, 41), pool);
+
+    telemetry::setEnabled(true);
+    using C = telemetry::Counter;
+    const auto counter = [](C c) {
+        return telemetry::snapshot().counters[static_cast<std::size_t>(c)];
+    };
+    const auto rounds = [&](AlgContext ctx) {
+        ctx.numNodesHint = g.numNodes();
+        const std::uint64_t pull0 = counter(C::PrPullRounds);
+        const std::uint64_t blocked0 = counter(C::PrBlockedRounds);
+        const std::uint64_t hub0 = counter(C::PrHubVertices);
+        std::vector<Pr::Value> values;
+        Pr::computeFs(g, pool, values, ctx);
+        return std::array<std::uint64_t, 3>{
+            counter(C::PrPullRounds) - pull0,
+            counter(C::PrBlockedRounds) - blocked0,
+            counter(C::PrHubVertices) - hub0};
+    };
+
+    AlgContext ctx;
+    ctx.prVariant = PrVariant::Pull;
+    auto r = rounds(ctx);
+    EXPECT_GT(r[0], 0u);
+    EXPECT_EQ(r[1], 0u);
+
+    ctx.prVariant = PrVariant::Blocked;
+    r = rounds(ctx);
+    EXPECT_EQ(r[0], 0u);
+    EXPECT_GT(r[1], 0u);
+    EXPECT_EQ(r[2], 0u); // no hub split on the pure blocked path
+
+    ctx.prVariant = PrVariant::Hybrid;
+    ctx.prHubFactor = 1.0; // guarantee a nonempty hub set
+    r = rounds(ctx);
+    EXPECT_GT(r[1], 0u);
+    EXPECT_GT(r[2], 0u);
+
+    // Auto on a cache-resident graph: plain pull.
+    ctx = AlgContext{};
+    ctx.prVariant = PrVariant::Auto;
+    r = rounds(ctx);
+    EXPECT_GT(r[0], 0u);
+    EXPECT_EQ(r[1], 0u);
+
+    // Auto with a tiny residency budget and sparse graph: blocked.
+    ctx.prResidentBytes = 16;
+    ctx.prHybridAvgDegree = 1e9;
+    r = rounds(ctx);
+    EXPECT_EQ(r[0], 0u);
+    EXPECT_GT(r[1], 0u);
+    EXPECT_EQ(r[2], 0u);
+
+    // ... and with a low dense crossover: hybrid (the hub factor must
+    // come down too — this uniform graph has no 8×-average hubs).
+    ctx.prHybridAvgDegree = 0.0;
+    ctx.prHubFactor = 1.0;
+    r = rounds(ctx);
+    EXPECT_GT(r[1], 0u);
+    EXPECT_GT(r[2], 0u);
+}
+#endif // SAGA_TELEMETRY_DISABLED
+
+// ---------------------------------------------------------------------------
+// DestBins unit coverage
+// ---------------------------------------------------------------------------
+
+using Pair = pr_detail::DestContrib;
+
+TEST(DestBinsTest, RoundTripAcrossLanesAndBins)
+{
+    DestBins<Pair> bins;
+    bins.configure(/*workers=*/3, /*bins=*/4, /*slab_pairs=*/8);
+    EXPECT_EQ(bins.numBins(), 4u);
+    EXPECT_EQ(bins.workers(), 3u);
+    bins.beginRound();
+
+    // 3 lanes × 4 bins × 20 pairs: every lane spills its first slab.
+    for (std::size_t w = 0; w < 3; ++w)
+        for (std::uint32_t b = 0; b < 4; ++b)
+            for (std::uint32_t i = 0; i < 20; ++i)
+                bins.append(w, b,
+                            {static_cast<NodeId>(b * 100 + i),
+                             static_cast<double>(w + 1)});
+
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        EXPECT_EQ(bins.pairCount(b), 60u) << "bin=" << b;
+        double mass = 0;
+        std::uint64_t pairs = 0;
+        bins.drainBin(b, [&](const Pair *run, std::uint32_t len) {
+            for (std::uint32_t j = 0; j < len; ++j) {
+                EXPECT_EQ(run[j].dst / 100, b);
+                mass += run[j].contrib;
+            }
+            pairs += len;
+        });
+        EXPECT_EQ(pairs, 60u) << "bin=" << b;
+        EXPECT_DOUBLE_EQ(mass, 20.0 * (1 + 2 + 3)) << "bin=" << b;
+    }
+    // 20 pairs per (lane, bin) at 8 pairs/slab = 2 sealed slabs each.
+    EXPECT_EQ(bins.roundFlushes(), 3u * 4u * 2u);
+}
+
+TEST(DestBinsTest, BeginRoundResetsWithoutReleasingSlabs)
+{
+    DestBins<Pair> bins;
+    bins.configure(1, 2, 4);
+    bins.beginRound();
+    for (int i = 0; i < 10; ++i)
+        bins.append(0, 1, {static_cast<NodeId>(i), 1.0});
+    EXPECT_EQ(bins.pairCount(1), 10u);
+
+    bins.beginRound();
+    EXPECT_EQ(bins.pairCount(0), 0u);
+    EXPECT_EQ(bins.pairCount(1), 0u);
+    EXPECT_EQ(bins.roundFlushes(), 0u);
+    int calls = 0;
+    bins.drainBin(1, [&](const Pair *, std::uint32_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+
+    // The pool is reused: appending after reset must not corrupt.
+    bins.append(0, 0, {7, 2.0});
+    EXPECT_EQ(bins.pairCount(0), 1u);
+    bins.drainBin(0, [&](const Pair *run, std::uint32_t len) {
+        ASSERT_EQ(len, 1u);
+        EXPECT_EQ(run[0].dst, 7u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(DestBinsTest, PartialSlabsDoNotCountAsFlushes)
+{
+    DestBins<Pair> bins;
+    bins.configure(2, 1, 16);
+    bins.beginRound();
+    for (int i = 0; i < 5; ++i)
+        bins.append(0, 0, {static_cast<NodeId>(i), 1.0});
+    EXPECT_EQ(bins.roundFlushes(), 0u); // open slab, never sealed
+    EXPECT_EQ(bins.pairCount(0), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// PaddedAccumulator unit coverage
+// ---------------------------------------------------------------------------
+
+TEST(PaddedAccumulatorTest, SlotsAreCacheLineSeparated)
+{
+    PaddedAccumulator<double> acc(4, 0.0);
+    ASSERT_EQ(acc.size(), 4u);
+    const auto addr = [&](std::size_t i) {
+        return reinterpret_cast<std::uintptr_t>(&acc[i]);
+    };
+    EXPECT_EQ(addr(0) % kCacheLineBytes, 0u);
+    for (std::size_t i = 1; i < acc.size(); ++i)
+        EXPECT_GE(addr(i) - addr(i - 1), kCacheLineBytes) << "i=" << i;
+}
+
+TEST(PaddedAccumulatorTest, FillSumAndAssign)
+{
+    PaddedAccumulator<std::uint64_t> acc;
+    EXPECT_TRUE(acc.empty());
+    EXPECT_EQ(acc.sum(std::uint64_t{0}), 0u);
+
+    acc.assign(3, 7);
+    EXPECT_EQ(acc.sum(std::uint64_t{0}), 21u);
+    acc.fill(1);
+    acc[2] += 10;
+    EXPECT_EQ(acc.sum(std::uint64_t{0}), 13u);
+
+    // Non-trivial element type: per-worker queues.
+    PaddedAccumulator<std::vector<NodeId>> queues(2);
+    queues[0].push_back(1);
+    queues[1].push_back(2);
+    queues[1].push_back(3);
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < queues.size(); ++w)
+        total += queues[w].size();
+    EXPECT_EQ(total, 3u);
+}
+
+} // namespace
+} // namespace saga

@@ -36,6 +36,12 @@ rules pin down *which primitives may appear where*):
   atomic-include        a src/ file that names std::atomic / std::memory_order
                         must #include <atomic> itself (include-what-you-use
                         for the concurrency surface).
+  padded-worker-accumulators
+                        kernels (src/algo/) may not declare per-worker
+                        accumulator arrays as plain std::vector sized by
+                        pool.size() — adjacent workers' slots land on the
+                        same cache line; use PaddedAccumulator
+                        (platform/padded.h) or an alignas(64) slot type.
   telemetry-enum-qualified
                         SAGA_PHASE / SAGA_COUNT take a qualified
                         telemetry::Phase:: / telemetry::Counter::
@@ -191,6 +197,16 @@ RULES = [
          "stage/publish/compute hand-offs must synchronize via the "
          "AsyncLane mutex or acquire/release; a relaxed counter belongs "
          "in the store, not here"),
+    Rule("padded-worker-accumulators",
+         "per-worker accumulator arrays in kernels are false-sharing safe",
+         in_dir("src/algo"),
+         # The lookbehind skips std::vector appearing as a template
+         # argument (e.g. PaddedAccumulator<std::vector<NodeId>>).
+         r"(?<!<)\bstd::vector<[^;()]*>\s+\w+\s*[({]\s*pool_?\.size\(\)",
+         "per-worker accumulator sized by pool.size() as a plain "
+         "std::vector — adjacent workers' slots share cache lines; use "
+         "PaddedAccumulator (platform/padded.h) or an alignas(64) slot "
+         "type"),
     Rule("telemetry-enum-qualified",
          "SAGA_PHASE/SAGA_COUNT take qualified Phase::/Counter:: enumerators",
          telemetry_macro_scope,

@@ -198,6 +198,41 @@ class AtomicInclude(unittest.TestCase):
         self.assertIn("atomic-include", rules)
 
 
+class PaddedWorkerAccumulators(unittest.TestCase):
+    def test_flags_plain_vector_sized_by_pool_in_kernel(self):
+        rules = lint_source(
+            "std::vector<double> worker_delta(pool.size(), 0.0);\n",
+            "src/algo/pr.h")
+        self.assertIn("padded-worker-accumulators", rules)
+
+    def test_flags_nested_vector_and_member_pool(self):
+        src = ("std::vector<std::vector<NodeId>> local{pool.size()};\n"
+               "std::vector<char> changed(pool_.size(), 0);\n")
+        rules = lint_source(src, "src/algo/cc.h")
+        self.assertEqual(rules.count("padded-worker-accumulators"), 2)
+
+    def test_padded_accumulator_ok(self):
+        rules = lint_source(
+            "PaddedAccumulator<double> worker_delta(pool.size(), 0.0);\n",
+            "src/algo/pr.h")
+        self.assertNotIn("padded-worker-accumulators", rules)
+
+    def test_non_worker_vectors_ok(self):
+        # Sized by the graph, not the pool: dense value arrays are meant
+        # to be contiguous.
+        rules = lint_source(
+            "std::vector<double> next(n, 0.0);\n", "src/algo/pr.h")
+        self.assertNotIn("padded-worker-accumulators", rules)
+
+    def test_out_of_kernel_scope_ok(self):
+        # The bench's legacy kernels keep the packed layout on purpose
+        # (they reproduce the pre-engine behavior, false sharing and all).
+        rules = lint_source(
+            "std::vector<double> worker_delta(pool.size(), 0.0);\n",
+            "bench/bench_compute.cc")
+        self.assertNotIn("padded-worker-accumulators", rules)
+
+
 class TelemetryEnumQualified(unittest.TestCase):
     def test_flags_unqualified_phase(self):
         rules = lint_source("SAGA_PHASE(Phase::Update);\n", "src/ds/x.h")
