@@ -196,6 +196,8 @@ struct Bfs
                         atomicClaim(values[nbr.node], kInf, depth)) {
                         perf::touchWrite(&values[nbr.node],
                                          sizeof(Value));
+                        // hotpath-allow: worker-local next-frontier
+                        // queue (PaddedAccumulator slot), amortized
                         queue.push_back(nbr.node);
                     }
                 });

@@ -216,6 +216,8 @@ struct Cc
                 if (best < cur) {
                     atomicStore(values[v], best);
                     perf::touchWrite(&values[v], sizeof(Value));
+                    // hotpath-allow: worker-local changed list
+                    // (PaddedAccumulator slot), amortized growth
                     changed.push_back(v);
                 }
             }
@@ -255,6 +257,8 @@ struct Cc
                         atomicLoad(enqueued[nbr.node]);
                     if (seen != round &&
                         atomicClaim(enqueued[nbr.node], seen, round)) {
+                        // hotpath-allow: worker-local sparse queue
+                        // (PaddedAccumulator slot), amortized growth
                         queue.push_back(nbr.node);
                     }
                 }

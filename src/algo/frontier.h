@@ -51,8 +51,10 @@ concatWorkerQueues(const PaddedAccumulator<std::vector<NodeId>> &local)
     for (std::size_t w = 0; w < local.size(); ++w)
         total += local[w].size();
     std::vector<NodeId> out;
+    // hotpath-allow: one exact-size reserve per round, after the barrier
     out.reserve(total);
     for (std::size_t w = 0; w < local.size(); ++w)
+        // hotpath-allow: bulk copy into the reserved buffer, no regrowth
         out.insert(out.end(), local[w].begin(), local[w].end());
     return out;
 }

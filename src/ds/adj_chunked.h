@@ -224,9 +224,17 @@ class AdjChunkedStore
     }
 
   private:
+    // immutable-after-build: fixed at construction
     std::size_t num_chunks_;
+    // quiescent-mutated: grown only in ensureNodes(), serial before the
+    // parallel scatter; the pool barrier publishes it
     NodeId num_nodes_ = 0;
+    // chunk-owned: the vector is resized only at quiescent points; row
+    // contents are written solely through SAGA_REQUIRES(ownership_)
+    // accessors by the owning chunk's worker
     std::vector<std::vector<Neighbor>> rows_;
+    // quiescent-mutated: accumulated serially after the barrier (see
+    // addEdgesPublished above — deliberately not atomic)
     std::uint64_t num_edges_ = 0;
     ChunkOwnership ownership_;
 };

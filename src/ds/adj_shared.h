@@ -226,6 +226,8 @@ class AdjSharedStore
         }
     };
 
+    // quiescent-mutated: resized only in ensureNodes(), serial before
+    // the parallel region; row contents are guarded by each Row's lock
     std::vector<Row> rows_;
     std::atomic<std::uint64_t> num_edges_{0};
 };

@@ -359,6 +359,7 @@ class HighDegreeTable
     grow()
     {
         std::vector<Neighbor> old = std::move(slots_);
+        // hotpath-allow: amortized doubling rehash of a per-vertex table
         slots_.assign(old.size() * 2, Neighbor{kInvalidNode, 0});
         size_ = 0;
         for (const Neighbor &slot : old) {
@@ -609,11 +610,19 @@ class DahStore
     /** Open-address directory: promoted vertex -> its neighbor table. */
     struct Chunk
     {
+        // chunk-owned: every field below is written only through the
+        // store's SAGA_REQUIRES(ownership_) insert/flush path by the
+        // worker that owns this chunk
         RobinHoodEdgeTable low;
+        // chunk-owned: promoted-vertex directory, owner-written
         std::vector<std::pair<NodeId, HighDegreeTable>> high;
-        std::vector<std::uint64_t> highIndex; // open-address: idx+1, 0=empty
+        // chunk-owned: open-address idx+1, 0=empty
+        std::vector<std::uint64_t> highIndex;
+        // chunk-owned: promotion queue drained by flushChunk()
         std::vector<NodeId> pending;
+        // chunk-owned: flush pacing counter
         std::uint32_t insertsSinceFlush = 0;
+        // chunk-owned: per-chunk edge count, summed after the barrier
         std::uint64_t numEdges = 0;
 
         // findHigh()/indexInsert() index with `& (size - 1)`; growIndex()
@@ -697,9 +706,15 @@ class DahStore
         chunk.pending.clear();
     }
 
+    // immutable-after-build: fixed at construction
     std::size_t num_chunks_;
+    // immutable-after-build: tuning knobs, never change after ctor
     DahConfig config_;
+    // quiescent-mutated: grown only in ensureNodes(), serial before the
+    // parallel scatter
     NodeId num_nodes_ = 0;
+    // chunk-owned: sized at construction; each element is mutated only
+    // by its owning worker via SAGA_REQUIRES(ownership_) methods
     std::vector<Chunk> chunks_;
     ChunkOwnership ownership_;
 };

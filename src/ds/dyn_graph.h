@@ -278,15 +278,26 @@ class DynGraph
             return pool.size();
     }
 
+    // immutable-after-build: fixed at construction
     bool directed_;
+    // guarded-member-allow: each store encodes its own concurrency
+    // contract (locks / chunk ownership / atomics) internally
     Store out_;
-    Store in_; // unused when undirected
-    PartitionedBatch parts_; // reusable scatter scratch
+    // guarded-member-allow: same as out_; unused when undirected
+    Store in_;
+    // guarded-member-allow: reusable scatter scratch with its own
+    // phase discipline (counting-sort passes separated by barriers)
+    PartitionedBatch parts_;
 
     // Pipelined-driver staging state (idle on the serial path).
+    // guarded-member-allow: written only by the writer lane during an
+    // epoch; the quiescent publish barrier hands it to the readers
     StagedApply<Store> staged_out_;
-    StagedApply<Store> staged_in_; // unused when undirected
-    EdgeBatch staged_raw_;         // fallback stores: batch copy
+    // guarded-member-allow: same as staged_out_; unused when undirected
+    StagedApply<Store> staged_in_;
+    // guarded-member-allow: fallback stores stage a plain batch copy,
+    // same single-writer epoch discipline
+    EdgeBatch staged_raw_;
 };
 
 } // namespace saga

@@ -287,7 +287,10 @@ class StingerStore
     {
         std::atomic<std::uint32_t> count{0};
         std::atomic<EdgeBlock *> next{nullptr};
-        std::unique_ptr<Neighbor[]> entries; // block_capacity_ entries
+        // immutable-after-build: the array (block_capacity_ entries) is
+        // allocated when the block is created and the pointer never
+        // changes; slot visibility rides the count release store
+        std::unique_ptr<Neighbor[]> entries;
     };
 
     struct Header
@@ -429,7 +432,10 @@ class StingerStore
         SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
     }
 
+    // immutable-after-build: configured before first insert
     std::uint32_t block_capacity_ = kBlockCapacity;
+    // quiescent-mutated: resized only in ensureNodes()/clear(), serial
+    // points; header contents use their own locks and atomics
     std::vector<Header> headers_;
     std::atomic<std::uint64_t> num_edges_{0};
 };

@@ -104,7 +104,11 @@ class DestBins
             const std::size_t need =
                 static_cast<std::size_t>(slab + 1) * slab_pairs_;
             if (lane.pool.size() < need)
+                // hotpath-allow: slab-open slow path; the pool grows
+                // once per high-water mark and is reused across rounds
                 lane.pool.resize(need);
+            // hotpath-allow: one slab id per slab open, amortized over
+            // slab_pairs_ appends
             lane.chains[bin].push_back(slab);
             fill = 0;
         }

@@ -80,6 +80,7 @@ class ThreadPool
   private:
     void workerLoop(std::size_t id);
 
+    // immutable-after-build: fixed in the constructor
     std::size_t num_workers_;
     std::vector<std::thread> threads_;
 
@@ -92,6 +93,9 @@ class ThreadPool
     std::atomic<std::size_t> sleepers_{0};
     std::atomic<bool> caller_parked_{false};
     std::atomic<bool> stop_{false};
+    // guarded-member-allow: plain pointer published by the seq_cst
+    // generation_ bump and retired after the remaining_ == 0 barrier
+    // (memory-order contract in thread_pool.cc)
     const std::function<void(std::size_t)> *task_ = nullptr;
 
     std::mutex mutex_;
@@ -141,9 +145,13 @@ class AsyncLane
     std::mutex mutex_;
     std::condition_variable wake_; ///< submitter -> lane: job available
     std::condition_variable done_; ///< lane -> submitter: job finished
-    std::function<void()> job_;    ///< guarded by mutex_
-    bool busy_ = false;            ///< guarded by mutex_
-    bool stop_ = false;            ///< guarded by mutex_
+    // guarded-member-allow: guarded by mutex_ — a plain std::mutex on
+    // purpose (condvar parking), which is not a TSA capability type
+    std::function<void()> job_;
+    // guarded-member-allow: guarded by mutex_, same as job_
+    bool busy_ = false;
+    // guarded-member-allow: guarded by mutex_, same as job_
+    bool stop_ = false;
     std::thread thread_;           ///< last member: starts after state init
 };
 

@@ -222,6 +222,7 @@ class StagedApply
     {
         const std::size_t num_chunks = parts.numChunks();
         if (chunks_.size() < num_chunks)
+            // hotpath-allow: once per epoch, before the parallel stage
             chunks_.resize(num_chunks);
         if (parts.maxNode() != kInvalidNode &&
             (max_node_ == kInvalidNode || parts.maxNode() > max_node_))
@@ -320,12 +321,16 @@ class StagedApply
             if (found) {
                 SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
                 if (e.weight < existing)
+                    // hotpath-allow: writer-lane staging buffer; its
+                    // growth overlaps compute on the reader pool
                     stage.fixups.push_back(e);
                 continue;
             }
             stage.index.add(
                 e.src, e.dst,
                 static_cast<std::uint32_t>(stage.fresh.size()));
+            // hotpath-allow: writer-lane staging buffer, reused across
+            // epochs; growth overlaps compute by design
             stage.fresh.push_back(e);
         }
     }

@@ -320,7 +320,9 @@ class Registry
     ThreadSlot *
     registerThread()
     {
+        // hotpath-allow: first-touch slow path, one lock per thread life
         SpinGuard guard(lock_);
+        // hotpath-allow: one allocation per thread lifetime, amortized
         slots_.push_back(std::make_unique<ThreadSlot>());
         return slots_.back().get();
     }

@@ -1,0 +1,40 @@
+// Seeded violations for the acquire/release pairing pack. Each member
+// below breaks the protocol a different way; none of the weaker
+// accesses carries the repo's `relaxed:` justification comment.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Handshake
+{
+    void
+    publisher()
+    {
+        payload_ = 41;
+        // seeded: atomics/orphaned-release — nothing ever acquire-reads
+        // ready_, so this fence publishes to nobody.
+        ready_.store(1, std::memory_order_release);
+        gate_.fetch_add(1); // seq_cst side of the mixed protocol
+    }
+
+    int
+    consumer()
+    {
+        // seeded: atomics/orphaned-acquire — nothing ever release-writes
+        // done_, so there is nothing to synchronize with.
+        if (done_.load(std::memory_order_acquire) != 0)
+            return payload_;
+        // seeded: atomics/seq-cst-downgrade — gate_ is seq_cst in
+        // publisher() but silently relaxed here.
+        gate_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    }
+
+    int payload_ = 0;
+    std::atomic<std::uint32_t> ready_{0};
+    std::atomic<std::uint32_t> done_{0};
+    std::atomic<std::uint32_t> gate_{0};
+};
+
+} // namespace fixture

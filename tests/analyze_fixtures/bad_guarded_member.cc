@@ -1,0 +1,33 @@
+// Seeded violations for the guarded-member coverage pack. The class
+// opts into the audit with the marker (outside the fixture tree the
+// audit set is the stores + DynGraph + ThreadPool + AsyncLane).
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+// saga-analyze: audit-class
+struct LeakyStore
+{
+    void
+    bump()
+    {
+        ++hits_;
+    }
+
+    // seeded: guarded/unannotated-member — no category at all.
+    std::uint64_t hits_ = 0;
+    // seeded: guarded/bogus-chunk-owned — the claim needs the owner to
+    // embed ChunkOwnership and expose a SAGA_REQUIRES method; LeakyStore
+    // has neither.
+    // chunk-owned: per-chunk rows
+    std::vector<int> rows_;
+    // Negative controls: these categories pass the audit as-is.
+    std::atomic<std::uint32_t> epoch_{0};
+    // immutable-after-build: set once in the constructor
+    std::uint32_t capacity_ = 0;
+    static constexpr int kShift = 6;
+};
+
+} // namespace fixture

@@ -1,0 +1,36 @@
+// Seeded violations for the hot-path purity pack. kernelRound() is a
+// marked kernel entry; every impurity below must be reported, whether
+// it sits in the entry itself or behind a call edge (helper()).
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+struct HotKernel
+{
+    // saga-analyze: hotpath-entry
+    void
+    kernelRound()
+    {
+        helper();          // impurities behind a call edge still count
+        buf_.push_back(1); // seeded: hotpath/container-growth
+        int *p = new int(7); // seeded: hotpath/heap-allocation
+        std::printf("round %d\n", *p); // seeded: hotpath/io
+        // hotpath-allow:
+        buf_.reserve(64); // seeded: hotpath/unjustified-escape (no reason)
+    }
+
+    void
+    helper()
+    {
+        std::lock_guard<std::mutex> guard(mu_); // seeded: hotpath/lock-acquisition
+        if (buf_.empty())
+            throw 42; // seeded: hotpath/throw
+    }
+
+    std::vector<int> buf_;
+    std::mutex mu_;
+};
+
+} // namespace fixture

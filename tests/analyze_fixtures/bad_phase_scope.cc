@@ -1,0 +1,35 @@
+// Seeded violations for the telemetry scope-discipline pack, with
+// minimal telemetry look-alikes so the fixture parses standalone.
+#include <cstdint>
+
+namespace telemetry {
+
+enum class Phase { ComputeRound };
+enum class Counter { ComputeRounds };
+
+struct PhaseScope
+{
+    explicit PhaseScope(Phase p);
+    ~PhaseScope();
+};
+
+void count(Counter c, std::uint64_t n);
+
+} // namespace telemetry
+
+#define SAGA_COUNT(counter, amount) \
+    ::telemetry::count((counter), (amount))
+
+namespace fixture {
+
+inline void
+timedRegion()
+{
+    // seeded: telemetry/phase-scope-temporary — the temporary dies at
+    // the end of the full-expression and times nothing.
+    telemetry::PhaseScope(telemetry::Phase::ComputeRound);
+    // seeded: telemetry/unqualified-counter-id — bare enum id.
+    SAGA_COUNT(ComputeRounds, 1);
+}
+
+} // namespace fixture

@@ -1,0 +1,46 @@
+// The TSA blind spot that saga_analyze rule pack 3 exists to close.
+//
+// This store-shaped class has a mutable member with NO concurrency
+// category at all — not SAGA_GUARDED_BY, not atomic, not chunk-owned —
+// and racyBump() mutates it with no lock held. Clang Thread Safety
+// Analysis is opt-in per member: with no annotation there is no
+// contract to violate, so this file compiles CLEANLY under
+// -Wthread-safety -Werror. The ctest case is therefore a compile-PASS
+// control (not WILL_FAIL): it proves the compiler cannot reject an
+// unannotated member, which is exactly why guarded/unannotated-member
+// is enforced by the analyzer instead (see
+// tests/analyze_fixtures/bad_guarded_member.cc for the failing side).
+//
+// If this file ever FAILS to compile, the toolchain has grown a way to
+// demand whole-class annotation coverage — move the enforcement there
+// and retire the analyzer rule.
+
+#include "platform/spinlock.h"
+#include "platform/thread_annotations.h"
+
+namespace {
+
+struct UnannotatedStore
+{
+    saga::SpinLock lock;
+    int guarded SAGA_GUARDED_BY(lock) = 0;
+    // No category: invisible to -Wthread-safety, caught only by
+    // saga_analyze guarded/unannotated-member.
+    int unannotated = 0;
+};
+
+int
+racyBump(UnannotatedStore &store)
+{
+    store.unannotated += 1; // no lock held; TSA has nothing to check
+    return store.unannotated;
+}
+
+} // namespace
+
+int
+main()
+{
+    UnannotatedStore store;
+    return racyBump(store) == 1 ? 0 : 1;
+}

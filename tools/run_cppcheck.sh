@@ -1,0 +1,28 @@
+#!/bin/sh
+# run_cppcheck.sh — the single entry point for the cppcheck gate.
+#
+# CI runs exactly this script, so a local `tools/run_cppcheck.sh`
+# reproduces the CI verdict: configuration comes from saga.cppcheck (the
+# committed project file) and waivers from tools/cppcheck_suppressions.txt.
+# Extra arguments pass through to cppcheck (e.g. --xml, -j8).
+#
+# Exit status: 0 = clean or cppcheck not installed (skip with a notice),
+# 1 = findings, cppcheck's own codes otherwise.
+set -eu
+cd "$(dirname "$0")/.."
+
+if ! command -v cppcheck >/dev/null 2>&1; then
+    echo "run_cppcheck: cppcheck not installed — skipping" \
+         "(the CI static-analysis job installs and enforces it)" >&2
+    exit 0
+fi
+
+mkdir -p build/cppcheck
+
+exec cppcheck \
+    --project=saga.cppcheck \
+    --suppressions-list=tools/cppcheck_suppressions.txt \
+    --enable=warning,portability \
+    --inline-suppr \
+    --error-exitcode=1 \
+    "$@"

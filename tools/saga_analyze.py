@@ -1,0 +1,2111 @@
+#!/usr/bin/env python3
+"""saga_analyze — AST- and call-graph-grounded whole-program checker.
+
+Where saga_lint matches single lines, this tool understands the *program*:
+it parses every translation unit named by compile_commands.json into a
+structural model (classes, members, functions, call sites, atomic
+accesses), builds an interprocedural call graph, and runs four rule
+packs over the whole-program view:
+
+  hotpath    Nothing reachable from a kernel entry point (the bfs/cc/pr/
+             pr_blocked/mc/sssp/sswp inner loops, PartitionedBatch::build,
+             the StagedApply stage path, the DestBins phases) may perform
+             heap allocation, lock acquisition, I/O, throw, or grow a
+             std:: container. Escape: `// hotpath-allow: <reason>` on the
+             offending line or the line above (reason required).
+  atomics    Acquire/release pairing per *declaration*: a member written
+             with a release store must have an acquire-side read
+             somewhere in the program, and vice versa; a member that is
+             part of a seq_cst protocol (any seq_cst access) must not be
+             accessed with a weaker order anywhere (the thread-pool
+             Dekker handshake must never be silently downgraded).
+             Escape: `// atomic-pair-allow: <reason>`.
+  guarded    Every non-static, non-const data member of the audited
+             classes (the four stores, DynGraph, ThreadPool, AsyncLane
+             and their nested structs) must be GUARDED_BY-annotated,
+             atomic / a sync primitive, chunk-owned (class embeds a
+             ChunkOwnership and has SAGA_REQUIRES accessors; marked
+             `// chunk-owned:`), marked `// immutable-after-build:`,
+             marked `// quiescent-mutated:` (phase-separated writes), or
+             escaped `// guarded-member-allow: <reason>`.
+  telemetry  PhaseScope objects must be named locals — a temporary
+             `PhaseScope(...)` dies before the scope it claims to time —
+             and SAGA_PHASE/SAGA_COUNT/telemetry::count arguments must be
+             qualified telemetry::Phase:: / telemetry::Counter::
+             enumerators.
+
+Engines:
+  libclang   Preferred when the clang Python bindings are importable
+             (CI installs python3-clang); parses with the real compiler
+             front end.
+  internal   A self-contained C++ tokenizer/scope parser tuned to this
+             codebase's idiom. Always available, so local builds check
+             the same contracts; the two engines fill one IR and the
+             rule packs cannot tell them apart.
+  --engine=libclang with no libclang prints a notice and exits 0
+  (skipped) unless --require-engine is given.
+
+Caching: per-file facts are cached keyed on content hash + engine +
+analyzer version; a TU is a cache hit only if every file in its include
+closure is unchanged. `--stats` prints the hit rate (CI logs it).
+
+Usage:
+  saga_analyze.py --root . -p build [--json out.json] [--fix-hints]
+                  [--engine auto|libclang|internal] [--cache-dir DIR]
+                  [--fixtures DIR] [--stats] [--list-rules]
+
+Exit status: 0 clean/skipped, 1 findings, 2 usage or internal error,
+3 --require-engine and the requested engine is unavailable.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+
+ANALYZER_VERSION = 4
+
+# ---------------------------------------------------------------------------
+# Configuration tables
+# ---------------------------------------------------------------------------
+
+# Kernel entry points (qualified-name suffixes). Functions can also opt in
+# with a `// saga-analyze: hotpath-entry` comment on the preceding lines.
+HOTPATH_ENTRY_SUFFIXES = (
+    "Bfs::pushRound", "Bfs::pullRound", "Bfs::recompute",
+    "Cc::denseRound", "Cc::sparseRound", "Cc::recompute",
+    "Pr::recompute", "Mc::recompute", "Sssp::recompute", "Sswp::recompute",
+    "PartitionedBatch::build",
+    "StagedApply::stage", "StagedApply::stageBucket",
+    "detail::snapshotFindWeight",
+    "DestBins::append", "DestBins::drainBin", "DestBins::beginRound",
+    "MonotoneWorklist::run",
+)
+
+# Call-graph cut points: dispatch/barrier infrastructure. Work dispatched
+# through them is analyzed where it is written (the lambda body lives in
+# the caller); the dispatcher's own parking slow path is the phase
+# boundary itself, not kernel code.
+HOTPATH_CUTS = (
+    "ThreadPool::run", "AsyncLane::submit", "AsyncLane::wait",
+    "PhaseScope::PhaseScope", "PhaseScope::finish",
+)
+
+# Impure-operation tables for the hotpath pack.
+ALLOC_CALLS = {"malloc", "calloc", "realloc", "aligned_alloc",
+               "make_unique", "make_shared", "strdup"}
+# Container-growth member calls flagged whenever seen on any receiver.
+GROWTH_ALWAYS = {"push_back", "emplace_back", "reserve", "shrink_to_fit",
+                 "push_front", "resize"}
+# Growth member calls only flagged when the receiver is a known container
+# (these names collide with repo APIs like store.insert / Padded::assign).
+GROWTH_TYPED = {"insert", "emplace", "assign", "append"}
+CONTAINER_TYPE_RE = re.compile(
+    r"\bstd\s*::\s*(vector|string|deque|map|unordered_map|set|"
+    r"unordered_set|list|basic_string)\b")
+LOCK_CALLS = {"lock", "try_lock"}
+LOCK_TYPES = {"SpinGuard", "lock_guard", "unique_lock", "scoped_lock",
+              "shared_lock"}
+IO_CALLS = {"printf", "fprintf", "sprintf", "snprintf", "puts", "fputs",
+            "fopen", "fwrite", "fread", "fclose", "getline", "system",
+            "fflush", "perror"}
+IO_STREAMS = {"cout", "cerr", "clog", "ofstream", "ifstream", "fstream",
+              "stringstream", "ostringstream"}
+
+# Atomic member operations and their read/write roles.
+ATOMIC_READ_OPS = {"load"}
+ATOMIC_WRITE_OPS = {"store"}
+ATOMIC_RMW_OPS = {"exchange", "fetch_add", "fetch_sub", "fetch_or",
+                  "fetch_and", "fetch_xor", "compare_exchange_weak",
+                  "compare_exchange_strong"}
+ATOMIC_HELPER_READ = {"atomicLoad"}
+ATOMIC_HELPER_WRITE = {"atomicStore"}
+ATOMIC_HELPER_RMW = {"atomicFetchMin", "atomicFetchMax", "atomicClaim",
+                     "atomicFetchOr"}
+
+ACQUIRE_ORDERS = {"acquire", "acq_rel", "seq_cst"}
+RELEASE_ORDERS = {"release", "acq_rel", "seq_cst"}
+
+# Classes audited by the guarded pack (bare class names; nested structs of
+# an audited class are audited too). Fixture/test classes opt in with
+# `// saga-analyze: audit-class`.
+AUDIT_CLASSES = {"AdjSharedStore", "AdjChunkedStore", "DahStore",
+                 "StingerStore", "DynGraph", "ThreadPool", "AsyncLane"}
+
+# Member types that are themselves synchronization (or immutable-by-type).
+SYNC_TYPE_RE = re.compile(
+    r"\b(std\s*::\s*atomic\w*|std\s*::\s*mutex|std\s*::\s*condition_variable"
+    r"\w*|std\s*::\s*once_flag|SpinLock|ChunkOwnership|std\s*::\s*thread)\b")
+
+MARKER_RE = re.compile(
+    r"//\s*(?:saga-analyze:\s*)?"
+    r"(hotpath-allow|atomic-pair-allow|guarded-member-allow|"
+    r"immutable-after-build|chunk-owned|quiescent-mutated|"
+    r"hotpath-entry|audit-class)\b:?\s*(.*)")
+
+QUALIFIED_PHASE_RE = re.compile(
+    r"^(::)?\s*(saga\s*::\s*)?telemetry\s*::\s*Phase\s*::\s*\w+")
+QUALIFIED_COUNTER_RE = re.compile(
+    r"^(::)?\s*(saga\s*::\s*)?telemetry\s*::\s*Counter\s*::\s*\w+")
+
+DEFAULT_ANALYZE_DIRS = ("src", "bench", "examples")
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "alignas", "catch", "requires", "decltype", "static_cast",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "noexcept",
+    "static_assert", "defined", "assert", "typeid", "co_await", "throw",
+    "new", "delete", "operator", "template", "typename", "using",
+}
+
+
+# ---------------------------------------------------------------------------
+# IR
+# ---------------------------------------------------------------------------
+
+class Member:
+    def __init__(self, cls, name, type_text, line, guarded_by, is_static,
+                 is_const, markers):
+        self.cls = cls                  # ClassFacts
+        self.name = name
+        self.type_text = type_text
+        self.line = line
+        self.guarded_by = guarded_by    # annotation arg text or None
+        self.is_static = is_static
+        self.is_const = is_const
+        self.markers = markers          # dict marker -> reason
+
+    @property
+    def qname(self):
+        return self.cls.qname + "::" + self.name
+
+
+class ClassFacts:
+    def __init__(self, qname, file, line):
+        self.qname = qname
+        self.file = file
+        self.line = line
+        self.members = []
+        self.has_chunk_ownership = False
+        self.has_requires_method = False
+        self.markers = {}               # class-level markers
+
+    @property
+    def bare(self):
+        return self.qname.rsplit("::", 1)[-1]
+
+
+class CallSite:
+    def __init__(self, name, receiver, line):
+        self.name = name                # possibly qualified callee text
+        self.receiver = receiver        # receiver chain last ident or None
+        self.line = line
+
+
+class ImpureOp:
+    def __init__(self, kind, detail, line):
+        self.kind = kind                # alloc | growth | lock | io | throw
+        self.detail = detail
+        self.line = line
+
+
+class AtomicAccess:
+    def __init__(self, member, role, order, line, via):
+        self.member = member            # member name text or None
+        self.role = role                # read | write | rmw
+        self.order = order              # relaxed|acquire|release|acq_rel|
+                                        # seq_cst|consume|dynamic
+        self.line = line
+        self.via = via                  # raw | helper
+
+
+class MacroArg:
+    def __init__(self, macro, arg, line):
+        self.macro = macro              # SAGA_PHASE | SAGA_COUNT | count
+        self.arg = arg
+        self.line = line
+
+
+class PhaseScopeUse:
+    def __init__(self, named, line):
+        self.named = named
+        self.line = line
+
+
+class FunctionFacts:
+    def __init__(self, qname, file, line):
+        self.qname = qname
+        self.file = file
+        self.line = line
+        self.calls = []
+        self.impure = []
+        self.atomics = []
+        self.macro_args = []
+        self.phase_scopes = []
+        self.param_types = {}           # param name -> type text
+        self.requires_annotation = False
+        self.entry_marker = False
+
+    @property
+    def bare(self):
+        return self.qname.rsplit("::", 1)[-1]
+
+    @property
+    def suffix2(self):
+        parts = self.qname.split("::")
+        return "::".join(parts[-2:]) if len(parts) >= 2 else self.qname
+
+
+class FileFacts:
+    """Everything the rule packs need to know about one source file."""
+
+    def __init__(self, path):
+        self.path = path                # repo-relative
+        self.classes = []
+        self.functions = []
+        self.markers = {}               # line -> (marker, reason)
+        self.relaxed_lines = set()      # lines with `relaxed:` comments
+        self.comment_lines = set()      # pure-comment line numbers
+        self.includes = []              # repo-relative resolved includes
+
+    def to_json(self):
+        def member(m):
+            return {"name": m.name, "type": m.type_text, "line": m.line,
+                    "guarded_by": m.guarded_by, "static": m.is_static,
+                    "const": m.is_const, "markers": m.markers}
+
+        def cls(c):
+            return {"qname": c.qname, "line": c.line,
+                    "members": [member(m) for m in c.members],
+                    "chunk_ownership": c.has_chunk_ownership,
+                    "requires_method": c.has_requires_method,
+                    "markers": c.markers}
+
+        def fn(f):
+            return {
+                "qname": f.qname, "line": f.line,
+                "calls": [[c.name, c.receiver, c.line] for c in f.calls],
+                "impure": [[i.kind, i.detail, i.line] for i in f.impure],
+                "atomics": [[a.member, a.role, a.order, a.line, a.via]
+                            for a in f.atomics],
+                "macro_args": [[m.macro, m.arg, m.line]
+                               for m in f.macro_args],
+                "phase_scopes": [[p.named, p.line]
+                                 for p in f.phase_scopes],
+                "params": f.param_types,
+                "requires": f.requires_annotation,
+                "entry_marker": f.entry_marker,
+            }
+
+        return {"path": self.path, "includes": self.includes,
+                "relaxed_lines": sorted(self.relaxed_lines),
+                "comment_lines": sorted(self.comment_lines),
+                "markers": {str(k): v for k, v in self.markers.items()},
+                "classes": [cls(c) for c in self.classes],
+                "functions": [fn(f) for f in self.functions]}
+
+    @staticmethod
+    def from_json(data):
+        ff = FileFacts(data["path"])
+        ff.includes = list(data["includes"])
+        ff.relaxed_lines = set(data.get("relaxed_lines", []))
+        ff.comment_lines = set(data.get("comment_lines", []))
+        ff.markers = {int(k): tuple(v) for k, v in data["markers"].items()}
+        for c in data["classes"]:
+            cf = ClassFacts(c["qname"], ff.path, c["line"])
+            cf.has_chunk_ownership = c["chunk_ownership"]
+            cf.has_requires_method = c["requires_method"]
+            cf.markers = dict(c["markers"])
+            for m in c["members"]:
+                cf.members.append(Member(cf, m["name"], m["type"],
+                                         m["line"], m["guarded_by"],
+                                         m["static"], m["const"],
+                                         dict(m["markers"])))
+            ff.classes.append(cf)
+        for f in data["functions"]:
+            fn = FunctionFacts(f["qname"], ff.path, f["line"])
+            fn.calls = [CallSite(n, r, l) for n, r, l in f["calls"]]
+            fn.impure = [ImpureOp(k, d, l) for k, d, l in f["impure"]]
+            fn.atomics = [AtomicAccess(m, ro, o, l, v)
+                          for m, ro, o, l, v in f["atomics"]]
+            fn.macro_args = [MacroArg(mc, a, l)
+                             for mc, a, l in f["macro_args"]]
+            fn.phase_scopes = [PhaseScopeUse(n, l)
+                               for n, l in f["phase_scopes"]]
+            fn.param_types = dict(f.get("params", {}))
+            fn.requires_annotation = f["requires"]
+            fn.entry_marker = f["entry_marker"]
+            ff.functions.append(fn)
+        return ff
+
+
+def collect_nearby_markers(ff, line, max_walk=10):
+    """Markers attached to `line`: on the line itself, the line above,
+    or further up through a contiguous block of pure-comment lines (a
+    multi-line justification comment counts as one annotation)."""
+    out = {}
+    probes = [line, line - 1]
+    p = line - 1
+    while p in ff.comment_lines and line - p < max_walk:
+        p -= 1
+        probes.append(p)
+    for probe in probes:
+        mk = ff.markers.get(probe)
+        if mk is not None:
+            out.setdefault(mk[0], mk[1])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Internal engine: tokenizer
+# ---------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<lcomment>//[^\n]*)
+  | (?P<bcomment>/\*.*?\*/)
+  | (?P<str>"(?:[^"\\\n]|\\.)*")
+  | (?P<chr>'(?:[^'\\\n]|\\.)*')
+  | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<p2>::|->|\+\+|--|<<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|
+       %=|&=|\|=|\^=|\.\.\.)
+  | (?P<p1>.)
+""", re.VERBOSE | re.DOTALL)
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return "%s(%r)@%d" % (self.kind, self.text, self.line)
+
+
+def tokenize(text):
+    """Return (tokens, comments) with comments as (line, text) pairs."""
+    toks = []
+    comments = []
+    line = 1
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = TOKEN_RE.match(text, pos)
+        if not m:
+            pos += 1
+            continue
+        kind = m.lastgroup
+        tok_text = m.group()
+        if kind == "lcomment" or kind == "bcomment":
+            comments.append((line, tok_text))
+        elif kind != "ws":
+            toks.append(Tok("id" if kind == "id" else
+                            ("str" if kind == "str" else
+                             ("num" if kind == "num" else "p")),
+                            tok_text, line))
+        line += tok_text.count("\n")
+        pos = m.end()
+    return toks, comments
+
+
+def strip_preprocessor(text):
+    """Blank out preprocessor directives (keep line structure) and return
+    (stripped_text, includes) where includes are the quoted include
+    targets in order."""
+    out_lines = []
+    includes = []
+    cont = False
+    for raw in text.split("\n"):
+        stripped = raw.lstrip()
+        if cont or stripped.startswith("#"):
+            m = re.match(r'#\s*include\s*"([^"]+)"', stripped)
+            if m:
+                includes.append(m.group(1))
+            cont = stripped.rstrip().endswith("\\")
+            out_lines.append("")
+        else:
+            out_lines.append(raw)
+    return "\n".join(out_lines), includes
+
+
+# ---------------------------------------------------------------------------
+# Internal engine: structural parser
+# ---------------------------------------------------------------------------
+
+ANNOTATION_MACROS = {
+    "SAGA_CAPABILITY", "SAGA_SCOPED_CAPABILITY", "SAGA_GUARDED_BY",
+    "SAGA_PT_GUARDED_BY", "SAGA_REQUIRES", "SAGA_ACQUIRE", "SAGA_RELEASE",
+    "SAGA_TRY_ACQUIRE", "SAGA_EXCLUDES", "SAGA_ASSERT_CAPABILITY",
+    "SAGA_RETURN_CAPABILITY", "SAGA_NO_THREAD_SAFETY_ANALYSIS",
+    "GUARDED_BY", "REQUIRES",
+}
+
+
+def match_balanced(toks, i, open_t, close_t):
+    """toks[i] is open_t; return index just past its matching close_t."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def skip_template_args(toks, i):
+    """toks[i] == '<': best-effort skip of a balanced template argument
+    list; returns index past '>' or i+1 if it does not look balanced."""
+    depth = 0
+    n = len(toks)
+    j = i
+    while j < n:
+        t = toks[j].text
+        if t == "<":
+            depth += 1
+        elif t == ">" or t == ">>":
+            depth -= 2 if t == ">>" else 1
+            if depth <= 0:
+                return j + 1
+        elif t in (";", "{", "}"):
+            return i + 1
+        j += 1
+    return i + 1
+
+
+class InternalParser:
+    """Single-file structural parser producing FileFacts."""
+
+    def __init__(self, relpath, text):
+        self.relpath = relpath
+        stripped, self.includes = strip_preprocessor(text)
+        self.toks, comments = tokenize(stripped)
+        self.facts = FileFacts(relpath)
+        self.facts.includes = []  # resolved later by the driver
+        self.raw_includes = self.includes
+        self.comment_lines = {}
+        for line, ctext in comments:
+            for m in MARKER_RE.finditer(ctext):
+                # Block comments can span lines; attribute to start line.
+                self.facts.markers[line] = (m.group(1), m.group(2).strip())
+            if "relaxed:" in ctext:
+                self.facts.relaxed_lines.add(line)
+            self.comment_lines.setdefault(line, []).append(ctext)
+        for lineno, raw in enumerate(text.split("\n"), 1):
+            s = raw.strip()
+            if s.startswith("//") or s.startswith("/*") or \
+                    s.startswith("*"):
+                self.facts.comment_lines.add(lineno)
+
+    # -- scope walk ---------------------------------------------------------
+
+    def parse(self):
+        self.walk(0, len(self.toks), [])
+        return self.facts
+
+    def walk(self, i, end, scope):
+        """Walk tokens at namespace/class scope. scope is a list of
+        ('ns'|'class', name) pairs; class entries carry ClassFacts."""
+        toks = self.toks
+        seg_start = i
+        while i < end:
+            t = toks[i]
+            if t.text == ";":
+                self.maybe_member(seg_start, i, scope)
+                i += 1
+                seg_start = i
+                continue
+            if t.text == "template" and i + 1 < end and \
+                    toks[i + 1].text == "<":
+                i = skip_template_args(toks, i + 1)
+                continue
+            if t.text != "{":
+                i += 1
+                continue
+            seg = toks[seg_start:i]
+            kind, name, cls = self.classify(seg, scope)
+            body_end = match_balanced(toks, i, "{", "}")
+            if kind == "ns":
+                self.walk(i + 1, body_end - 1, scope + [("ns", name, None)])
+            elif kind == "class":
+                self.facts.classes.append(cls)
+                self.walk(i + 1, body_end - 1,
+                          scope + [("class", name, cls)])
+            elif kind == "fn":
+                fn = self.make_function(name, seg, scope)
+                self.extract_body(fn, i + 1, body_end - 1, scope)
+                self.facts.functions.append(fn)
+            elif scope and scope[-1][0] == "class" and \
+                    (not seg or seg[0].text != "enum"):
+                # Default member initializer (`std::atomic<int> n_{0};`):
+                # the braces belong to the member declaration — skip the
+                # initializer but keep accumulating the segment so the
+                # trailing ';' records the member.
+                i = body_end
+                continue
+            # else: opaque block (enum body, brace init, requires clause)
+            i = body_end
+            # A class/struct definition may be followed by declarators and
+            # must end with ';' — either way the segment is consumed.
+            seg_start = i
+        self.maybe_member(seg_start, end, scope)
+
+    def classify(self, seg, scope):
+        """Classify the '{' that follows seg. Returns (kind, name, cls)."""
+        texts = [t.text for t in seg]
+        # Strip leading template<...> remnants and annotation macros.
+        if "namespace" in texts:
+            idx = texts.index("namespace")
+            name = "<anon>"
+            for t in seg[idx + 1:]:
+                if t.kind == "id":
+                    name = t.text
+                break
+            return "ns", name, None
+        if texts and texts[0] == "enum":
+            return "block", None, None
+        # class/struct definition? The keyword must be at the start
+        # (after attributes), not inside a parameter list.
+        for j, t in enumerate(seg):
+            if t.text in ("class", "struct") and not self.inside_parens(
+                    seg, j):
+                # Name: last plain identifier before ':' (base clause)
+                # that is not inside parens and not an annotation macro.
+                name = None
+                k = j + 1
+                limit = len(seg)
+                for k2 in range(j + 1, limit):
+                    if seg[k2].text == ":" and not self.inside_parens(
+                            seg, k2):
+                        limit = k2
+                        break
+                depth = 0
+                for k2 in range(j + 1, limit):
+                    tt = seg[k2]
+                    if tt.text == "(":
+                        depth += 1
+                    elif tt.text == ")":
+                        depth -= 1
+                    elif depth == 0 and tt.kind == "id" and \
+                            tt.text not in ANNOTATION_MACROS and \
+                            tt.text not in ("final", "alignas"):
+                        name = tt.text
+                if name is None:
+                    return "block", None, None
+                qname = self.qualify(scope, name)
+                line = seg[0].line if seg else 0
+                cls = ClassFacts(qname, self.relpath, line)
+                cls.markers = self.nearby_markers(line)
+                return "class", name, cls
+            if t.text == "(":
+                break
+        # Function definition? find 'ident (' ... ')' then optional
+        # qualifiers / init list up to the '{'.
+        return self.classify_function(seg, scope)
+
+    def classify_function(self, seg, scope):
+        # Find the first '(' whose preceding token is a non-keyword ident.
+        n = len(seg)
+        for j in range(n):
+            if seg[j].text != "(":
+                continue
+            if j == 0:
+                return "block", None, None
+            prev = seg[j - 1]
+            if prev.kind != "id" or prev.text in KEYWORDS or \
+                    prev.text in ANNOTATION_MACROS:
+                return "block", None, None
+            # Destructor? '~Name' — treat as function named ~Name.
+            name = prev.text
+            if j >= 2 and seg[j - 2].text == "~":
+                name = "~" + name
+            close = j
+            depth = 0
+            while close < n:
+                if seg[close].text == "(":
+                    depth += 1
+                elif seg[close].text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                close += 1
+            if close >= n - 0 and depth != 0:
+                return "block", None, None
+            # Everything after ')' must be qualifiers, annotations, an
+            # init list, or a trailing return — never '=' or operators.
+            k = close + 1
+            while k < n:
+                tt = seg[k]
+                if tt.text in ("const", "noexcept", "override", "final",
+                               "&", "&&", "->", "try"):
+                    k += 1
+                    continue
+                if tt.kind == "id" and (tt.text in ANNOTATION_MACROS or
+                                        tt.text.isidentifier()):
+                    k += 1
+                    continue
+                if tt.text == "(":
+                    k = self.seg_balance(seg, k, "(", ")")
+                    continue
+                if tt.text == "::" or tt.text == "<":
+                    k += 1
+                    continue
+                if tt.text == ":":
+                    # ctor init list: runs to the end of seg
+                    k = n
+                    continue
+                if tt.text == ",":
+                    k += 1
+                    continue
+                return "block", None, None
+            return "fn", name, None
+        return "block", None, None
+
+    @staticmethod
+    def seg_balance(seg, k, open_t, close_t):
+        depth = 0
+        n = len(seg)
+        while k < n:
+            if seg[k].text == open_t:
+                depth += 1
+            elif seg[k].text == close_t:
+                depth -= 1
+                if depth == 0:
+                    return k + 1
+            k += 1
+        return n
+
+    @staticmethod
+    def inside_parens(seg, idx):
+        depth = 0
+        for t in seg[:idx]:
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+        return depth > 0
+
+    def qualify(self, scope, name):
+        parts = [s[1] for s in scope if s[1] and s[1] != "<anon>"]
+        return "::".join(parts + [name])
+
+    def nearby_markers(self, line):
+        return collect_nearby_markers(self.facts, line)
+
+    def make_function(self, name, seg, scope):
+        line = seg[0].line if seg else 0
+        fn = FunctionFacts(self.qualify(scope, name), self.relpath, line)
+        texts = [t.text for t in seg]
+        fn.requires_annotation = "SAGA_REQUIRES" in texts or \
+            "REQUIRES" in texts
+        fn.entry_marker = "hotpath-entry" in self.nearby_markers(line)
+        fn.param_types = self.extract_params(seg, name)
+        # Record REQUIRES on the enclosing class.
+        for s in reversed(scope):
+            if s[0] == "class" and s[2] is not None:
+                if fn.requires_annotation:
+                    s[2].has_requires_method = True
+                break
+        return fn
+
+    def extract_params(self, seg, fn_name):
+        """Map parameter names to their type text: `ThreadPool& pool`
+        gives {'pool': 'ThreadPool &'}. Best effort — default arguments
+        and template parameters are ignored."""
+        # Find the '(' that opens the parameter list: the one right
+        # after the function-name token.
+        open_idx = None
+        for j in range(len(seg) - 1):
+            if seg[j].kind == "id" and seg[j].text == fn_name.lstrip("~") \
+                    and seg[j + 1].text == "(":
+                open_idx = j + 1
+        if open_idx is None:
+            return {}
+        close_idx = self.seg_balance(seg, open_idx, "(", ")") - 1
+        params = {}
+        group = []
+        depth = 0
+        for t in seg[open_idx + 1:close_idx] + [Tok("p", ",", 0)]:
+            if t.text in ("(", "<", "[", "{"):
+                depth += 1
+            elif t.text in (")", ">", "]", "}"):
+                depth -= 1
+            if t.text == "," and depth == 0:
+                ids = [x for x in group if x.kind == "id"
+                       and x.text not in ("const", "constexpr", "struct",
+                                          "class", "typename")]
+                if len(ids) >= 2:
+                    pname = ids[-1].text
+                    ptype = " ".join(x.text for x in group
+                                     if x is not ids[-1])
+                    # Drop a default argument if one slipped through.
+                    ptype = ptype.split("=")[0].strip()
+                    params[pname] = ptype
+                group = []
+            else:
+                group.append(t)
+        return params
+
+    # -- member declarations -----------------------------------------------
+
+    def maybe_member(self, start, end, scope):
+        if not scope or scope[-1][0] != "class" or scope[-1][2] is None:
+            return
+        seg = self.toks[start:end]
+        if not seg:
+            return
+        texts = [t.text for t in seg]
+        if any(t in ("using", "typedef", "friend", "static_assert",
+                     "public", "private", "protected", "enum", "return")
+               for t in texts):
+            self.strip_access_specifiers(seg, scope)
+            return
+        paren_at_top = False
+        angle = 0
+        for t in seg:
+            if t.text == "<":
+                angle += 1
+            elif t.text == ">":
+                angle -= 1
+            elif t.text == ">>":
+                angle -= 2
+            elif t.text == "(" and angle <= 0:
+                paren_at_top = True
+                break
+        if paren_at_top and "SAGA_GUARDED_BY" not in texts and \
+                "GUARDED_BY" not in texts:
+            # Function declaration (or deleted/defaulted definition).
+            # Parens inside template args (`std::function<void()> f_;`)
+            # don't count — that's a data member.
+            if "=" not in texts or "delete" in texts or \
+                    "default" in texts:
+                return
+        cls = scope[-1][2]
+        # Find the member name: identifier before '=', annotation macro,
+        # or end-of-segment.
+        stop = len(seg)
+        for j, t in enumerate(seg):
+            if t.text in ("=", "{") or t.text in ("SAGA_GUARDED_BY",
+                                                  "GUARDED_BY"):
+                stop = j
+                break
+        name_tok = None
+        for t in reversed(seg[:stop]):
+            if t.kind == "id" and t.text not in ANNOTATION_MACROS:
+                name_tok = t
+                break
+        if name_tok is None:
+            return
+        if not name_tok.text.isidentifier() or name_tok.text in KEYWORDS:
+            return
+        type_text = " ".join(t.text for t in seg[:stop]
+                             if t is not name_tok)
+        if not type_text:
+            return
+        guarded_by = None
+        for j, t in enumerate(seg):
+            if t.text in ("SAGA_GUARDED_BY", "GUARDED_BY") and \
+                    j + 1 < len(seg) and seg[j + 1].text == "(":
+                k = self.seg_balance(seg, j + 1, "(", ")")
+                guarded_by = " ".join(x.text for x in seg[j + 2:k - 1])
+        is_static = "static" in texts or "constexpr" in texts or \
+            "inline" in texts
+        is_const = texts[0] == "const" and "*" not in texts
+        line = name_tok.line
+        markers = self.nearby_markers(line)
+        # Also accept a marker on the type's first line (multi-line decl).
+        markers.update({k: v for k, v in
+                        self.nearby_markers(seg[0].line).items()
+                        if k not in markers})
+        member = Member(cls, name_tok.text, type_text, line, guarded_by,
+                        is_static, is_const, markers)
+        cls.members.append(member)
+        if "ChunkOwnership" in texts:
+            cls.has_chunk_ownership = True
+
+    def strip_access_specifiers(self, seg, scope):
+        # `public:` / `private:` segments can *contain* a member decl when
+        # the parser's segment boundaries land there; nothing to do — the
+        # next ';' pass will see the member alone.
+        return
+
+    # -- function bodies ----------------------------------------------------
+
+    MEMORY_ORDER_RE = re.compile(r"memory_order_(\w+)")
+
+    def extract_body(self, fn, start, end, scope):
+        toks = self.toks
+        cls = None
+        for s in reversed(scope):
+            if s[0] == "class":
+                cls = s[2]
+                break
+        local_containers = set()
+        i = start
+        while i < end:
+            t = toks[i]
+            if t.text == "throw":
+                fn.impure.append(ImpureOp("throw", "throw", t.line))
+                i += 1
+                continue
+            if t.text == "new":
+                fn.impure.append(ImpureOp("alloc", "new", t.line))
+                i += 1
+                continue
+            if t.kind == "id":
+                # Local container declarations: std::vector<...> name
+                if t.text == "std" and i + 2 < end and \
+                        toks[i + 1].text == "::" and \
+                        toks[i + 2].text in ("vector", "string", "deque",
+                                             "map", "set", "unordered_map",
+                                             "unordered_set"):
+                    j = i + 3
+                    if j < end and toks[j].text == "<":
+                        j = skip_template_args(toks, j)
+                    while j < end and toks[j].text in ("&", "*", "const"):
+                        j += 1
+                    if j < end and toks[j].kind == "id":
+                        local_containers.add(toks[j].text)
+                # PhaseScope uses
+                if t.text == "PhaseScope" and not (
+                        cls is not None and cls.bare == "PhaseScope"):
+                    j = i + 1
+                    named = True
+                    if j < end and toks[j].text == "(":
+                        named = False  # temporary
+                    fn.phase_scopes.append(PhaseScopeUse(named, t.line))
+                # SAGA_PHASE / SAGA_COUNT macro arguments
+                if t.text in ("SAGA_PHASE", "SAGA_COUNT") and \
+                        i + 1 < end and toks[i + 1].text == "(":
+                    close = match_balanced(toks, i + 1, "(", ")")
+                    arg = self.first_arg_text(toks, i + 2, close - 1)
+                    fn.macro_args.append(MacroArg(t.text, arg, t.line))
+                # Guard/lock declarations (`SpinGuard guard(lock_);`,
+                # `std::lock_guard<std::mutex> hold(m_);`) never reach
+                # the ident-then-'(' call scan — catch the type name.
+                if t.text in LOCK_TYPES and \
+                        (i == start or toks[i - 1].text not in (".",
+                                                                "->")):
+                    fn.impure.append(ImpureOp("lock", t.text, t.line))
+                # Calls
+                if i + 1 < end and toks[i + 1].text == "(" and \
+                        t.text not in KEYWORDS:
+                    self.record_call(fn, toks, i, end, cls,
+                                     local_containers)
+                elif i + 1 < end and toks[i + 1].text == "<" and \
+                        t.text not in KEYWORDS:
+                    # `make_unique<T>(...)` — explicit template args put
+                    # '<', not '(', after the callee name.
+                    j = skip_template_args(toks, i + 1)
+                    if j < end and toks[j].text == "(" and j > i + 1:
+                        self.record_call(fn, toks, i, end, cls,
+                                         local_containers, open_idx=j)
+            i += 1
+
+    def first_arg_text(self, toks, start, end):
+        out = []
+        depth = 0
+        for t in toks[start:end]:
+            if t.text in ("(", "<", "[", "{"):
+                depth += 1
+            elif t.text in (")", ">", "]", "}"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                break
+            out.append(t.text)
+        return "".join(out)
+
+    def arg_orders(self, toks, start, end):
+        orders = []
+        for t in toks[start:end]:
+            m = self.MEMORY_ORDER_RE.fullmatch(t.text)
+            if m:
+                orders.append(m.group(1))
+        return orders
+
+    def receiver_of(self, toks, i):
+        """toks[i] is the callee ident preceded by '.'/'->'; return the
+        last identifier of the receiver chain, or None."""
+        j = i - 1
+        if j < 0 or toks[j].text not in (".", "->"):
+            return None
+        j -= 1
+        # Skip a subscript: values [ v ] .load — receiver ident before '['
+        if j >= 0 and toks[j].text == "]":
+            depth = 0
+            while j >= 0:
+                if toks[j].text == "]":
+                    depth += 1
+                elif toks[j].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        j -= 1
+                        break
+                j -= 1
+        if j >= 0 and toks[j].text == ")":
+            return None  # call-returning receiver; give up
+        if j >= 0 and toks[j].kind == "id":
+            return toks[j].text
+        return None
+
+    def record_call(self, fn, toks, i, end, cls, local_containers,
+                    open_idx=None):
+        name = toks[i].text
+        line = toks[i].line
+        if open_idx is None:
+            open_idx = i + 1
+        close = match_balanced(toks, open_idx, "(", ")")
+        receiver = self.receiver_of(toks, i)
+        is_member_call = receiver is not None or (
+            i >= 1 and toks[i - 1].text in (".", "->"))
+        # Qualified callee text (A::B::f) for resolution.
+        qname = name
+        j = i - 1
+        while j >= 1 and toks[j].text == "::" and toks[j - 1].kind == "id":
+            qname = toks[j - 1].text + "::" + qname
+            j -= 2
+
+        # Atomic accesses -------------------------------------------------
+        orders = self.arg_orders(toks, open_idx, close)
+        if is_member_call and (name in ATOMIC_READ_OPS or
+                               name in ATOMIC_WRITE_OPS or
+                               name in ATOMIC_RMW_OPS):
+            role = ("read" if name in ATOMIC_READ_OPS else
+                    "write" if name in ATOMIC_WRITE_OPS else "rmw")
+            order = orders[0] if orders else (
+                "seq_cst" if self.args_nonempty_order_slot(
+                    toks, i, close, name) else "seq_cst")
+            if not orders and self.has_order_expr(toks, open_idx, close):
+                order = "dynamic"
+            fn.atomics.append(AtomicAccess(receiver, role, order, line,
+                                           "raw"))
+        elif name in ATOMIC_HELPER_READ or name in ATOMIC_HELPER_WRITE \
+                or name in ATOMIC_HELPER_RMW:
+            role = ("read" if name in ATOMIC_HELPER_READ else
+                    "write" if name in ATOMIC_HELPER_WRITE else "rmw")
+            member = self.helper_member_arg(toks, open_idx + 1,
+                                            close - 1)
+            order = orders[0] if orders else "relaxed"
+            fn.atomics.append(AtomicAccess(member, role, order, line,
+                                           "helper"))
+
+        # telemetry::count direct calls -----------------------------------
+        if name == "count" and qname.endswith("telemetry::count"):
+            arg = self.first_arg_text(toks, open_idx + 1, close - 1)
+            fn.macro_args.append(MacroArg("count", arg, line))
+
+        # Impure operations ----------------------------------------------
+        if name in ALLOC_CALLS:
+            fn.impure.append(ImpureOp("alloc", name, line))
+        elif name in IO_CALLS:
+            fn.impure.append(ImpureOp("io", name, line))
+        elif is_member_call and name in GROWTH_ALWAYS:
+            fn.impure.append(ImpureOp("growth", "." + name, line))
+        elif is_member_call and name in GROWTH_TYPED:
+            if self.is_container_receiver(receiver, cls,
+                                          local_containers):
+                fn.impure.append(ImpureOp("growth", "." + name, line))
+            else:
+                fn.calls.append(CallSite(name, receiver, line))
+        elif is_member_call and name in LOCK_CALLS:
+            fn.impure.append(ImpureOp("lock", "." + name + "()", line))
+        elif name in LOCK_TYPES:
+            pass  # already recorded by the type-name scan
+        elif name in IO_STREAMS:
+            fn.impure.append(ImpureOp("io", name, line))
+        else:
+            fn.calls.append(CallSite(qname, receiver, line))
+
+    @staticmethod
+    def args_nonempty_order_slot(toks, i, close, name):
+        return True
+
+    def has_order_expr(self, toks, start, close):
+        # An identifier named 'order'/'success'/'failure' as an argument
+        # means the order is a runtime parameter.
+        for t in toks[start:close]:
+            if t.kind == "id" and t.text in ("order", "success",
+                                             "failure", "mo"):
+                return True
+        return False
+
+    def helper_member_arg(self, toks, start, end):
+        """atomicLoad(values[v]) -> None; atomicLoad(slot_) -> 'slot_';
+        atomicStore(obj.field, x) -> 'field'."""
+        arg = []
+        depth = 0
+        for t in toks[start:end]:
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                break
+            arg.append(t)
+        if not arg:
+            return None
+        if any(t.text == "[" for t in arg):
+            return None  # array slot, not a declaration
+        last = arg[-1]
+        if last.kind == "id" and last.text.isidentifier():
+            return last.text
+        return None
+
+    def is_container_receiver(self, receiver, cls, local_containers):
+        if receiver is None:
+            return False
+        if receiver in local_containers:
+            return True
+        if cls is not None:
+            for m in cls.members:
+                if m.name == receiver and CONTAINER_TYPE_RE.search(
+                        m.type_text):
+                    return True
+        # Search all known classes (receiver may be a member of another
+        # class in the same file, e.g. stage.fresh).
+        for c in self.facts.classes:
+            for m in c.members:
+                if m.name == receiver and CONTAINER_TYPE_RE.search(
+                        m.type_text):
+                    return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# libclang engine (optional)
+# ---------------------------------------------------------------------------
+
+def try_import_libclang():
+    try:
+        import clang.cindex as cindex  # noqa: F401
+        # Probe that the shared library actually loads.
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+class LibclangEngine:
+    """Parses TUs with clang.cindex, filling the same FileFacts IR.
+
+    Only repo files are kept. Raises on any parse failure so the driver
+    can fall back to the internal engine."""
+
+    name = "libclang"
+
+    def __init__(self, cindex, root):
+        self.cindex = cindex
+        self.root = root
+        self.index = cindex.Index.create()
+
+    def parse_tu(self, entry):
+        cindex = self.cindex
+        args = [a for a in entry["args"]
+                if not a.endswith(".cc") and not a.endswith(".cpp") and
+                a not in ("-c", "-o")]
+        tu = self.index.parse(entry["file"], args=args)
+        sev = cindex.Diagnostic.Error
+        errors = [d for d in tu.diagnostics if d.severity >= sev]
+        if errors:
+            raise RuntimeError("parse errors in %s: %s" %
+                               (entry["file"], errors[0].spelling))
+        facts = {}
+
+        def relof(node):
+            f = node.location.file
+            if f is None:
+                return None
+            path = os.path.realpath(f.name)
+            if not path.startswith(self.root + os.sep):
+                return None
+            return os.path.relpath(path, self.root).replace(os.sep, "/")
+
+        def facts_for(rel):
+            if rel not in facts:
+                ff = FileFacts(rel)
+                with open(os.path.join(self.root, rel),
+                          encoding="utf-8", errors="replace") as f:
+                    text = f.read()
+                for lineno, line in enumerate(text.splitlines(), 1):
+                    m = MARKER_RE.search(line)
+                    if m:
+                        ff.markers[lineno] = (m.group(1),
+                                              m.group(2).strip())
+                    if "//" in line and "relaxed:" in \
+                            line[line.index("//"):]:
+                        ff.relaxed_lines.add(lineno)
+                    s = line.strip()
+                    if s.startswith("//") or s.startswith("/*") or \
+                            s.startswith("*"):
+                        ff.comment_lines.add(lineno)
+                facts[rel] = ff
+            return facts[rel]
+
+        ck = cindex.CursorKind
+
+        def qname_of(node):
+            parts = []
+            p = node
+            while p is not None and p.kind != ck.TRANSLATION_UNIT:
+                if p.spelling:
+                    parts.append(p.spelling)
+                p = p.semantic_parent
+            return "::".join(reversed(parts))
+
+        def walk(node, fn, cls):
+            rel = relof(node)
+            if node.kind in (ck.NAMESPACE, ck.TRANSLATION_UNIT,
+                             ck.UNEXPOSED_DECL):
+                for c in node.get_children():
+                    walk(c, None, None)
+                return
+            if node.kind in (ck.CLASS_DECL, ck.STRUCT_DECL,
+                             ck.CLASS_TEMPLATE) and node.is_definition():
+                if rel is None:
+                    return
+                ff = facts_for(rel)
+                cf = ClassFacts(qname_of(node), rel,
+                                node.location.line)
+                cf.markers = dict([ff.markers[node.location.line]]
+                                  if node.location.line in ff.markers
+                                  else [])
+                ff.classes.append(cf)
+                for c in node.get_children():
+                    if c.kind == ck.FIELD_DECL:
+                        type_text = c.type.spelling
+                        guarded = None
+                        for ch in c.get_children():
+                            if ch.kind == ck.ANNOTATE_ATTR:
+                                guarded = ch.spelling
+                        markers = collect_nearby_markers(
+                            ff, c.location.line)
+                        cf.members.append(Member(
+                            cf, c.spelling, type_text, c.location.line,
+                            guarded, False,
+                            c.type.is_const_qualified(), markers))
+                        if "ChunkOwnership" in type_text:
+                            cf.has_chunk_ownership = True
+                    else:
+                        walk(c, None, cf)
+                return
+            if node.kind in (ck.CXX_METHOD, ck.FUNCTION_DECL,
+                             ck.FUNCTION_TEMPLATE, ck.CONSTRUCTOR,
+                             ck.DESTRUCTOR) and node.is_definition():
+                if rel is None:
+                    return
+                ff = facts_for(rel)
+                f = FunctionFacts(qname_of(node), rel, node.location.line)
+                if "hotpath-entry" in collect_nearby_markers(
+                        ff, node.location.line):
+                    f.entry_marker = True
+                ff.functions.append(f)
+                for c in node.get_children():
+                    walk_body(c, f, cls)
+                return
+            for c in node.get_children():
+                walk(c, fn, cls)
+
+        def walk_body(node, fn, cls):
+            if node.kind == ck.CXX_NEW_EXPR:
+                fn.impure.append(ImpureOp("alloc", "new",
+                                          node.location.line))
+            elif node.kind == ck.CXX_THROW_EXPR:
+                fn.impure.append(ImpureOp("throw", "throw",
+                                          node.location.line))
+            elif node.kind == ck.CALL_EXPR:
+                name = node.spelling or ""
+                line = node.location.line
+                tokens = [t.spelling for t in node.get_tokens()]
+                orders = [m.group(1) for t in tokens
+                          for m in [re.match(r"memory_order_(\w+)", t)]
+                          if m]
+                receiver = None
+                if name in ATOMIC_READ_OPS | ATOMIC_WRITE_OPS | \
+                        ATOMIC_RMW_OPS:
+                    role = ("read" if name in ATOMIC_READ_OPS else
+                            "write" if name in ATOMIC_WRITE_OPS
+                            else "rmw")
+                    # Receiver: the member ref the method is called on.
+                    for c in node.get_children():
+                        for cc in c.walk_preorder():
+                            if cc.kind == ck.MEMBER_REF_EXPR and \
+                                    cc.spelling != name:
+                                receiver = cc.spelling
+                        break
+                    order = orders[0] if orders else "seq_cst"
+                    fn.atomics.append(AtomicAccess(receiver, role, order,
+                                                   line, "raw"))
+                elif name in ATOMIC_HELPER_READ | ATOMIC_HELPER_WRITE | \
+                        ATOMIC_HELPER_RMW:
+                    role = ("read" if name in ATOMIC_HELPER_READ else
+                            "write" if name in ATOMIC_HELPER_WRITE
+                            else "rmw")
+                    member = None
+                    args = list(node.get_arguments())
+                    if args:
+                        a0 = args[0]
+                        if a0.kind == ck.MEMBER_REF_EXPR or \
+                                a0.kind == ck.DECL_REF_EXPR:
+                            member = a0.spelling
+                        else:
+                            for cc in a0.walk_preorder():
+                                if cc.kind == ck.ARRAY_SUBSCRIPT_EXPR:
+                                    member = None
+                                    break
+                                if cc.kind == ck.MEMBER_REF_EXPR:
+                                    member = cc.spelling
+                    order = orders[0] if orders else "relaxed"
+                    fn.atomics.append(AtomicAccess(member, role, order,
+                                                   line, "helper"))
+                elif name in ALLOC_CALLS:
+                    fn.impure.append(ImpureOp("alloc", name, line))
+                elif name in IO_CALLS:
+                    fn.impure.append(ImpureOp("io", name, line))
+                elif name in GROWTH_ALWAYS:
+                    fn.impure.append(ImpureOp("growth", "." + name, line))
+                elif name in GROWTH_TYPED:
+                    ref = node.referenced
+                    stype = ""
+                    if ref is not None and ref.semantic_parent is not None:
+                        stype = ref.semantic_parent.spelling or ""
+                    if stype in ("vector", "basic_string", "deque", "map",
+                                 "set", "unordered_map", "unordered_set"):
+                        fn.impure.append(ImpureOp("growth", "." + name,
+                                                  line))
+                    else:
+                        fn.calls.append(CallSite(name, None, line))
+                elif name in LOCK_CALLS:
+                    fn.impure.append(ImpureOp("lock", "." + name + "()",
+                                              line))
+                elif name in LOCK_TYPES:
+                    fn.impure.append(ImpureOp("lock", name, line))
+                else:
+                    if name:
+                        fn.calls.append(CallSite(name, None, line))
+            elif node.kind == ck.DECL_STMT:
+                for c in node.get_children():
+                    if c.kind == ck.VAR_DECL and \
+                            "PhaseScope" in c.type.spelling:
+                        fn.phase_scopes.append(
+                            PhaseScopeUse(True, c.location.line))
+            for c in node.get_children():
+                walk_body(c, fn, cls)
+
+        walk(tu.cursor, None, None)
+        # libclang sees post-preprocessed code: SAGA_PHASE expands to a
+        # named PhaseScope, so the temporaries check and the macro-arg
+        # check are re-done textually per file (same as internal engine).
+        for rel, ff in facts.items():
+            self._textual_macro_pass(ff)
+        return facts
+
+    def _textual_macro_pass(self, ff):
+        path = os.path.join(self.root, ff.path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        parser = InternalParser(ff.path, text)
+        parsed = parser.parse()
+        # Merge only macro_args / phase_scopes from the textual pass.
+        by_name = {fn.qname: fn for fn in ff.functions}
+        for pf in parsed.functions:
+            target = by_name.get(pf.qname)
+            if target is None and pf.macro_args:
+                # Attach to a synthetic function so the telemetry pack
+                # still sees the use.
+                target = FunctionFacts(pf.qname, ff.path, pf.line)
+                ff.functions.append(target)
+                by_name[pf.qname] = target
+            if target is not None:
+                target.macro_args = pf.macro_args
+                target.phase_scopes = pf.phase_scopes
+
+
+# ---------------------------------------------------------------------------
+# Program model + rule packs
+# ---------------------------------------------------------------------------
+
+class Finding:
+    def __init__(self, pack, rule, file, line, message, path=None,
+                 hint=None):
+        self.pack = pack
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.message = message
+        self.path = path or []
+        self.hint = hint
+
+    def to_json(self):
+        return {"pack": self.pack, "rule": self.rule, "file": self.file,
+                "line": self.line, "message": self.message,
+                "path": self.path, "hint": self.hint}
+
+    def render(self, fix_hints):
+        out = "%s:%d: [%s/%s] %s" % (self.file, self.line, self.pack,
+                                     self.rule, self.message)
+        if self.path:
+            out += "\n    reachable via: " + " -> ".join(self.path)
+        if fix_hints and self.hint:
+            out += "\n    hint: " + self.hint
+        return out
+
+
+class Program:
+    def __init__(self, files):
+        self.files = files              # path -> FileFacts
+        self.functions = []
+        self.by_qname = {}
+        self.by_suffix2 = {}
+        self.by_bare = {}
+        self.classes = []
+        self.class_names = set()
+        self.members_by_name = {}
+        for ff in files.values():
+            for fn in ff.functions:
+                self.functions.append(fn)
+                self.by_qname.setdefault(fn.qname, []).append(fn)
+                self.by_suffix2.setdefault(fn.suffix2, []).append(fn)
+                self.by_bare.setdefault(fn.bare, []).append(fn)
+            for cls in ff.classes:
+                self.classes.append(cls)
+                self.class_names.add(cls.bare)
+                for m in cls.members:
+                    self.members_by_name.setdefault(m.name, []).append(m)
+
+    def is_method(self, fn):
+        parts = fn.qname.split("::")
+        return len(parts) >= 2 and parts[-2] in self.class_names
+
+    def receiver_classes(self, caller, receiver):
+        """Class names the receiver could have, judging from the
+        caller's parameters, the caller's class members, then any class
+        member with that name anywhere. Empty set = unknown."""
+        sources = []
+        ptype = caller.param_types.get(receiver)
+        if ptype is not None:
+            sources.append(ptype)
+        else:
+            for m in self.members_by_name.get(receiver, []):
+                sources.append(m.type_text)
+        out = set()
+        for src in sources:
+            for name in self.class_names:
+                if re.search(r"\b%s\b" % re.escape(name), src):
+                    out.add(name)
+        return out
+
+    def resolve(self, call, caller=None):
+        """Resolve a call site to candidate FunctionFacts.
+
+        A member call (explicit receiver) only resolves to class methods,
+        and when the receiver's type is known (a caller parameter or a
+        recorded data member) only to methods of that class — letting
+        `pool.run(...)` fall through to a same-named free function or an
+        unrelated class would fabricate edges across the driver layer."""
+        name = call.name
+        if name in self.by_qname:
+            cands = self.by_qname[name]
+        elif "::" in name:
+            suffix = "::".join(name.split("::")[-2:])
+            if suffix in self.by_suffix2:
+                cands = self.by_suffix2[suffix]
+            else:
+                cands = self.by_bare.get(name.split("::")[-1], [])
+        else:
+            cands = self.by_bare.get(name, [])
+        if call.receiver is not None:
+            cands = [fn for fn in cands if self.is_method(fn)]
+            if caller is not None:
+                classes = self.receiver_classes(caller, call.receiver)
+                if classes:
+                    cands = [fn for fn in cands
+                             if fn.qname.split("::")[-2] in classes]
+        return cands
+
+    def relaxed_justified(self, file, line):
+        """`relaxed:` comment on the access line or within the three
+        lines above (the saga_lint justification window)."""
+        ff = self.files.get(file)
+        if ff is None:
+            return False
+        return any(probe in ff.relaxed_lines
+                   for probe in range(line - 3, line + 1))
+
+    def marker_at(self, file, line, wanted):
+        """Marker `wanted` on this line, the line above, or atop the
+        comment block ending there; returns the reason string or None
+        (an empty string means marker present but unjustified)."""
+        ff = self.files.get(file)
+        if ff is None:
+            return None
+        return collect_nearby_markers(ff, line).get(wanted)
+
+
+def check_hotpath(prog):
+    findings = []
+    entries = []
+    for fn in prog.functions:
+        if fn.entry_marker or any(fn.qname.endswith(s)
+                                  for s in HOTPATH_ENTRY_SUFFIXES):
+            entries.append(fn)
+    # BFS over the call graph, remembering the shortest path to each fn.
+    seen = {}
+    queue = [(fn, [fn.qname]) for fn in entries]
+    for fn, path in queue:
+        seen.setdefault(id(fn), (fn, path))
+    head = 0
+    while head < len(queue):
+        fn, path = queue[head]
+        head += 1
+        if len(path) > 12:
+            continue
+        for call in fn.calls:
+            for callee in prog.resolve(call, caller=fn):
+                if any(callee.qname.endswith(c) for c in HOTPATH_CUTS):
+                    continue
+                if id(callee) in seen:
+                    continue
+                cpath = path + [callee.qname]
+                seen[id(callee)] = (callee, cpath)
+                queue.append((callee, cpath))
+    rule_names = {"alloc": "heap-allocation", "growth": "container-growth",
+                  "lock": "lock-acquisition", "io": "io", "throw": "throw"}
+    hints = {
+        "alloc": "hoist the allocation out of the kernel or reuse a "
+                 "per-worker scratch buffer (see batch_scratch.h)",
+        "growth": "pre-size the container before the parallel region or "
+                  "use PaddedAccumulator-backed reusable buffers",
+        "lock": "restructure to the chunk-owned or phase-separated "
+                "pattern (DESIGN.md §7); locks do not belong in kernels",
+        "io": "move I/O to the driver; kernels must not touch streams",
+        "throw": "return an error value; exceptions unwind across the "
+                 "pool barrier",
+    }
+    for fn, path in seen.values():
+        for op in fn.impure:
+            reason = prog.marker_at(fn.file, op.line, "hotpath-allow")
+            if reason is not None and reason.strip():
+                continue
+            if reason is not None:
+                findings.append(Finding(
+                    "hotpath", "unjustified-escape", fn.file, op.line,
+                    "hotpath-allow escape in %s carries no "
+                    "justification — the reason is the contract" %
+                    fn.qname,
+                    hint="write why this %s is amortized or off the "
+                         "hot path after the colon" % op.kind))
+                continue
+            findings.append(Finding(
+                "hotpath", rule_names[op.kind], fn.file, op.line,
+                "%s (`%s`) in %s, reachable from kernel entry %s — "
+                "add `// hotpath-allow: <reason>` only if this is "
+                "amortized or provably off the hot path" %
+                (rule_names[op.kind].replace("-", " "), op.detail,
+                 fn.qname, path[0]),
+                path=path if len(path) > 1 else None,
+                hint=hints[op.kind]))
+    return findings, len(entries), len(seen)
+
+
+def check_atomics(prog):
+    findings = []
+    # member name -> {"reads": [(order, file, line)], "writes": ...}
+    acc = {}
+    for fn in prog.functions:
+        for a in fn.atomics:
+            if a.member is None:
+                continue
+            # Resolve the member name to a declaration; unresolved
+            # receivers (locals, atomic_ref temporaries) are skipped.
+            decls = prog.members_by_name.get(a.member)
+            if not decls:
+                continue
+            key = a.member
+            rec = acc.setdefault(key, {"reads": [], "writes": [],
+                                       "decl": decls[0]})
+            if a.role in ("read", "rmw"):
+                rec["reads"].append((a.order, fn.file, a.line))
+            if a.role in ("write", "rmw"):
+                rec["writes"].append((a.order, fn.file, a.line))
+    for member, rec in sorted(acc.items()):
+        decl = rec["decl"]
+        read_orders = {o for o, _, _ in rec["reads"]}
+        write_orders = {o for o, _, _ in rec["writes"]}
+        all_orders = read_orders | write_orders
+        if "dynamic" in all_orders:
+            continue  # order is a runtime parameter (the helper shims)
+        esc = decl.markers.get("atomic-pair-allow")
+        if esc is None:
+            esc = prog.marker_at(decl.cls.file, decl.line,
+                                 "atomic-pair-allow")
+        if esc is not None:
+            continue
+        rel_writes = [w for w in rec["writes"]
+                      if w[0] in RELEASE_ORDERS]
+        acq_reads = [r for r in rec["reads"] if r[0] in ACQUIRE_ORDERS]
+        if rel_writes and not acq_reads:
+            o, f, l = rel_writes[0]
+            findings.append(Finding(
+                "atomics", "orphaned-release", f, l,
+                "release-store of %s has no acquire-side read anywhere "
+                "in the program — the fence publishes to nobody" %
+                decl.qname,
+                hint="pair it with an atomicLoad(..., acquire) / "
+                     ".load(acquire) at the consumer, or relax it with "
+                     "a `relaxed:` justification if the pool barrier "
+                     "publishes instead"))
+        if acq_reads and not rel_writes:
+            o, f, l = acq_reads[0]
+            findings.append(Finding(
+                "atomics", "orphaned-acquire", f, l,
+                "acquire-read of %s has no release-side write anywhere "
+                "in the program — there is nothing to synchronize with" %
+                decl.qname,
+                hint="add the matching release store or downgrade the "
+                     "read with a `relaxed:` justification"))
+        if "seq_cst" in all_orders and \
+                any(o != "seq_cst" for o in all_orders):
+            # A weaker access that carries the repo's `relaxed:`
+            # justification comment (same line or up to three above —
+            # saga_lint's convention) is a documented, deliberate
+            # downgrade; only silent ones are findings.
+            weaker = [(o, f, l)
+                      for o, f, l in rec["reads"] + rec["writes"]
+                      if o != "seq_cst" and
+                      not prog.relaxed_justified(f, l)]
+            if weaker:
+                o, f, l = weaker[0]
+                findings.append(Finding(
+                    "atomics", "seq-cst-downgrade", f, l,
+                    "%s is part of a seq_cst protocol but is accessed "
+                    "with memory_order_%s here — a silent downgrade "
+                    "breaks the Dekker-style handshake" %
+                    (decl.qname, o),
+                    hint="use memory_order_seq_cst on every access of "
+                         "this member, justify the downgrade with a "
+                         "`// relaxed: ...` comment at the access, or "
+                         "add `// atomic-pair-allow:` on the "
+                         "declaration explaining the mixed discipline"))
+    return findings
+
+
+def check_guarded(prog):
+    findings = []
+    audited = []
+    for cls in prog.classes:
+        bare = cls.bare
+        in_list = bare in AUDIT_CLASSES or "audit-class" in cls.markers
+        if in_list:
+            audited.append(cls)
+            # Nested structs: prefix match on the qualified name.
+            for other in prog.classes:
+                if other is not cls and \
+                        other.qname.startswith(cls.qname + "::"):
+                    audited.append(other)
+    seen_ids = set()
+    for cls in audited:
+        if id(cls) in seen_ids:
+            continue
+        seen_ids.add(id(cls))
+        owner = cls
+        if "::" in cls.qname:
+            for c2 in prog.classes:
+                if c2.bare in AUDIT_CLASSES and \
+                        cls.qname.startswith(c2.qname + "::"):
+                    owner = c2
+        for m in cls.members:
+            if m.is_static or m.is_const:
+                continue
+            if m.guarded_by is not None:
+                continue
+            if SYNC_TYPE_RE.search(m.type_text):
+                continue
+            if "immutable-after-build" in m.markers or \
+                    "quiescent-mutated" in m.markers or \
+                    "guarded-member-allow" in m.markers:
+                continue
+            if "chunk-owned" in m.markers:
+                if not (owner.has_chunk_ownership or
+                        cls.has_chunk_ownership):
+                    findings.append(Finding(
+                        "guarded", "bogus-chunk-owned", m.cls.file,
+                        m.line,
+                        "%s is marked chunk-owned but %s embeds no "
+                        "ChunkOwnership capability" %
+                        (m.qname, owner.qname),
+                        hint="add a ChunkOwnership member and "
+                             "SAGA_REQUIRES(ownership_) accessors, or "
+                             "pick the correct category"))
+                elif not (owner.has_requires_method or
+                          cls.has_requires_method):
+                    findings.append(Finding(
+                        "guarded", "bogus-chunk-owned", m.cls.file,
+                        m.line,
+                        "%s is marked chunk-owned but %s has no "
+                        "SAGA_REQUIRES-annotated accessor" %
+                        (m.qname, owner.qname),
+                        hint="annotate the mutating accessors "
+                             "SAGA_REQUIRES(ownership_)"))
+                continue
+            findings.append(Finding(
+                "guarded", "unannotated-member", m.cls.file, m.line,
+                "%s (%s) has no concurrency category: not GUARDED_BY, "
+                "not atomic/sync, not chunk-owned, not marked "
+                "immutable-after-build / quiescent-mutated" %
+                (m.qname, m.type_text.strip()),
+                hint="pick the category that is actually true and "
+                     "annotate the declaration; "
+                     "`// guarded-member-allow: <reason>` is the "
+                     "documented escape"))
+    return findings
+
+
+def check_telemetry(prog):
+    findings = []
+    for fn in prog.functions:
+        for ps in fn.phase_scopes:
+            if not ps.named:
+                findings.append(Finding(
+                    "telemetry", "phase-scope-temporary", fn.file,
+                    ps.line,
+                    "PhaseScope temporary in %s dies at the end of the "
+                    "full-expression — it times nothing" % fn.qname,
+                    hint="name it (`telemetry::PhaseScope scope(...)`) "
+                         "or use SAGA_PHASE(...), which declares a "
+                         "named local"))
+        for ma in fn.macro_args:
+            arg = ma.arg.strip()
+            if ma.macro == "SAGA_PHASE":
+                ok = QUALIFIED_PHASE_RE.match(arg)
+            elif ma.macro == "SAGA_COUNT":
+                ok = QUALIFIED_COUNTER_RE.match(arg)
+            else:  # direct telemetry::count call
+                ok = QUALIFIED_COUNTER_RE.match(arg) or \
+                    arg.startswith("Counter::") or arg == "c"
+            if not ok:
+                findings.append(Finding(
+                    "telemetry", "unqualified-counter-id", fn.file,
+                    ma.line,
+                    "%s argument `%s` in %s is not a qualified "
+                    "telemetry enum id" % (ma.macro, arg, fn.qname),
+                    hint="spell it telemetry::Phase::X / "
+                         "telemetry::Counter::X so it greps to "
+                         "src/telemetry/metrics.h"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver: compile_commands, include closure, caching
+# ---------------------------------------------------------------------------
+
+def load_compile_commands(path):
+    if os.path.isdir(path):
+        path = os.path.join(path, "compile_commands.json")
+    with open(path, encoding="utf-8") as f:
+        db = json.load(f)
+    entries = []
+    for e in db:
+        if "arguments" in e:
+            args = e["arguments"]
+        else:
+            args = e.get("command", "").split()
+        file = e["file"]
+        if not os.path.isabs(file):
+            file = os.path.join(e.get("directory", "."), file)
+        entries.append({"file": os.path.realpath(file), "args": args,
+                        "dir": e.get("directory", ".")})
+    return entries
+
+
+def include_dirs_of(entry):
+    dirs = []
+    args = entry["args"]
+    for i, a in enumerate(args):
+        if a == "-I" and i + 1 < len(args):
+            dirs.append(args[i + 1])
+        elif a.startswith("-I"):
+            dirs.append(a[2:])
+        elif a.startswith("-isystem") and len(a) > 8:
+            dirs.append(a[8:])
+    out = []
+    for d in dirs:
+        if not os.path.isabs(d):
+            d = os.path.join(entry["dir"], d)
+        out.append(os.path.realpath(d))
+    return out
+
+
+def sha256_file(path):
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        h.update(f.read())
+    return h.hexdigest()
+
+
+class Analyzer:
+    def __init__(self, root, engine_name, cache_dir=None, verbose=False):
+        self.root = os.path.realpath(root)
+        self.engine_name = engine_name
+        self.cache_dir = cache_dir
+        self.verbose = verbose
+        self.file_hits = 0
+        self.file_misses = 0
+        self.tu_hits = 0
+        self.tu_misses = 0
+        self.file_facts = {}       # relpath -> FileFacts
+        self.file_hashes = {}      # relpath -> sha256
+        self.libclang = None
+        if engine_name == "libclang":
+            cindex = try_import_libclang()
+            if cindex is None:
+                raise RuntimeError("libclang unavailable")
+            self.libclang = LibclangEngine(cindex, self.root)
+
+    # -- caching ------------------------------------------------------------
+
+    def cache_path(self, key):
+        return os.path.join(self.cache_dir, key + ".json")
+
+    def file_cache_key(self, relpath, digest):
+        h = hashlib.sha256()
+        h.update(("file:%s:%s:v%d:%s" % (relpath, digest,
+                                         ANALYZER_VERSION,
+                                         self.engine_name)).encode())
+        return h.hexdigest()[:32]
+
+    def tu_cache_key(self, tu_file, closure_digests):
+        h = hashlib.sha256()
+        h.update(("tu:%s:v%d:%s:" % (tu_file, ANALYZER_VERSION,
+                                     self.engine_name)).encode())
+        for rel, digest in sorted(closure_digests.items()):
+            h.update(("%s=%s;" % (rel, digest)).encode())
+        return h.hexdigest()[:32]
+
+    def cache_load(self, key):
+        if not self.cache_dir:
+            return None
+        path = self.cache_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, encoding="utf-8") as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return None
+
+    def cache_store(self, key, data):
+        if not self.cache_dir:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        tmp = self.cache_path(key) + ".tmp.%d" % os.getpid()
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(data, f)
+        os.replace(tmp, self.cache_path(key))
+
+    # -- include closure ----------------------------------------------------
+
+    def resolve_include(self, inc, from_dir, include_dirs):
+        for base in [from_dir] + include_dirs:
+            cand = os.path.realpath(os.path.join(base, inc))
+            if os.path.isfile(cand) and \
+                    cand.startswith(self.root + os.sep):
+                return cand
+        return None
+
+    def closure_of(self, abspath, include_dirs):
+        """All repo files reachable from abspath via quoted includes."""
+        seen = {}
+        stack = [abspath]
+        while stack:
+            path = stack.pop()
+            rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+            if rel in seen:
+                continue
+            try:
+                with open(path, encoding="utf-8",
+                          errors="replace") as f:
+                    text = f.read()
+            except OSError:
+                continue
+            _, includes = strip_preprocessor(text)
+            seen[rel] = includes
+            for inc in includes:
+                target = self.resolve_include(
+                    inc, os.path.dirname(path), include_dirs)
+                if target is not None:
+                    stack.append(target)
+        return seen
+
+    # -- per-file analysis --------------------------------------------------
+
+    def analyze_file_internal(self, relpath):
+        if relpath in self.file_facts:
+            return self.file_facts[relpath]
+        abspath = os.path.join(self.root, relpath)
+        digest = self.file_hashes.get(relpath) or sha256_file(abspath)
+        self.file_hashes[relpath] = digest
+        key = self.file_cache_key(relpath, digest)
+        cached = self.cache_load(key)
+        if cached is not None:
+            self.file_hits += 1
+            ff = FileFacts.from_json(cached)
+        else:
+            self.file_misses += 1
+            with open(abspath, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+            ff = InternalParser(relpath, text).parse()
+            self.cache_store(key, ff.to_json())
+        self.file_facts[relpath] = ff
+        return ff
+
+    # -- TU analysis --------------------------------------------------------
+
+    def analyze_tu(self, entry, scope_dirs):
+        abspath = entry["file"]
+        include_dirs = include_dirs_of(entry)
+        closure = self.closure_of(abspath, include_dirs)
+        digests = {}
+        for rel in closure:
+            p = os.path.join(self.root, rel)
+            if rel not in self.file_hashes:
+                self.file_hashes[rel] = sha256_file(p)
+            digests[rel] = self.file_hashes[rel]
+        rel_tu = os.path.relpath(abspath, self.root).replace(os.sep, "/")
+        tu_key = self.tu_cache_key(rel_tu, digests)
+        in_scope = [rel for rel in closure
+                    if any(rel.startswith(d + "/") for d in scope_dirs)]
+
+        if self.libclang is not None:
+            cached = self.cache_load(tu_key)
+            if cached is not None:
+                self.tu_hits += 1
+                for rel, data in cached["files"].items():
+                    if rel not in self.file_facts:
+                        self.file_facts[rel] = FileFacts.from_json(data)
+                return
+            self.tu_misses += 1
+            facts = self.libclang.parse_tu(entry)
+            payload = {"files": {}}
+            for rel, ff in facts.items():
+                if rel in in_scope or rel == rel_tu:
+                    payload["files"][rel] = ff.to_json()
+                    if rel not in self.file_facts:
+                        self.file_facts[rel] = ff
+            self.cache_store(tu_key, payload)
+            return
+
+        # Internal engine: per-file parse (cached per file); the TU key
+        # still tracks hit-rate at TU granularity.
+        if self.cache_load(tu_key) is not None:
+            self.tu_hits += 1
+        else:
+            self.tu_misses += 1
+            self.cache_store(tu_key, {"files": sorted(closure)})
+        for rel in in_scope + ([rel_tu] if rel_tu not in in_scope and
+                               any(rel_tu.startswith(d + "/")
+                                   for d in scope_dirs) else []):
+            self.analyze_file_internal(rel)
+
+
+def run_analysis(args):
+    engine_requested = args.engine
+    engine_name = engine_requested
+    if engine_requested == "auto":
+        engine_name = "libclang" if try_import_libclang() else "internal"
+    elif engine_requested == "libclang" and try_import_libclang() is None:
+        msg = ("saga_analyze: libclang (clang.cindex) unavailable — "
+               "analysis skipped. Install python3-clang + libclang, or "
+               "run with --engine=internal.")
+        if args.require_engine:
+            print(msg, file=sys.stderr)
+            return 3
+        print(msg)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as f:
+                json.dump({"version": ANALYZER_VERSION, "engine": "none",
+                           "skipped": True, "findings": []}, f, indent=1)
+        return 0
+
+    root = os.path.realpath(args.root)
+    analyzer = Analyzer(root, engine_name, cache_dir=args.cache_dir)
+
+    scope_dirs = list(args.dirs) if args.dirs else \
+        list(DEFAULT_ANALYZE_DIRS)
+
+    if args.fixtures:
+        fixture_dir = os.path.realpath(args.fixtures)
+        rel_fix = os.path.relpath(fixture_dir, root).replace(os.sep, "/")
+        scope_dirs = [rel_fix]
+        entries = []
+        for name in sorted(os.listdir(fixture_dir)):
+            if name.endswith((".cc", ".cpp", ".h")):
+                entries.append({
+                    "file": os.path.join(fixture_dir, name),
+                    "args": ["-I" + os.path.join(root, "src")],
+                    "dir": root})
+    else:
+        if not args.build:
+            print("saga_analyze: -p/--build (compile_commands.json) is "
+                  "required unless --fixtures is given", file=sys.stderr)
+            return 2
+        try:
+            entries = load_compile_commands(args.build)
+        except (OSError, ValueError) as err:
+            print("saga_analyze: cannot load compile_commands.json: %s"
+                  % err, file=sys.stderr)
+            return 2
+        entries = [e for e in entries
+                   if e["file"].startswith(root + os.sep) and
+                   any(os.path.relpath(e["file"], root)
+                       .replace(os.sep, "/").startswith(d + "/")
+                       for d in scope_dirs)]
+
+    fallback_notice = None
+    try:
+        for entry in entries:
+            analyzer.analyze_tu(entry, scope_dirs)
+    except Exception as err:  # libclang misbehaving: fall back
+        if engine_name == "libclang" and engine_requested == "auto":
+            fallback_notice = ("saga_analyze: libclang engine failed "
+                               "(%s); falling back to internal engine"
+                               % err)
+            print(fallback_notice)
+            analyzer = Analyzer(root, "internal",
+                                cache_dir=args.cache_dir)
+            engine_name = "internal"
+            for entry in entries:
+                analyzer.analyze_tu(entry, scope_dirs)
+        else:
+            raise
+
+    # Headers reachable only from excluded TUs (tests) are not analyzed;
+    # that is deliberate — the packs govern the product tree.
+    prog = Program(analyzer.file_facts)
+    findings = []
+    hot, n_entries, n_reach = check_hotpath(prog)
+    findings += hot
+    findings += check_atomics(prog)
+    findings += check_guarded(prog)
+    findings += check_telemetry(prog)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+
+    tu_total = analyzer.tu_hits + analyzer.tu_misses
+    stats = {
+        "engine": engine_name,
+        "tus": tu_total,
+        "files": len(analyzer.file_facts),
+        "functions": len(prog.functions),
+        "hotpath_entries": n_entries,
+        "hotpath_reachable": n_reach,
+        "tu_cache_hits": analyzer.tu_hits,
+        "tu_cache_misses": analyzer.tu_misses,
+        "file_cache_hits": analyzer.file_hits,
+        "file_cache_misses": analyzer.file_misses,
+    }
+
+    for f in findings:
+        print(f.render(args.fix_hints))
+
+    if args.stats or args.verbose:
+        hit_pct = (100.0 * analyzer.tu_hits / tu_total) if tu_total \
+            else 0.0
+        print("saga_analyze: engine=%s tus=%d files=%d functions=%d "
+              "entries=%d reachable=%d" %
+              (engine_name, tu_total, stats["files"],
+               stats["functions"], n_entries, n_reach))
+        print("saga_analyze: TU cache %d/%d hits (%.0f%%), file cache "
+              "%d/%d hits" %
+              (analyzer.tu_hits, tu_total, hit_pct, analyzer.file_hits,
+               analyzer.file_hits + analyzer.file_misses))
+
+    if args.json:
+        report = {"version": ANALYZER_VERSION, "engine": engine_name,
+                  "root": root, "skipped": False, "stats": stats,
+                  "findings": [f.to_json() for f in findings]}
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=1)
+
+    if findings:
+        print("saga_analyze: %d finding(s)" % len(findings),
+              file=sys.stderr)
+        return 1
+    print("saga_analyze: clean (%d TU(s), %d file(s), %d function(s), "
+          "%d kernel entr%s)" %
+          (tu_total, stats["files"], stats["functions"], n_entries,
+           "y" if n_entries == 1 else "ies"))
+    return 0
+
+
+RULES_TABLE = (
+    ("hotpath/heap-allocation", "no allocation reachable from kernels"),
+    ("hotpath/container-growth", "no std:: container growth in kernels"),
+    ("hotpath/lock-acquisition", "no locks reachable from kernels"),
+    ("hotpath/io", "no I/O reachable from kernels"),
+    ("hotpath/throw", "no exceptions reachable from kernels"),
+    ("hotpath/unjustified-escape", "hotpath-allow needs a written reason"),
+    ("atomics/orphaned-release", "release store needs an acquire read"),
+    ("atomics/orphaned-acquire", "acquire read needs a release store"),
+    ("atomics/seq-cst-downgrade", "seq_cst protocols stay seq_cst"),
+    ("guarded/unannotated-member", "audited members carry a category"),
+    ("guarded/bogus-chunk-owned", "chunk-owned claims need the capability"),
+    ("telemetry/phase-scope-temporary", "PhaseScope must be a named local"),
+    ("telemetry/unqualified-counter-id", "qualified telemetry enum ids"),
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="saga_analyze",
+        description="SAGA-Bench whole-program static analyzer")
+    parser.add_argument("--root", default=".", help="repo root")
+    parser.add_argument("-p", "--build", default=None,
+                        help="build dir (or path) with "
+                             "compile_commands.json")
+    parser.add_argument("--engine", default="auto",
+                        choices=("auto", "libclang", "internal"))
+    parser.add_argument("--require-engine", action="store_true",
+                        help="fail (exit 3) instead of skipping when the "
+                             "requested engine is unavailable")
+    parser.add_argument("--cache-dir", default=None,
+                        help="per-TU/per-file analysis cache directory")
+    parser.add_argument("--json", default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument("--fix-hints", action="store_true",
+                        help="append a fix hint to each finding")
+    parser.add_argument("--fixtures", default=None,
+                        help="analyze a fixture directory as standalone "
+                             "TUs (no compile_commands needed)")
+    parser.add_argument("--dirs", nargs="*", default=None,
+                        help="repo-relative dirs to analyze (default: "
+                             "%s)" % " ".join(DEFAULT_ANALYZE_DIRS))
+    parser.add_argument("--stats", action="store_true",
+                        help="print TU/file counts and cache hit rate")
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(r) for r, _ in RULES_TABLE)
+        for rule, summary in RULES_TABLE:
+            print("%-*s  %s" % (width, rule, summary))
+        return 0
+
+    try:
+        return run_analysis(args)
+    except RuntimeError as err:
+        print("saga_analyze: %s" % err, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,12 @@ Suppressions (all require the rule name, keeping waivers greppable):
   // saga-lint: allow-next(rule) <reason>           the following line
   // saga-lint: allow-file(rule): <reason>          the whole file
 
+Stale-suppression audit: a pragma whose rule never actually fires under
+it (the code it waived was fixed or moved) is itself a violation,
+  stale-suppression     reported at the pragma's line; *not* suppressible
+                        — the only fix is deleting the dead pragma, so
+                        waivers never outlive the code they excuse.
+
 Usage:
   saga_lint.py [--root DIR] [paths...]   lint paths (default: src bench
                                          tests examples, minus fixture and
@@ -72,10 +78,12 @@ import sys
 CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 
 # Directories (relative to the repo root) holding intentionally-bad inputs:
-# negative-compile cases and the linter's own seeded fixtures. They are
+# negative-compile cases and the seeded fixtures of this linter and of
+# saga_analyze. They are
 # skipped when a *directory* is expanded, but linted when named explicitly
 # (that is how the seeded-fixture ctest drives them).
-DEFAULT_EXCLUDES = ("tests/lint_fixtures", "tests/compile_fail")
+DEFAULT_EXCLUDES = ("tests/lint_fixtures", "tests/compile_fail",
+                    "tests/analyze_fixtures")
 
 DEFAULT_PATHS = ("src", "bench", "tests", "examples")
 
@@ -250,20 +258,28 @@ def strip_noncode(line, in_block_comment):
 
 
 def parse_suppressions(lines):
-    """Return (file_level_rules, line_allow, next_allow) rule-name sets."""
+    """Return (file_level_rules, line_allow, next_allow, decls).
+
+    decls is the stale-audit ledger: one record per (pragma, rule) pair.
+    lint_file flips `used` when a finding is actually absorbed by the
+    pragma; anything still unused at end of file is a dead waiver."""
     file_level = set()
     line_allow = {}   # lineno -> set(rule)
     next_allow = {}   # lineno the suppression *protects* -> set(rule)
+    decls = []        # {"line", "kind", "rule", "used"}
     for lineno, line in enumerate(lines, 1):
         for kind, rule_list in SUPPRESS_RE.findall(line):
             rules = {r.strip() for r in rule_list.split(",") if r.strip()}
+            for rule in sorted(rules):
+                decls.append({"line": lineno, "kind": kind, "rule": rule,
+                              "used": False})
             if kind == "allow-file":
                 file_level |= rules
             elif kind == "allow":
                 line_allow.setdefault(lineno, set()).update(rules)
             elif kind == "allow-next":
                 next_allow.setdefault(lineno + 1, set()).update(rules)
-    return file_level, line_allow, next_allow
+    return file_level, line_allow, next_allow, decls
 
 
 def relaxed_is_justified(lines, idx):
@@ -296,12 +312,25 @@ def lint_file(path, relpath):
         yield 0, "io-error", str(err)
         return
 
-    file_level, line_allow, next_allow = parse_suppressions(lines)
+    file_level, line_allow, next_allow, decls = parse_suppressions(lines)
+
+    def mark_used(rule_name, lineno):
+        for d in decls:
+            if d["rule"] != rule_name:
+                continue
+            if (d["kind"] == "allow-file" or
+                    (d["kind"] == "allow" and d["line"] == lineno) or
+                    (d["kind"] == "allow-next" and
+                     d["line"] + 1 == lineno)):
+                d["used"] = True
 
     def suppressed(rule_name, lineno):
-        return (rule_name in file_level or
-                rule_name in line_allow.get(lineno, ()) or
-                rule_name in next_allow.get(lineno, ()))
+        hit = (rule_name in file_level or
+               rule_name in line_allow.get(lineno, ()) or
+               rule_name in next_allow.get(lineno, ()))
+        if hit:
+            mark_used(rule_name, lineno)
+        return hit
 
     active = [r for r in RULES if r.applies(relpath)]
 
@@ -325,11 +354,23 @@ def lint_file(path, relpath):
     if (relpath.startswith("src/") or
             relpath.startswith(FIXTURE_DIR + "/")) and \
             uses_atomic_tokens and \
-            not has_atomic_include(lines) and \
-            "atomic-include" not in file_level:
-        yield 1, "atomic-include", (
-            "file names std::atomic/std::memory_order but does not "
-            "#include <atomic> (include-what-you-use)")
+            not has_atomic_include(lines):
+        if "atomic-include" in file_level:
+            mark_used("atomic-include", 1)
+        else:
+            yield 1, "atomic-include", (
+                "file names std::atomic/std::memory_order but does not "
+                "#include <atomic> (include-what-you-use)")
+
+    # Stale-suppression audit: a waiver that absorbed nothing is dead
+    # weight that would silently excuse a future regression. Deliberately
+    # not suppressible — the only fix is deleting the pragma.
+    for d in decls:
+        if not d["used"]:
+            yield d["line"], "stale-suppression", (
+                "%s(%s) suppresses nothing — rule `%s` does not fire "
+                "under this pragma; delete it" %
+                (d["kind"], d["rule"], d["rule"]))
 
 
 def collect_files(root, paths):

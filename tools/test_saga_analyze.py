@@ -1,0 +1,402 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/saga_analyze.py — call-graph construction, one
+suite per rule pack, marker/escape handling, the seeded fixture
+directory, engine selection, and cache invalidation. Run directly
+(`python3 tools/test_saga_analyze.py`) or via the
+`saga_analyze_selftest` ctest target."""
+
+import contextlib
+import io
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import saga_analyze  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def analyze_tree(files, root=None, cache_dir=None):
+    """Analyze an in-memory tree ({relpath: source}); .cc files become
+    TUs. Returns (analyzer, program, ["pack/rule", ...])."""
+    owned = root is None
+    if owned:
+        root = tempfile.mkdtemp(prefix="saga_analyze_test_")
+    try:
+        for rel, src in files.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(src)
+        scope_dirs = sorted({rel.split("/")[0] for rel in files})
+        an = saga_analyze.Analyzer(root, "internal", cache_dir=cache_dir)
+        for rel in sorted(files):
+            if rel.endswith(".cc"):
+                an.analyze_tu({"file": os.path.join(root, rel),
+                               "args": ["-I" + root], "dir": root},
+                              scope_dirs)
+        prog = saga_analyze.Program(an.file_facts)
+        findings, _, _ = saga_analyze.check_hotpath(prog)
+        findings = list(findings)
+        findings += saga_analyze.check_atomics(prog)
+        findings += saga_analyze.check_guarded(prog)
+        findings += saga_analyze.check_telemetry(prog)
+        rules = ["%s/%s" % (f.pack, f.rule) for f in findings]
+        return an, prog, rules
+    finally:
+        if owned:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def rules_of(source):
+    """Analyze a single-file tree and return the fired rule ids."""
+    _, _, rules = analyze_tree({"src/unit.cc": source})
+    return rules
+
+
+ENTRY = "// saga-analyze: hotpath-entry\n"
+
+
+class CallGraph(unittest.TestCase):
+    def test_impurity_behind_call_edge_is_reachable(self):
+        src = (ENTRY +
+               "void kernelRound() { helper(); }\n"
+               "void helper() { throw 1; }\n")
+        self.assertIn("hotpath/throw", rules_of(src))
+
+    def test_reachability_crosses_files(self):
+        files = {
+            "src/helper.h": "inline void helper() { throw 1; }\n",
+            "src/kernel.cc": ('#include "helper.h"\n' + ENTRY +
+                              "void kernelRound() { helper(); }\n"),
+        }
+        _, _, rules = analyze_tree(files)
+        self.assertIn("hotpath/throw", rules)
+
+    def test_cut_methods_stop_traversal(self):
+        # ThreadPool::run is a cut: impurity inside it is the pool's
+        # business, not the kernel's.
+        src = ("struct ThreadPool {\n"
+               "    void run() { jobs_.push_back(1); }\n"
+               "    std::vector<int> jobs_;\n"
+               "};\n" + ENTRY +
+               "void kernelRound(ThreadPool &pool) { pool.run(); }\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("hotpath/")], [])
+
+    def test_receiver_type_disambiguates_same_named_methods(self):
+        # `lane.step()` must resolve to Clean::step (the parameter's
+        # type), not fabricate an edge to Dirty::step.
+        src = ("struct Clean { void step() {} };\n"
+               "struct Dirty {\n"
+               "    void step() { buf_.push_back(1); }\n"
+               "    std::vector<int> buf_;\n"
+               "};\n" + ENTRY +
+               "void kernelRound(Clean &lane) { lane.step(); }\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("hotpath/")], [])
+
+    def test_unreachable_impurity_is_not_flagged(self):
+        src = (ENTRY + "void kernelRound() {}\n"
+               "void coldSetup() { throw 1; }\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("hotpath/")], [])
+
+
+class HotpathPack(unittest.TestCase):
+    def test_each_impurity_kind(self):
+        src = (ENTRY +
+               "void kernelRound(std::vector<int> &buf, std::mutex &m) {\n"
+               "    buf.push_back(1);\n"
+               "    int *p = new int(7);\n"
+               "    std::printf(\"%d\\n\", *p);\n"
+               "    std::lock_guard<std::mutex> g(m);\n"
+               "    throw 42;\n"
+               "}\n")
+        rules = rules_of(src)
+        for rule in ("hotpath/container-growth", "hotpath/heap-allocation",
+                     "hotpath/io", "hotpath/lock-acquisition",
+                     "hotpath/throw"):
+            self.assertIn(rule, rules)
+
+    def test_justified_escape_passes(self):
+        src = (ENTRY +
+               "void kernelRound(std::vector<int> &buf) {\n"
+               "    // hotpath-allow: amortized doubling, one per epoch\n"
+               "    buf.push_back(1);\n"
+               "}\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("hotpath/")], [])
+
+    def test_empty_reason_is_unjustified_escape(self):
+        src = (ENTRY +
+               "void kernelRound(std::vector<int> &buf) {\n"
+               "    // hotpath-allow:\n"
+               "    buf.push_back(1);\n"
+               "}\n")
+        self.assertEqual(rules_of(src), ["hotpath/unjustified-escape"])
+
+    def test_marker_atop_multiline_comment_block(self):
+        src = (ENTRY +
+               "void kernelRound(std::vector<int> &buf) {\n"
+               "    // hotpath-allow: worker-local scratch queue whose\n"
+               "    // growth is amortized across the whole round\n"
+               "    buf.push_back(1);\n"
+               "}\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("hotpath/")], [])
+
+
+class AtomicsPack(unittest.TestCase):
+    MEMBERS = ("    std::atomic<int> flag_{0};\n"
+               "    int payload_ = 0;\n")
+
+    def test_orphaned_release(self):
+        src = ("struct S {\n"
+               "    void pub() { flag_.store(1, "
+               "std::memory_order_release); }\n" + self.MEMBERS + "};\n")
+        self.assertIn("atomics/orphaned-release", rules_of(src))
+
+    def test_orphaned_acquire(self):
+        src = ("struct S {\n"
+               "    int sub() { return flag_.load("
+               "std::memory_order_acquire); }\n" + self.MEMBERS + "};\n")
+        self.assertIn("atomics/orphaned-acquire", rules_of(src))
+
+    def test_paired_acquire_release_is_clean(self):
+        src = ("struct S {\n"
+               "    void pub() { flag_.store(1, "
+               "std::memory_order_release); }\n"
+               "    int sub() { return flag_.load("
+               "std::memory_order_acquire); }\n" + self.MEMBERS + "};\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("atomics/")], [])
+
+    def test_pairing_is_whole_program(self):
+        # The release and the acquire live in different TUs; the pair
+        # must still be found.
+        files = {
+            "src/s.h": ("struct S {\n"
+                        "    void pub();\n    int sub();\n" +
+                        self.MEMBERS + "};\n"),
+            "src/pub.cc": ('#include "s.h"\n'
+                           "void S::pub() { flag_.store(1, "
+                           "std::memory_order_release); }\n"),
+            "src/sub.cc": ('#include "s.h"\n'
+                           "int S::sub() { return flag_.load("
+                           "std::memory_order_acquire); }\n"),
+        }
+        _, _, rules = analyze_tree(files)
+        self.assertEqual([r for r in rules
+                          if r.startswith("atomics/")], [])
+
+    def test_seq_cst_downgrade(self):
+        src = ("struct S {\n"
+               "    void a() { flag_.fetch_add(1); }\n"
+               "    void b() { flag_.fetch_add(1, "
+               "std::memory_order_relaxed); }\n" + self.MEMBERS + "};\n")
+        self.assertIn("atomics/seq-cst-downgrade", rules_of(src))
+
+    def test_relaxed_comment_justifies_downgrade(self):
+        src = ("struct S {\n"
+               "    void a() { flag_.fetch_add(1); }\n"
+               "    // relaxed: monotonic counter, read after barrier\n"
+               "    void b() { flag_.fetch_add(1, "
+               "std::memory_order_relaxed); }\n" + self.MEMBERS + "};\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("atomics/")], [])
+
+    def test_atomic_pair_allow_marker_on_declaration(self):
+        src = ("struct S {\n"
+               "    void pub() { flag_.store(1, "
+               "std::memory_order_release); }\n"
+               "    // atomic-pair-allow: consumer lives in a later PR\n"
+               "    std::atomic<int> flag_{0};\n"
+               "};\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("atomics/")], [])
+
+
+AUDIT = "// saga-analyze: audit-class\n"
+
+
+class GuardedPack(unittest.TestCase):
+    def test_unannotated_member(self):
+        src = (AUDIT + "struct S { int hits_ = 0; };\n")
+        self.assertEqual(rules_of(src), ["guarded/unannotated-member"])
+
+    def test_categories_pass(self):
+        src = (AUDIT + "struct S {\n"
+               "    std::atomic<int> epoch_{0};\n"
+               "    std::mutex mu_;\n"
+               "    int cold_ GUARDED_BY(mu_);\n"
+               "    // immutable-after-build: sized once in ctor\n"
+               "    int capacity_ = 0;\n"
+               "    // quiescent-mutated: serial ensureNodes only\n"
+               "    int num_nodes_ = 0;\n"
+               "    const int kind_ = 1;\n"
+               "    static constexpr int kShift = 6;\n"
+               "};\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("guarded/")], [])
+
+    def test_bogus_chunk_owned(self):
+        src = (AUDIT + "struct S {\n"
+               "    // chunk-owned: per-chunk rows\n"
+               "    std::vector<int> rows_;\n"
+               "};\n")
+        self.assertIn("guarded/bogus-chunk-owned", rules_of(src))
+
+    def test_chunk_owned_with_capability_passes(self):
+        src = (AUDIT + "struct S {\n"
+               "    void touch() SAGA_REQUIRES(ownership_) {}\n"
+               "    // chunk-owned: per-chunk rows\n"
+               "    std::vector<int> rows_;\n"
+               "    ChunkOwnership ownership_;\n"
+               "};\n")
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("guarded/")], [])
+
+    def test_unaudited_class_is_ignored(self):
+        src = "struct Plain { int hits_ = 0; };\n"
+        self.assertEqual([r for r in rules_of(src)
+                          if r.startswith("guarded/")], [])
+
+    def test_brace_initialized_member_is_audited(self):
+        # `std::function<void()> job_{};` must register as a member —
+        # a regression here silently blinds the whole pack.
+        src = (AUDIT + "struct S { std::function<void()> job_{}; };\n")
+        self.assertEqual(rules_of(src), ["guarded/unannotated-member"])
+
+
+class TelemetryPack(unittest.TestCase):
+    def test_phase_scope_temporary(self):
+        src = ("void f() { telemetry::PhaseScope("
+               "telemetry::Phase::ComputeRound); }\n")
+        self.assertEqual(rules_of(src),
+                         ["telemetry/phase-scope-temporary"])
+
+    def test_named_phase_scope_passes(self):
+        src = ("void f() { telemetry::PhaseScope scope("
+               "telemetry::Phase::ComputeRound); }\n")
+        self.assertEqual(rules_of(src), [])
+
+    def test_unqualified_macro_args(self):
+        src = ("void f() {\n"
+               "    SAGA_PHASE(ComputeRound);\n"
+               "    SAGA_COUNT(ComputeRounds, 1);\n"
+               "}\n")
+        self.assertEqual(rules_of(src).count(
+            "telemetry/unqualified-counter-id"), 2)
+
+    def test_qualified_macro_args_pass(self):
+        src = ("void f() {\n"
+               "    SAGA_PHASE(telemetry::Phase::ComputeRound);\n"
+               "    SAGA_COUNT(telemetry::Counter::ComputeRounds, 1);\n"
+               "}\n")
+        self.assertEqual(rules_of(src), [])
+
+
+class SeededFixtures(unittest.TestCase):
+    """The shipped fixture directory must trip every rule it claims."""
+
+    EXPECTED = {
+        "bad_hotpath.cc": {"hotpath/container-growth",
+                           "hotpath/heap-allocation", "hotpath/io",
+                           "hotpath/lock-acquisition", "hotpath/throw",
+                           "hotpath/unjustified-escape"},
+        "bad_atomic_pairing.cc": {"atomics/orphaned-release",
+                                  "atomics/orphaned-acquire",
+                                  "atomics/seq-cst-downgrade"},
+        "bad_guarded_member.cc": {"guarded/unannotated-member",
+                                  "guarded/bogus-chunk-owned"},
+        "bad_phase_scope.cc": {"telemetry/phase-scope-temporary",
+                               "telemetry/unqualified-counter-id"},
+    }
+
+    def test_every_seeded_violation_fires(self):
+        fixture_dir = os.path.join(REPO_ROOT, "tests", "analyze_fixtures")
+        out = io.StringIO()
+        with tempfile.TemporaryDirectory() as tmp:
+            report = os.path.join(tmp, "report.json")
+            with contextlib.redirect_stdout(out), \
+                    contextlib.redirect_stderr(io.StringIO()):
+                code = saga_analyze.main(
+                    ["--root", REPO_ROOT, "--engine", "internal",
+                     "--fixtures", fixture_dir, "--json", report])
+            self.assertEqual(code, 1)
+            import json
+            with open(report, encoding="utf-8") as f:
+                findings = json.load(f)["findings"]
+        by_file = {}
+        for f in findings:
+            name = os.path.basename(f["file"])
+            by_file.setdefault(name, set()).add(
+                "%s/%s" % (f["pack"], f["rule"]))
+        self.assertEqual(by_file, self.EXPECTED)
+
+
+class EngineSelection(unittest.TestCase):
+    def test_libclang_unavailable_skips_cleanly(self):
+        real = saga_analyze.try_import_libclang
+        saga_analyze.try_import_libclang = lambda: None
+        try:
+            with contextlib.redirect_stdout(io.StringIO()), \
+                    contextlib.redirect_stderr(io.StringIO()):
+                self.assertEqual(
+                    saga_analyze.main(["--engine", "libclang"]), 0)
+                self.assertEqual(
+                    saga_analyze.main(["--engine", "libclang",
+                                       "--require-engine"]), 3)
+        finally:
+            saga_analyze.try_import_libclang = real
+
+
+class Caching(unittest.TestCase):
+    FILES = {
+        "src/helper.h": "inline void helper() {}\n",
+        "src/kernel.cc": ('#include "helper.h"\n' + ENTRY +
+                          "void kernelRound() { helper(); }\n"),
+        "src/other.cc": "void standalone() {}\n",
+    }
+
+    def test_warm_rerun_hits_and_header_edit_invalidates(self):
+        root = tempfile.mkdtemp(prefix="saga_analyze_cache_")
+        cache = os.path.join(root, ".cache")
+        try:
+            an1, _, _ = analyze_tree(dict(self.FILES), root=root,
+                                     cache_dir=cache)
+            self.assertEqual(an1.tu_hits, 0)
+            self.assertEqual(an1.tu_misses, 2)
+
+            an2, _, _ = analyze_tree(dict(self.FILES), root=root,
+                                     cache_dir=cache)
+            self.assertEqual(an2.tu_hits, 2)
+            self.assertEqual(an2.file_misses, 0)
+
+            # Editing a header must invalidate exactly the TU whose
+            # include closure contains it.
+            edited = dict(self.FILES)
+            edited["src/helper.h"] = "inline void helper() { throw 1; }\n"
+            an3, _, rules = analyze_tree(edited, root=root,
+                                         cache_dir=cache)
+            self.assertEqual(an3.tu_hits, 1)    # other.cc untouched
+            self.assertEqual(an3.tu_misses, 1)  # kernel.cc re-keyed
+            self.assertEqual(an3.file_misses, 1)  # only the edited file
+            self.assertIn("hotpath/throw", rules)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_cache_is_engine_and_version_keyed(self):
+        an = saga_analyze.Analyzer(".", "internal", cache_dir=None)
+        k_int = an.file_cache_key("src/a.h", "d" * 8)
+        an.engine_name = "libclang"
+        self.assertNotEqual(k_int, an.file_cache_key("src/a.h", "d" * 8))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -295,6 +295,70 @@ class Suppressions(unittest.TestCase):
         self.assertNotIn("no-rand", rules)
 
 
+class StaleSuppressionAudit(unittest.TestCase):
+    def test_stale_allow_is_flagged(self):
+        rules = lint_source(
+            "int x; // saga-lint: allow(no-volatile) fixed long ago\n",
+            "src/platform/x.h")
+        self.assertIn("stale-suppression", rules)
+
+    def test_stale_allow_next_is_flagged(self):
+        rules = lint_source(
+            "// saga-lint: allow-next(no-rand) code moved away\n"
+            "int x;\n", "src/platform/x.h")
+        self.assertIn("stale-suppression", rules)
+
+    def test_stale_allow_file_is_flagged(self):
+        rules = lint_source(
+            "// saga-lint: allow-file(no-std-mutex): nothing left\n"
+            "int x;\n", "src/platform/x.h")
+        self.assertIn("stale-suppression", rules)
+
+    def test_live_suppression_is_not_stale(self):
+        rules = lint_source(
+            "volatile int x; // saga-lint: allow(no-volatile) MMIO shim\n",
+            "src/platform/x.h")
+        self.assertEqual(rules, [])
+
+    def test_partially_stale_multi_rule_pragma(self):
+        # no-volatile absorbs a finding; no-rand absorbs nothing — the
+        # dead half of the pragma is flagged without losing the live one.
+        rules = lint_source(
+            "volatile int x; "
+            "// saga-lint: allow(no-volatile, no-rand) fixture\n",
+            "src/platform/x.h")
+        self.assertEqual(rules, ["stale-suppression"])
+
+    def test_allow_on_wrong_line_is_stale(self):
+        # The pragma sits one line below the violation it meant to waive:
+        # the violation fires AND the pragma is reported stale.
+        rules = lint_source(
+            "volatile int x;\n"
+            "// saga-lint: allow(no-volatile) off by one\n",
+            "src/platform/x.h")
+        self.assertEqual(sorted(rules),
+                         ["no-volatile", "stale-suppression"])
+
+    def test_audit_is_not_suppressible(self):
+        rules = lint_source(
+            "int x; // saga-lint: allow(no-volatile, stale-suppression)\n",
+            "src/platform/x.h")
+        self.assertEqual(rules.count("stale-suppression"), 2)
+
+    def test_live_atomic_include_file_waiver(self):
+        rules = lint_source(
+            "// saga-lint: allow-file(atomic-include): forwarded\n"
+            "std::atomic<int> *p;\n", "src/platform/fwd.h")
+        self.assertEqual(rules, [])
+
+    def test_stale_atomic_include_file_waiver(self):
+        rules = lint_source(
+            "// saga-lint: allow-file(atomic-include): forwarded\n"
+            "#include <atomic>\n"
+            "std::atomic<int> *p;\n", "src/platform/fwd.h")
+        self.assertEqual(rules, ["stale-suppression"])
+
+
 class FixtureSandbox(unittest.TestCase):
     def test_all_rules_active_in_fixture_dir(self):
         # src/-scoped rules must fire inside tests/lint_fixtures/ too.
