@@ -1,0 +1,1042 @@
+/**
+ * @file
+ * bench_serve — open-loop load generator for the saga_serve service.
+ *
+ * Drives mixed read/write traffic against a GraphService at fixed
+ * arrival rates and reports tail latency per request class. Two
+ * executors share the whole harness: the default in-process mode calls
+ * the service API directly (precise, no socket noise), and --tcp
+ * HOST:PORT drives a running saga_serve over the wire protocol (CI's
+ * serve-smoke job uses it to exercise the socket front-end).
+ *
+ * Measurement discipline (docs/SERVING.md has the full rationale):
+ *
+ *   - *Open loop.* Request arrival times are scheduled up front from
+ *     the target rate; a slow reply does not delay the next arrival.
+ *     Latency is measured from the *scheduled* arrival, not from the
+ *     moment the generator got around to sending — the classic
+ *     coordinated-omission fix: a stalled server accrues the queueing
+ *     delay it caused instead of silently suppressing load.
+ *   - *Closed-loop calibration first.* Per-class service times and the
+ *     write-path drain rate are measured closed-loop, and the sweep
+ *     rates are derived as fractions of that capacity, so the same
+ *     binary produces sane sweeps on a laptop and a many-core server.
+ *   - *Overload by payload.* The overload runs keep the request rate
+ *     sustainable for the generator and multiply the edges per update
+ *     instead; the admission queue must shed (generator-side rejected
+ *     count > 0) while accepted reads keep bounded tails.
+ *
+ * Per-run output lands in the JSON report (schema saga.bench_serve)
+ * plus a per-class CSV; --gate enforces the serve-smoke invariants
+ * (non-zero counts per class, monotone percentiles, zero consistency
+ * errors, shed > 0 at overload, bounded accepted-read P99).
+ *
+ * Flags:
+ *   --smoke            short runs, small seed graph — used by CI
+ *   --gate             enforce the invariants above (exit 1 on fail)
+ *   --tcp HOST:PORT    drive a running saga_serve instead of in-process
+ *   --ds NAME          store for in-process mode (default as)
+ *   --threads N        service writer-pool width (in-process mode)
+ *   --read-workers N   generator read threads (default 2)
+ *   --out PATH         JSON report path (default BENCH_serve.json)
+ *   --csv PATH         per-class CSV path (default BENCH_serve.csv)
+ *   --telemetry=PATH   dump the telemetry metrics JSON at exit
+ *   --trace=PATH       record phase spans; write Chrome trace JSON
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "gen/rmat.h"
+#include "saga/driver.h"
+#include "serve/latency_histogram.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "stats/table.h"
+#include "telemetry/telemetry.h"
+
+namespace saga {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options
+{
+    bool smoke = false;
+    bool gate = false;
+    std::string tcp; // "HOST:PORT" — empty = in-process mode
+    std::string ds = "as";
+    std::size_t threads = 2;      // service writer pool (in-process)
+    std::size_t readWorkers = 2;  // generator read threads
+    std::string out = "BENCH_serve.json";
+    std::string csv = "BENCH_serve.csv";
+    std::string telemetry;
+    std::string trace;
+};
+
+// --- request classes ----------------------------------------------------
+
+enum class ReqClass : std::size_t {
+    Degree = 0,
+    Neighbors,
+    Bfs,
+    TopK,
+    Update,
+    kCount
+};
+
+constexpr std::size_t kNumClasses =
+    static_cast<std::size_t>(ReqClass::kCount);
+
+const char *
+className(ReqClass c)
+{
+    switch (c) {
+      case ReqClass::Degree: return "degree";
+      case ReqClass::Neighbors: return "neighbors";
+      case ReqClass::Bfs: return "bfs";
+      case ReqClass::TopK: return "topk";
+      case ReqClass::Update: return "update";
+      case ReqClass::kCount: break;
+    }
+    return "?";
+}
+
+/** Read-class pick weights inside the read lane (sums to 1). */
+constexpr double kReadWeights[4] = {0.4, 0.3, 0.2, 0.1};
+
+// --- client abstraction (in-process vs TCP) -----------------------------
+
+struct ReadOutcome
+{
+    bool ok = false;         ///< transport + protocol success
+    bool consistent = true;  ///< reply-internal invariants held
+    std::uint64_t epoch = 0; ///< epoch tag carried by the reply
+};
+
+struct UpdateOutcome
+{
+    bool ok = false;       ///< transport success
+    bool accepted = false; ///< admitted (false = shed)
+};
+
+class Client
+{
+  public:
+    virtual ~Client() = default;
+    virtual ReadOutcome readDegree(NodeId v) = 0;
+    virtual ReadOutcome readNeighbors(NodeId v) = 0;
+    virtual ReadOutcome readBfs(NodeId v) = 0;
+    virtual ReadOutcome readTopK() = 0;
+    virtual UpdateOutcome sendUpdate(const Edge *edges, std::size_t n) = 0;
+};
+
+class InProcClient final : public Client
+{
+  public:
+    explicit InProcClient(GraphService &svc) : svc_(svc) {}
+
+    ReadOutcome
+    readDegree(NodeId v) override
+    {
+        const DegreeReply r = svc_.degree(v);
+        return {true, true, r.epoch};
+    }
+
+    ReadOutcome
+    readNeighbors(NodeId v) override
+    {
+        const NeighborsReply r = svc_.neighbors(v);
+        return {true, r.degree == r.neighbors.size(), r.epoch};
+    }
+
+    ReadOutcome
+    readBfs(NodeId v) override
+    {
+        const BfsReply r = svc_.bfsDistance(v);
+        return {true, true, r.epoch};
+    }
+
+    ReadOutcome
+    readTopK() override
+    {
+        const TopKReply r = svc_.pageRankTopK();
+        // Ranks must arrive sorted descending (ties by id) — a torn
+        // buffer swap would break this.
+        bool sorted = true;
+        for (std::size_t i = 1; i < r.entries.size(); ++i)
+            if (r.entries[i - 1].rank < r.entries[i].rank)
+                sorted = false;
+        return {true, sorted, r.epoch};
+    }
+
+    UpdateOutcome
+    sendUpdate(const Edge *edges, std::size_t n) override
+    {
+        return {true, svc_.offerUpdate(edges, n)};
+    }
+
+  private:
+    GraphService &svc_;
+};
+
+class TcpClient final : public Client
+{
+  public:
+    /** @return nullptr if the connection cannot be established. */
+    static std::unique_ptr<TcpClient>
+    connect(const std::string &host, int port)
+    {
+        addrinfo hints{};
+        hints.ai_family = AF_INET;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo *res = nullptr;
+        if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                          &hints, &res) != 0 ||
+            res == nullptr)
+            return nullptr;
+        const int fd =
+            ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+        if (fd < 0 || ::connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+            ::freeaddrinfo(res);
+            if (fd >= 0)
+                ::close(fd);
+            return nullptr;
+        }
+        ::freeaddrinfo(res);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return std::unique_ptr<TcpClient>(new TcpClient(fd));
+    }
+
+    ~TcpClient() override { ::close(fd_); }
+
+    ReadOutcome
+    readDegree(NodeId v) override
+    {
+        ReadOutcome out;
+        if (!roundTrip(wire::encodeNodeRequest(wire::Op::kDegree, v)))
+            return out;
+        wire::Reader r(reply_);
+        if (static_cast<wire::Status>(r.u8()) != wire::Status::kOk)
+            return out;
+        out.epoch = r.u64();
+        r.u32(); // outDegree
+        r.u32(); // inDegree
+        out.ok = r.ok() && r.remaining() == 0;
+        return out;
+    }
+
+    ReadOutcome
+    readNeighbors(NodeId v) override
+    {
+        ReadOutcome out;
+        if (!roundTrip(wire::encodeNodeRequest(wire::Op::kNeighbors, v)))
+            return out;
+        wire::Reader r(reply_);
+        if (static_cast<wire::Status>(r.u8()) != wire::Status::kOk)
+            return out;
+        out.epoch = r.u64();
+        const std::uint32_t deg = r.u32();
+        out.ok = r.ok();
+        // The wire-level consistency check: the advertised degree must
+        // match the number of entries actually serialized.
+        out.consistent =
+            out.ok && r.remaining() == static_cast<std::size_t>(deg) * 4;
+        return out;
+    }
+
+    ReadOutcome
+    readBfs(NodeId v) override
+    {
+        ReadOutcome out;
+        if (!roundTrip(wire::encodeNodeRequest(wire::Op::kBfs, v)))
+            return out;
+        wire::Reader r(reply_);
+        if (static_cast<wire::Status>(r.u8()) != wire::Status::kOk)
+            return out;
+        out.epoch = r.u64();
+        r.u32(); // distance
+        out.ok = r.ok() && r.remaining() == 0;
+        return out;
+    }
+
+    ReadOutcome
+    readTopK() override
+    {
+        ReadOutcome out;
+        if (!roundTrip(wire::encodeEmptyRequest(wire::Op::kTopK)))
+            return out;
+        wire::Reader r(reply_);
+        if (static_cast<wire::Status>(r.u8()) != wire::Status::kOk)
+            return out;
+        out.epoch = r.u64();
+        const std::uint32_t k = r.u32();
+        double prev = 0;
+        bool sorted = true;
+        for (std::uint32_t i = 0; i < k; ++i) {
+            r.u32(); // node
+            const double rank = r.f64();
+            if (i > 0 && rank > prev)
+                sorted = false;
+            prev = rank;
+        }
+        out.ok = r.ok() && r.remaining() == 0;
+        out.consistent = out.ok && sorted;
+        return out;
+    }
+
+    UpdateOutcome
+    sendUpdate(const Edge *edges, std::size_t n) override
+    {
+        UpdateOutcome out;
+        if (!roundTrip(wire::encodeUpdateRequest(edges, n)))
+            return out;
+        wire::Reader r(reply_);
+        const wire::Status status = static_cast<wire::Status>(r.u8());
+        out.ok = status != wire::Status::kBadRequest && r.ok();
+        out.accepted = status == wire::Status::kOk;
+        return out;
+    }
+
+  private:
+    explicit TcpClient(int fd) : fd_(fd) {}
+
+    bool
+    roundTrip(const std::vector<std::uint8_t> &request)
+    {
+        return wire::writeFrame(fd_, request) &&
+               wire::readFrame(fd_, reply_);
+    }
+
+    int fd_;
+    std::vector<std::uint8_t> reply_;
+};
+
+// --- per-run bookkeeping ------------------------------------------------
+
+/** One generator thread's private results (merged after the run). */
+struct WorkerResult
+{
+    LatencyHistogram hist[kNumClasses];
+    std::uint64_t updatesOffered = 0;
+    std::uint64_t updatesShed = 0;
+    std::uint64_t updateEdgesOffered = 0;
+    std::uint64_t consistencyErrors = 0;
+    std::uint64_t transportErrors = 0;
+    std::uint64_t epochRegressions = 0;
+    std::uint64_t maxSchedLagNs = 0;
+};
+
+/** Specification of one open-loop run. */
+struct RunSpec
+{
+    std::string name;
+    std::string mix; ///< "90/10" or "50/50" (reads/writes by request)
+    bool overload = false;
+    double readRate = 0;  ///< read requests/sec across all read workers
+    double writeRate = 0; ///< update requests/sec (one write worker)
+    std::size_t updateBatchEdges = 8;
+    double durationSeconds = 1.0;
+};
+
+/** Aggregated outcome of one run. */
+struct RunResult
+{
+    RunSpec spec;
+    LatencyHistogram hist[kNumClasses];
+    std::uint64_t updatesOffered = 0;
+    std::uint64_t updatesShed = 0;
+    std::uint64_t updateEdgesOffered = 0;
+    std::uint64_t consistencyErrors = 0;
+    std::uint64_t transportErrors = 0;
+    std::uint64_t epochRegressions = 0;
+    std::uint64_t maxSchedLagNs = 0;
+
+    void
+    merge(const WorkerResult &w)
+    {
+        for (std::size_t c = 0; c < kNumClasses; ++c)
+            hist[c].merge(w.hist[c]);
+        updatesOffered += w.updatesOffered;
+        updatesShed += w.updatesShed;
+        updateEdgesOffered += w.updateEdgesOffered;
+        consistencyErrors += w.consistencyErrors;
+        transportErrors += w.transportErrors;
+        epochRegressions += w.epochRegressions;
+        maxSchedLagNs = std::max(maxSchedLagNs, w.maxSchedLagNs);
+    }
+};
+
+/** Calibration numbers the sweep rates are derived from. */
+struct Calibration
+{
+    double classMeanNs[kNumClasses] = {};
+    double readCapacityRps = 0;    ///< closed-loop mixed-read req/s
+    double floodAcceptedEps = 0;   ///< edges/s the write path absorbed
+    double floodOfferedEps = 0;    ///< edges/s the generator offered
+};
+
+std::uint64_t
+elapsedNs(Clock::time_point from, Clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+}
+
+/** Pick a read class from the weighted distribution. */
+ReqClass
+pickReadClass(double u)
+{
+    double acc = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        acc += kReadWeights[i];
+        if (u < acc)
+            return static_cast<ReqClass>(i);
+    }
+    return ReqClass::Degree;
+}
+
+ReadOutcome
+issueRead(Client &client, ReqClass cls, NodeId v)
+{
+    switch (cls) {
+      case ReqClass::Degree: return client.readDegree(v);
+      case ReqClass::Neighbors: return client.readNeighbors(v);
+      case ReqClass::Bfs: return client.readBfs(v);
+      case ReqClass::TopK: return client.readTopK();
+      default: return {};
+    }
+}
+
+// --- calibration --------------------------------------------------------
+
+/**
+ * Closed-loop: issue the weighted read mix back to back for
+ * @p seconds, yielding per-class mean service time (as seen from the
+ * generator thread, loop overhead included) and the mixed capacity.
+ */
+void
+calibrateReads(Client &client, NodeId nodes, double seconds,
+               Calibration &cal)
+{
+    std::mt19937_64 rng(42);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::uniform_int_distribution<NodeId> node(0, nodes - 1);
+    std::uint64_t totalNs[4] = {};
+    std::uint64_t count[4] = {};
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    std::uint64_t requests = 0;
+    const Clock::time_point begin = Clock::now();
+    while (Clock::now() < deadline) {
+        const ReqClass cls = pickReadClass(uni(rng));
+        const Clock::time_point t0 = Clock::now();
+        issueRead(client, cls, node(rng));
+        const std::uint64_t ns = elapsedNs(t0, Clock::now());
+        totalNs[static_cast<std::size_t>(cls)] += ns;
+        ++count[static_cast<std::size_t>(cls)];
+        ++requests;
+    }
+    const double wall =
+        static_cast<double>(elapsedNs(begin, Clock::now())) / 1e9;
+    for (std::size_t i = 0; i < 4; ++i)
+        cal.classMeanNs[i] =
+            count[i] ? static_cast<double>(totalNs[i]) /
+                           static_cast<double>(count[i])
+                     : 0;
+    cal.readCapacityRps =
+        wall > 0 ? static_cast<double>(requests) / wall : 0;
+}
+
+/**
+ * Closed-loop write flood: offer fixed-size batches as fast as the
+ * transport allows for @p seconds. The accepted edge rate bounds what
+ * the epoch loop can drain (queue fill contributes at most one depth);
+ * the overload runs offer a multiple of it.
+ */
+void
+calibrateWrites(Client &client, NodeId nodes, double seconds,
+                Calibration &cal)
+{
+    std::mt19937_64 rng(43);
+    std::uniform_int_distribution<NodeId> node(0, nodes - 1);
+    constexpr std::size_t kBatch = 64;
+    std::vector<Edge> edges(kBatch);
+    std::uint64_t offered = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t updateNs = 0;
+    std::uint64_t updates = 0;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    const Clock::time_point begin = Clock::now();
+    while (Clock::now() < deadline) {
+        for (Edge &e : edges)
+            e = Edge{node(rng), node(rng), 1.0f};
+        const Clock::time_point t0 = Clock::now();
+        const UpdateOutcome out = client.sendUpdate(edges.data(), kBatch);
+        updateNs += elapsedNs(t0, Clock::now());
+        ++updates;
+        offered += kBatch;
+        if (out.accepted)
+            accepted += kBatch;
+    }
+    const double wall =
+        static_cast<double>(elapsedNs(begin, Clock::now())) / 1e9;
+    cal.classMeanNs[static_cast<std::size_t>(ReqClass::Update)] =
+        updates ? static_cast<double>(updateNs) /
+                      static_cast<double>(updates)
+                : 0;
+    cal.floodOfferedEps =
+        wall > 0 ? static_cast<double>(offered) / wall : 0;
+    cal.floodAcceptedEps =
+        wall > 0 ? static_cast<double>(accepted) / wall : 0;
+}
+
+// --- the open-loop engine -----------------------------------------------
+
+/**
+ * One generator thread: requests w, w+W, w+2W, ... of an arrival
+ * schedule at @p rate requests/sec. Latency is recorded from the
+ * *scheduled* arrival (coordinated-omission-free); the lag between
+ * schedule and actual issue is tracked separately as maxSchedLagNs.
+ */
+void
+runWorker(Client &client, const RunSpec &spec, bool writeLane,
+          std::size_t workerId, std::size_t laneWorkers, NodeId nodes,
+          Clock::time_point start, WorkerResult &result)
+{
+    const double rate = writeLane ? spec.writeRate : spec.readRate;
+    if (rate <= 0)
+        return;
+    std::mt19937_64 rng(1000 + workerId * 7919 + (writeLane ? 1 : 0));
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::uniform_int_distribution<NodeId> node(0, nodes - 1);
+    std::vector<Edge> edges(writeLane ? spec.updateBatchEdges : 0);
+    const double intervalNs = 1e9 / rate;
+    const std::uint64_t horizonNs = static_cast<std::uint64_t>(
+        spec.durationSeconds * 1e9);
+    std::uint64_t lastGraphEpoch = 0;
+    std::uint64_t lastAlgoEpoch = 0;
+
+    for (std::uint64_t i = workerId;; i += laneWorkers) {
+        const std::uint64_t schedNs =
+            static_cast<std::uint64_t>(static_cast<double>(i) *
+                                       intervalNs);
+        if (schedNs >= horizonNs)
+            break;
+        const Clock::time_point sched =
+            start + std::chrono::nanoseconds(schedNs);
+        std::this_thread::sleep_until(sched);
+        const Clock::time_point issued = Clock::now();
+        if (issued > sched)
+            result.maxSchedLagNs = std::max(
+                result.maxSchedLagNs, elapsedNs(sched, issued));
+
+        if (writeLane) {
+            for (Edge &e : edges)
+                e = Edge{node(rng), node(rng), 1.0f};
+            const UpdateOutcome out =
+                client.sendUpdate(edges.data(), edges.size());
+            const std::uint64_t ns = elapsedNs(sched, Clock::now());
+            result.hist[static_cast<std::size_t>(ReqClass::Update)]
+                .record(ns);
+            ++result.updatesOffered;
+            result.updateEdgesOffered += edges.size();
+            if (!out.ok)
+                ++result.transportErrors;
+            else if (!out.accepted)
+                ++result.updatesShed;
+        } else {
+            const ReqClass cls = pickReadClass(uni(rng));
+            const ReadOutcome out = issueRead(client, cls, node(rng));
+            const std::uint64_t ns = elapsedNs(sched, Clock::now());
+            result.hist[static_cast<std::size_t>(cls)].record(ns);
+            if (!out.ok) {
+                ++result.transportErrors;
+            } else {
+                if (!out.consistent)
+                    ++result.consistencyErrors;
+                // Epoch tags must be monotone per connection: point
+                // reads carry the graph epoch, algorithm reads the
+                // (possibly lagging) algorithm epoch.
+                std::uint64_t &last =
+                    cls == ReqClass::Degree || cls == ReqClass::Neighbors
+                        ? lastGraphEpoch
+                        : lastAlgoEpoch;
+                if (out.epoch < last)
+                    ++result.epochRegressions;
+                else
+                    last = out.epoch;
+            }
+        }
+    }
+}
+
+/** Factory for per-worker clients (own TCP connection each). */
+struct ClientFactory
+{
+    GraphService *svc = nullptr; // in-process mode
+    std::string host;            // TCP mode
+    int port = 0;
+
+    std::unique_ptr<Client>
+    make() const
+    {
+        if (svc != nullptr)
+            return std::make_unique<InProcClient>(*svc);
+        return TcpClient::connect(host, port);
+    }
+};
+
+bool
+executeRun(const ClientFactory &factory, const RunSpec &spec,
+           std::size_t readWorkers, NodeId nodes, RunResult &out)
+{
+    out.spec = spec;
+    const std::size_t writeWorkers = spec.writeRate > 0 ? 1 : 0;
+    const std::size_t total = readWorkers + writeWorkers;
+    std::vector<std::unique_ptr<Client>> clients;
+    for (std::size_t i = 0; i < total; ++i) {
+        clients.push_back(factory.make());
+        if (!clients.back()) {
+            std::cerr << "FAIL: cannot connect load-generator client\n";
+            return false;
+        }
+    }
+    std::vector<WorkerResult> results(total);
+    std::vector<std::thread> threads;
+    const Clock::time_point start =
+        Clock::now() + std::chrono::milliseconds(20);
+    for (std::size_t w = 0; w < readWorkers; ++w) {
+        threads.emplace_back([&, w] {
+            runWorker(*clients[w], spec, /*writeLane=*/false, w,
+                      readWorkers, nodes, start, results[w]);
+        });
+    }
+    if (writeWorkers > 0) {
+        threads.emplace_back([&] {
+            runWorker(*clients[readWorkers], spec, /*writeLane=*/true, 0,
+                      1, nodes, start, results[readWorkers]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (const WorkerResult &w : results)
+        out.merge(w);
+    std::cerr << "." << std::flush;
+    return true;
+}
+
+// --- reporting ----------------------------------------------------------
+
+void
+writeCsv(const std::string &path, const std::vector<RunResult> &runs)
+{
+    std::ofstream os(path);
+    os << "run,mix,overload,class,count,mean_ns,p50_ns,p95_ns,p99_ns,"
+          "max_ns\n";
+    for (const RunResult &r : runs) {
+        for (std::size_t c = 0; c < kNumClasses; ++c) {
+            const LatencyHistogram &h = r.hist[c];
+            os << r.spec.name << "," << r.spec.mix << ","
+               << (r.spec.overload ? 1 : 0) << ","
+               << className(static_cast<ReqClass>(c)) << "," << h.count()
+               << "," << static_cast<std::uint64_t>(h.meanNs()) << ","
+               << h.percentile(50) << "," << h.percentile(95) << ","
+               << h.percentile(99) << "," << h.maxNs() << "\n";
+        }
+    }
+}
+
+void
+writeJson(const std::string &path, const Options &opt,
+          const Calibration &cal, const std::vector<RunResult> &runs,
+          const ServeStats *stats)
+{
+    std::ofstream os(path);
+    os << "{\n"
+       << "  \"bench\": \"bench_serve\",\n"
+       << "  \"schema\": \"saga.bench_serve\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"mode\": \"" << (opt.tcp.empty() ? "inproc" : "tcp")
+       << "\",\n"
+       << "  \"store\": \"" << opt.ds << "\",\n"
+       << "  \"smoke\": " << (opt.smoke ? "true" : "false") << ",\n"
+       << "  \"read_workers\": " << opt.readWorkers << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"note\": \"open-loop load generator; latencies measured "
+          "from scheduled arrival (coordinated-omission-free); overload "
+          "runs scale the per-update edge payload, not the request "
+          "rate\",\n"
+       << "  \"calibration\": {\"read_capacity_rps\": "
+       << cal.readCapacityRps
+       << ", \"flood_accepted_eps\": " << cal.floodAcceptedEps
+       << ", \"flood_offered_eps\": " << cal.floodOfferedEps;
+    for (std::size_t c = 0; c < kNumClasses; ++c)
+        os << ", \"" << className(static_cast<ReqClass>(c))
+           << "_mean_ns\": "
+           << static_cast<std::uint64_t>(cal.classMeanNs[c]);
+    os << "},\n"
+       << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunResult &r = runs[i];
+        os << "    {\"name\": \"" << r.spec.name << "\", \"mix\": \""
+           << r.spec.mix << "\", \"overload\": "
+           << (r.spec.overload ? "true" : "false")
+           << ", \"read_rate_rps\": " << r.spec.readRate
+           << ", \"write_rate_rps\": " << r.spec.writeRate
+           << ", \"update_batch_edges\": " << r.spec.updateBatchEdges
+           << ", \"duration_seconds\": " << r.spec.durationSeconds
+           << ",\n     \"classes\": [";
+        for (std::size_t c = 0; c < kNumClasses; ++c) {
+            const LatencyHistogram &h = r.hist[c];
+            os << (c ? ", " : "") << "{\"class\": \""
+               << className(static_cast<ReqClass>(c))
+               << "\", \"count\": " << h.count() << ", \"mean_ns\": "
+               << static_cast<std::uint64_t>(h.meanNs())
+               << ", \"p50_ns\": " << h.percentile(50)
+               << ", \"p95_ns\": " << h.percentile(95)
+               << ", \"p99_ns\": " << h.percentile(99)
+               << ", \"max_ns\": " << h.maxNs() << "}";
+        }
+        os << "],\n     \"updates_offered\": " << r.updatesOffered
+           << ", \"updates_shed\": " << r.updatesShed
+           << ", \"update_edges_offered\": " << r.updateEdgesOffered
+           << ", \"consistency_errors\": " << r.consistencyErrors
+           << ", \"transport_errors\": " << r.transportErrors
+           << ", \"epoch_regressions\": " << r.epochRegressions
+           << ", \"max_sched_lag_ns\": " << r.maxSchedLagNs << "}"
+           << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+    if (stats != nullptr) {
+        os << ",\n  \"service_stats\": {\"graph_epoch\": "
+           << stats->graphEpoch << ", \"algo_epoch\": " << stats->algoEpoch
+           << ", \"accepted_edges\": " << stats->acceptedEdges
+           << ", \"shed_edges\": " << stats->shedEdges
+           << ", \"backlog_edges\": " << stats->backlogEdges
+           << ", \"graph_edges\": " << stats->graphEdges
+           << ", \"graph_nodes\": " << stats->graphNodes << "}";
+    }
+    os << "\n}\n";
+}
+
+// --- gate ---------------------------------------------------------------
+
+bool
+gateRuns(const std::vector<RunResult> &runs)
+{
+    bool pass = true;
+    bool sawOverload = false;
+    for (const RunResult &r : runs) {
+        for (std::size_t c = 0; c < kNumClasses; ++c) {
+            const LatencyHistogram &h = r.hist[c];
+            const bool classActive =
+                c != static_cast<std::size_t>(ReqClass::Update) ||
+                r.spec.writeRate > 0;
+            if (classActive && h.count() == 0) {
+                std::cerr << "FAIL: " << r.spec.name << " recorded zero "
+                          << className(static_cast<ReqClass>(c))
+                          << " requests\n";
+                pass = false;
+            }
+            if (!(h.percentile(50) <= h.percentile(95) &&
+                  h.percentile(95) <= h.percentile(99) &&
+                  h.percentile(99) <= h.maxNs())) {
+                std::cerr << "FAIL: " << r.spec.name
+                          << " non-monotone percentiles for "
+                          << className(static_cast<ReqClass>(c)) << "\n";
+                pass = false;
+            }
+        }
+        if (r.consistencyErrors != 0 || r.epochRegressions != 0) {
+            std::cerr << "FAIL: " << r.spec.name << " saw "
+                      << r.consistencyErrors << " consistency errors, "
+                      << r.epochRegressions << " epoch regressions\n";
+            pass = false;
+        }
+        if (r.transportErrors != 0) {
+            std::cerr << "FAIL: " << r.spec.name << " saw "
+                      << r.transportErrors << " transport errors\n";
+            pass = false;
+        }
+        if (r.spec.overload) {
+            sawOverload = true;
+            if (r.updatesShed == 0) {
+                std::cerr << "FAIL: " << r.spec.name
+                          << " shed no updates at overload\n";
+                pass = false;
+            }
+            // "Bounded" accepted-read tail under write overload: the
+            // point-read P99 must stay far from the run duration —
+            // unbounded queueing would drag it toward the horizon.
+            const std::uint64_t p99 =
+                r.hist[static_cast<std::size_t>(ReqClass::Degree)]
+                    .percentile(99);
+            const std::uint64_t ceiling = static_cast<std::uint64_t>(
+                r.spec.durationSeconds * 1e9 / 4);
+            if (p99 >= ceiling) {
+                std::cerr << "FAIL: " << r.spec.name
+                          << " degree P99 " << p99
+                          << "ns >= bound " << ceiling << "ns\n";
+                pass = false;
+            }
+        }
+    }
+    if (!sawOverload) {
+        std::cerr << "FAIL: no overload run executed\n";
+        pass = false;
+    }
+    return pass;
+}
+
+// --- main driver --------------------------------------------------------
+
+int
+run(const Options &opt)
+{
+    if (!opt.telemetry.empty()) {
+        telemetry::enablePerf();
+        telemetry::setEnabled(true);
+    }
+    if (!opt.trace.empty())
+        telemetry::setTraceEnabled(true);
+
+    const std::uint32_t seedScale = opt.smoke ? 10 : 13;
+    const std::uint64_t seedEdges = std::uint64_t{1}
+                                    << (seedScale + 3);
+    const NodeId nodes = NodeId{1} << seedScale;
+    const double calSeconds = opt.smoke ? 0.2 : 0.5;
+    const double runSeconds = opt.smoke ? 1.0 : 3.0;
+
+    std::cout << "==============================================\n"
+              << "saga_serve load generator ("
+              << (opt.tcp.empty() ? "in-process" : "tcp") << " mode, "
+              << "store=" << opt.ds << ", seed scale=" << seedScale
+              << ")" << (opt.smoke ? "  [smoke]" : "") << "\n"
+              << "==============================================\n";
+
+    // Stand up the service (in-process) or connect (TCP).
+    std::unique_ptr<GraphService> svc;
+    ClientFactory factory;
+    if (opt.tcp.empty()) {
+        ServeConfig cfg;
+        cfg.ds = parseDs(opt.ds);
+        cfg.threads = opt.threads;
+        cfg.bfsSource = 0;
+        svc = makeService(cfg);
+        RmatParams params;
+        params.scale = seedScale;
+        params.numEdges = seedEdges;
+        svc->bootstrap(generateRmat(params));
+        svc->start();
+        factory.svc = svc.get();
+    } else {
+        const std::size_t colon = opt.tcp.rfind(':');
+        if (colon == std::string::npos) {
+            std::cerr << "FAIL: --tcp expects HOST:PORT\n";
+            return 2;
+        }
+        factory.host = opt.tcp.substr(0, colon);
+        factory.port = std::stoi(opt.tcp.substr(colon + 1));
+    }
+
+    // Calibration (closed loop).
+    Calibration cal;
+    {
+        std::unique_ptr<Client> client = factory.make();
+        if (!client) {
+            std::cerr << "FAIL: cannot connect for calibration\n";
+            return 1;
+        }
+        calibrateReads(*client, nodes, calSeconds, cal);
+        calibrateWrites(*client, nodes, calSeconds, cal);
+    }
+    if (cal.readCapacityRps <= 0 || cal.floodAcceptedEps <= 0) {
+        std::cerr << "FAIL: calibration measured zero capacity\n";
+        return 1;
+    }
+    std::cout << "calibration: read capacity "
+              << static_cast<std::uint64_t>(cal.readCapacityRps)
+              << " req/s, write drain "
+              << static_cast<std::uint64_t>(cal.floodAcceptedEps)
+              << " edges/s\n";
+
+    // Sweep: healthy 90/10 and 50/50 mixes, then the same mixes with
+    // the per-update payload scaled so the offered edge rate is a
+    // multiple of the measured drain rate — the queue must shed.
+    //
+    // The target rate is a small fraction of the *mixed* closed-loop
+    // capacity (weighted read mean + update-offer mean), not of the
+    // raw read capacity: the generator threads share cores with the
+    // service's epoch loop, and an arrival schedule the generator
+    // cannot keep would turn every measured latency into generator
+    // lag. Overload pressure comes from the edge payload instead.
+    double weightedReadMeanNs = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        weightedReadMeanNs += kReadWeights[i] * cal.classMeanNs[i];
+    const double updateMeanNs =
+        cal.classMeanNs[static_cast<std::size_t>(ReqClass::Update)];
+    if (weightedReadMeanNs <= 0 || updateMeanNs <= 0) {
+        std::cerr << "FAIL: calibration measured zero service time\n";
+        return 1;
+    }
+    constexpr double kUtilization = 0.1;
+    const auto spec = [&](const char *name, const char *mix,
+                          double writeFraction, bool overload) {
+        RunSpec s;
+        s.name = name;
+        s.mix = mix;
+        s.overload = overload;
+        const double meanMixNs =
+            (weightedReadMeanNs + writeFraction * updateMeanNs) /
+            (1.0 + writeFraction);
+        const double totalRate = kUtilization * 1e9 / meanMixNs;
+        s.readRate = totalRate / (1.0 + writeFraction);
+        s.writeRate = s.readRate * writeFraction;
+        s.durationSeconds = runSeconds;
+        const double targetEps =
+            overload ? 3.0 * cal.floodAcceptedEps
+                     : 0.25 * cal.floodAcceptedEps;
+        s.updateBatchEdges = std::clamp<std::size_t>(
+            static_cast<std::size_t>(targetEps / s.writeRate), 1,
+            std::size_t{1} << 16);
+        return s;
+    };
+    const std::vector<RunSpec> specs = {
+        spec("mix9010_moderate", "90/10", 1.0 / 9.0, false),
+        spec("mix5050_moderate", "50/50", 1.0, false),
+        spec("mix9010_overload", "90/10", 1.0 / 9.0, true),
+        spec("mix5050_overload", "50/50", 1.0, true),
+    };
+
+    std::vector<RunResult> runs;
+    for (const RunSpec &s : specs) {
+        RunResult r;
+        if (!executeRun(factory, s, opt.readWorkers, nodes, r))
+            return 1;
+        runs.push_back(std::move(r));
+    }
+    std::cerr << "\n";
+
+    ServeStats stats;
+    if (svc) {
+        svc->stop();
+        stats = svc->stats();
+    }
+
+    TextTable table({"Run", "Class", "Count", "P50 us", "P95 us",
+                     "P99 us", "Max us"});
+    for (const RunResult &r : runs) {
+        for (std::size_t c = 0; c < kNumClasses; ++c) {
+            const LatencyHistogram &h = r.hist[c];
+            if (h.count() == 0)
+                continue;
+            table.addRow(
+                {r.spec.name, className(static_cast<ReqClass>(c)),
+                 std::to_string(h.count()),
+                 formatDouble(static_cast<double>(h.percentile(50)) / 1e3,
+                              1),
+                 formatDouble(static_cast<double>(h.percentile(95)) / 1e3,
+                              1),
+                 formatDouble(static_cast<double>(h.percentile(99)) / 1e3,
+                              1),
+                 formatDouble(static_cast<double>(h.maxNs()) / 1e3, 1)});
+        }
+    }
+    table.print(std::cout);
+    for (const RunResult &r : runs) {
+        if (r.spec.overload)
+            std::cout << r.spec.name << ": shed " << r.updatesShed
+                      << " of " << r.updatesOffered << " updates\n";
+    }
+
+    writeJson(opt.out, opt, cal, runs, svc ? &stats : nullptr);
+    writeCsv(opt.csv, runs);
+    std::cout << "\nWrote " << opt.out << " and " << opt.csv << "\n";
+
+    if (!opt.telemetry.empty()) {
+        if (!telemetry::writeMetricsJson(opt.telemetry)) {
+            std::cerr << "FAIL: cannot write " << opt.telemetry << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << opt.telemetry << "\n";
+    }
+    if (!opt.trace.empty()) {
+        if (!telemetry::writeTraceJson(opt.trace)) {
+            std::cerr << "FAIL: cannot write " << opt.trace << "\n";
+            return 1;
+        }
+        std::cout << "Wrote " << opt.trace << "\n";
+    }
+
+    if (opt.gate) {
+        if (!gateRuns(runs))
+            return 1;
+        std::cout << "serve gate passed (counts, monotone percentiles, "
+                     "consistency, shed at overload, bounded read P99)\n";
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace saga
+
+int
+main(int argc, char **argv)
+{
+    saga::Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--gate") {
+            opt.gate = true;
+        } else if (arg == "--tcp" && i + 1 < argc) {
+            opt.tcp = argv[++i];
+        } else if (arg == "--ds" && i + 1 < argc) {
+            opt.ds = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opt.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (arg == "--read-workers" && i + 1 < argc) {
+            opt.readWorkers =
+                std::max<std::size_t>(1, std::stoul(argv[++i]));
+        } else if (arg == "--out" && i + 1 < argc) {
+            opt.out = argv[++i];
+        } else if (arg == "--csv" && i + 1 < argc) {
+            opt.csv = argv[++i];
+        } else if (arg.rfind("--telemetry=", 0) == 0) {
+            opt.telemetry = arg.substr(12);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.trace = arg.substr(8);
+        } else {
+            std::cerr << "usage: bench_serve [--smoke] [--gate] "
+                         "[--tcp HOST:PORT] [--ds NAME] [--threads N] "
+                         "[--read-workers N] [--out PATH] [--csv PATH] "
+                         "[--telemetry=PATH] [--trace=PATH]\n";
+            return 2;
+        }
+    }
+    return saga::run(opt);
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * AdmissionQueue — bounded edge-update buffer with load shedding.
+ *
+ * The write path of the serving layer is admission-controlled: producers
+ * offer() edge arrays and the epoch loop drain()s them into the next
+ * staged batch. The queue holds at most @p depth edges; an offer that
+ * would exceed the depth is rejected *whole* (all-or-nothing), which is
+ * the fast-reject backlog error the wire protocol surfaces to clients.
+ * Shedding at the door keeps accepted-write latency bounded: once the
+ * writer lane falls behind, waiting updates would otherwise queue
+ * without limit and every SLO would drown in queueing delay
+ * (docs/SERVING.md covers the rationale).
+ *
+ * Concurrency: many producers, one consumer (the epoch loop). Critical
+ * sections are a bounds check plus a memcpy-sized append, so the store
+ * layer's SpinLock is the right tool (src/ bans std::mutex; see
+ * docs/STATIC_ANALYSIS.md). FIFO order is preserved — edges are applied
+ * in admission order, which the snapshot-consistency tests rely on.
+ */
+
+#ifndef SAGA_SERVE_ADMISSION_QUEUE_H_
+#define SAGA_SERVE_ADMISSION_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/spinlock.h"
+#include "platform/thread_annotations.h"
+#include "saga/edge_batch.h"
+#include "saga/types.h"
+
+namespace saga {
+
+class AdmissionQueue
+{
+  public:
+    /** @param depthEdges maximum queued (admitted, undrained) edges. */
+    explicit AdmissionQueue(std::size_t depthEdges) : depth_(depthEdges)
+    {}
+
+    /**
+     * Offer @p n edges for admission. All-or-nothing: either the whole
+     * array is appended (true) or the queue is over depth and nothing
+     * is taken (false — the caller reports backlog to the client).
+     */
+    bool
+    offer(const Edge *edges, std::size_t n)
+    {
+        SpinGuard guard(lock_);
+        if (pending_.size() - head_ + n > depth_) {
+            shed_ += n;
+            return false;
+        }
+        pending_.insert(pending_.end(), edges, edges + n);
+        accepted_ += n;
+        return true;
+    }
+
+    /**
+     * Consumer side: move up to @p maxEdges admitted edges (FIFO) into
+     * @p out. @return the number of edges moved.
+     */
+    std::size_t
+    drain(EdgeBatch &out, std::size_t maxEdges)
+    {
+        SpinGuard guard(lock_);
+        const std::size_t avail = pending_.size() - head_;
+        const std::size_t take = avail < maxEdges ? avail : maxEdges;
+        for (std::size_t i = 0; i < take; ++i)
+            out.push_back(pending_[head_ + i]);
+        head_ += take;
+        if (head_ == pending_.size()) {
+            pending_.clear();
+            head_ = 0;
+        }
+        return take;
+    }
+
+    /** Currently queued (admitted, undrained) edges. */
+    std::size_t
+    backlog() const
+    {
+        SpinGuard guard(lock_);
+        return pending_.size() - head_;
+    }
+
+    /** Lifetime totals (edges, not calls). */
+    std::uint64_t
+    acceptedEdges() const
+    {
+        SpinGuard guard(lock_);
+        return accepted_;
+    }
+    std::uint64_t
+    shedEdges() const
+    {
+        SpinGuard guard(lock_);
+        return shed_;
+    }
+
+    std::size_t depth() const { return depth_; }
+
+  private:
+    // immutable-after-build: fixed at construction
+    std::size_t depth_;
+    mutable SpinLock lock_;
+    std::vector<Edge> pending_ SAGA_GUARDED_BY(lock_);
+    std::size_t head_ SAGA_GUARDED_BY(lock_) = 0;
+    std::uint64_t accepted_ SAGA_GUARDED_BY(lock_) = 0;
+    std::uint64_t shed_ SAGA_GUARDED_BY(lock_) = 0;
+};
+
+} // namespace saga
+
+#endif // SAGA_SERVE_ADMISSION_QUEUE_H_

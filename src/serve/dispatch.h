@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Wire-op dispatch: one decoded request frame in, one reply frame out.
+ *
+ * Kept separate from the socket front-end (tools/saga_serve.cc) so the
+ * protocol surface is testable in-process — the unit tests round-trip
+ * frames through handleRequest() without opening a socket, and the TCP
+ * server and the load generator's TCP mode share exactly this code
+ * path. Payload layouts are documented in wire.h / docs/SERVING.md.
+ */
+
+#ifndef SAGA_SERVE_DISPATCH_H_
+#define SAGA_SERVE_DISPATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "saga/types.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace saga {
+namespace wire {
+
+/** @return a reply body with only a status byte. */
+inline std::vector<std::uint8_t>
+statusReply(Status status)
+{
+    std::vector<std::uint8_t> out;
+    putU8(out, static_cast<std::uint8_t>(status));
+    return out;
+}
+
+/**
+ * Execute one request body against @p svc and build the reply body.
+ * Malformed input never throws — it yields a kBadRequest reply.
+ */
+inline std::vector<std::uint8_t>
+handleRequest(GraphService &svc, const std::vector<std::uint8_t> &body)
+{
+    Reader r(body);
+    const Op op = static_cast<Op>(r.u8());
+    std::vector<std::uint8_t> out;
+    switch (op) {
+      case Op::kDegree: {
+        const NodeId v = r.u32();
+        if (!r.ok() || r.remaining() != 0)
+            return statusReply(Status::kBadRequest);
+        const DegreeReply reply = svc.degree(v);
+        putU8(out, static_cast<std::uint8_t>(Status::kOk));
+        putU64(out, reply.epoch);
+        putU32(out, reply.outDegree);
+        putU32(out, reply.inDegree);
+        return out;
+      }
+      case Op::kNeighbors: {
+        const NodeId v = r.u32();
+        if (!r.ok() || r.remaining() != 0)
+            return statusReply(Status::kBadRequest);
+        const NeighborsReply reply = svc.neighbors(v);
+        putU8(out, static_cast<std::uint8_t>(Status::kOk));
+        putU64(out, reply.epoch);
+        putU32(out, reply.degree);
+        for (const NodeId nbr : reply.neighbors)
+            putU32(out, nbr);
+        return out;
+      }
+      case Op::kBfs: {
+        const NodeId v = r.u32();
+        if (!r.ok() || r.remaining() != 0)
+            return statusReply(Status::kBadRequest);
+        const BfsReply reply = svc.bfsDistance(v);
+        putU8(out, static_cast<std::uint8_t>(Status::kOk));
+        putU64(out, reply.epoch);
+        putU32(out, reply.distance);
+        return out;
+      }
+      case Op::kTopK: {
+        if (!r.ok() || r.remaining() != 0)
+            return statusReply(Status::kBadRequest);
+        const TopKReply reply = svc.pageRankTopK();
+        putU8(out, static_cast<std::uint8_t>(Status::kOk));
+        putU64(out, reply.epoch);
+        putU32(out, static_cast<std::uint32_t>(reply.entries.size()));
+        for (const TopKEntry &entry : reply.entries) {
+            putU32(out, entry.node);
+            putF64(out, entry.rank);
+        }
+        return out;
+      }
+      case Op::kUpdate: {
+        std::vector<Edge> edges;
+        if (!decodeUpdatePayload(r, edges))
+            return statusReply(Status::kBadRequest);
+        if (!svc.offerUpdate(edges.data(), edges.size()))
+            return statusReply(Status::kBacklog);
+        putU8(out, static_cast<std::uint8_t>(Status::kOk));
+        putU64(out, svc.graphEpoch());
+        return out;
+      }
+      case Op::kStats: {
+        if (!r.ok() || r.remaining() != 0)
+            return statusReply(Status::kBadRequest);
+        const ServeStats s = svc.stats();
+        putU8(out, static_cast<std::uint8_t>(Status::kOk));
+        putU64(out, s.graphEpoch);
+        putU64(out, s.algoEpoch);
+        putU64(out, s.acceptedEdges);
+        putU64(out, s.shedEdges);
+        putU64(out, s.backlogEdges);
+        putU64(out, s.graphEdges);
+        putU32(out, s.graphNodes);
+        return out;
+      }
+    }
+    return statusReply(Status::kBadRequest);
+}
+
+} // namespace wire
+} // namespace saga
+
+#endif // SAGA_SERVE_DISPATCH_H_

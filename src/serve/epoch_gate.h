@@ -1,0 +1,113 @@
+/**
+ * @file
+ * EpochGate — the reader/publisher barrier of the serving layer.
+ *
+ * The serving loop reuses the pipelined driver's epoch discipline
+ * (DESIGN.md §9): queries read the frozen epoch-N snapshot while the
+ * writer lane *stages* epoch N+1 read-only, and the store only mutates
+ * inside a quiescent publish window. The pipelined driver gets its
+ * quiescence for free (the driver thread owns both pools); a server
+ * does not — request threads arrive whenever they like. EpochGate is
+ * the minimal ingredient that restores the contract: readers pass
+ * through freely between publishes, and beginPublish() drains and then
+ * excludes them for the (short) window in which publishBatch() and the
+ * result-buffer swaps run.
+ *
+ * One word of state: bit 31 is the publish flag, bits 0..30 count
+ * in-flight readers. Readers optimistically increment; if the publish
+ * bit was already set they back out and yield until it clears, so a
+ * waiting publisher is never starved by a stream of new readers.
+ *
+ * This file is epoch-handoff code: saga_lint's pipeline-no-relaxed
+ * rule applies, so every operation uses acquire/release ordering —
+ * publish-window cheapness is not worth reasoning about relaxed here.
+ */
+
+#ifndef SAGA_SERVE_EPOCH_GATE_H_
+#define SAGA_SERVE_EPOCH_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace saga {
+
+class EpochGate
+{
+  public:
+    /** Publish flag; the low 31 bits count in-flight readers. */
+    static constexpr std::uint32_t kPublishBit = std::uint32_t{1} << 31;
+
+    /**
+     * Enter a read-side critical section; blocks (yielding) while a
+     * publish window is open. Pairs with exitRead().
+     */
+    void
+    enterRead()
+    {
+        for (;;) {
+            const std::uint32_t prev =
+                state_.fetch_add(1, std::memory_order_acquire);
+            if ((prev & kPublishBit) == 0)
+                return;
+            // A publisher owns the window: undo the optimistic entry
+            // and wait for the flag to clear before retrying.
+            state_.fetch_sub(1, std::memory_order_release);
+            while ((state_.load(std::memory_order_acquire) &
+                    kPublishBit) != 0)
+                std::this_thread::yield();
+        }
+    }
+
+    /** Leave the read-side critical section. */
+    void
+    exitRead()
+    {
+        state_.fetch_sub(1, std::memory_order_release);
+    }
+
+    /**
+     * Open the publish window: set the flag (turning away new readers)
+     * and wait for in-flight readers to drain. On return the caller has
+     * exclusive access until endPublish(). Single publisher only — the
+     * serving loop is one thread by construction.
+     */
+    void
+    beginPublish()
+    {
+        state_.fetch_or(kPublishBit, std::memory_order_acq_rel);
+        while ((state_.load(std::memory_order_acquire) &
+                ~kPublishBit) != 0)
+            std::this_thread::yield();
+    }
+
+    /** Close the publish window; blocked readers proceed. */
+    void
+    endPublish()
+    {
+        state_.fetch_and(~kPublishBit, std::memory_order_release);
+    }
+
+    /** RAII read-side guard. */
+    class ReadGuard
+    {
+      public:
+        explicit ReadGuard(EpochGate &gate) : gate_(gate)
+        {
+            gate_.enterRead();
+        }
+        ~ReadGuard() { gate_.exitRead(); }
+        ReadGuard(const ReadGuard &) = delete;
+        ReadGuard &operator=(const ReadGuard &) = delete;
+
+      private:
+        EpochGate &gate_;
+    };
+
+  private:
+    std::atomic<std::uint32_t> state_{0};
+};
+
+} // namespace saga
+
+#endif // SAGA_SERVE_EPOCH_GATE_H_

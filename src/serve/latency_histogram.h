@@ -1,0 +1,155 @@
+/**
+ * @file
+ * HDR-style log-linear latency histogram for the serving layer.
+ *
+ * Request latencies span five orders of magnitude (a sub-microsecond
+ * degree probe vs a multi-millisecond PageRank refresh stall), so a
+ * fixed-width histogram either blows up in size or loses the tail.
+ * The classic answer (HdrHistogram) is log-linear bucketing: values
+ * below 2^(P+1) get exact one-nanosecond buckets, and every octave
+ * above that is split into 2^P linear sub-buckets, bounding the
+ * relative quantization error at 2^-P everywhere. With P = 7 the
+ * error bound is < 0.8% and the whole table covers the full uint64
+ * nanosecond range in 7424 buckets (~58 KiB).
+ *
+ * Concurrency contract: *none*. Each load-generator or connection
+ * thread owns a private histogram and records without synchronization;
+ * merge() folds them together after the run, mirroring the telemetry
+ * layer's per-thread-slots + quiescent-aggregation discipline
+ * (DESIGN.md §8). There are deliberately no atomics in this file.
+ */
+
+#ifndef SAGA_SERVE_LATENCY_HISTOGRAM_H_
+#define SAGA_SERVE_LATENCY_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace saga {
+
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket precision: 2^-kPrecisionBits relative error bound. */
+    static constexpr unsigned kPrecisionBits = 7;
+    /** Sub-buckets per octave above the linear region. */
+    static constexpr std::uint64_t kSubBuckets =
+        std::uint64_t{1} << kPrecisionBits;
+    /**
+     * Bucket count covering every uint64 value: the linear region holds
+     * indices [0, 2*kSubBuckets) and each octave m in [kPrecisionBits+1,
+     * 63] appends kSubBuckets more.
+     */
+    static constexpr std::size_t kNumBuckets =
+        static_cast<std::size_t>((64 - kPrecisionBits) * kSubBuckets +
+                                 kSubBuckets);
+
+    /** Bucket index for @p value (exact below 2^(P+1), log-linear above). */
+    static constexpr std::size_t
+    bucketIndex(std::uint64_t value)
+    {
+        if (value < 2 * kSubBuckets)
+            return static_cast<std::size_t>(value);
+        const unsigned m = std::bit_width(value) - 1; // 2^m <= value
+        const unsigned shift = m - kPrecisionBits;
+        return static_cast<std::size_t>(
+            static_cast<std::uint64_t>(shift) * kSubBuckets +
+            (value >> shift));
+    }
+
+    /**
+     * Largest value mapping to bucket @p index — what percentile()
+     * reports, so quantiles are conservative (never under-report).
+     */
+    static constexpr std::uint64_t
+    bucketUpperBound(std::size_t index)
+    {
+        const std::uint64_t i = static_cast<std::uint64_t>(index);
+        if (i < 2 * kSubBuckets)
+            return i;
+        const std::uint64_t shift = i / kSubBuckets - 1;
+        const std::uint64_t sub = i % kSubBuckets + kSubBuckets;
+        return ((sub + 1) << shift) - 1;
+    }
+
+    /** Record one latency sample of @p ns nanoseconds. */
+    void
+    record(std::uint64_t ns)
+    {
+        ++buckets_[bucketIndex(ns)];
+        ++count_;
+        sumNs_ += ns;
+        maxNs_ = std::max(maxNs_, ns);
+        minNs_ = count_ == 1 ? ns : std::min(minNs_, ns);
+    }
+
+    /** Fold @p other into this histogram (post-run aggregation). */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (std::size_t i = 0; i < kNumBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        if (other.count_ > 0) {
+            minNs_ = count_ == 0 ? other.minNs_
+                                 : std::min(minNs_, other.minNs_);
+            count_ += other.count_;
+            sumNs_ += other.sumNs_;
+            maxNs_ = std::max(maxNs_, other.maxNs_);
+        }
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sumNs() const { return sumNs_; }
+    /** Exact (not bucketed) extremes of everything recorded. */
+    std::uint64_t maxNs() const { return maxNs_; }
+    std::uint64_t minNs() const { return count_ == 0 ? 0 : minNs_; }
+
+    double
+    meanNs() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sumNs_) /
+                                 static_cast<double>(count_);
+    }
+
+    /**
+     * Value at percentile @p p in [0, 100]: the upper bound of the
+     * bucket holding the ceil(p/100 * count)-th smallest sample, exact
+     * for the recorded max (p >= 100) and for values in the linear
+     * region, within 2^-kPrecisionBits above it.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0;
+        if (p >= 100.0)
+            return maxNs_;
+        const double want = p / 100.0 * static_cast<double>(count_);
+        std::uint64_t rank = static_cast<std::uint64_t>(want);
+        if (static_cast<double>(rank) < want)
+            ++rank;
+        rank = std::max<std::uint64_t>(rank, 1);
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kNumBuckets; ++i) {
+            seen += buckets_[i];
+            if (seen >= rank)
+                return std::min(bucketUpperBound(i), maxNs_);
+        }
+        return maxNs_; // unreachable: seen reaches count_
+    }
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sumNs_ = 0;
+    std::uint64_t maxNs_ = 0;
+    std::uint64_t minNs_ = 0;
+};
+
+} // namespace saga
+
+#endif // SAGA_SERVE_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * ServiceImpl — the store-parameterized implementation behind
+ * GraphService, plus the makeService() DsKind dispatch.
+ *
+ * Epoch-handoff structure (see service.h and docs/SERVING.md):
+ *
+ *   stepEpoch():
+ *     1. drain the admission queue into one EdgeBatch
+ *     2. stageBatch() — read-only vs the frozen epoch, so concurrent
+ *        snapshot reads keep flowing (this is the overlap the pipelined
+ *        driver bought us)
+ *     3. publish window 1 (EpochGate): publishBatch() + graph epoch++
+ *     4. refresh — BFS + PageRank on the new epoch into back buffers;
+ *        still concurrent with reads (compute is read-only on the graph)
+ *     5. publish window 2: swap the algorithm front/back buffers and
+ *        advance the algorithm epoch
+ *
+ * Readers therefore block only for the two short windows (a staged
+ * apply and two vector swaps), never for staging or compute. Algorithm
+ * replies may lag the graph epoch by design; each reply carries the
+ * epoch it actually observed.
+ *
+ * This file is epoch-handoff code: saga_lint's pipeline-no-relaxed rule
+ * applies — every atomic here uses acquire/release ordering.
+ */
+
+#include "serve/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "algo/bfs.h"
+#include "algo/context.h"
+#include "algo/pr.h"
+#include "ds/adj_chunked.h"
+#include "ds/adj_shared.h"
+#include "ds/dah.h"
+#include "ds/dyn_graph.h"
+#include "ds/stinger.h"
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "serve/admission_queue.h"
+#include "serve/epoch_gate.h"
+#include "telemetry/telemetry.h"
+
+namespace saga {
+namespace {
+
+template <typename Store>
+class ServiceImpl final : public GraphService
+{
+  public:
+    explicit ServiceImpl(const ServeConfig &cfg)
+        : cfg_(cfg), pool_(std::max<std::size_t>(1, cfg.threads)),
+          graph_(makeGraph(cfg, pool_)), queue_(cfg.queueDepthEdges)
+    {}
+
+    ~ServiceImpl() override { ServiceImpl::stop(); }
+
+    void
+    bootstrap(const std::vector<Edge> &edges) override
+    {
+        if (!edges.empty()) {
+            const EdgeBatch batch(edges);
+            graph_.update(batch, pool_);
+        }
+        refreshAlgo();
+    }
+
+    bool
+    offerUpdate(const Edge *edges, std::size_t n) override
+    {
+        SAGA_COUNT(telemetry::Counter::ServeRequests, 1);
+        if (!queue_.offer(edges, n)) {
+            SAGA_COUNT(telemetry::Counter::ServeUpdatesShed, 1);
+            return false;
+        }
+        SAGA_COUNT(telemetry::Counter::ServeUpdatesAccepted, 1);
+        SAGA_COUNT(telemetry::Counter::ServeUpdateEdges, n);
+        return true;
+    }
+
+    DegreeReply
+    degree(NodeId v) override
+    {
+        SAGA_COUNT(telemetry::Counter::ServeRequests, 1);
+        SAGA_COUNT(telemetry::Counter::ServePointReads, 1);
+        EpochGate::ReadGuard guard(gate_);
+        DegreeReply r;
+        r.epoch = graph_epoch_.load(std::memory_order_acquire);
+        if (v < graph_.numNodes()) {
+            r.outDegree = graph_.outDegree(v);
+            r.inDegree = graph_.inDegree(v);
+        }
+        return r;
+    }
+
+    NeighborsReply
+    neighbors(NodeId v) override
+    {
+        SAGA_COUNT(telemetry::Counter::ServeRequests, 1);
+        SAGA_COUNT(telemetry::Counter::ServePointReads, 1);
+        EpochGate::ReadGuard guard(gate_);
+        NeighborsReply r;
+        r.epoch = graph_epoch_.load(std::memory_order_acquire);
+        if (v < graph_.numNodes()) {
+            r.degree = graph_.outDegree(v);
+            r.neighbors.reserve(r.degree);
+            graph_.outNeigh(v, [&](const Neighbor &nbr) {
+                r.neighbors.push_back(nbr.node);
+            });
+        }
+        return r;
+    }
+
+    BfsReply
+    bfsDistance(NodeId v) override
+    {
+        SAGA_COUNT(telemetry::Counter::ServeRequests, 1);
+        SAGA_COUNT(telemetry::Counter::ServeAlgoReads, 1);
+        EpochGate::ReadGuard guard(gate_);
+        BfsReply r;
+        r.epoch = algo_epoch_.load(std::memory_order_acquire);
+        r.distance = v < bfs_front_.size() ? bfs_front_[v] : Bfs::kInf;
+        r.reachable = r.distance != Bfs::kInf;
+        return r;
+    }
+
+    TopKReply
+    pageRankTopK() override
+    {
+        SAGA_COUNT(telemetry::Counter::ServeRequests, 1);
+        SAGA_COUNT(telemetry::Counter::ServeAlgoReads, 1);
+        EpochGate::ReadGuard guard(gate_);
+        TopKReply r;
+        r.epoch = algo_epoch_.load(std::memory_order_acquire);
+        r.entries = topk_front_;
+        return r;
+    }
+
+    ServeStats
+    stats() override
+    {
+        SAGA_COUNT(telemetry::Counter::ServeRequests, 1);
+        EpochGate::ReadGuard guard(gate_);
+        ServeStats s;
+        s.graphEpoch = graph_epoch_.load(std::memory_order_acquire);
+        s.algoEpoch = algo_epoch_.load(std::memory_order_acquire);
+        s.acceptedEdges = queue_.acceptedEdges();
+        s.shedEdges = queue_.shedEdges();
+        s.backlogEdges = queue_.backlog();
+        s.graphEdges = graph_.numEdges();
+        s.graphNodes = graph_.numNodes();
+        return s;
+    }
+
+    std::uint64_t
+    graphEpoch() override
+    {
+        return graph_epoch_.load(std::memory_order_acquire);
+    }
+
+    bool
+    stepEpoch() override
+    {
+        SAGA_PHASE(telemetry::Phase::ServeEpoch);
+        EdgeBatch batch;
+        queue_.drain(batch, cfg_.epochMaxEdges);
+        const bool advanced = !batch.empty();
+        if (advanced) {
+            {
+                SAGA_PHASE(telemetry::Phase::ServeStage);
+                graph_.stageBatch(batch, pool_);
+            }
+            gate_.beginPublish();
+            {
+                SAGA_PHASE(telemetry::Phase::ServePublish);
+                graph_.publishBatch(pool_);
+                const std::uint64_t next =
+                    graph_epoch_.load(std::memory_order_acquire) + 1;
+                graph_epoch_.store(next, std::memory_order_release);
+            }
+            gate_.endPublish();
+            SAGA_COUNT(telemetry::Counter::ServeEpochs, 1);
+        }
+        if (advanced || algo_epoch_.load(std::memory_order_acquire) !=
+                            graph_epoch_.load(std::memory_order_acquire))
+            refreshAlgo();
+        return advanced;
+    }
+
+    void
+    start() override
+    {
+        if (loop_.joinable())
+            return;
+        loop_stop_.store(false, std::memory_order_release);
+        loop_ = std::thread([this] {
+            while (!loop_stop_.load(std::memory_order_acquire)) {
+                if (!stepEpoch())
+                    std::this_thread::sleep_for(std::chrono::microseconds(
+                        cfg_.epochIntervalMicros));
+            }
+        });
+    }
+
+    void
+    stop() override
+    {
+        if (!loop_.joinable())
+            return;
+        loop_stop_.store(true, std::memory_order_release);
+        loop_.join();
+    }
+
+  private:
+    static DynGraph<Store>
+    makeGraph(const ServeConfig &cfg, ThreadPool &pool)
+    {
+        const std::size_t chunks = cfg.chunks ? cfg.chunks : pool.size();
+        if constexpr (std::is_same_v<Store, DahStore>) {
+            return DynGraph<Store>(cfg.directed, chunks, cfg.dah);
+        } else if constexpr (std::is_same_v<Store, StingerStore>) {
+            return DynGraph<Store>(cfg.directed, cfg.stingerBlock);
+        } else if constexpr (std::is_constructible_v<Store, std::size_t>) {
+            return DynGraph<Store>(cfg.directed, chunks); // AC
+        } else {
+            return DynGraph<Store>(cfg.directed); // AS
+        }
+    }
+
+    /**
+     * Recompute BFS + PageRank on the current epoch into the back
+     * buffers (concurrent with snapshot reads — compute is read-only on
+     * the graph), then swap them in under a publish window.
+     */
+    void
+    refreshAlgo()
+    {
+        {
+            SAGA_PHASE(telemetry::Phase::ServeRefresh);
+            AlgContext bfs_ctx;
+            bfs_ctx.source = cfg_.bfsSource;
+            bfs_ctx.numNodesHint = graph_.numNodes();
+            Bfs::computeFs(graph_, pool_, bfs_back_, bfs_ctx);
+            AlgContext pr_ctx;
+            pr_ctx.numNodesHint = graph_.numNodes();
+            pr_ctx.prMaxIters = cfg_.prMaxIters;
+            Pr::computeFs(graph_, pool_, pr_back_, pr_ctx);
+            buildTopK();
+        }
+        gate_.beginPublish();
+        {
+            SAGA_PHASE(telemetry::Phase::ServePublish);
+            bfs_front_.swap(bfs_back_);
+            topk_front_.swap(topk_back_);
+            const std::uint64_t published =
+                graph_epoch_.load(std::memory_order_acquire);
+            algo_epoch_.store(published, std::memory_order_release);
+        }
+        gate_.endPublish();
+    }
+
+    /** Select the top cfg_.topK ranks from pr_back_ (ties by id). */
+    void
+    buildTopK()
+    {
+        const std::size_t n = pr_back_.size();
+        const std::size_t k = std::min(cfg_.topK, n);
+        std::vector<NodeId> idx(n);
+        std::iota(idx.begin(), idx.end(), NodeId{0});
+        std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                          [&](NodeId a, NodeId b) {
+                              if (pr_back_[a] != pr_back_[b])
+                                  return pr_back_[a] > pr_back_[b];
+                              return a < b;
+                          });
+        topk_back_.clear();
+        topk_back_.reserve(k);
+        for (std::size_t i = 0; i < k; ++i)
+            topk_back_.push_back({idx[i], pr_back_[idx[i]]});
+    }
+
+    // immutable-after-build: fixed at construction
+    ServeConfig cfg_;
+    ThreadPool pool_; // writer/refresh pool, driven by the epoch loop
+    // guarded-member-allow: mutated only inside EpochGate publish
+    // windows; read under ReadGuard (the serving epoch discipline)
+    DynGraph<Store> graph_;
+    AdmissionQueue queue_;
+    EpochGate gate_;
+    std::atomic<std::uint64_t> graph_epoch_{0};
+    std::atomic<std::uint64_t> algo_epoch_{0};
+    // Front buffers are read under ReadGuard and swapped only inside
+    // publish windows; back buffers belong to the epoch-loop thread.
+    // guarded-member-allow: same publish-window discipline as graph_
+    std::vector<Bfs::Value> bfs_front_;
+    // guarded-member-allow: epoch-loop-private scratch
+    std::vector<Bfs::Value> bfs_back_;
+    // guarded-member-allow: same publish-window discipline as graph_
+    std::vector<TopKEntry> topk_front_;
+    // guarded-member-allow: epoch-loop-private scratch
+    std::vector<TopKEntry> topk_back_;
+    // guarded-member-allow: epoch-loop-private scratch
+    std::vector<Pr::Value> pr_back_;
+    std::thread loop_;
+    std::atomic<bool> loop_stop_{false};
+};
+
+} // namespace
+
+std::unique_ptr<GraphService>
+makeService(const ServeConfig &cfg)
+{
+    switch (cfg.ds) {
+      case DsKind::AS:
+        return std::make_unique<ServiceImpl<AdjSharedStore>>(cfg);
+      case DsKind::AC:
+        return std::make_unique<ServiceImpl<AdjChunkedStore>>(cfg);
+      case DsKind::Stinger:
+        return std::make_unique<ServiceImpl<StingerStore>>(cfg);
+      case DsKind::DAH:
+        return std::make_unique<ServiceImpl<DahStore>>(cfg);
+    }
+    return nullptr;
+}
+
+} // namespace saga

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * GraphService — the in-process request API of saga_serve.
+ *
+ * An always-on streaming-graph service: producers push edge updates,
+ * clients issue point reads (degree, neighbor lists) and algorithm
+ * reads (BFS distance from a pinned source, PageRank top-k) at any
+ * time. The implementation turns the paper's offline update/compute
+ * alternation into a serving loop built from the pipelined driver's
+ * parts (DESIGN.md §9):
+ *
+ *   - reads execute against the frozen epoch-N snapshot,
+ *   - a bounded AdmissionQueue admits (or sheds) incoming updates,
+ *   - the epoch loop drains the queue, *stages* the batch read-only
+ *     against epoch N (DynGraph::stageBatch, concurrent with reads),
+ *     publishes it inside an EpochGate window, then refreshes the
+ *     algorithm results and swaps them in inside a second window.
+ *
+ * Every reply carries the epoch it observed. Point reads report the
+ * graph epoch; algorithm reads report the (possibly lagging) epoch
+ * their values were computed on. docs/SERVING.md states the full
+ * consistency contract.
+ *
+ * The interface is type-erased over the four stores (same shape as
+ * StreamingRunner / makeRunner); makeService() in service.cc does the
+ * DsKind dispatch.
+ */
+
+#ifndef SAGA_SERVE_SERVICE_H_
+#define SAGA_SERVE_SERVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ds/dah.h"
+#include "ds/stinger.h"
+#include "saga/driver.h"
+#include "saga/types.h"
+
+namespace saga {
+
+/** Everything needed to stand up one service instance. */
+struct ServeConfig
+{
+    DsKind ds = DsKind::AS;
+    bool directed = true;
+    /** Writer/refresh pool width (the epoch loop's workers); >= 1. */
+    std::size_t threads = 1;
+    /** Chunks for AC/DAH; 0 = same as the pool width. */
+    std::size_t chunks = 0;
+    std::uint32_t stingerBlock = StingerStore::kBlockCapacity;
+    DahConfig dah{};
+    /** Pinned BFS source vertex for bfsDistance() queries. */
+    NodeId bfsSource = 0;
+    /** Entries returned by pageRankTopK(). */
+    std::size_t topK = 10;
+    /** PageRank iteration budget per refresh (freshness vs cost). */
+    std::uint32_t prMaxIters = 5;
+    /** Admission-queue depth in edges; offers beyond it are shed. */
+    std::size_t queueDepthEdges = std::size_t{1} << 16;
+    /** Maximum edges drained into one epoch's batch. */
+    std::size_t epochMaxEdges = std::size_t{1} << 14;
+    /** Idle sleep of the background epoch loop between polls. */
+    std::uint32_t epochIntervalMicros = 1000;
+};
+
+struct DegreeReply
+{
+    std::uint64_t epoch = 0;
+    std::uint32_t outDegree = 0;
+    std::uint32_t inDegree = 0;
+};
+
+struct NeighborsReply
+{
+    std::uint64_t epoch = 0;
+    /** Degree read under the same snapshot guard as the list — the
+        consistency check is degree == neighbors.size(). */
+    std::uint32_t degree = 0;
+    std::vector<NodeId> neighbors;
+};
+
+struct BfsReply
+{
+    std::uint64_t epoch = 0;
+    /** Hops from the pinned source; Bfs::kInf when unreachable. */
+    std::uint32_t distance = 0;
+    bool reachable = false;
+};
+
+struct TopKEntry
+{
+    NodeId node = 0;
+    double rank = 0;
+};
+
+struct TopKReply
+{
+    std::uint64_t epoch = 0;
+    std::vector<TopKEntry> entries;
+};
+
+/** One consistent stats snapshot (the Stats wire op serializes this). */
+struct ServeStats
+{
+    std::uint64_t graphEpoch = 0;
+    std::uint64_t algoEpoch = 0;
+    std::uint64_t acceptedEdges = 0;
+    std::uint64_t shedEdges = 0;
+    std::uint64_t backlogEdges = 0;
+    std::uint64_t graphEdges = 0;
+    NodeId graphNodes = 0;
+};
+
+class GraphService
+{
+  public:
+    virtual ~GraphService() = default;
+
+    /**
+     * Load an initial graph and compute epoch-0 algorithm results.
+     * Call before start() / before any concurrent requests.
+     */
+    virtual void bootstrap(const std::vector<Edge> &edges) = 0;
+
+    /**
+     * Offer @p n edges to the admission queue. @return false if the
+     * queue is over depth (the update was shed — nothing was taken).
+     */
+    virtual bool offerUpdate(const Edge *edges, std::size_t n) = 0;
+
+    // Reads: safe from any thread, any time after bootstrap().
+    virtual DegreeReply degree(NodeId v) = 0;
+    virtual NeighborsReply neighbors(NodeId v) = 0;
+    virtual BfsReply bfsDistance(NodeId v) = 0;
+    virtual TopKReply pageRankTopK() = 0;
+    virtual ServeStats stats() = 0;
+    virtual std::uint64_t graphEpoch() = 0;
+
+    /**
+     * Run one epoch iteration synchronously: drain + stage + publish +
+     * refresh. @return true if a graph epoch was published. Exposed so
+     * tests and the e2e oracle can drive epochs deterministically; the
+     * background loop (start()) calls exactly this.
+     */
+    virtual bool stepEpoch() = 0;
+
+    /** Start / join the background epoch-loop thread. */
+    virtual void start() = 0;
+    virtual void stop() = 0;
+};
+
+/** Build a service for @p cfg (DsKind dispatch in service.cc). */
+std::unique_ptr<GraphService> makeService(const ServeConfig &cfg);
+
+} // namespace saga
+
+#endif // SAGA_SERVE_SERVICE_H_

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * The saga_serve wire protocol: length-prefixed binary frames.
+ *
+ * Framing (all integers little-endian):
+ *
+ *   request  = [u32 bodyLen][u8 op][payload...]
+ *   reply    = [u32 bodyLen][u8 status][payload...]
+ *
+ * Ops and payloads (docs/SERVING.md holds the authoritative table):
+ *
+ *   Degree(1)    req: u32 node        ok: u64 epoch, u32 out, u32 in
+ *   Neighbors(2) req: u32 node        ok: u64 epoch, u32 deg, deg*u32
+ *   Bfs(3)       req: u32 node        ok: u64 epoch, u32 distance
+ *   TopK(4)      req: (empty)         ok: u64 epoch, u32 k,
+ *                                         k*(u32 node, f64 rank)
+ *   Update(5)    req: u32 n, n*(u32 src, u32 dst, f32 w)
+ *                                     ok: u64 epoch
+ *   Stats(6)     req: (empty)         ok: u64 graphEpoch, u64 algoEpoch,
+ *                                         u64 accepted, u64 shed,
+ *                                         u64 backlog, u64 graphEdges,
+ *                                         u32 graphNodes
+ *
+ * status: Ok(0) carries the op's payload; Backlog(1) is the admission
+ * fast-reject (empty payload); BadRequest(2) covers malformed frames
+ * and unknown ops (empty payload).
+ *
+ * This header is serialization only — byte building and bounds-checked
+ * parsing over std::vector buffers — plus two fd helpers (readFrame /
+ * writeFrame) shared by the server binary and the load generator's TCP
+ * mode. No sockets are opened here.
+ */
+
+#ifndef SAGA_SERVE_WIRE_H_
+#define SAGA_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <unistd.h>
+
+#include "saga/types.h"
+
+namespace saga {
+namespace wire {
+
+enum class Op : std::uint8_t {
+    kDegree = 1,
+    kNeighbors = 2,
+    kBfs = 3,
+    kTopK = 4,
+    kUpdate = 5,
+    kStats = 6,
+};
+
+enum class Status : std::uint8_t {
+    kOk = 0,
+    kBacklog = 1,
+    kBadRequest = 2,
+};
+
+/** Sanity cap on one frame body; larger prefixes are protocol errors. */
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;
+
+// --- byte building ------------------------------------------------------
+
+inline void
+putU8(std::vector<std::uint8_t> &buf, std::uint8_t v)
+{
+    buf.push_back(v);
+}
+
+inline void
+putU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putF32(std::vector<std::uint8_t> &buf, float v)
+{
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU32(buf, bits);
+}
+
+inline void
+putF64(std::vector<std::uint8_t> &buf, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(buf, bits);
+}
+
+// --- bounds-checked parsing ---------------------------------------------
+
+/**
+ * Cursor over a received frame body. Every read checks remaining bytes;
+ * the first short read latches ok() false and zero-fills, so parsers
+ * can decode unconditionally and test ok() once at the end.
+ */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+    explicit Reader(const std::vector<std::uint8_t> &buf)
+        : Reader(buf.data(), buf.size())
+    {}
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return size_ - pos_; }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        take(&v, 1);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint8_t raw[4] = {};
+        take(raw, 4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint8_t raw[8] = {};
+        take(raw, 8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+        return v;
+    }
+
+    float
+    f32()
+    {
+        const std::uint32_t bits = u32();
+        float v = 0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+  private:
+    void
+    take(std::uint8_t *out, std::size_t n)
+    {
+        if (!ok_ || size_ - pos_ < n) {
+            ok_ = false;
+            return;
+        }
+        std::memcpy(out, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// --- request/reply encoders ---------------------------------------------
+
+/** Body of a single-node request (Degree / Neighbors / Bfs). */
+inline std::vector<std::uint8_t>
+encodeNodeRequest(Op op, NodeId node)
+{
+    std::vector<std::uint8_t> body;
+    putU8(body, static_cast<std::uint8_t>(op));
+    putU32(body, node);
+    return body;
+}
+
+/** Body of a payload-free request (TopK / Stats). */
+inline std::vector<std::uint8_t>
+encodeEmptyRequest(Op op)
+{
+    std::vector<std::uint8_t> body;
+    putU8(body, static_cast<std::uint8_t>(op));
+    return body;
+}
+
+/** Body of an edge-update request. */
+inline std::vector<std::uint8_t>
+encodeUpdateRequest(const Edge *edges, std::size_t n)
+{
+    std::vector<std::uint8_t> body;
+    body.reserve(5 + 12 * n);
+    putU8(body, static_cast<std::uint8_t>(Op::kUpdate));
+    putU32(body, static_cast<std::uint32_t>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        putU32(body, edges[i].src);
+        putU32(body, edges[i].dst);
+        putF32(body, edges[i].weight);
+    }
+    return body;
+}
+
+/** Decode an update request's edge list (after the op byte). */
+inline bool
+decodeUpdatePayload(Reader &r, std::vector<Edge> &out)
+{
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || r.remaining() != static_cast<std::size_t>(n) * 12)
+        return false;
+    out.clear();
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Edge e;
+        e.src = r.u32();
+        e.dst = r.u32();
+        e.weight = r.f32();
+        out.push_back(e);
+    }
+    return r.ok();
+}
+
+// --- fd framing ---------------------------------------------------------
+
+/**
+ * Read one length-prefixed frame body from @p fd into @p body.
+ * @return true on success; false on EOF, error, or an oversized prefix.
+ */
+inline bool
+readFrame(int fd, std::vector<std::uint8_t> &body)
+{
+    std::uint8_t prefix[4];
+    std::size_t got = 0;
+    while (got < sizeof(prefix)) {
+        const ssize_t n = ::read(fd, prefix + got, sizeof(prefix) - got);
+        if (n <= 0)
+            return false;
+        got += static_cast<std::size_t>(n);
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+    if (len == 0 || len > kMaxFrameBytes)
+        return false;
+    body.resize(len);
+    got = 0;
+    while (got < len) {
+        const ssize_t n = ::read(fd, body.data() + got, len - got);
+        if (n <= 0)
+            return false;
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Write @p body to @p fd as one length-prefixed frame. */
+inline bool
+writeFrame(int fd, const std::vector<std::uint8_t> &body)
+{
+    std::vector<std::uint8_t> framed;
+    framed.reserve(4 + body.size());
+    putU32(framed, static_cast<std::uint32_t>(body.size()));
+    framed.insert(framed.end(), body.begin(), body.end());
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::write(fd, framed.data() + sent, framed.size() - sent);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace wire
+} // namespace saga
+
+#endif // SAGA_SERVE_WIRE_H_

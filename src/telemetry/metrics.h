@@ -52,6 +52,13 @@ enum class Counter : std::uint32_t {
     PrBlockedRounds,      ///< PR rounds run propagation-blocked (push)
     PrBinFlushes,         ///< full destination slabs sealed while binning
     PrHubVertices,        ///< hub vertices pulled by the hybrid PR path
+    ServeRequests,        ///< all requests admitted to the service API
+    ServePointReads,      ///< degree / neighbors snapshot reads
+    ServeAlgoReads,       ///< BFS-distance / PageRank-top-k reads
+    ServeUpdatesAccepted, ///< update requests admitted by the queue
+    ServeUpdatesShed,     ///< update requests fast-rejected (backlog)
+    ServeUpdateEdges,     ///< edges admitted across accepted updates
+    ServeEpochs,          ///< epochs published by the serving loop
     kCount
 };
 
@@ -77,6 +84,10 @@ enum class Phase : std::uint32_t {
     PipelineStage,   ///< writer-lane scatter+classify of the next epoch
     PipelineStall,   ///< driver blocked on the writer lane (no overlap)
     PipelinePublish, ///< quiescent publish window between epochs
+    ServeEpoch,      ///< one full iteration of the serving epoch loop
+    ServeStage,      ///< read-only staging of the drained batch
+    ServeRefresh,    ///< algorithm refresh (BFS + PR) on the new epoch
+    ServePublish,    ///< reader-excluded publish window (graph or swap)
     kCount
 };
 
@@ -109,6 +120,14 @@ name(Counter c)
       case Counter::PrBlockedRounds: return "pr.blocked_rounds";
       case Counter::PrBinFlushes: return "pr.bin_flushes";
       case Counter::PrHubVertices: return "pr.hub_vertices";
+      case Counter::ServeRequests: return "serve.requests";
+      case Counter::ServePointReads: return "serve.point_reads";
+      case Counter::ServeAlgoReads: return "serve.algo_reads";
+      case Counter::ServeUpdatesAccepted:
+        return "serve.updates_accepted";
+      case Counter::ServeUpdatesShed: return "serve.updates_shed";
+      case Counter::ServeUpdateEdges: return "serve.update_edges";
+      case Counter::ServeEpochs: return "serve.epochs";
       case Counter::kCount: break;
     }
     return "?";
@@ -130,6 +149,10 @@ name(Phase p)
       case Phase::PipelineStage: return "pipeline/stage";
       case Phase::PipelineStall: return "pipeline/stall";
       case Phase::PipelinePublish: return "pipeline/publish";
+      case Phase::ServeEpoch: return "serve/epoch";
+      case Phase::ServeStage: return "serve/stage";
+      case Phase::ServeRefresh: return "serve/refresh";
+      case Phase::ServePublish: return "serve/publish";
       case Phase::kCount: break;
     }
     return "?";

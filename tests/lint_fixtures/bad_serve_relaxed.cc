@@ -1,0 +1,14 @@
+// Seeded violation: pipeline-no-relaxed in the serving layer's epoch
+// handoff. The relaxed load below carries a justification comment, so
+// relaxed-needs-reason is satisfied — only pipeline-no-relaxed must
+// fire, proving the handoff scope (epoch_gate.h / service.cc) is held
+// to the stricter bar than the rest of src/.
+#include <atomic>
+#include <cstdint>
+
+std::uint64_t
+bad_epoch_read(const std::atomic<std::uint64_t> *epoch)
+{
+    // relaxed: the epoch counter is monotone, a stale read is harmless
+    return std::atomic_load_explicit(epoch, std::memory_order_relaxed);
+}

@@ -1,0 +1,764 @@
+/**
+ * @file
+ * Tests for the serving layer (src/serve/): latency histogram math
+ * against a sorted-vector oracle, admission-queue shed/accept
+ * properties under concurrent producers, EpochGate exclusion, wire
+ * protocol round-trips, dispatch semantics, and the end-to-end
+ * snapshot-consistency contract — reads issued while the epoch loop
+ * stages and publishes must return exactly the epoch they claim,
+ * bit-equal to a serial ReferenceStore oracle. The concurrent tests
+ * are part of the TSan tier-1 matrix.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "ds/reference.h"
+#include "platform/thread_pool.h"
+#include "reference_algos.h"
+#include "serve/admission_queue.h"
+#include "serve/dispatch.h"
+#include "serve/epoch_gate.h"
+#include "serve/latency_histogram.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+// --- LatencyHistogram ---------------------------------------------------
+
+TEST(LatencyHistogram, BucketIndexRoundTripsEveryBucket)
+{
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+        const std::uint64_t ub = LatencyHistogram::bucketUpperBound(i);
+        EXPECT_EQ(LatencyHistogram::bucketIndex(ub), i) << "bucket " << i;
+        // The value one past the upper bound belongs to the next bucket
+        // (except for the last bucket, whose bound is UINT64_MAX).
+        if (ub != std::numeric_limits<std::uint64_t>::max()) {
+            EXPECT_EQ(LatencyHistogram::bucketIndex(ub + 1), i + 1);
+        }
+    }
+}
+
+TEST(LatencyHistogram, BoundaryValuesLandInBounds)
+{
+    // Powers of two and their neighbors — the log-linear seams.
+    for (unsigned m = 0; m < 64; ++m) {
+        const std::uint64_t v = std::uint64_t{1} << m;
+        for (const std::uint64_t probe : {v - 1, v, v + 1}) {
+            const std::size_t idx = LatencyHistogram::bucketIndex(probe);
+            ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+            EXPECT_GE(LatencyHistogram::bucketUpperBound(idx), probe);
+            if (idx > 0) {
+                EXPECT_LT(LatencyHistogram::bucketUpperBound(idx - 1),
+                          probe);
+            }
+        }
+    }
+    EXPECT_LT(LatencyHistogram::bucketIndex(
+                  std::numeric_limits<std::uint64_t>::max()),
+              LatencyHistogram::kNumBuckets);
+}
+
+TEST(LatencyHistogram, ExactBelowLinearRegion)
+{
+    // Values below 2 * kSubBuckets get one-nanosecond buckets: the
+    // reported percentile is exact, not just within the error bound.
+    LatencyHistogram h;
+    std::vector<std::uint64_t> values;
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng() % (2 * LatencyHistogram::kSubBuckets);
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double p : {1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            p / 100.0 * static_cast<double>(values.size()));
+        if (static_cast<double>(rank) < p / 100.0 * 1000.0)
+            ++rank;
+        rank = std::max<std::uint64_t>(rank, 1);
+        EXPECT_EQ(h.percentile(p), values[rank - 1]) << "p" << p;
+    }
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedOracleWithinErrorBound)
+{
+    // Mixed distribution spanning the full range the serving layer
+    // produces: sub-microsecond point reads through multi-millisecond
+    // stalls, plus a handful of huge outliers.
+    LatencyHistogram h;
+    std::vector<std::uint64_t> values;
+    std::mt19937_64 rng(42);
+    std::uniform_real_distribution<double> logu(2.0, 10.0); // 100ns..10s
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(std::pow(10.0, logu(rng)));
+        values.push_back(v);
+        h.record(v);
+    }
+    values.push_back(std::numeric_limits<std::uint64_t>::max());
+    h.record(std::numeric_limits<std::uint64_t>::max());
+    std::sort(values.begin(), values.end());
+
+    const std::uint64_t n = values.size();
+    for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+        const double want = p / 100.0 * static_cast<double>(n);
+        std::uint64_t rank = static_cast<std::uint64_t>(want);
+        if (static_cast<double>(rank) < want)
+            ++rank;
+        rank = std::max<std::uint64_t>(rank, 1);
+        const std::uint64_t oracle = values[rank - 1];
+        const std::uint64_t got = h.percentile(p);
+        // Conservative: never under-reports; within 2^-7 relative error
+        // above the true quantile. (Difference form — the additive bound
+        // would overflow for quantiles near UINT64_MAX.)
+        ASSERT_GE(got, oracle) << "p" << p;
+        EXPECT_LE(got - oracle, oracle / 128 + 1) << "p" << p;
+    }
+    EXPECT_EQ(h.percentile(100.0), values.back());
+    EXPECT_EQ(h.maxNs(), values.back());
+    EXPECT_EQ(h.minNs(), values.front());
+    EXPECT_EQ(h.count(), n);
+}
+
+TEST(LatencyHistogram, MergeEqualsSingleHistogram)
+{
+    LatencyHistogram whole, parts[3];
+    std::mt19937_64 rng(11);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t v = rng() % 1000000;
+        whole.record(v);
+        parts[i % 3].record(v);
+    }
+    LatencyHistogram merged;
+    for (const LatencyHistogram &part : parts)
+        merged.merge(part);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.sumNs(), whole.sumNs());
+    EXPECT_EQ(merged.minNs(), whole.minNs());
+    EXPECT_EQ(merged.maxNs(), whole.maxNs());
+    for (const double p : {50.0, 95.0, 99.0})
+        EXPECT_EQ(merged.percentile(p), whole.percentile(p));
+}
+
+TEST(LatencyHistogram, EmptyHistogramIsZero)
+{
+    const LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.minNs(), 0u);
+    EXPECT_EQ(h.maxNs(), 0u);
+    EXPECT_EQ(h.meanNs(), 0.0);
+}
+
+// --- AdmissionQueue -----------------------------------------------------
+
+TEST(AdmissionQueue, AllOrNothingAtDepth)
+{
+    AdmissionQueue q(8);
+    std::vector<Edge> edges(9, Edge{0, 1, 1.0f});
+    EXPECT_FALSE(q.offer(edges.data(), 9)); // over depth even when empty
+    EXPECT_EQ(q.shedEdges(), 9u);
+    EXPECT_TRUE(q.offer(edges.data(), 8)); // exactly depth fits
+    EXPECT_FALSE(q.offer(edges.data(), 1)); // full now
+    EXPECT_EQ(q.backlog(), 8u);
+    EdgeBatch out;
+    EXPECT_EQ(q.drain(out, 100), 8u);
+    EXPECT_EQ(q.backlog(), 0u);
+    EXPECT_TRUE(q.offer(edges.data(), 1)); // drained: accepts again
+}
+
+TEST(AdmissionQueue, FifoOrderPreserved)
+{
+    AdmissionQueue q(1024);
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        const Edge e{i, i + 1, 1.0f};
+        ASSERT_TRUE(q.offer(&e, 1));
+    }
+    EdgeBatch out;
+    // Partial drains must continue from where the previous one stopped.
+    EXPECT_EQ(q.drain(out, 30), 30u);
+    EXPECT_EQ(q.drain(out, 1000), 70u);
+    ASSERT_EQ(out.size(), 100u);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(out[i].src, i);
+}
+
+TEST(AdmissionQueue, ConcurrentProducersConserveEdges)
+{
+    // Property: accepted + shed == offered (per producer and in total),
+    // drained == accepted, and the backlog never exceeds the depth.
+    constexpr std::size_t kDepth = 256;
+    constexpr int kProducers = 4;
+    constexpr int kOffersPerProducer = 2000;
+    AdmissionQueue q(kDepth);
+    std::atomic<bool> stopConsumer{false};
+    std::atomic<std::uint64_t> accepted[kProducers] = {};
+    std::atomic<std::uint64_t> offered[kProducers] = {};
+
+    std::thread consumer([&] {
+        EdgeBatch out;
+        std::uint64_t drained = 0;
+        while (!stopConsumer.load(std::memory_order_acquire) ||
+               q.backlog() > 0) {
+            EXPECT_LE(q.backlog(), kDepth);
+            drained += q.drain(out, 64);
+            std::this_thread::yield();
+        }
+        drained += q.drain(out, kDepth);
+        EXPECT_EQ(drained, out.size());
+        EXPECT_EQ(drained, q.acceptedEdges());
+    });
+
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t) {
+        producers.emplace_back([&, t] {
+            std::mt19937_64 rng(100 + t);
+            std::vector<Edge> edges(32);
+            for (int i = 0; i < kOffersPerProducer; ++i) {
+                const std::size_t n = 1 + rng() % edges.size();
+                for (std::size_t j = 0; j < n; ++j)
+                    edges[j] = Edge{static_cast<NodeId>(rng() % 64),
+                                    static_cast<NodeId>(rng() % 64), 1.0f};
+                offered[t].fetch_add(n, std::memory_order_relaxed);
+                if (q.offer(edges.data(), n))
+                    accepted[t].fetch_add(n, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &p : producers)
+        p.join();
+    stopConsumer.store(true, std::memory_order_release);
+    consumer.join();
+
+    std::uint64_t totalOffered = 0, totalAccepted = 0;
+    for (int t = 0; t < kProducers; ++t) {
+        totalOffered += offered[t].load(std::memory_order_relaxed);
+        totalAccepted += accepted[t].load(std::memory_order_relaxed);
+    }
+    EXPECT_EQ(q.acceptedEdges(), totalAccepted);
+    EXPECT_EQ(q.shedEdges(), totalOffered - totalAccepted);
+    EXPECT_EQ(q.backlog(), 0u);
+}
+
+// --- EpochGate ----------------------------------------------------------
+
+TEST(EpochGate, ReadersDoNotExcludeEachOther)
+{
+    EpochGate gate;
+    gate.enterRead();
+    gate.enterRead(); // second reader enters immediately
+    gate.exitRead();
+    gate.exitRead();
+}
+
+TEST(EpochGate, PublisherWaitsForReadersAndExcludesNewOnes)
+{
+    EpochGate gate;
+    std::atomic<bool> published{false};
+    gate.enterRead();
+    std::thread publisher([&] {
+        gate.beginPublish();
+        published.store(true, std::memory_order_release);
+        gate.endPublish();
+    });
+    // The publisher must not finish while a reader is inside.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(published.load(std::memory_order_acquire));
+    gate.exitRead();
+    publisher.join();
+    EXPECT_TRUE(published.load(std::memory_order_acquire));
+    // Gate is reusable after the window closes.
+    gate.enterRead();
+    gate.exitRead();
+}
+
+TEST(EpochGate, PublishWindowIsExclusiveUnderStress)
+{
+    // Two plain (non-atomic) ints mutated only inside publish windows;
+    // readers assert they never observe a torn pair. TSan additionally
+    // proves there is no data race in this schedule.
+    EpochGate gate;
+    int a = 0, b = 0;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                EpochGate::ReadGuard guard(gate);
+                EXPECT_EQ(a, b);
+            }
+        });
+    }
+    for (int k = 1; k <= 2000; ++k) {
+        gate.beginPublish();
+        a = k;
+        b = k;
+        gate.endPublish();
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread &r : readers)
+        r.join();
+    EXPECT_EQ(a, 2000);
+}
+
+// --- wire protocol ------------------------------------------------------
+
+TEST(Wire, ReaderLatchesOnShortBuffer)
+{
+    const std::vector<std::uint8_t> buf = {1, 2, 3}; // 3 bytes
+    wire::Reader r(buf);
+    EXPECT_EQ(r.u8(), 1u);
+    EXPECT_EQ(r.u32(), 0u); // only 2 bytes left: latches, zero-fills
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.u64(), 0u); // stays latched
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, UpdateRequestRoundTrips)
+{
+    const std::vector<Edge> edges = {
+        {1, 2, 0.5f}, {3, 4, 1.25f}, {5, 6, -2.0f}};
+    const std::vector<std::uint8_t> body =
+        wire::encodeUpdateRequest(edges.data(), edges.size());
+    wire::Reader r(body);
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(wire::Op::kUpdate));
+    std::vector<Edge> decoded;
+    ASSERT_TRUE(wire::decodeUpdatePayload(r, decoded));
+    ASSERT_EQ(decoded.size(), edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        EXPECT_EQ(decoded[i].src, edges[i].src);
+        EXPECT_EQ(decoded[i].dst, edges[i].dst);
+        EXPECT_EQ(decoded[i].weight, edges[i].weight);
+    }
+}
+
+TEST(Wire, UpdatePayloadLengthMismatchRejected)
+{
+    std::vector<std::uint8_t> body;
+    wire::putU8(body, static_cast<std::uint8_t>(wire::Op::kUpdate));
+    wire::putU32(body, 2); // claims 2 edges...
+    wire::putU32(body, 1);
+    wire::putU32(body, 2);
+    wire::putF32(body, 1.0f); // ...but carries only 1
+    wire::Reader r(body);
+    r.u8();
+    std::vector<Edge> decoded;
+    EXPECT_FALSE(wire::decodeUpdatePayload(r, decoded));
+}
+
+TEST(Wire, FramesRoundTripOverPipe)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::vector<std::uint8_t> body = {9, 8, 7, 6, 5};
+    ASSERT_TRUE(wire::writeFrame(fds[1], body));
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(wire::readFrame(fds[0], got));
+    EXPECT_EQ(got, body);
+    // EOF: closing the write end fails the next read cleanly.
+    ::close(fds[1]);
+    EXPECT_FALSE(wire::readFrame(fds[0], got));
+    ::close(fds[0]);
+}
+
+TEST(Wire, OversizedAndZeroPrefixesRejected)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::vector<std::uint8_t> raw;
+    wire::putU32(raw, wire::kMaxFrameBytes + 1);
+    ASSERT_EQ(::write(fds[1], raw.data(), raw.size()),
+              static_cast<ssize_t>(raw.size()));
+    std::vector<std::uint8_t> got;
+    EXPECT_FALSE(wire::readFrame(fds[0], got));
+    raw.clear();
+    wire::putU32(raw, 0);
+    ASSERT_EQ(::write(fds[1], raw.data(), raw.size()),
+              static_cast<ssize_t>(raw.size()));
+    EXPECT_FALSE(wire::readFrame(fds[0], got));
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+// --- dispatch -----------------------------------------------------------
+
+class DispatchTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ServeConfig cfg;
+        cfg.threads = 1;
+        cfg.bfsSource = 0;
+        cfg.topK = 3;
+        svc_ = makeService(cfg);
+        // 0 -> 1 -> 2, 0 -> 2; node 3 isolated via self-anchor 3 -> 3.
+        svc_->bootstrap({{0, 1, 1.0f},
+                         {1, 2, 1.0f},
+                         {0, 2, 1.0f},
+                         {3, 3, 1.0f}});
+    }
+
+    std::vector<std::uint8_t>
+    call(const std::vector<std::uint8_t> &req)
+    {
+        return wire::handleRequest(*svc_, req);
+    }
+
+    std::unique_ptr<GraphService> svc_;
+};
+
+TEST_F(DispatchTest, DegreeReply)
+{
+    const std::vector<std::uint8_t> reply =
+        call(wire::encodeNodeRequest(wire::Op::kDegree, 0));
+    wire::Reader r(reply);
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(wire::Status::kOk));
+    EXPECT_EQ(r.u64(), 0u); // epoch 0 right after bootstrap
+    EXPECT_EQ(r.u32(), 2u); // out-degree
+    EXPECT_EQ(r.u32(), 0u); // in-degree
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST_F(DispatchTest, NeighborsReplyCarriesMatchingDegree)
+{
+    const std::vector<std::uint8_t> reply =
+        call(wire::encodeNodeRequest(wire::Op::kNeighbors, 0));
+    wire::Reader r(reply);
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(wire::Status::kOk));
+    r.u64();
+    const std::uint32_t deg = r.u32();
+    EXPECT_EQ(deg, 2u);
+    EXPECT_EQ(r.remaining(), deg * 4u);
+    std::vector<NodeId> nbrs = {r.u32(), r.u32()};
+    std::sort(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(nbrs, (std::vector<NodeId>{1, 2}));
+}
+
+TEST_F(DispatchTest, BfsAndTopKReplies)
+{
+    const std::vector<std::uint8_t> bfs =
+        call(wire::encodeNodeRequest(wire::Op::kBfs, 2));
+    wire::Reader rb(bfs);
+    EXPECT_EQ(rb.u8(), static_cast<std::uint8_t>(wire::Status::kOk));
+    rb.u64();
+    EXPECT_EQ(rb.u32(), 1u); // 0 -> 2 directly
+
+    const std::vector<std::uint8_t> topk =
+        call(wire::encodeEmptyRequest(wire::Op::kTopK));
+    wire::Reader rt(topk);
+    EXPECT_EQ(rt.u8(), static_cast<std::uint8_t>(wire::Status::kOk));
+    rt.u64();
+    const std::uint32_t k = rt.u32();
+    EXPECT_EQ(k, 3u);
+    double prev = std::numeric_limits<double>::infinity();
+    for (std::uint32_t i = 0; i < k; ++i) {
+        rt.u32();
+        const double rank = rt.f64();
+        EXPECT_LE(rank, prev);
+        prev = rank;
+    }
+    EXPECT_TRUE(rt.ok());
+    EXPECT_EQ(rt.remaining(), 0u);
+}
+
+TEST_F(DispatchTest, UpdateAdvancesEpochAfterStep)
+{
+    const Edge e{2, 3, 1.0f};
+    const std::vector<std::uint8_t> reply =
+        call(wire::encodeUpdateRequest(&e, 1));
+    wire::Reader r(reply);
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(wire::Status::kOk));
+    EXPECT_EQ(r.u64(), 0u); // not yet applied
+    EXPECT_TRUE(svc_->stepEpoch());
+    EXPECT_EQ(svc_->graphEpoch(), 1u);
+    const std::vector<std::uint8_t> deg =
+        call(wire::encodeNodeRequest(wire::Op::kDegree, 2));
+    wire::Reader rd(deg);
+    rd.u8();
+    EXPECT_EQ(rd.u64(), 1u); // epoch 1
+    EXPECT_EQ(rd.u32(), 1u); // 2 -> 3 landed
+}
+
+TEST_F(DispatchTest, StatsReply)
+{
+    const std::vector<std::uint8_t> reply =
+        call(wire::encodeEmptyRequest(wire::Op::kStats));
+    wire::Reader r(reply);
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(wire::Status::kOk));
+    EXPECT_EQ(r.u64(), 0u); // graph epoch
+    EXPECT_EQ(r.u64(), 0u); // algo epoch
+    r.u64();                // accepted
+    r.u64();                // shed
+    r.u64();                // backlog
+    EXPECT_EQ(r.u64(), 4u); // graph edges
+    EXPECT_EQ(r.u32(), 4u); // graph nodes
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST_F(DispatchTest, MalformedRequestsRejected)
+{
+    // Unknown op.
+    EXPECT_EQ(call({42})[0],
+              static_cast<std::uint8_t>(wire::Status::kBadRequest));
+    // Trailing junk after a well-formed degree request.
+    std::vector<std::uint8_t> req =
+        wire::encodeNodeRequest(wire::Op::kDegree, 0);
+    req.push_back(0xff);
+    EXPECT_EQ(call(req)[0],
+              static_cast<std::uint8_t>(wire::Status::kBadRequest));
+    // Truncated node id.
+    EXPECT_EQ(call({static_cast<std::uint8_t>(wire::Op::kDegree), 1})[0],
+              static_cast<std::uint8_t>(wire::Status::kBadRequest));
+    // TopK with a payload it should not have.
+    std::vector<std::uint8_t> topk =
+        wire::encodeEmptyRequest(wire::Op::kTopK);
+    topk.push_back(0);
+    EXPECT_EQ(call(topk)[0],
+              static_cast<std::uint8_t>(wire::Status::kBadRequest));
+}
+
+TEST(DispatchBacklog, OverDepthOfferYieldsBacklogStatus)
+{
+    ServeConfig cfg;
+    cfg.threads = 1;
+    cfg.queueDepthEdges = 2;
+    std::unique_ptr<GraphService> svc = makeService(cfg);
+    svc->bootstrap({{0, 1, 1.0f}});
+    const std::vector<Edge> edges(3, Edge{0, 1, 1.0f});
+    const std::vector<std::uint8_t> reply = wire::handleRequest(
+        *svc, wire::encodeUpdateRequest(edges.data(), edges.size()));
+    EXPECT_EQ(reply[0],
+              static_cast<std::uint8_t>(wire::Status::kBacklog));
+    EXPECT_EQ(reply.size(), 1u);
+    EXPECT_EQ(svc->stats().shedEdges, 3u);
+}
+
+// --- end-to-end snapshot consistency ------------------------------------
+
+/** Serial per-epoch oracle state mirrored from a ReferenceStore pair. */
+struct EpochOracle
+{
+    std::vector<std::uint32_t> outDeg;
+    std::vector<std::uint32_t> inDeg;
+    std::vector<std::vector<NodeId>> sortedOut;
+    std::vector<std::uint32_t> bfsDist;
+};
+
+class ServeE2eTest : public ::testing::TestWithParam<DsKind>
+{};
+
+/**
+ * The headline contract: while the epoch loop drains, stages, and
+ * publishes batch after batch, concurrent readers must observe, for
+ * whatever epoch tag their reply carries, *exactly* the serial oracle's
+ * state at that epoch — degrees, neighbor sets, and BFS distances
+ * bit-equal, never a blend of adjacent epochs. Epoch tags must also be
+ * monotone per reader. Runs under TSan in the tier-1 matrix, which
+ * additionally proves the stage/publish overlap is race-free.
+ */
+TEST_P(ServeE2eTest, ConcurrentReadsSeeExactEpochSnapshots)
+{
+    constexpr NodeId kNodes = 192;
+    constexpr std::size_t kEpochs = 10;
+    constexpr std::size_t kBatchEdges = 300;
+    constexpr int kReaders = 3;
+
+    ServeConfig cfg;
+    cfg.ds = GetParam();
+    cfg.threads = 2;
+    cfg.bfsSource = 0;
+    cfg.topK = 5;
+    cfg.queueDepthEdges = 1 << 16;
+    cfg.epochMaxEdges = 1 << 14; // one step drains a whole batch
+    std::unique_ptr<GraphService> svc = makeService(cfg);
+
+    // Serial oracle: the same batches applied to ReferenceStores, with
+    // the full per-epoch state snapshotted *before* the service
+    // publishes that epoch. Readers index it by the epoch tag their
+    // replies carry; visibility is inherited from the epoch publication
+    // (acquire load of an epoch implies the oracle writes that preceded
+    // its publication are visible).
+    ReferenceStore fwd, rev;
+    fwd.ensureNodes(kNodes);
+    rev.ensureNodes(kNodes);
+    std::vector<EpochOracle> oracle(kEpochs + 1);
+    std::vector<Edge> accepted; // every edge ever admitted, in order
+
+    const auto snapshotOracle = [&](EpochOracle &o) {
+        o.outDeg.resize(kNodes);
+        o.inDeg.resize(kNodes);
+        o.sortedOut.resize(kNodes);
+        for (NodeId v = 0; v < kNodes; ++v) {
+            o.outDeg[v] = fwd.degree(v);
+            o.inDeg[v] = rev.degree(v);
+            std::vector<NodeId> nbrs;
+            fwd.forNeighbors(v, [&](const Neighbor &nbr) {
+                nbrs.push_back(nbr.node);
+            });
+            std::sort(nbrs.begin(), nbrs.end());
+            o.sortedOut[v] = std::move(nbrs);
+        }
+        o.bfsDist = test::refBfs(
+            test::buildAdj(accepted, kNodes), cfg.bfsSource);
+    };
+
+    // Bootstrap graph == oracle epoch 0. The anchor edge pins
+    // numNodes to kNodes in both.
+    EdgeBatch seed = test::randomBatch(kNodes, 400, /*seed=*/1);
+    seed.push_back({kNodes - 1, 0, 1.0f});
+    {
+        std::vector<Edge> seedEdges;
+        for (std::size_t i = 0; i < seed.size(); ++i)
+            seedEdges.push_back(seed[i]);
+        svc->bootstrap(seedEdges);
+        ThreadPool serialPool(1);
+        fwd.updateBatch(seed, serialPool, /*reversed=*/false);
+        rev.updateBatch(seed, serialPool, /*reversed=*/true);
+        accepted.insert(accepted.end(), seedEdges.begin(),
+                        seedEdges.end());
+    }
+    snapshotOracle(oracle[0]);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> readsDone{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kReaders; ++t) {
+        readers.emplace_back([&, t] {
+            std::mt19937_64 rng(500 + t);
+            std::uint64_t lastGraphEpoch = 0;
+            std::uint64_t lastAlgoEpoch = 0;
+            while (!stop.load(std::memory_order_acquire)) {
+                const NodeId v = static_cast<NodeId>(rng() % kNodes);
+                switch (rng() % 3) {
+                  case 0: {
+                    const DegreeReply r = svc->degree(v);
+                    const EpochOracle &o = oracle[r.epoch];
+                    if (r.epoch < lastGraphEpoch ||
+                        r.outDegree != o.outDeg[v] ||
+                        r.inDegree != o.inDeg[v])
+                        failures.fetch_add(1, std::memory_order_relaxed);
+                    lastGraphEpoch = std::max(lastGraphEpoch, r.epoch);
+                    break;
+                  }
+                  case 1: {
+                    NeighborsReply r = svc->neighbors(v);
+                    const EpochOracle &o = oracle[r.epoch];
+                    std::sort(r.neighbors.begin(), r.neighbors.end());
+                    if (r.epoch < lastGraphEpoch ||
+                        r.degree != r.neighbors.size() ||
+                        r.neighbors != o.sortedOut[v])
+                        failures.fetch_add(1, std::memory_order_relaxed);
+                    lastGraphEpoch = std::max(lastGraphEpoch, r.epoch);
+                    break;
+                  }
+                  default: {
+                    const BfsReply r = svc->bfsDistance(v);
+                    const EpochOracle &o = oracle[r.epoch];
+                    const std::uint32_t want = o.bfsDist[v];
+                    const bool wantReachable = want != Bfs::kInf;
+                    if (r.epoch < lastAlgoEpoch ||
+                        r.reachable != wantReachable ||
+                        (wantReachable && r.distance != want))
+                        failures.fetch_add(1, std::memory_order_relaxed);
+                    lastAlgoEpoch = std::max(lastAlgoEpoch, r.epoch);
+                    break;
+                  }
+                }
+                readsDone.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    // Writer lane: prepare the oracle for epoch e, then publish it,
+    // while the readers above hammer the snapshot.
+    ThreadPool serialPool(1);
+    for (std::size_t e = 1; e <= kEpochs; ++e) {
+        const EdgeBatch batch =
+            test::randomBatch(kNodes, kBatchEdges, /*seed=*/100 + e);
+        std::vector<Edge> edges;
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            edges.push_back(batch[i]);
+        fwd.updateBatch(batch, serialPool, /*reversed=*/false);
+        rev.updateBatch(batch, serialPool, /*reversed=*/true);
+        accepted.insert(accepted.end(), edges.begin(), edges.end());
+        snapshotOracle(oracle[e]); // written BEFORE publication
+        ASSERT_TRUE(svc->offerUpdate(edges.data(), edges.size()));
+        ASSERT_TRUE(svc->stepEpoch());
+        ASSERT_EQ(svc->graphEpoch(), e);
+    }
+
+    stop.store(true, std::memory_order_release);
+    for (std::thread &r : readers)
+        r.join();
+
+    EXPECT_EQ(failures.load(std::memory_order_relaxed), 0u);
+    EXPECT_GT(readsDone.load(std::memory_order_relaxed), 0u);
+    const ServeStats s = svc->stats();
+    EXPECT_EQ(s.graphEpoch, kEpochs);
+    EXPECT_EQ(s.algoEpoch, kEpochs);
+    EXPECT_EQ(s.backlogEdges, 0u);
+    EXPECT_EQ(s.shedEdges, 0u);
+    EXPECT_EQ(s.graphNodes, kNodes);
+}
+
+TEST_P(ServeE2eTest, IdleStepDoesNotAdvanceEpoch)
+{
+    ServeConfig cfg;
+    cfg.ds = GetParam();
+    cfg.threads = 1;
+    std::unique_ptr<GraphService> svc = makeService(cfg);
+    svc->bootstrap({{0, 1, 1.0f}});
+    EXPECT_FALSE(svc->stepEpoch()); // nothing queued
+    EXPECT_EQ(svc->graphEpoch(), 0u);
+}
+
+TEST_P(ServeE2eTest, BackgroundLoopDrainsOffers)
+{
+    ServeConfig cfg;
+    cfg.ds = GetParam();
+    cfg.threads = 1;
+    cfg.epochIntervalMicros = 200;
+    std::unique_ptr<GraphService> svc = makeService(cfg);
+    svc->bootstrap({{0, 1, 1.0f}});
+    svc->start();
+    const Edge e{1, 2, 1.0f};
+    ASSERT_TRUE(svc->offerUpdate(&e, 1));
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (svc->graphEpoch() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    svc->stop();
+    EXPECT_GE(svc->graphEpoch(), 1u);
+    EXPECT_EQ(svc->degree(1).outDegree, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, ServeE2eTest,
+                         ::testing::Values(DsKind::AS, DsKind::AC,
+                                           DsKind::Stinger, DsKind::DAH),
+                         [](const ::testing::TestParamInfo<DsKind> &tpi) {
+                             return std::string(toString(tpi.param));
+                         });
+
+} // namespace
+} // namespace saga

@@ -16,7 +16,13 @@ Three checks, all stdlib-only so CI can run it anywhere:
 
 Usage:
   check_telemetry.py --metrics PATH [--trace PATH] [--docs PATH]
-                     [--expect-phase NAME]...
+                     [--extra-docs PREFIX=PATH]... [--expect-phase NAME]...
+
+--extra-docs holds a subsystem handbook to the same contract: every
+exported name starting with PREFIX (counter `prefix.` or phase
+`prefix/`) must also be documented in PATH. The serve-smoke CI job uses
+`--extra-docs serve=docs/SERVING.md` so the serving handbook cannot
+fall behind the serve.* telemetry surface.
 
 Exit status: 0 = all checks pass, 1 = violations, 2 = usage error.
 """
@@ -179,6 +185,30 @@ def check_docs(doc, docs_path, chk):
                    "docs: %s does not document `%s`" % (docs_path, name))
 
 
+def check_extra_docs(doc, spec, chk):
+    """--extra-docs PREFIX=PATH: names under PREFIX must appear in PATH."""
+    prefix, sep, path = spec.partition("=")
+    if not chk.expect(sep == "=" and prefix and path,
+                      "extra-docs: %r is not PREFIX=PATH" % spec):
+        return
+    try:
+        with open(path, encoding="utf-8") as f:
+            docs = f.read()
+    except OSError as err:
+        chk.expect(False, "extra-docs: cannot read %s: %s" % (path, err))
+        return
+    names = [n for n in doc.get("counters", {})
+             if n.startswith(prefix + ".")]
+    names += [n for n in doc.get("phases", {})
+              if n.startswith(prefix + "/")]
+    chk.expect(bool(names),
+               "extra-docs: dump exports no %r-prefixed names — "
+               "wrong prefix or a dead dump" % prefix)
+    for name in names:
+        chk.expect("`%s`" % name in docs,
+                   "extra-docs: %s does not document `%s`" % (path, name))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="check_telemetry",
@@ -190,6 +220,11 @@ def main(argv=None):
     parser.add_argument("--docs", default="docs/TELEMETRY.md",
                         help="metrics contract to check names against "
                              "(default: %(default)s)")
+    parser.add_argument("--extra-docs", action="append", default=[],
+                        metavar="PREFIX=PATH",
+                        help="also require every exported name under "
+                             "PREFIX to be documented in PATH "
+                             "(repeatable)")
     parser.add_argument("--expect-phase", action="append", default=[],
                         metavar="NAME",
                         help="require at least one trace span named NAME "
@@ -201,6 +236,8 @@ def main(argv=None):
     if metrics is not None:
         check_metrics(metrics, chk)
         check_docs(metrics, args.docs, chk)
+        for spec in args.extra_docs:
+            check_extra_docs(metrics, spec, chk)
     if args.trace:
         trace = load_json(args.trace, chk)
         if trace is not None:

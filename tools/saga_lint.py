@@ -129,15 +129,18 @@ def everywhere_except(*exempt):
 
 
 def epoch_handoff_scope(relpath):
-    # The pipelined driver's epoch-handoff surface: everything between
-    # stageAsync() and the publish barrier. Store-internal relaxed
-    # counters (src/ds/) are out of scope — they answer to
-    # relaxed-needs-reason instead.
+    # The epoch-handoff surface: everything between stageAsync() and the
+    # publish barrier in the pipelined driver, plus the serving layer's
+    # equivalent (EpochGate readers/publisher and the service epoch
+    # loop). Store-internal relaxed counters (src/ds/) are out of scope
+    # — they answer to relaxed-needs-reason instead.
     if relpath.startswith(FIXTURE_DIR + "/"):
         return True
     return relpath in ("src/saga/staged_apply.h", "src/saga/driver.h",
                        "src/saga/driver.cc", "src/saga/experiment.h",
-                       "src/saga/experiment.cc")
+                       "src/saga/experiment.cc",
+                       "src/serve/epoch_gate.h", "src/serve/service.h",
+                       "src/serve/service.cc")
 
 
 def telemetry_macro_scope(relpath):

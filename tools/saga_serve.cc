@@ -1,0 +1,253 @@
+/**
+ * @file
+ * saga_serve — the always-on streaming-graph server binary.
+ *
+ * Stands up a GraphService (src/serve/service.h) behind the
+ * length-prefixed TCP protocol (src/serve/wire.h): one listener thread
+ * accepts connections, one handler thread per connection decodes
+ * request frames, executes them via wire::handleRequest, and writes
+ * reply frames back. The background epoch loop runs inside the
+ * service; admission control and snapshot consistency are entirely the
+ * service's business — this file is sockets and flags only.
+ *
+ * Startup prints exactly one line, "saga_serve listening on <port>",
+ * once the socket is bound (port 0 requests an ephemeral port, and the
+ * printed number is the real one) — CI's serve-smoke job keys on it.
+ *
+ *   ./saga_serve --port=7077 --ds=as --seed-scale=12 --duration=10 \
+ *       --telemetry=serve_telemetry.json
+ *
+ * See docs/SERVING.md for the full flag table and a worked profiling
+ * walkthrough.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "gen/rmat.h"
+#include "serve/dispatch.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+struct Options
+{
+    int port = 7077;
+    std::string ds = "as";
+    std::size_t threads = 2;
+    std::size_t queueDepth = std::size_t{1} << 16;
+    std::size_t epochEdges = std::size_t{1} << 14;
+    std::uint32_t epochIntervalUs = 1000;
+    saga::NodeId bfsSource = 0;
+    std::size_t topK = 10;
+    std::uint32_t prIters = 5;
+    std::uint32_t seedScale = 12;
+    std::uint64_t seedEdges = 1 << 15;
+    double durationSeconds = 0; // 0 = run until SIGINT/SIGTERM
+    std::string telemetryOut;
+    std::string traceOut;
+};
+
+bool
+parseFlag(const std::string &arg, const char *name, std::string &out)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: saga_serve [--port=N] [--ds=as|ac|stinger|dah]\n"
+        "                  [--threads=N] [--queue-depth=EDGES]\n"
+        "                  [--epoch-edges=N] [--epoch-interval-us=N]\n"
+        "                  [--bfs-source=V] [--topk=K] [--pr-iters=N]\n"
+        "                  [--seed-scale=S] [--seed-edges=N]\n"
+        "                  [--duration=SECONDS]\n"
+        "                  [--telemetry=PATH] [--trace=PATH]\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string v;
+        if (parseFlag(arg, "port", v)) opt.port = std::stoi(v);
+        else if (parseFlag(arg, "ds", v)) opt.ds = v;
+        else if (parseFlag(arg, "threads", v)) opt.threads = std::stoul(v);
+        else if (parseFlag(arg, "queue-depth", v))
+            opt.queueDepth = std::stoul(v);
+        else if (parseFlag(arg, "epoch-edges", v))
+            opt.epochEdges = std::stoul(v);
+        else if (parseFlag(arg, "epoch-interval-us", v))
+            opt.epochIntervalUs = static_cast<std::uint32_t>(std::stoul(v));
+        else if (parseFlag(arg, "bfs-source", v))
+            opt.bfsSource = static_cast<saga::NodeId>(std::stoul(v));
+        else if (parseFlag(arg, "topk", v)) opt.topK = std::stoul(v);
+        else if (parseFlag(arg, "pr-iters", v))
+            opt.prIters = static_cast<std::uint32_t>(std::stoul(v));
+        else if (parseFlag(arg, "seed-scale", v))
+            opt.seedScale = static_cast<std::uint32_t>(std::stoul(v));
+        else if (parseFlag(arg, "seed-edges", v))
+            opt.seedEdges = std::stoull(v);
+        else if (parseFlag(arg, "duration", v))
+            opt.durationSeconds = std::stod(v);
+        else if (parseFlag(arg, "telemetry", v)) opt.telemetryOut = v;
+        else if (parseFlag(arg, "trace", v)) opt.traceOut = v;
+        else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+/** Serve one connection until the peer disconnects or errors. */
+void
+serveConnection(saga::GraphService &svc, int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::vector<std::uint8_t> body;
+    while (saga::wire::readFrame(fd, body)) {
+        const std::vector<std::uint8_t> reply =
+            saga::wire::handleRequest(svc, body);
+        if (!saga::wire::writeFrame(fd, reply))
+            break;
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    if (!opt.telemetryOut.empty() || !opt.traceOut.empty()) {
+        saga::telemetry::setEnabled(!opt.telemetryOut.empty());
+        saga::telemetry::setTraceEnabled(!opt.traceOut.empty());
+    }
+
+    saga::ServeConfig cfg;
+    cfg.ds = saga::parseDs(opt.ds);
+    cfg.threads = opt.threads;
+    cfg.queueDepthEdges = opt.queueDepth;
+    cfg.epochMaxEdges = opt.epochEdges;
+    cfg.epochIntervalMicros = opt.epochIntervalUs;
+    cfg.bfsSource = opt.bfsSource;
+    cfg.topK = opt.topK;
+    cfg.prMaxIters = opt.prIters;
+
+    std::unique_ptr<saga::GraphService> svc = saga::makeService(cfg);
+    {
+        saga::RmatParams params;
+        params.scale = opt.seedScale;
+        params.numEdges = opt.seedEdges;
+        svc->bootstrap(saga::generateRmat(params));
+    }
+    svc->start();
+
+    const int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        std::perror("socket");
+        return 1;
+    }
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt.port));
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd, 64) != 0) {
+        std::perror("bind/listen");
+        ::close(listenFd);
+        return 1;
+    }
+    socklen_t addrLen = sizeof(addr);
+    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr), &addrLen);
+    std::printf("saga_serve listening on %d\n", ntohs(addr.sin_port));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opt.durationSeconds));
+    std::vector<std::thread> handlers;
+    std::vector<int> fds;
+    while (!g_stop.load()) {
+        if (opt.durationSeconds > 0 &&
+            std::chrono::steady_clock::now() >= deadline)
+            break;
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        fds.push_back(fd);
+        handlers.emplace_back(
+            [&svc, fd] { serveConnection(*svc, fd); });
+    }
+    ::close(listenFd);
+    // Force-close live connections so handler threads unblock, then
+    // join them before stopping the service (handlers hold &svc).
+    for (const int fd : fds)
+        ::shutdown(fd, SHUT_RDWR);
+    for (std::thread &t : handlers)
+        t.join();
+    svc->stop();
+
+    if (!opt.telemetryOut.empty() &&
+        !saga::telemetry::writeMetricsJson(opt.telemetryOut)) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     opt.telemetryOut.c_str());
+        return 1;
+    }
+    if (!opt.traceOut.empty() &&
+        !saga::telemetry::writeTraceJson(opt.traceOut)) {
+        std::fprintf(stderr, "failed to write %s\n", opt.traceOut.c_str());
+        return 1;
+    }
+    return 0;
+}

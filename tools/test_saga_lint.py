@@ -180,6 +180,31 @@ class PipelineNoRelaxed(unittest.TestCase):
             "src/saga/registry.cc")
         self.assertNotIn("pipeline-no-relaxed", rules)
 
+    def test_flags_relaxed_in_serve_epoch_gate(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "// relaxed: reader count is advisory\n"
+            "state_.load(std::memory_order_relaxed);\n",
+            "src/serve/epoch_gate.h")
+        self.assertIn("pipeline-no-relaxed", rules)
+
+    def test_flags_relaxed_in_serve_service(self):
+        rules = lint_source(
+            "#include <atomic>\n"
+            "// relaxed: epoch is monotone\n"
+            "graph_epoch_.load(std::memory_order_relaxed);\n",
+            "src/serve/service.cc")
+        self.assertIn("pipeline-no-relaxed", rules)
+
+    def test_serve_non_handoff_files_out_of_scope(self):
+        # The histogram and wire files are not epoch-handoff code.
+        rules = lint_source(
+            "#include <atomic>\n"
+            "// relaxed: stats only\n"
+            "n.fetch_add(1, std::memory_order_relaxed);\n",
+            "src/serve/latency_histogram.h")
+        self.assertNotIn("pipeline-no-relaxed", rules)
+
 
 class AtomicInclude(unittest.TestCase):
     def test_flags_missing_include(self):
