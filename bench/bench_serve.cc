@@ -46,6 +46,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -816,6 +817,9 @@ gateRuns(const std::vector<RunResult> &runs)
 int
 run(const Options &opt)
 {
+    // TCP mode: a server that dies mid-reply must fail the round trip
+    // (EPIPE from writeFrame), not kill the generator via SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
     if (!opt.telemetry.empty()) {
         telemetry::enablePerf();
         telemetry::setEnabled(true);
@@ -859,7 +863,12 @@ run(const Options &opt)
             return 2;
         }
         factory.host = opt.tcp.substr(0, colon);
-        factory.port = std::stoi(opt.tcp.substr(colon + 1));
+        try {
+            factory.port = std::stoi(opt.tcp.substr(colon + 1));
+        } catch (const std::exception &) {
+            std::cerr << "FAIL: bad port in --tcp " << opt.tcp << "\n";
+            return 2;
+        }
     }
 
     // Calibration (closed loop).
@@ -1018,10 +1027,21 @@ main(int argc, char **argv)
         } else if (arg == "--ds" && i + 1 < argc) {
             opt.ds = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
-            opt.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+            try {
+                opt.threads =
+                    static_cast<std::size_t>(std::stoul(argv[++i]));
+            } catch (const std::exception &) {
+                std::cerr << "bad value for --threads\n";
+                return 2;
+            }
         } else if (arg == "--read-workers" && i + 1 < argc) {
-            opt.readWorkers =
-                std::max<std::size_t>(1, std::stoul(argv[++i]));
+            try {
+                opt.readWorkers =
+                    std::max<std::size_t>(1, std::stoul(argv[++i]));
+            } catch (const std::exception &) {
+                std::cerr << "bad value for --read-workers\n";
+                return 2;
+            }
         } else if (arg == "--out" && i + 1 < argc) {
             opt.out = argv[++i];
         } else if (arg == "--csv" && i + 1 < argc) {

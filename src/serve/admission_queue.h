@@ -61,6 +61,15 @@ class AdmissionQueue
     /**
      * Consumer side: move up to @p maxEdges admitted edges (FIFO) into
      * @p out. @return the number of edges moved.
+     *
+     * The consumed prefix [0, head_) is reclaimed eagerly: cleared when
+     * the queue empties, compacted away once it reaches depth_ edges.
+     * Under sustained backlog — the steady state shedding is designed
+     * for, where the queue never fully drains — the buffer would
+     * otherwise keep its dead prefix forever and grow without bound.
+     * The compaction memmove shifts at most depth_ live edges per
+     * depth_ consumed, so it is O(1) amortized per edge and caps the
+     * buffer at 2 * depth_ edges.
      */
     std::size_t
     drain(EdgeBatch &out, std::size_t maxEdges)
@@ -73,6 +82,11 @@ class AdmissionQueue
         head_ += take;
         if (head_ == pending_.size()) {
             pending_.clear();
+            head_ = 0;
+        } else if (head_ >= depth_) {
+            pending_.erase(pending_.begin(),
+                           pending_.begin() +
+                               static_cast<std::ptrdiff_t>(head_));
             head_ = 0;
         }
         return take;
@@ -101,6 +115,18 @@ class AdmissionQueue
     }
 
     std::size_t depth() const { return depth_; }
+
+    /**
+     * Live plus not-yet-reclaimed edges in the internal buffer — the
+     * quantity the drain()-side compaction bounds at 2 * depth().
+     * Exposed for the leak-bound tests; not a service statistic.
+     */
+    std::size_t
+    bufferedEdges() const
+    {
+        SpinGuard guard(lock_);
+        return pending_.size();
+    }
 
   private:
     // immutable-after-build: fixed at construction

@@ -34,11 +34,13 @@
 #ifndef SAGA_SERVE_WIRE_H_
 #define SAGA_SERVE_WIRE_H_
 
+#include <cerrno>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "saga/types.h"
@@ -277,7 +279,15 @@ readFrame(int fd, std::vector<std::uint8_t> &body)
     return true;
 }
 
-/** Write @p body to @p fd as one length-prefixed frame. */
+/**
+ * Write @p body to @p fd as one length-prefixed frame.
+ *
+ * Sockets are written with MSG_NOSIGNAL so a peer that disconnects
+ * mid-reply surfaces as EPIPE (return false — a normal disconnect)
+ * instead of raising SIGPIPE, whose default action would kill the
+ * whole server. Non-socket fds (the tests frame over plain pipes)
+ * fall back to ::write on ENOTSOCK.
+ */
 inline bool
 writeFrame(int fd, const std::vector<std::uint8_t> &body)
 {
@@ -287,8 +297,10 @@ writeFrame(int fd, const std::vector<std::uint8_t> &body)
     framed.insert(framed.end(), body.begin(), body.end());
     std::size_t sent = 0;
     while (sent < framed.size()) {
-        const ssize_t n =
-            ::write(fd, framed.data() + sent, framed.size() - sent);
+        ssize_t n = ::send(fd, framed.data() + sent,
+                           framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, framed.data() + sent, framed.size() - sent);
         if (n <= 0)
             return false;
         sent += static_cast<std::size_t>(n);

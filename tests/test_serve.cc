@@ -198,6 +198,38 @@ TEST(AdmissionQueue, FifoOrderPreserved)
         EXPECT_EQ(out[i].src, i);
 }
 
+TEST(AdmissionQueue, SustainedBacklogDoesNotGrowBuffer)
+{
+    // The leak regression: under sustained backlog the queue never
+    // fully drains, so the consumed prefix is reclaimed by compaction
+    // in drain(), never by the queue-empty reset. The internal buffer
+    // must stay bounded (<= 2 * depth) over many epochs, FIFO intact.
+    constexpr std::size_t kDepth = 128;
+    AdmissionQueue q(kDepth);
+    std::uint32_t nextSrc = 0;
+    std::uint32_t nextExpected = 0;
+    const auto offerSome = [&](std::size_t n) {
+        std::vector<Edge> edges;
+        for (std::size_t i = 0; i < n; ++i)
+            edges.push_back(Edge{nextSrc + static_cast<std::uint32_t>(i),
+                                 0, 1.0f});
+        if (q.offer(edges.data(), n))
+            nextSrc += static_cast<std::uint32_t>(n);
+    };
+    offerSome(kDepth); // fill: backlog never reaches zero below
+    for (int epoch = 0; epoch < 1000; ++epoch) {
+        EdgeBatch out;
+        ASSERT_EQ(q.drain(out, 32), 32u);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            ASSERT_EQ(out[i].src, nextExpected++);
+        offerSome(32); // refill what was drained
+        offerSome(64); // over depth: shed, keeps the backlog pegged
+        ASSERT_GT(q.backlog(), 0u);
+        ASSERT_LE(q.bufferedEdges(), 2 * kDepth);
+    }
+    EXPECT_GT(q.shedEdges(), 0u);
+}
+
 TEST(AdmissionQueue, ConcurrentProducersConserveEdges)
 {
     // Property: accepted + shed == offered (per producer and in total),

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -88,36 +90,94 @@ usage()
         "                  [--telemetry=PATH] [--trace=PATH]\n");
 }
 
+/**
+ * Numeric flag-value parsers: false on malformed or trailing junk
+ * instead of the uncaught std::invalid_argument/std::out_of_range the
+ * raw std::sto* calls would abort with on e.g. --port=abc.
+ */
+bool
+toU64(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty() || v[0] == '-') // stoull silently wraps negatives
+        return false;
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(v, &pos);
+        return pos == v.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+toI32(const std::string &v, int &out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stoi(v, &pos);
+        return pos == v.size() && !v.empty();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+toDouble(const std::string &v, double &out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stod(v, &pos);
+        return pos == v.size() && !v.empty();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
 bool
 parseArgs(int argc, char **argv, Options &opt)
 {
+    bool ok = true;
+    std::uint64_t u = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string v;
-        if (parseFlag(arg, "port", v)) opt.port = std::stoi(v);
+        if (parseFlag(arg, "port", v)) ok = toI32(v, opt.port);
         else if (parseFlag(arg, "ds", v)) opt.ds = v;
-        else if (parseFlag(arg, "threads", v)) opt.threads = std::stoul(v);
-        else if (parseFlag(arg, "queue-depth", v))
-            opt.queueDepth = std::stoul(v);
-        else if (parseFlag(arg, "epoch-edges", v))
-            opt.epochEdges = std::stoul(v);
-        else if (parseFlag(arg, "epoch-interval-us", v))
-            opt.epochIntervalUs = static_cast<std::uint32_t>(std::stoul(v));
-        else if (parseFlag(arg, "bfs-source", v))
-            opt.bfsSource = static_cast<saga::NodeId>(std::stoul(v));
-        else if (parseFlag(arg, "topk", v)) opt.topK = std::stoul(v);
-        else if (parseFlag(arg, "pr-iters", v))
-            opt.prIters = static_cast<std::uint32_t>(std::stoul(v));
-        else if (parseFlag(arg, "seed-scale", v))
-            opt.seedScale = static_cast<std::uint32_t>(std::stoul(v));
-        else if (parseFlag(arg, "seed-edges", v))
-            opt.seedEdges = std::stoull(v);
-        else if (parseFlag(arg, "duration", v))
-            opt.durationSeconds = std::stod(v);
-        else if (parseFlag(arg, "telemetry", v)) opt.telemetryOut = v;
-        else if (parseFlag(arg, "trace", v)) opt.traceOut = v;
-        else {
+        else if (parseFlag(arg, "threads", v)) {
+            if ((ok = toU64(v, u))) opt.threads = u;
+        } else if (parseFlag(arg, "queue-depth", v)) {
+            if ((ok = toU64(v, u))) opt.queueDepth = u;
+        } else if (parseFlag(arg, "epoch-edges", v)) {
+            if ((ok = toU64(v, u))) opt.epochEdges = u;
+        } else if (parseFlag(arg, "epoch-interval-us", v)) {
+            if ((ok = toU64(v, u)))
+                opt.epochIntervalUs = static_cast<std::uint32_t>(u);
+        } else if (parseFlag(arg, "bfs-source", v)) {
+            if ((ok = toU64(v, u)))
+                opt.bfsSource = static_cast<saga::NodeId>(u);
+        } else if (parseFlag(arg, "topk", v)) {
+            if ((ok = toU64(v, u))) opt.topK = u;
+        } else if (parseFlag(arg, "pr-iters", v)) {
+            if ((ok = toU64(v, u)))
+                opt.prIters = static_cast<std::uint32_t>(u);
+        } else if (parseFlag(arg, "seed-scale", v)) {
+            if ((ok = toU64(v, u)))
+                opt.seedScale = static_cast<std::uint32_t>(u);
+        } else if (parseFlag(arg, "seed-edges", v)) {
+            ok = toU64(v, opt.seedEdges);
+        } else if (parseFlag(arg, "duration", v)) {
+            ok = toDouble(v, opt.durationSeconds);
+        } else if (parseFlag(arg, "telemetry", v)) {
+            opt.telemetryOut = v;
+        } else if (parseFlag(arg, "trace", v)) {
+            opt.traceOut = v;
+        } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            usage();
+            return false;
+        }
+        if (!ok) {
+            std::fprintf(stderr, "bad value in %s\n", arg.c_str());
             usage();
             return false;
         }
@@ -133,7 +193,12 @@ onSignal(int)
     g_stop.store(true);
 }
 
-/** Serve one connection until the peer disconnects or errors. */
+/**
+ * Serve one connection until the peer disconnects or errors. Does NOT
+ * close @p fd — the accept loop's connection table owns the
+ * descriptor and closes it when it reaps the finished handler, so a
+ * kernel-recycled fd number can never alias a stale table entry.
+ */
 void
 serveConnection(saga::GraphService &svc, int fd)
 {
@@ -146,7 +211,35 @@ serveConnection(saga::GraphService &svc, int fd)
         if (!saga::wire::writeFrame(fd, reply))
             break;
     }
-    ::close(fd);
+}
+
+/**
+ * One live connection. The table entry owns the socket fd; the done
+ * flag is the handler thread's only shared state with the accept loop
+ * (heap-allocated so vector reallocation cannot move it under the
+ * thread). Only the accept-loop thread touches the table itself.
+ */
+struct Connection
+{
+    int fd = -1;
+    std::unique_ptr<std::atomic<bool>> done;
+    std::thread handler;
+};
+
+/** Join, close, and drop every connection whose handler has exited. */
+void
+reapFinished(std::vector<Connection> &conns)
+{
+    for (std::size_t i = 0; i < conns.size();) {
+        if (conns[i].done->load(std::memory_order_acquire)) {
+            conns[i].handler.join();
+            ::close(conns[i].fd);
+            conns.erase(conns.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
 }
 
 } // namespace
@@ -207,17 +300,23 @@ main(int argc, char **argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    // A client that disconnects while we write its reply must surface
+    // as EPIPE from writeFrame (a normal disconnect), not as SIGPIPE's
+    // default process kill — belt to writeFrame's MSG_NOSIGNAL braces.
+    std::signal(SIGPIPE, SIG_IGN);
 
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(opt.durationSeconds));
-    std::vector<std::thread> handlers;
-    std::vector<int> fds;
+    std::vector<Connection> conns;
     while (!g_stop.load()) {
         if (opt.durationSeconds > 0 &&
             std::chrono::steady_clock::now() >= deadline)
             break;
+        // Reap each poll tick, not just on accept: a long-running
+        // server must not accumulate dead fds and joinable threads.
+        reapFinished(conns);
         pollfd pfd{listenFd, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 200);
         if (ready <= 0)
@@ -225,17 +324,27 @@ main(int argc, char **argv)
         const int fd = ::accept(listenFd, nullptr, nullptr);
         if (fd < 0)
             continue;
-        fds.push_back(fd);
-        handlers.emplace_back(
-            [&svc, fd] { serveConnection(*svc, fd); });
+        Connection conn;
+        conn.fd = fd;
+        conn.done = std::make_unique<std::atomic<bool>>(false);
+        std::atomic<bool> *done = conn.done.get();
+        conn.handler = std::thread([&svc, fd, done] {
+            serveConnection(*svc, fd);
+            done->store(true, std::memory_order_release);
+        });
+        conns.push_back(std::move(conn));
     }
     ::close(listenFd);
     // Force-close live connections so handler threads unblock, then
-    // join them before stopping the service (handlers hold &svc).
-    for (const int fd : fds)
-        ::shutdown(fd, SHUT_RDWR);
-    for (std::thread &t : handlers)
-        t.join();
+    // join them before stopping the service (handlers hold &svc). The
+    // table holds only fds it still owns — reaped entries are gone, so
+    // no shutdown() can hit a closed-and-recycled descriptor.
+    for (const Connection &conn : conns)
+        ::shutdown(conn.fd, SHUT_RDWR);
+    for (Connection &conn : conns) {
+        conn.handler.join();
+        ::close(conn.fd);
+    }
     svc->stop();
 
     if (!opt.telemetryOut.empty() &&
