@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: hybrid tiered-store knobs — the T1 → T2 promotion threshold
+ * (t1MaxDegree, rounded up to a power of two) and the hub table's probe
+ * bound (pslLimit). Swept on the heavy-tailed datasets where the tier
+ * split earns its keep (DESIGN.md §12): a low threshold builds hub
+ * tables for the whole warm tail (per-vertex hash overhead everywhere),
+ * a high one keeps true hubs in linear rows (O(degree) dup scans on the
+ * skew spine). The PSL bound trades insert-time rehash churn against a
+ * hard worst-case probe length on the read side.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace saga {
+namespace {
+
+void
+run()
+{
+    bench::banner("Ablation — hybrid T1→T2 threshold and hub PSL limit");
+
+    std::cout << "\nT1→T2 promotion threshold sweep (pslLimit = 24)\n";
+    TextTable threshold_table({"Dataset", "t1MaxDegree", "P3 update s",
+                               "P3 compute s", "P3 total s"});
+    for (const char *name : {"wiki", "talk"}) {
+        const DatasetProfile profile =
+            findProfile(name)->scaled(benchScale());
+        for (std::uint32_t threshold : {16u, 32u, 64u, 128u, 256u}) {
+            RunConfig cfg;
+            cfg.ds = DsKind::Hybrid;
+            cfg.alg = AlgKind::BFS;
+            cfg.model = ModelKind::INC;
+            cfg.hybrid.t1MaxDegree = threshold;
+            const WorkloadStages stages =
+                measureWorkload(profile, cfg, benchReps());
+            threshold_table.addRow({profile.name,
+                                    std::to_string(threshold),
+                                    formatDouble(stages.update.p3.mean, 4),
+                                    formatDouble(stages.compute.p3.mean, 4),
+                                    formatDouble(stages.total.p3.mean, 4)});
+            std::cerr << "." << std::flush;
+        }
+    }
+    std::cerr << "\n";
+    threshold_table.print(std::cout);
+
+    std::cout << "\nHub PSL-limit sweep (t1MaxDegree = 128)\n";
+    TextTable psl_table({"Dataset", "pslLimit", "P3 update s",
+                         "P3 total s"});
+    for (const char *name : {"wiki", "talk"}) {
+        const DatasetProfile profile =
+            findProfile(name)->scaled(benchScale());
+        for (std::uint32_t limit : {8u, 16u, 32u, 64u}) {
+            RunConfig cfg;
+            cfg.ds = DsKind::Hybrid;
+            cfg.alg = AlgKind::BFS;
+            cfg.model = ModelKind::INC;
+            cfg.hybrid.pslLimit = limit;
+            const WorkloadStages stages =
+                measureWorkload(profile, cfg, benchReps());
+            psl_table.addRow({profile.name, std::to_string(limit),
+                              formatDouble(stages.update.p3.mean, 4),
+                              formatDouble(stages.total.p3.mean, 4)});
+            std::cerr << "." << std::flush;
+        }
+    }
+    std::cerr << "\n";
+    psl_table.print(std::cout);
+
+    std::cout << "\nExpected shape: the threshold sweep is U-shaped — "
+                 "16 hashes the warm tail (promotion churn plus hub "
+                 "overhead on mid-degree rows), 256 leaves hubs linear "
+                 "(quadratic dup-scan work on the skew spine); the "
+                 "128 default sits at the basin. The PSL sweep is flat "
+                 "until the limit gets tight enough (8) that insert-time "
+                 "grow cascades dominate — the limit is a read-side "
+                 "worst-case bound, not a throughput knob.\n";
+}
+
+} // namespace
+} // namespace saga
+
+int
+main()
+{
+    saga::run();
+    return 0;
+}

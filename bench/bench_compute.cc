@@ -27,6 +27,7 @@
  *                       best PR variant must clear the 1.8x floor, and
  *                       the blocked variant must take blocked rounds
  *   --threads N         worker threads (default: hardware concurrency)
+ *   --store NAME        measure only one store (ac|stinger|hybrid)
  *   --alg NAME          measure only one algorithm (bfs|cc|pr|mc)
  *   --variant NAME      measure only one PR variant (pull|blocked|hybrid)
  *   --mpki              run the cache-sim MPKI cross-check and gate it
@@ -53,6 +54,7 @@
 #include "algo/pr.h"
 #include "ds/adj_chunked.h"
 #include "ds/dyn_graph.h"
+#include "ds/hybrid.h"
 #include "ds/stinger.h"
 #include "gen/powerlaw.h"
 #include "perfmodel/cache_sim.h"
@@ -73,6 +75,7 @@ struct Options
     bool smoke = false;
     bool mpki = false;
     std::size_t threads = 0; // 0 = hardware concurrency
+    std::string store;     // "" = all (ac|stinger|hybrid)
     std::string alg;       // "" = all
     std::string variant;   // "" = all PR variants
     std::string out = "BENCH_compute.json";
@@ -631,16 +634,27 @@ run(const Options &opt)
     const EdgeBatch batch{std::vector<Edge>(edges)};
     const int reps = opt.smoke ? 1 : 3;
 
+    const auto want_store = [&](const char *name) {
+        return opt.store.empty() || opt.store == name;
+    };
     std::vector<Measurement> results;
-    {
+    if (want_store("ac")) {
         DynGraph<AdjChunkedStore> g(/*directed=*/true, chunks);
         g.update(batch, pool);
         measureStore("AC", g, pool, reps, opt, results);
     }
-    {
+    if (want_store("stinger")) {
         DynGraph<StingerStore> g(/*directed=*/true);
         g.update(batch, pool);
         measureStore("Stinger", g, pool, reps, opt, results);
+    }
+    if (want_store("hybrid")) {
+        // The compute-ground check for the tiered store: hub traversal
+        // goes through forNeighborsBlock runs instead of a contiguous
+        // row, and this measurement keeps that regression honest.
+        DynGraph<HybridStore> g(/*directed=*/true, chunks, HybridConfig{});
+        g.update(batch, pool);
+        measureStore("Hybrid", g, pool, reps, opt, results);
     }
 
     std::vector<MpkiResult> mpki;
@@ -816,6 +830,10 @@ main(int argc, char **argv)
             opt.mpki = true;
         } else if (arg == "--threads" && i + 1 < argc) {
             opt.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (arg == "--store" && i + 1 < argc) {
+            opt.store = argv[++i];
+        } else if (arg.rfind("--store=", 0) == 0) {
+            opt.store = arg.substr(8);
         } else if (arg == "--alg" && i + 1 < argc) {
             opt.alg = argv[++i];
         } else if (arg.rfind("--alg=", 0) == 0) {
@@ -832,8 +850,9 @@ main(int argc, char **argv)
             opt.trace = arg.substr(8);
         } else {
             std::cerr << "usage: bench_compute [--smoke] [--mpki] "
-                         "[--threads N] [--alg NAME] [--variant NAME] "
-                         "[--out PATH] [--telemetry=PATH] [--trace=PATH]\n";
+                         "[--threads N] [--store ac|stinger|hybrid] "
+                         "[--alg NAME] [--variant NAME] [--out PATH] "
+                         "[--telemetry=PATH] [--trace=PATH]\n";
             return 2;
         }
     }

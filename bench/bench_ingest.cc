@@ -10,9 +10,13 @@
  * machine-readable BENCH_ingest.json next to the table.
  *
  * Flags:
- *   --smoke             small sizes, 1 rep, and a regression gate on the
- *                       AC/DAH speedup (exit 1 if pathologically slower)
- *                       — used by CI
+ *   --smoke             small sizes, 1 rep, and regression gates: the
+ *                       AC/DAH scatter path must not be pathologically
+ *                       slower than legacy, and hybrid's partitioned
+ *                       ingest must beat the best of the four paper
+ *                       stores by >= 1.2x — used by CI
+ *   --store=NAME        measure only one store
+ *                       (as|ac|stinger|dah|hybrid; default: all)
  *   --threads N         worker threads (default: hardware concurrency)
  *   --out PATH          JSON output path (default: BENCH_ingest.json)
  *   --telemetry=PATH    enable runtime metrics; write the telemetry JSON
@@ -32,6 +36,7 @@
 #include "ds/adj_chunked.h"
 #include "ds/adj_shared.h"
 #include "ds/dah.h"
+#include "ds/hybrid.h"
 #include "ds/stinger.h"
 #include "gen/rmat.h"
 #include "platform/thread_pool.h"
@@ -48,6 +53,7 @@ struct Options
 {
     bool smoke = false;
     std::size_t threads = 0; // 0 = hardware concurrency
+    std::string store;       // lowercase store filter ("" = all)
     std::string out = "BENCH_ingest.json";
     std::string telemetry; // metrics JSON dump path ("" = disabled)
     std::string trace;     // Chrome trace path ("" = disabled)
@@ -213,22 +219,35 @@ run(const Options &opt)
     params.numEdges = batch_sizes.back() * num_batches;
     const std::vector<Edge> stream = generateRmat(params);
 
+    // "" in opt.store means every store is wanted.
+    const auto wanted = [&](const char *name) {
+        return opt.store.empty() || opt.store == name;
+    };
+
     std::vector<Measurement> results;
     for (std::uint64_t batch_size : batch_sizes) {
         const std::vector<EdgeBatch> batches =
             makeBatches(stream, batch_size, num_batches);
-        results.push_back(measure(
-            "AS", [] { return AdjSharedStore(); }, batches, pool, chunks,
-            reps));
-        results.push_back(measure(
-            "AC", [&] { return AdjChunkedStore(chunks); }, batches, pool,
-            chunks, reps));
-        results.push_back(measure(
-            "Stinger", [] { return StingerStore(); }, batches, pool, chunks,
-            reps));
-        results.push_back(measure(
-            "DAH", [&] { return DahStore(chunks); }, batches, pool, chunks,
-            reps));
+        if (wanted("as"))
+            results.push_back(measure(
+                "AS", [] { return AdjSharedStore(); }, batches, pool, chunks,
+                reps));
+        if (wanted("ac"))
+            results.push_back(measure(
+                "AC", [&] { return AdjChunkedStore(chunks); }, batches, pool,
+                chunks, reps));
+        if (wanted("stinger"))
+            results.push_back(measure(
+                "Stinger", [] { return StingerStore(); }, batches, pool,
+                chunks, reps));
+        if (wanted("dah"))
+            results.push_back(measure(
+                "DAH", [&] { return DahStore(chunks); }, batches, pool, chunks,
+                reps));
+        if (wanted("hybrid"))
+            results.push_back(measure(
+                "Hybrid", [&] { return HybridStore(chunks); }, batches, pool,
+                chunks, reps));
     }
     std::cerr << "\n";
 
@@ -276,9 +295,34 @@ run(const Options &opt)
                 ok = false;
             }
         }
+        // Hybrid gate: on partitioned ingest, the tiered store must beat
+        // the best of the four paper stores at every measured batch size
+        // (>= 1.2x smoke floor; the full-run target is 1.5x at 1M-edge
+        // batches — see EXPERIMENTS.md). Skipped when --store filtered
+        // the comparison set away.
+        if (opt.store.empty()) {
+            for (std::uint64_t batch_size : batch_sizes) {
+                double best_paper = 0, hybrid = 0;
+                for (const Measurement &m : results) {
+                    if (m.batchSize != batch_size)
+                        continue;
+                    if (m.store == "Hybrid")
+                        hybrid = m.partitionedEps();
+                    else
+                        best_paper = std::max(best_paper, m.partitionedEps());
+                }
+                if (hybrid < 1.2 * best_paper) {
+                    std::cerr << "FAIL: hybrid batch=" << batch_size << " is "
+                              << formatDouble(hybrid / best_paper, 2)
+                              << "x the best paper store (< 1.2x floor)\n";
+                    ok = false;
+                }
+            }
+        }
         if (!ok)
             return 1;
-        std::cout << "smoke gate passed (AC/DAH speedup >= 0.5x)\n";
+        std::cout << "smoke gate passed (AC/DAH speedup >= 0.5x; hybrid >= "
+                     "1.2x best-of-four)\n";
     }
     return 0;
 }
@@ -296,6 +340,15 @@ main(int argc, char **argv)
             opt.smoke = true;
         } else if (arg == "--threads" && i + 1 < argc) {
             opt.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (arg.rfind("--store=", 0) == 0) {
+            opt.store = arg.substr(8);
+            if (opt.store != "as" && opt.store != "ac" &&
+                opt.store != "stinger" && opt.store != "dah" &&
+                opt.store != "hybrid") {
+                std::cerr << "unknown --store: " << opt.store
+                          << " (want as|ac|stinger|dah|hybrid)\n";
+                return 2;
+            }
         } else if (arg == "--out" && i + 1 < argc) {
             opt.out = argv[++i];
         } else if (arg.rfind("--telemetry=", 0) == 0) {
@@ -304,7 +357,8 @@ main(int argc, char **argv)
             opt.trace = arg.substr(8);
         } else {
             std::cerr << "usage: bench_ingest [--smoke] [--threads N] "
-                         "[--out PATH] [--telemetry=PATH] [--trace=PATH]\n";
+                         "[--store=as|ac|stinger|dah|hybrid] [--out PATH] "
+                         "[--telemetry=PATH] [--trace=PATH]\n";
             return 2;
         }
     }

@@ -247,7 +247,7 @@ run(const Options &opt)
 
     if (!equivalencePreflight())
         return 1;
-    std::cout << "equivalence preflight passed (4 stores, bit-equal)\n";
+    std::cout << "equivalence preflight passed (5 stores, bit-equal)\n";
 
     const double scale = benchScale() * (opt.smoke ? 0.1 : 1.0);
     const int reps = opt.smoke ? 1 : std::max(benchReps(), 2);

@@ -53,11 +53,13 @@ allAlgs()
     return algs;
 }
 
+/** The four paper stores plus the tiered hybrid store. */
 inline const std::vector<DsKind> &
 allDs()
 {
     static const std::vector<DsKind> ds{DsKind::AS, DsKind::AC,
-                                        DsKind::Stinger, DsKind::DAH};
+                                        DsKind::Stinger, DsKind::DAH,
+                                        DsKind::Hybrid};
     return ds;
 }
 

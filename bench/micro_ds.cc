@@ -12,6 +12,7 @@
 #include "ds/adj_shared.h"
 #include "ds/dah.h"
 #include "ds/dyn_graph.h"
+#include "ds/hybrid.h"
 #include "ds/stinger.h"
 #include "platform/rng.h"
 #include "platform/thread_pool.h"
@@ -125,6 +126,7 @@ SAGA_DS_BENCH(AdjSharedStore, AS)
 SAGA_DS_BENCH(AdjChunkedStore, AC)
 SAGA_DS_BENCH(StingerStore, Stinger)
 SAGA_DS_BENCH(DahStore, DAH)
+SAGA_DS_BENCH(HybridStore, Hybrid)
 
 #undef SAGA_DS_BENCH
 

@@ -7,7 +7,7 @@
  * entry point for ad-hoc experiments beyond the canned benches.
  *
  * Usage:
- *   saga_run [--dataset lj|orkut|rmat|wiki|talk] [--ds as|ac|stinger|dah]
+ *   saga_run [--dataset lj|orkut|rmat|wiki|talk] [--ds as|ac|stinger|dah|hybrid]
  *            [--alg bfs|cc|mc|pr|sssp|sswp] [--model inc|fs]
  *            [--scale F] [--threads N] [--seed S] [--per-batch]
  *            [--pipeline] [--writers N]
@@ -40,7 +40,7 @@ usage(const char *argv0)
 {
     std::cerr
         << "usage: " << argv0
-        << " [--dataset lj|orkut|rmat|wiki|talk] [--ds as|ac|stinger|dah]\n"
+        << " [--dataset lj|orkut|rmat|wiki|talk] [--ds as|ac|stinger|dah|hybrid]\n"
            "       [--alg bfs|cc|mc|pr|sssp|sswp] [--model inc|fs]\n"
            "       [--scale F] [--threads N] [--seed S] [--per-batch]\n"
            "       [--pipeline] [--writers N]\n"

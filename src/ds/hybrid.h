@@ -1,0 +1,950 @@
+/**
+ * @file
+ * Hybrid — per-vertex adaptive tiered store (GraphTango-style; ROADMAP 4).
+ *
+ * The paper's four stores each fix one representation for every vertex
+ * and pay for it somewhere: AS/AC scan O(degree) per duplicate check and
+ * chase a pointer per row, Stinger chases block lists, DAH pays hashing
+ * and meta-op costs even for degree-1 vertices. On power-law streams most
+ * vertices are tiny and a few are huge, so this store picks the format
+ * *per vertex*, by current degree, with one-way promotion:
+ *
+ *  - **T0 inline** — the adjacency lives directly inside the vertex's
+ *    64-byte slot (up to 7 edges). Degree lookups, duplicate checks and
+ *    traversal touch exactly one cache line, no pointer chase at all.
+ *  - **T1 linear** — a power-of-two, cache-line-multiple Neighbor array
+ *    from a per-chunk slab allocator, doubled amortizedly. Duplicate
+ *    checks are a bounded linear scan; traversal is one contiguous run.
+ *  - **T2 hash** — a Robin-Hood open-addressing set with a bounded probe
+ *    sequence length (PSL) for hub vertices: duplicate detection is O(1)
+ *    probes instead of DAH's scan-then-promote, and iteration coalesces
+ *    occupied clusters into contiguous runs.
+ *
+ * The degree() meta-op every streaming kernel leans on is a single header
+ * read — the slot stores it — which is exactly the cost DAH cannot avoid
+ * paying via table lookups.
+ *
+ * Multithreading is chunked like AC/DAH: worker w exclusively owns its
+ * chunks, so slots, slabs and hub tables are all lock-free single-writer.
+ *
+ * Concurrency contract (machine-checked under Clang -Wthread-safety):
+ * insertOwned()/appendNewOwned() require the ChunkOwnership phantom
+ * capability — callers must declare via declareChunksOwned() that they
+ * are the worker the ownerOf() mapping assigned (or that the store is
+ * quiescent). See platform/chunk_ownership.h.
+ */
+
+#ifndef SAGA_DS_HYBRID_H_
+#define SAGA_DS_HYBRID_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#endif
+
+#include "ds/hash_util.h"
+#include "perfmodel/trace.h"
+#include "platform/chunk_ownership.h"
+#include "platform/thread_annotations.h"
+#include "platform/thread_pool.h"
+#include "saga/edge_batch.h"
+#include "saga/partitioned_batch.h"
+#include "saga/types.h"
+#include "telemetry/telemetry.h"
+
+namespace saga {
+
+/** Tuning knobs for the hybrid store (exposed for the ablation benches). */
+struct HybridConfig
+{
+    /**
+     * Largest T1 capacity: a vertex whose linear array is full at this
+     * capacity promotes to a T2 hash table on its next new edge. Rounded
+     * up to a power of two ≥ 16 (the slab size classes are powers of two).
+     */
+    std::uint32_t t1MaxDegree = 128;
+    /**
+     * Robin-Hood probe-sequence-length bound for T2 hub tables. A probe
+     * that would exceed it triggers an amortized grow-and-rehash, so both
+     * lookups and duplicate checks are O(pslLimit) worst case. Clamped to
+     * [1, 200] (PSLs are stored as bytes).
+     */
+    std::uint32_t pslLimit = 24;
+};
+
+/**
+ * Per-chunk slab allocator for T1 linear arrays. Blocks are power-of-two
+ * Neighbor counts (16, 32, ..., t1 cap), carved 64-byte-aligned out of
+ * 256 KiB slabs, with a per-size-class free list so a vertex growing
+ * 16 → 32 recycles its old block for the next promotion. Single-owner
+ * (one chunk, one worker); never shrinks — freed blocks are reused, the
+ * slabs themselves live as long as the chunk.
+ */
+class HybridSlabAllocator
+{
+  public:
+    /** Smallest block handed out (> the 7-edge inline tier). */
+    static constexpr std::uint32_t kMinBlock = 16;
+
+    /** @return a 64-byte-aligned block of @p cap Neighbors (cap must be a
+        power of two ≥ kMinBlock). */
+    Neighbor *
+    allocate(std::uint32_t cap)
+    {
+        const std::size_t cls = classOf(cap);
+        if (cls < free_.size() && !free_[cls].empty()) {
+            Neighbor *block = free_[cls].back();
+            free_[cls].pop_back();
+            return block;
+        }
+        if (bump_left_ < cap)
+            refill(cap);
+        Neighbor *block = bump_;
+        bump_ += cap;
+        bump_left_ -= cap;
+        return block;
+    }
+
+    /** Return a block from allocate() to its size class's free list. */
+    void
+    release(Neighbor *block, std::uint32_t cap)
+    {
+        const std::size_t cls = classOf(cap);
+        if (free_.size() <= cls)
+            free_.resize(cls + 1);
+        free_[cls].push_back(block);
+    }
+
+    /** Slabs allocated so far (tests assert reuse keeps this flat). */
+    std::size_t numSlabs() const { return slabs_.size(); }
+
+  private:
+    /** Neighbors per slab: 32768 × 8 B = 256 KiB. */
+    static constexpr std::size_t kSlabNeighbors = std::size_t(1) << 15;
+    /** Neighbors per cache line (64 B / 8 B). */
+    static constexpr std::size_t kLineNeighbors = 64 / sizeof(Neighbor);
+
+    static std::size_t
+    classOf(std::uint32_t cap)
+    {
+        std::size_t cls = 0;
+        for (std::uint32_t c = kMinBlock; c < cap; c *= 2)
+            ++cls;
+        return cls;
+    }
+
+    void
+    refill(std::uint32_t cap)
+    {
+        // A slab always fits the largest class (t1 caps are bounded well
+        // below kSlabNeighbors); oversized requests get a dedicated slab.
+        const std::size_t want =
+            std::max<std::size_t>(kSlabNeighbors, cap) + kLineNeighbors;
+        // hotpath-allow: one 256 KiB slab per ~32k edges, amortized
+        slabs_.push_back(std::make_unique<Neighbor[]>(want));
+        Neighbor *base = slabs_.back().get();
+        // Round up to the cache line; blocks are line multiples, so every
+        // block carved after this stays line-aligned.
+        const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(base);
+        const std::uintptr_t aligned = (addr + 63) & ~std::uintptr_t(63);
+        bump_ = base + (aligned - addr) / sizeof(Neighbor);
+        bump_left_ = want - kLineNeighbors;
+    }
+
+    std::vector<std::unique_ptr<Neighbor[]>> slabs_;
+    Neighbor *bump_ = nullptr;
+    std::size_t bump_left_ = 0;
+    std::vector<std::vector<Neighbor *>> free_;
+};
+
+/**
+ * Neighbor set for one T2 hub vertex, split into two halves so ingest
+ * and traversal each get their ideal layout: a Robin-Hood
+ * open-addressing *index* (node → position, bounded probe sequence
+ * length) answers the duplicate check in O(limit) worst case, while the
+ * neighbors themselves live in a dense append-only array that pull
+ * loops scan as one contiguous run — an open-addressed table at a
+ * 0.25–0.7 load factor degenerates into one-or-two-slot runs with a
+ * callback each, which is what made hash-only hubs lose compute ground.
+ * Single-threaded (chunk-owned). PSLs are stored per index slot (home
+ * slot = 1, 0 = empty), kept ≤ the configured limit by growing the
+ * index whenever an insert's probe would breach it.
+ */
+class HybridHubTable
+{
+  public:
+    explicit HybridHubTable(std::size_t initial_capacity,
+                            std::uint32_t psl_limit)
+        : psl_limit_(std::min<std::uint32_t>(
+              std::max<std::uint32_t>(psl_limit, 1), 200))
+    {
+        // Doubling from a power-of-two seed keeps capacity a power of
+        // two, which the `& (capacity - 1)` probe masks rely on.
+        static_assert((kMinCapacity & (kMinCapacity - 1)) == 0,
+                      "hub table capacity must be a power of two");
+        std::size_t cap = kMinCapacity;
+        while (cap < initial_capacity)
+            cap *= 2;
+        slots_.assign(cap, IndexSlot{kInvalidNode, 0});
+        psl_.assign(cap, 0);
+        dense_.reserve(cap / 2);
+    }
+
+    std::uint32_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+    /** Longest probe sequence this table ever placed (≤ the PSL limit). */
+    std::uint32_t maxPsl() const { return max_psl_; }
+
+    /** Insert if absent (duplicates keep the min weight).
+        @return true if a new edge was added. */
+    bool
+    insertUnique(NodeId dst, Weight weight)
+    {
+        if ((size_ + 1) * 10 >= slots_.size() * 7)
+            grow();
+        IndexSlot entry{dst, static_cast<std::uint32_t>(dense_.size())};
+        std::uint32_t dist = 1;
+        bool carrying_new = true; // entry is still the caller's edge
+        std::size_t i = hashNode(entry.node) & (slots_.size() - 1);
+        for (;;) {
+            IndexSlot &slot = slots_[i];
+            perf::touch(&slot, sizeof(IndexSlot));
+            if (psl_[i] == 0) {
+                slot = entry;
+                perf::touchWrite(&slot, sizeof(IndexSlot));
+                psl_[i] = static_cast<std::uint8_t>(dist);
+                max_psl_ = std::max(max_psl_, dist);
+                ++size_;
+                // hotpath-allow: amortized doubling append of the dense row
+                dense_.push_back(Neighbor{dst, weight});
+                perf::touchWrite(&dense_.back(), sizeof(Neighbor));
+                return true;
+            }
+            if (carrying_new && slot.node == entry.node) {
+                Neighbor &n = dense_[slot.idx];
+                if (weight < n.weight)
+                    n.weight = weight; // duplicates keep the min
+                perf::touchWrite(&n, sizeof(Neighbor));
+                return false;
+            }
+            if (psl_[i] < dist) {
+                // Robin Hood: displace the richer resident; from here on
+                // the caller's edge is placed, so no more dup checks.
+                std::swap(slot, entry);
+                perf::touchWrite(&slot, sizeof(IndexSlot));
+                const std::uint32_t resident = psl_[i];
+                psl_[i] = static_cast<std::uint8_t>(dist);
+                max_psl_ = std::max(max_psl_, dist);
+                dist = resident;
+                carrying_new = false;
+            }
+            ++dist;
+            i = (i + 1) & (slots_.size() - 1);
+            if (dist > psl_limit_) {
+                // Bounded-PSL discipline: never let a cluster exceed the
+                // limit — grow, then re-place the carried entry.
+                grow();
+                dist = 1;
+                i = hashNode(entry.node) & (slots_.size() - 1);
+            }
+        }
+    }
+
+    /** @return the dense entry of @p dst, or nullptr. O(pslLimit). */
+    const Neighbor *
+    find(NodeId dst) const
+    {
+        std::size_t i = hashNode(dst) & (slots_.size() - 1);
+        std::uint32_t dist = 1;
+        for (;;) {
+            perf::touch(&slots_[i], sizeof(IndexSlot));
+            if (psl_[i] == 0 || psl_[i] < dist)
+                return nullptr; // passed where dst would live
+            if (slots_[i].node == dst)
+                return &dense_[slots_[i].idx];
+            ++dist;
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forAll(Fn &&fn) const
+    {
+        perf::touch(dense_.data(), static_cast<std::uint32_t>(
+                                       dense_.size() * sizeof(Neighbor)));
+        for (const Neighbor &n : dense_)
+            fn(n);
+    }
+
+    /**
+     * Visit the neighbors as contiguous runs: fn(const Neighbor *run,
+     * std::uint32_t len) -> bool, return false to stop. The dense array
+     * is one run, so pull loops scan a hub exactly like a T1 row.
+     */
+    template <typename Fn>
+    void
+    forRuns(Fn &&fn) const
+    {
+        if (dense_.empty())
+            return;
+        perf::touch(dense_.data(), static_cast<std::uint32_t>(
+                                       dense_.size() * sizeof(Neighbor)));
+        fn(dense_.data(), static_cast<std::uint32_t>(dense_.size()));
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 64;
+
+    /** One index slot: the neighbor id and its position in dense_. */
+    struct IndexSlot
+    {
+        NodeId node;
+        std::uint32_t idx;
+    };
+
+    void
+    grow()
+    {
+        std::size_t cap = slots_.size() * 2;
+        for (;;) {
+            // hotpath-allow: amortized doubling rehash of one hub index
+            std::vector<IndexSlot> slots(cap, IndexSlot{kInvalidNode, 0});
+            std::vector<std::uint8_t> psl(cap, 0);
+            std::uint32_t deepest = 0;
+            if (rehashInto(slots, psl, deepest)) {
+                slots_ = std::move(slots);
+                psl_ = std::move(psl);
+                max_psl_ = std::max(max_psl_, deepest);
+                return;
+            }
+            cap *= 2; // a cluster still breached the PSL limit
+        }
+    }
+
+    /** Re-place every occupied slot into @p slots; false on PSL breach.
+        The dense array is untouched — indices stay valid by design. */
+    bool
+    rehashInto(std::vector<IndexSlot> &slots,
+               std::vector<std::uint8_t> &psl, std::uint32_t &deepest) const
+    {
+        const std::size_t mask = slots.size() - 1;
+        for (std::size_t s = 0; s < slots_.size(); ++s) {
+            if (psl_[s] == 0)
+                continue;
+            IndexSlot entry = slots_[s];
+            std::uint32_t dist = 1;
+            std::size_t i = hashNode(entry.node) & mask;
+            for (;;) {
+                if (psl[i] == 0) {
+                    slots[i] = entry;
+                    psl[i] = static_cast<std::uint8_t>(dist);
+                    deepest = std::max(deepest, dist);
+                    break;
+                }
+                if (psl[i] < dist) {
+                    std::swap(slots[i], entry);
+                    const std::uint32_t resident = psl[i];
+                    psl[i] = static_cast<std::uint8_t>(dist);
+                    deepest = std::max(deepest, dist);
+                    dist = resident;
+                }
+                ++dist;
+                i = (i + 1) & mask;
+                if (dist > psl_limit_)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    std::vector<IndexSlot> slots_;  // node → dense_ position
+    std::vector<std::uint8_t> psl_; // probe distance, home = 1; 0 = empty
+    std::vector<Neighbor> dense_;   // insertion-ordered, append-only
+    std::uint32_t size_ = 0;
+    std::uint32_t max_psl_ = 0;
+    std::uint32_t psl_limit_;
+};
+
+/** Single-direction tiered adaptive store. */
+class HybridStore
+{
+  public:
+    /** Inline (T0) edge capacity: 64-byte slot minus the 8-byte header. */
+    static constexpr std::uint32_t kInlineCap = 7;
+
+    explicit HybridStore(std::size_t num_chunks = 1, HybridConfig config = {})
+        : num_chunks_(num_chunks ? num_chunks : 1), config_(config),
+          chunks_(num_chunks_)
+    {
+        t1_cap_ = HybridSlabAllocator::kMinBlock;
+        while (t1_cap_ < config_.t1MaxDegree)
+            t1_cap_ *= 2;
+    }
+
+    std::size_t numChunks() const { return num_chunks_; }
+    const HybridConfig &config() const { return config_; }
+    /** Effective T1 → T2 threshold (t1MaxDegree rounded up to 2^k). */
+    std::uint32_t t1Cap() const { return t1_cap_; }
+    /** Chunk membership (shared mapping — see chunkOfNode). */
+    NodeId chunkOf(NodeId v) const
+    {
+        return static_cast<NodeId>(chunkOfNode(v, num_chunks_));
+    }
+
+    /**
+     * Grow the vertex range to @p n. The slot directory sits on
+     * demand-zero pages (see growSlots): announcing new vertices costs
+     * no page touches, because an all-zero slot *is* the empty T0
+     * state — a page faults in only when one of its vertices is first
+     * written. Quiescent only (serial, before the parallel scatter).
+     */
+    void
+    ensureNodes(NodeId n)
+    {
+        if (n <= num_nodes_)
+            return;
+        if (n > slot_cap_)
+            growSlots(n);
+        num_nodes_ = n;
+    }
+
+    NodeId numNodes() const { return num_nodes_; }
+
+    std::uint64_t
+    numEdges() const
+    {
+        std::uint64_t total = 0;
+        for (const Chunk &chunk : chunks_)
+            total += chunk.numEdges;
+        return total;
+    }
+
+    /** O(1): the degree is the slot header — no table lookup meta-op. */
+    std::uint32_t
+    degree(NodeId v) const
+    {
+        perf::touch(&slots_[v], sizeof(std::uint64_t));
+        return slots_[v].degree;
+    }
+
+    /**
+     * Legacy full-scan ingest (O(batch × workers) total scanning); kept
+     * as the pre-pipeline reference path. DynGraph routes through the
+     * PartitionedBatch overload below.
+     */
+    void
+    updateBatch(const EdgeBatch &batch, ThreadPool &pool, bool reversed)
+    {
+        const NodeId max_node = batch.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, batch.size());
+        pool.run([&](std::size_t w) {
+            declareChunksOwned(); // worker w touches only chunks it owns
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                const Edge &e = batch[i];
+                const NodeId src = reversed ? e.dst : e.src;
+                if (ownerOf(chunkOf(src), num_chunks_, pool.size()) != w)
+                    continue;
+                const NodeId dst = reversed ? e.src : e.dst;
+                insertOwned(src, dst, e.weight);
+            }
+        });
+        publishProbeLen();
+    }
+
+    /**
+     * Partitioned ingest: worker w consumes exactly the buckets of its
+     * owned chunks. @p parts must be built with numChunks() chunks.
+     */
+    void
+    updateBatch(const PartitionedBatch &parts, ThreadPool &pool,
+                bool reversed)
+    {
+        const NodeId max_node = parts.maxNode();
+        if (max_node != kInvalidNode)
+            ensureNodes(max_node + 1);
+
+        SAGA_COUNT(telemetry::Counter::IngestEdgesSeen, parts.size());
+        pool.run([&](std::size_t w) {
+            declareChunksOwned(); // worker w iterates only owned buckets
+            for (std::size_t c = 0; c < num_chunks_; ++c) {
+                if (ownerOf(c, num_chunks_, pool.size()) != w)
+                    continue;
+                const auto bucket = parts.bucket(c, reversed);
+                const Edge *edges = bucket.begin();
+                const std::size_t n = bucket.size();
+                // Slot lookups hop randomly through the directory; with
+                // the bucket contiguous, the upcoming sources are known,
+                // so hide the miss latency by prefetching a few ahead.
+                constexpr std::size_t kAhead = 8;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (i + kAhead < n)
+                        __builtin_prefetch(&slots_[edges[i + kAhead].src]);
+                    insertOwned(edges[i].src, edges[i].dst,
+                                edges[i].weight);
+                }
+            }
+        });
+        publishProbeLen();
+    }
+
+    /**
+     * Declare chunk ownership to the thread-safety analysis: the caller
+     * is the pool worker that ownerOf() assigned the chunks it is about
+     * to mutate, or the store is quiescent (single-threaded test/setup
+     * code). Compile-time only; emits no code.
+     */
+    void declareChunksOwned() const SAGA_ASSERT_CAPABILITY(ownership_) {}
+
+    /**
+     * Lock-free insert; caller must own the chunk containing @p src
+     * (declared via declareChunksOwned()).
+     * @return true if a new edge was added.
+     */
+    bool
+    insertOwned(NodeId src, NodeId dst, Weight weight)
+        SAGA_REQUIRES(ownership_)
+    {
+        perf::ops(1);
+        VertexSlot &slot = slots_[src];
+        Chunk &chunk = chunks_[chunkOf(src)];
+
+        if (slot.cap == kHubTag) { // T2: O(1) bounded-probe dup check
+            if (!slot.rep.hub->insertUnique(dst, weight)) {
+                SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
+                return false;
+            }
+            ++slot.degree;
+            ++chunk.numEdges;
+            chunk.maxPsl = std::max(chunk.maxPsl, slot.rep.hub->maxPsl());
+            SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
+            return true;
+        }
+
+        // T0/T1: one contiguous bounded scan is the dup check.
+        Neighbor *row = slot.cap == 0 ? slot.rep.inl : slot.rep.lin;
+        perf::touch(row, slot.degree * sizeof(Neighbor));
+        for (std::uint32_t k = 0; k < slot.degree; ++k) {
+            if (row[k].node == dst) {
+                if (weight < row[k].weight)
+                    row[k].weight = weight; // duplicates keep the min
+                SAGA_COUNT(telemetry::Counter::IngestDuplicates, 1);
+                return false;
+            }
+        }
+        appendAbsentOwned(chunk, slot, dst, weight);
+        return true;
+    }
+
+    /**
+     * Publish-window append for the pipelined driver: the caller (the
+     * staged-apply pipeline) has already proven (src, dst) absent against
+     * the frozen snapshot and deduplicated it within the batch, so the
+     * dup scan is skipped. Caller must own @p src's chunk. Unlike AC,
+     * the per-chunk edge totals are owner-written here directly, so
+     * addEdgesPublished() is a no-op.
+     */
+    void
+    appendNewOwned(NodeId src, NodeId dst, Weight weight)
+        SAGA_REQUIRES(ownership_)
+    {
+        perf::ops(1);
+        appendAbsentOwned(chunks_[chunkOf(src)], slots_[src], dst, weight);
+    }
+
+    /**
+     * kChunkOwnedAppend contract hook. The edge totals were already
+     * counted per chunk by appendNewOwned() (each chunk's counter is
+     * owner-written, so no post-barrier fold is needed).
+     */
+    void addEdgesPublished(std::uint64_t) {}
+
+    /**
+     * Point lookup against a frozen snapshot (the stage classifier's
+     * fast path): T0/T1 scan ≤ t1Cap() entries in one run, T2 probes
+     * ≤ pslLimit slots. Read-only; safe under concurrent readers.
+     */
+    Weight
+    findWeight(NodeId src, NodeId dst, bool &found) const
+    {
+        found = false;
+        const VertexSlot &slot = slots_[src];
+        if (slot.cap == kHubTag) {
+            if (const Neighbor *hit = slot.rep.hub->find(dst)) {
+                found = true;
+                return hit->weight;
+            }
+            return Weight{};
+        }
+        const Neighbor *row = slot.cap == 0 ? slot.rep.inl : slot.rep.lin;
+        perf::touch(row, slot.degree * sizeof(Neighbor));
+        for (std::uint32_t k = 0; k < slot.degree; ++k) {
+            if (row[k].node == dst) {
+                found = true;
+                return row[k].weight;
+            }
+        }
+        return Weight{};
+    }
+
+    /** Visit every neighbor of @p v: fn(const Neighbor &). */
+    template <typename Fn>
+    void
+    forNeighbors(NodeId v, Fn &&fn) const
+    {
+        const VertexSlot &slot = slots_[v];
+        if (slot.cap == kHubTag) {
+            slot.rep.hub->forAll(fn);
+            return;
+        }
+        const Neighbor *row = slot.cap == 0 ? slot.rep.inl : slot.rep.lin;
+        perf::touch(row, slot.degree * sizeof(Neighbor));
+        for (std::uint32_t k = 0; k < slot.degree; ++k)
+            fn(row[k]);
+    }
+
+    /**
+     * Block iteration for the hot pull loops: fn(const Neighbor *run,
+     * std::uint32_t len) -> bool, return false to stop. Every tier is
+     * one contiguous run — T0/T1 rows directly, T2 hubs via their dense
+     * neighbor array (the hash index is not walked on the read side).
+     */
+    template <typename Fn>
+    void
+    forNeighborsBlock(NodeId v, Fn &&fn) const
+    {
+        const VertexSlot &slot = slots_[v];
+        if (slot.cap == kHubTag) {
+            slot.rep.hub->forRuns(fn);
+            return;
+        }
+        if (slot.degree == 0)
+            return;
+        const Neighbor *row = slot.cap == 0 ? slot.rep.inl : slot.rep.lin;
+        perf::touch(row, slot.degree * sizeof(Neighbor));
+        fn(row, slot.degree);
+    }
+
+    /** Tier occupancy over vertices with ≥ 1 edge (tests/telemetry). */
+    std::size_t
+    numT0Vertices() const
+    {
+        std::size_t n = 0;
+        for (NodeId v = 0; v < num_nodes_; ++v)
+            n += slots_[v].degree > 0 && slots_[v].cap == 0;
+        return n;
+    }
+
+    std::size_t
+    numT1Vertices() const
+    {
+        std::size_t n = 0;
+        for (NodeId v = 0; v < num_nodes_; ++v)
+            n += slots_[v].cap != 0 && slots_[v].cap != kHubTag;
+        return n;
+    }
+
+    std::size_t
+    numT2Vertices() const
+    {
+        std::size_t n = 0;
+        for (NodeId v = 0; v < num_nodes_; ++v)
+            n += slots_[v].cap == kHubTag;
+        return n;
+    }
+
+    /** T1 capacity of @p v (0 if not in T1) — tier-boundary tests. */
+    std::uint32_t
+    t1CapacityOf(NodeId v) const
+    {
+        const VertexSlot &slot = slots_[v];
+        return slot.cap == kHubTag ? 0 : slot.cap;
+    }
+
+    /** Longest hub probe sequence ever placed, across all chunks. */
+    std::uint32_t
+    maxProbeLen() const
+    {
+        std::uint32_t psl = 0;
+        for (const Chunk &chunk : chunks_)
+            psl = std::max(psl, chunk.maxPsl);
+        return psl;
+    }
+
+    /** Slabs allocated across all chunks (slab-reuse tests). */
+    std::size_t
+    numSlabs() const
+    {
+        std::size_t n = 0;
+        for (const Chunk &chunk : chunks_)
+            n += chunk.slab.numSlabs();
+        return n;
+    }
+
+  private:
+    /** cap value tagging a T2 (hub) slot. */
+    static constexpr std::uint32_t kHubTag = ~std::uint32_t{0};
+
+    /** Smallest slot-directory capacity (64 KiB of slots). */
+    static constexpr std::size_t kMinSlotCap = 1024;
+
+    /** Owns the demand-zero backing of the slot directory. */
+    struct SlotArena
+    {
+        // quiescent-mutated: only growSlots() swaps the mapping, serial
+        // before the parallel scatter
+        void *mem = nullptr;
+        // quiescent-mutated: munmap length of mem, set with it
+        std::size_t bytes = 0;
+
+        SlotArena() = default;
+        SlotArena(const SlotArena &) = delete;
+        SlotArena &operator=(const SlotArena &) = delete;
+        SlotArena(SlotArena &&other) noexcept
+            : mem(other.mem), bytes(other.bytes)
+        {
+            other.mem = nullptr;
+            other.bytes = 0;
+        }
+        SlotArena &
+        operator=(SlotArena &&other) noexcept
+        {
+            std::swap(mem, other.mem);
+            std::swap(bytes, other.bytes);
+            return *this;
+        }
+        ~SlotArena() { reset(); }
+
+        void
+        reset()
+        {
+            if (mem == nullptr)
+                return;
+#if defined(__linux__)
+            ::munmap(mem, bytes);
+#else
+            std::free(mem);
+#endif
+            mem = nullptr;
+            bytes = 0;
+        }
+    };
+
+    /**
+     * One 64-byte vertex slot: an 8-byte header (degree + tier/capacity
+     * tag) and 56 bytes of payload — seven inline Neighbors (T0), or a
+     * pointer to a slab block (T1) / hub table (T2). alignas(64) keeps
+     * every slot on its own cache line, which both makes T0 single-line
+     * and prevents false sharing between adjacent vertices owned by
+     * different workers.
+     */
+    struct alignas(64) VertexSlot
+    {
+        // chunk-owned: written only through the store's
+        // SAGA_REQUIRES(ownership_) insert/append path by the worker
+        // that owns this vertex's chunk
+        std::uint32_t degree = 0;
+        // chunk-owned: 0 = T0 inline, kHubTag = T2 hub, else T1 capacity
+        std::uint32_t cap = 0;
+        // chunk-owned: payload — inline edges, slab block, or hub table
+        union Rep {
+            Neighbor inl[kInlineCap];
+            Neighbor *lin;
+            HybridHubTable *hub;
+            // Neighbor's member initializers make the union's default
+            // ctor deleted; initialize through the pointer member.
+            Rep() : lin(nullptr) {}
+        } rep;
+    };
+    static_assert(sizeof(VertexSlot) == 64,
+                  "vertex slot must be exactly one cache line");
+    // The slot directory relies on both: growth relocates slots with
+    // memcpy, and calloc'd zero bytes must be a valid empty T0 slot
+    // (degree 0, cap 0, null payload).
+    static_assert(std::is_trivially_copyable_v<VertexSlot>);
+    static_assert(std::is_trivially_destructible_v<VertexSlot>);
+
+    /** Per-chunk owner-private state (slabs, hubs, accounting). */
+    struct Chunk
+    {
+        // chunk-owned: T1 block storage, owner-written
+        HybridSlabAllocator slab;
+        // chunk-owned: owns the hub tables VertexSlot::rep.hub points at
+        std::vector<std::unique_ptr<HybridHubTable>> hubs;
+        // chunk-owned: per-chunk edge count, summed at quiescent points
+        std::uint64_t numEdges = 0;
+        // chunk-owned: high-water probe length across this chunk's hubs
+        std::uint32_t maxPsl = 0;
+    };
+
+    /** Append an edge proven absent, promoting tiers as needed. */
+    void
+    appendAbsentOwned(Chunk &chunk, VertexSlot &slot, NodeId dst,
+                      Weight weight) SAGA_REQUIRES(ownership_)
+    {
+        if (slot.degree == 0)
+            SAGA_COUNT(telemetry::Counter::HybridT0Vertices, 1);
+        const std::uint32_t cap = slot.cap == 0 ? kInlineCap : slot.cap;
+        if (slot.cap == kHubTag) { // T2 (append path for staged publish)
+            slot.rep.hub->insertUnique(dst, weight);
+            ++slot.degree;
+            chunk.maxPsl = std::max(chunk.maxPsl, slot.rep.hub->maxPsl());
+        } else if (slot.degree < cap) { // room in the current tier
+            Neighbor *row = slot.cap == 0 ? slot.rep.inl : slot.rep.lin;
+            row[slot.degree++] = Neighbor{dst, weight};
+            perf::touchWrite(&row[slot.degree - 1], sizeof(Neighbor));
+        } else if (slot.cap == 0) { // T0 full → promote to T1
+            Neighbor *block =
+                chunk.slab.allocate(HybridSlabAllocator::kMinBlock);
+            std::memcpy(block, slot.rep.inl,
+                        kInlineCap * sizeof(Neighbor));
+            block[kInlineCap] = Neighbor{dst, weight};
+            perf::touchWrite(block, (kInlineCap + 1) * sizeof(Neighbor));
+            slot.rep.lin = block;
+            slot.cap = HybridSlabAllocator::kMinBlock;
+            slot.degree = kInlineCap + 1;
+            SAGA_COUNT(telemetry::Counter::HybridT1Vertices, 1);
+            SAGA_COUNT(telemetry::Counter::HybridPromotions, 1);
+        } else if (slot.cap < t1_cap_) { // T1 full → double within T1
+            Neighbor *block = chunk.slab.allocate(slot.cap * 2);
+            std::memcpy(block, slot.rep.lin,
+                        slot.degree * sizeof(Neighbor));
+            chunk.slab.release(slot.rep.lin, slot.cap);
+            block[slot.degree++] = Neighbor{dst, weight};
+            perf::touchWrite(block, slot.degree * sizeof(Neighbor));
+            slot.rep.lin = block;
+            slot.cap *= 2;
+        } else { // T1 at max capacity → promote to T2 hub
+            // Start at 4× the row so the rehashed load factor is ~0.25.
+            // hotpath-allow: one hub-table build per T2 promotion
+            auto hub = std::make_unique<HybridHubTable>(
+                std::size_t(t1_cap_) * 4, config_.pslLimit);
+            for (std::uint32_t k = 0; k < slot.degree; ++k)
+                hub->insertUnique(slot.rep.lin[k].node,
+                                  slot.rep.lin[k].weight);
+            hub->insertUnique(dst, weight);
+            chunk.slab.release(slot.rep.lin, slot.cap);
+            chunk.maxPsl = std::max(chunk.maxPsl, hub->maxPsl());
+            slot.rep.hub = hub.get();
+            slot.cap = kHubTag;
+            ++slot.degree;
+            // hotpath-allow: hub registry push, once per promotion
+            chunk.hubs.push_back(std::move(hub));
+            SAGA_COUNT(telemetry::Counter::HybridT2Vertices, 1);
+            SAGA_COUNT(telemetry::Counter::HybridPromotions, 1);
+        }
+        ++chunk.numEdges;
+        SAGA_COUNT(telemetry::Counter::IngestEdgesInserted, 1);
+    }
+
+    /**
+     * Grow the slot directory to >= @p n slots (amortized doubling).
+     * Backed by demand-zero memory rather than a std::vector: the
+     * kernel hands back untouched zero pages, and since an all-zero
+     * VertexSlot is the valid empty T0 state, no per-slot construction
+     * pass (and no up-front page-fault storm) is needed — 64 B/vertex
+     * is only paid for vertices that actually get edges. On Linux the
+     * region additionally carries MADV_HUGEPAGE, so a dense cold ingest
+     * takes one fault per 2 MiB of directory instead of one per 4 KiB
+     * (random-order vertex writes defeat the kernel's sequential
+     * fault-around, so fault count is what matters). The portable
+     * fallback is calloc with a cache line of alignment slack (calloc
+     * guarantees max_align_t only). Quiescent only, like ensureNodes().
+     */
+    void
+    growSlots(NodeId n)
+    {
+        std::size_t cap = slot_cap_ ? slot_cap_ * 2 : kMinSlotCap;
+        while (cap < n)
+            cap *= 2;
+        // hotpath-allow: amortized doubling growth of the slot directory
+        SlotArena arena;
+        arena.bytes = cap * sizeof(VertexSlot);
+        VertexSlot *fresh;
+#if defined(__linux__)
+        // Container runtimes often start processes with PR_SET_THP_DISABLE,
+        // which silently voids MADV_HUGEPAGE. Clear it once; with THP in
+        // "madvise" mode only regions that explicitly opt in (this
+        // directory) are affected, so other allocations keep 4 KiB pages.
+        static const bool thp_allowed = [] {
+            ::prctl(PR_SET_THP_DISABLE, 0, 0, 0, 0);
+            return true;
+        }();
+        (void)thp_allowed;
+        arena.mem = ::mmap(nullptr, arena.bytes, PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (arena.mem == MAP_FAILED) {
+            arena.mem = nullptr;
+            throw std::bad_alloc();
+        }
+        ::madvise(arena.mem, arena.bytes, MADV_HUGEPAGE); // best-effort
+        fresh = static_cast<VertexSlot *>(arena.mem); // page-aligned >= 64
+#else
+        arena.mem = std::calloc(arena.bytes + alignof(VertexSlot), 1);
+        if (arena.mem == nullptr)
+            throw std::bad_alloc();
+        const auto base = reinterpret_cast<std::uintptr_t>(arena.mem);
+        fresh = reinterpret_cast<VertexSlot *>(
+            (base + alignof(VertexSlot) - 1) &
+            ~std::uintptr_t{alignof(VertexSlot) - 1});
+#endif
+        if (num_nodes_ > 0)
+            std::memcpy(fresh, slots_,
+                        std::size_t{num_nodes_} * sizeof(VertexSlot));
+        slots_mem_ = std::move(arena); // the old mapping dies with `arena`
+        slots_ = fresh;
+        slot_cap_ = cap;
+    }
+
+    /** Fold the per-chunk probe-length high-water marks into telemetry.
+        Quiescent only (after the pool barrier). */
+    void
+    publishProbeLen() const
+    {
+        std::uint32_t psl = 0;
+        for (const Chunk &chunk : chunks_)
+            psl = std::max(psl, chunk.maxPsl);
+        if (psl > 0)
+            SAGA_COUNT_MAX(telemetry::Counter::HybridProbeLenMax, psl);
+    }
+
+    // immutable-after-build: fixed at construction
+    std::size_t num_chunks_;
+    // immutable-after-build: tuning knobs, never change after ctor
+    HybridConfig config_;
+    // immutable-after-build: t1MaxDegree rounded up to a power of two
+    std::uint32_t t1_cap_;
+    // quiescent-mutated: grown only in ensureNodes(), serial before the
+    // parallel scatter; the pool barrier publishes it
+    NodeId num_nodes_ = 0;
+    // quiescent-mutated: the directory is regrown only in growSlots()
+    // (serial, before the parallel scatter); the pool barrier publishes
+    // the new pointer
+    SlotArena slots_mem_;
+    // chunk-owned: 64-aligned view into slots_mem_, repointed only at
+    // quiescent growth; slot contents are written solely through
+    // SAGA_REQUIRES(ownership_) accessors by the owning chunk's worker
+    VertexSlot *slots_ = nullptr;
+    // quiescent-mutated: directory capacity in slots, growSlots() only
+    std::size_t slot_cap_ = 0;
+    // chunk-owned: sized at construction; each element is mutated only
+    // by its owning worker via SAGA_REQUIRES(ownership_) methods
+    std::vector<Chunk> chunks_;
+    ChunkOwnership ownership_;
+};
+
+} // namespace saga
+
+#endif // SAGA_DS_HYBRID_H_

@@ -50,6 +50,17 @@ UpdatePhaseModel::makeTask(NodeId src, std::uint32_t degree,
         task.affinity =
             static_cast<std::int64_t>(hashNode(src) % chunks_);
         break;
+      case DsKind::Hybrid:
+        // Tiered insert: inline/linear rows pay a capacity-bounded scan;
+        // hub rows pay a bounded-probe hash insert. No meta-op term —
+        // the tier tag lives in the vertex slot header.
+        if (degree < 128)
+            task.parCost = params_.updateBase + params_.scanEntry * degree;
+        else
+            task.parCost = params_.updateBase + params_.hashWork;
+        task.affinity =
+            static_cast<std::int64_t>(hashNode(src) % chunks_);
+        break;
     }
     return task;
 }

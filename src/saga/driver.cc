@@ -12,6 +12,7 @@ toString(DsKind ds)
       case DsKind::AC: return "ac";
       case DsKind::Stinger: return "stinger";
       case DsKind::DAH: return "dah";
+      case DsKind::Hybrid: return "hybrid";
     }
     return "?";
 }
@@ -47,6 +48,7 @@ parseDs(const std::string &name)
     if (name == "ac") return DsKind::AC;
     if (name == "stinger") return DsKind::Stinger;
     if (name == "dah") return DsKind::DAH;
+    if (name == "hybrid") return DsKind::Hybrid;
     throw std::invalid_argument("unknown data structure: " + name);
 }
 

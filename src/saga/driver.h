@@ -21,6 +21,7 @@
 #include "saga/batch_scratch.h"
 #include "ds/dah.h"
 #include "ds/dyn_graph.h"
+#include "ds/hybrid.h"
 #include "ds/stinger.h"
 #include "platform/thread_pool.h"
 #include "saga/edge_batch.h"
@@ -29,8 +30,9 @@
 
 namespace saga {
 
-/** The four data structures (paper Section III-A). */
-enum class DsKind { AS, AC, Stinger, DAH };
+/** The paper's four data structures (Section III-A) plus the tiered
+    hybrid store (DESIGN.md §12). */
+enum class DsKind { AS, AC, Stinger, DAH, Hybrid };
 
 /** The six algorithms (paper Section III-C). */
 enum class AlgKind { BFS, CC, MC, PR, SSSP, SSWP };
@@ -56,11 +58,12 @@ struct RunConfig
     bool directed = true;
     /** Worker threads; 0 = hardware concurrency. */
     std::size_t threads = 0;
-    /** Chunks for AC/DAH; 0 = same as worker count. */
+    /** Chunks for AC/DAH/Hybrid; 0 = same as worker count. */
     std::size_t chunks = 0;
     /** Stinger edges per block. */
     std::uint32_t stingerBlock = StingerStore::kBlockCapacity;
     DahConfig dah{};
+    HybridConfig hybrid{};
     AlgContext ctx{};
     /**
      * Pipelined (snapshot-isolated) driver: compute on epoch N overlaps
@@ -297,6 +300,8 @@ class Runner final : public StreamingRunner
         const std::size_t chunks = cfg.chunks ? cfg.chunks : pool.size();
         if constexpr (std::is_same_v<Store, DahStore>) {
             return DynGraph<Store>(cfg.directed, chunks, cfg.dah);
+        } else if constexpr (std::is_same_v<Store, HybridStore>) {
+            return DynGraph<Store>(cfg.directed, chunks, cfg.hybrid);
         } else if constexpr (std::is_same_v<Store, StingerStore>) {
             return DynGraph<Store>(cfg.directed, cfg.stingerBlock);
         } else if constexpr (std::is_constructible_v<Store, std::size_t>) {

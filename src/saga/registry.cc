@@ -13,6 +13,7 @@
 #include "ds/adj_chunked.h"
 #include "ds/adj_shared.h"
 #include "ds/dah.h"
+#include "ds/hybrid.h"
 #include "ds/stinger.h"
 #include "saga/driver.h"
 
@@ -54,6 +55,8 @@ makeRunner(const RunConfig &cfg)
         return makeForStore<StingerStore>(cfg);
       case DsKind::DAH:
         return makeForStore<DahStore>(cfg);
+      case DsKind::Hybrid:
+        return makeForStore<HybridStore>(cfg);
     }
     return nullptr;
 }

@@ -86,6 +86,17 @@ inline constexpr bool kStageableStore =
 namespace detail {
 
 /**
+ * Stores with a native point lookup (the hybrid store's tiered rows make
+ * it O(1)-bounded) let the stage classifier skip the block scan — on hub
+ * vertices that turns an O(degree) dedup probe into a hash probe.
+ */
+template <typename Store>
+inline constexpr bool kHasFindWeight =
+    requires(const Store &s, NodeId v, bool &f) {
+        { s.findWeight(v, v, f) } -> std::convertible_to<Weight>;
+    };
+
+/**
  * Weight of edge (src, dst) in the frozen snapshot, or kInvalidNode-free
  * "absent" signal via @p found. Read-only; safe concurrently with any
  * number of readers.
@@ -98,6 +109,8 @@ snapshotFindWeight(const Store &store, NodeId src, NodeId dst, bool &found)
     Weight weight{};
     if (src >= store.numNodes())
         return weight;
+    if constexpr (kHasFindWeight<Store>)
+        return store.findWeight(src, dst, found);
     store.forNeighborsBlock(src, [&](const Neighbor *run,
                                      std::uint32_t len) {
         for (std::uint32_t i = 0; i < len; ++i) {

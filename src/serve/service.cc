@@ -229,6 +229,8 @@ class ServiceImpl final : public GraphService
         const std::size_t chunks = cfg.chunks ? cfg.chunks : pool.size();
         if constexpr (std::is_same_v<Store, DahStore>) {
             return DynGraph<Store>(cfg.directed, chunks, cfg.dah);
+        } else if constexpr (std::is_same_v<Store, HybridStore>) {
+            return DynGraph<Store>(cfg.directed, chunks, cfg.hybrid);
         } else if constexpr (std::is_same_v<Store, StingerStore>) {
             return DynGraph<Store>(cfg.directed, cfg.stingerBlock);
         } else if constexpr (std::is_constructible_v<Store, std::size_t>) {
@@ -330,6 +332,8 @@ makeService(const ServeConfig &cfg)
         return std::make_unique<ServiceImpl<StingerStore>>(cfg);
       case DsKind::DAH:
         return std::make_unique<ServiceImpl<DahStore>>(cfg);
+      case DsKind::Hybrid:
+        return std::make_unique<ServiceImpl<HybridStore>>(cfg);
     }
     return nullptr;
 }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "ds/dah.h"
+#include "ds/hybrid.h"
 #include "ds/stinger.h"
 #include "saga/driver.h"
 #include "saga/types.h"
@@ -48,10 +49,11 @@ struct ServeConfig
     bool directed = true;
     /** Writer/refresh pool width (the epoch loop's workers); >= 1. */
     std::size_t threads = 1;
-    /** Chunks for AC/DAH; 0 = same as the pool width. */
+    /** Chunks for AC/DAH/Hybrid; 0 = same as the pool width. */
     std::size_t chunks = 0;
     std::uint32_t stingerBlock = StingerStore::kBlockCapacity;
     DahConfig dah{};
+    HybridConfig hybrid{};
     /** Pinned BFS source vertex for bfsDistance() queries. */
     NodeId bfsSource = 0;
     /** Entries returned by pageRankTopK(). */

@@ -41,6 +41,11 @@ enum class Counter : std::uint32_t {
     StingerBlocksAllocated, ///< fresh Stinger edge blocks
     DahPromotions,        ///< vertices promoted to DAH high-degree tables
     DahFlushes,           ///< DAH chunk flush operations
+    HybridT0Vertices,     ///< vertices that entered the hybrid inline tier
+    HybridT1Vertices,     ///< hybrid promotions into the T1 linear tier
+    HybridT2Vertices,     ///< hybrid promotions into the T2 hash tier
+    HybridPromotions,     ///< all hybrid tier promotions (T0→T1 + T1→T2)
+    HybridProbeLenMax,    ///< longest hub-table probe sequence (max-agg)
     ComputeRounds,        ///< frontier/power-iteration rounds executed
     ComputeFrontierVertices, ///< vertices processed across all rounds
     ComputeAffectedVertices, ///< batch-affected vertices fed to INC
@@ -64,6 +69,18 @@ enum class Counter : std::uint32_t {
 
 inline constexpr std::size_t kNumCounters =
     static_cast<std::size_t>(Counter::kCount);
+
+/**
+ * True for counters that aggregate across threads (and across
+ * SAGA_COUNT_MAX calls on one thread) by *maximum* instead of sum —
+ * high-water marks like the longest probe sequence a hub table ever
+ * saw. Everything else is a monotone sum.
+ */
+constexpr bool
+aggregatesMax(Counter c)
+{
+    return c == Counter::HybridProbeLenMax;
+}
 
 /**
  * Timed phases. Names form a hierarchy by prefix: "update/scatter" is
@@ -107,6 +124,11 @@ name(Counter c)
         return "stinger.blocks_allocated";
       case Counter::DahPromotions: return "dah.promotions";
       case Counter::DahFlushes: return "dah.flushes";
+      case Counter::HybridT0Vertices: return "hybrid.t0_vertices";
+      case Counter::HybridT1Vertices: return "hybrid.t1_vertices";
+      case Counter::HybridT2Vertices: return "hybrid.t2_vertices";
+      case Counter::HybridPromotions: return "hybrid.promotions";
+      case Counter::HybridProbeLenMax: return "hybrid.probe_len_max";
       case Counter::ComputeRounds: return "compute.rounds";
       case Counter::ComputeFrontierVertices:
         return "compute.frontier_vertices";

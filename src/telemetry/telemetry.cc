@@ -267,8 +267,13 @@ class Registry
         out.threads = slots_.size();
         for (const auto &slotPtr : slots_) {
             const ThreadSlot &s = *slotPtr;
-            for (std::size_t i = 0; i < kNumCounters; ++i)
-                out.counters[i] += s.counters[i];
+            for (std::size_t i = 0; i < kNumCounters; ++i) {
+                if (aggregatesMax(static_cast<Counter>(i)))
+                    out.counters[i] =
+                        std::max(out.counters[i], s.counters[i]);
+                else
+                    out.counters[i] += s.counters[i];
+            }
             for (std::size_t i = 0; i < kNumPhases; ++i) {
                 const PhaseAcc &acc = s.phases[i];
                 if (acc.count == 0)
@@ -372,6 +377,14 @@ void
 addCount(Counter c, std::uint64_t n)
 {
     Registry::instance().slot().counters[static_cast<std::size_t>(c)] += n;
+}
+
+void
+maxCount(Counter c, std::uint64_t v)
+{
+    std::uint64_t &slot =
+        Registry::instance().slot().counters[static_cast<std::size_t>(c)];
+    slot = std::max(slot, v);
 }
 
 } // namespace detail

@@ -93,6 +93,7 @@ extern std::atomic<bool> g_metrics_enabled;
 extern std::atomic<bool> g_trace_enabled;
 
 void addCount(Counter c, std::uint64_t n);
+void maxCount(Counter c, std::uint64_t v);
 } // namespace detail
 
 /** True if metric recording is on (hot-path check). */
@@ -118,6 +119,19 @@ count(Counter c, std::uint64_t n = 1)
 {
     if (enabled())
         detail::addCount(c, n);
+}
+
+/**
+ * Raise counter @p c on this thread's slot to at least @p v (if
+ * enabled). Only valid for counters where aggregatesMax(c) is true:
+ * the per-thread slots and the cross-thread aggregation both take the
+ * maximum, so the exported value is the process-wide high-water mark.
+ */
+inline void
+countMax(Counter c, std::uint64_t v)
+{
+    if (enabled())
+        detail::maxCount(c, v);
 }
 
 /**
@@ -217,6 +231,7 @@ bool writeTraceJson(const std::string &path);
 constexpr bool enabled() { return false; }
 constexpr bool traceEnabled() { return false; }
 inline void count(Counter, std::uint64_t = 1) {}
+inline void countMax(Counter, std::uint64_t) {}
 
 class PhaseScope
 {
@@ -287,10 +302,16 @@ bool writeTraceJson(const std::string &path);
 /** Add @p n to telemetry counter @p counter (literal enumerator). */
 #define SAGA_COUNT(counter, n) ::saga::telemetry::count((counter), (n))
 
+/** Raise max-aggregated counter @p counter to at least @p v (literal
+    enumerator; the counter must satisfy aggregatesMax()). */
+#define SAGA_COUNT_MAX(counter, v)                                        \
+    ::saga::telemetry::countMax((counter), (v))
+
 #else
 
 #define SAGA_PHASE(phase) ((void)0)
 #define SAGA_COUNT(counter, n) ((void)0)
+#define SAGA_COUNT_MAX(counter, v) ((void)0)
 
 #endif
 

@@ -24,6 +24,7 @@
 #include "ds/adj_chunked.h"
 #include "ds/adj_shared.h"
 #include "ds/dah.h"
+#include "ds/hybrid.h"
 #include "ds/dyn_graph.h"
 #include "ds/reference.h"
 #include "ds/stinger.h"
@@ -177,7 +178,8 @@ class ComputeEngineTest : public ::testing::Test
 };
 
 using ComputeStores = ::testing::Types<AdjSharedStore, AdjChunkedStore,
-                                       StingerStore, DahStore>;
+                                       StingerStore, DahStore,
+                                       HybridStore>;
 TYPED_TEST_SUITE(ComputeEngineTest, ComputeStores);
 
 TYPED_TEST(ComputeEngineTest, FsRandomDirected)

@@ -14,7 +14,8 @@ namespace {
 
 TEST(EnumNames, RoundTrip)
 {
-    for (DsKind ds : {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH})
+    for (DsKind ds : {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH,
+          DsKind::Hybrid})
         EXPECT_EQ(parseDs(toString(ds)), ds);
     for (AlgKind alg : {AlgKind::BFS, AlgKind::CC, AlgKind::MC, AlgKind::PR,
                         AlgKind::SSSP, AlgKind::SSWP})
@@ -49,7 +50,8 @@ TEST(Runner, ProcessBatchReportsLatenciesAndSizes)
 TEST(Runner, AllTwentyFourCombosRunOneBatch)
 {
     for (DsKind ds :
-         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH}) {
+         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH,
+          DsKind::Hybrid}) {
         for (AlgKind alg : {AlgKind::BFS, AlgKind::CC, AlgKind::MC,
                             AlgKind::PR, AlgKind::SSSP, AlgKind::SSWP}) {
             RunConfig cfg;
@@ -71,7 +73,8 @@ TEST(Runner, GraphIdenticalAcrossDataStructures)
     // Same stream into all four structures must produce the same graph.
     std::vector<std::unique_ptr<StreamingRunner>> runners;
     for (DsKind ds :
-         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH}) {
+         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH,
+          DsKind::Hybrid}) {
         RunConfig cfg;
         cfg.ds = ds;
         cfg.alg = AlgKind::BFS;

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Tier-boundary property tests for the hybrid store (DESIGN.md §12):
+ * degrees exactly at/around the T0→T1 and T1→T2 thresholds, duplicate
+ * floods on hubs, PSL-limit eviction cascades in the hub table, slab
+ * allocator alignment/reuse, the staged-apply contract, and the
+ * hybrid.* telemetry counters.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ds/dyn_graph.h"
+#include "ds/hybrid.h"
+#include "platform/thread_pool.h"
+#include "saga/partitioned_batch.h"
+#include "saga/staged_apply.h"
+#include "telemetry/telemetry.h"
+#include "test_util.h"
+
+namespace saga {
+namespace {
+
+// The hybrid store must be a first-class citizen of both ingest
+// pipelines and the staged (overlap) pipeline.
+static_assert(kChunkOwnedAppend<HybridStore>,
+              "hybrid must expose the chunk-owned append hooks");
+static_assert(kStageableStore<HybridStore>,
+              "hybrid must be stageable for the pipelined driver");
+static_assert(detail::kHasFindWeight<HybridStore>,
+              "hybrid should expose the stage classifier's point lookup");
+
+/** Distinct-destination edge (v -> base + k) with a deterministic weight. */
+Edge
+edgeTo(NodeId v, NodeId dst)
+{
+    return {v, dst, static_cast<Weight>(dst % 13 + 1)};
+}
+
+class HybridTierTest : public ::testing::Test
+{
+  protected:
+    /** Single-chunk store so one vertex's promotions are easy to watch. */
+    HybridStore
+    makeStore(std::uint32_t t1_max, std::uint32_t psl_limit = 24)
+    {
+        HybridConfig cfg;
+        cfg.t1MaxDegree = t1_max;
+        cfg.pslLimit = psl_limit;
+        return HybridStore(1, cfg);
+    }
+
+    /** Insert @p count distinct edges from @p v (dsts 1000..1000+count). */
+    void
+    fill(HybridStore &store, NodeId v, std::uint32_t count)
+    {
+        store.ensureNodes(std::max<NodeId>(v + 1, 1000 + count));
+        store.declareChunksOwned(); // single-threaded: quiescent owner
+        for (std::uint32_t k = 0; k < count; ++k) {
+            const Edge e = edgeTo(v, 1000 + k);
+            ASSERT_TRUE(store.insertOwned(e.src, e.dst, e.weight));
+        }
+    }
+};
+
+TEST_F(HybridTierTest, T0BoundaryAtInlineCapacity)
+{
+    HybridStore store = makeStore(32);
+    fill(store, 5, HybridStore::kInlineCap); // exactly full inline slot
+    EXPECT_EQ(store.degree(5), HybridStore::kInlineCap);
+    EXPECT_EQ(store.numT0Vertices(), 1u);
+    EXPECT_EQ(store.numT1Vertices(), 0u);
+    EXPECT_EQ(store.t1CapacityOf(5), 0u);
+
+    // One more edge crosses the T0→T1 boundary.
+    store.declareChunksOwned();
+    ASSERT_TRUE(store.insertOwned(5, 2000, 1.0f));
+    EXPECT_EQ(store.degree(5), HybridStore::kInlineCap + 1);
+    EXPECT_EQ(store.numT0Vertices(), 0u);
+    EXPECT_EQ(store.numT1Vertices(), 1u);
+    EXPECT_EQ(store.t1CapacityOf(5), HybridSlabAllocator::kMinBlock);
+    EXPECT_EQ(store.numEdges(), HybridStore::kInlineCap + 1);
+}
+
+TEST_F(HybridTierTest, T1DoublesThenPromotesToT2AtThreshold)
+{
+    HybridStore store = makeStore(/*t1_max=*/32);
+    EXPECT_EQ(store.t1Cap(), 32u);
+
+    fill(store, 5, 16); // fills the first T1 block exactly
+    EXPECT_EQ(store.t1CapacityOf(5), 16u);
+    store.declareChunksOwned();
+    ASSERT_TRUE(store.insertOwned(5, 3000, 1.0f)); // 17th → grow to 32
+    EXPECT_EQ(store.t1CapacityOf(5), 32u);
+    EXPECT_EQ(store.numT1Vertices(), 1u);
+    EXPECT_EQ(store.numT2Vertices(), 0u);
+
+    // Fill T1 to its max capacity; still not a hub.
+    for (NodeId k = 0; store.degree(5) < 32; ++k) {
+        store.declareChunksOwned();
+        store.insertOwned(5, 4000 + k, 1.0f);
+    }
+    EXPECT_EQ(store.numT2Vertices(), 0u);
+
+    // Edge 33 crosses the T1→T2 boundary.
+    store.declareChunksOwned();
+    ASSERT_TRUE(store.insertOwned(5, 9000, 1.0f));
+    EXPECT_EQ(store.degree(5), 33u);
+    EXPECT_EQ(store.numT1Vertices(), 0u);
+    EXPECT_EQ(store.numT2Vertices(), 1u);
+
+    // All 33 distinct destinations survived the cascade of migrations.
+    EXPECT_EQ(test::sortedNeighbors(store, 5).size(), 33u);
+    EXPECT_EQ(store.numEdges(), 33u);
+}
+
+TEST_F(HybridTierTest, DuplicatesKeepMinWeightAcrossAllTiers)
+{
+    HybridStore store = makeStore(/*t1_max=*/16);
+    store.ensureNodes(100000);
+    store.declareChunksOwned();
+
+    // Grow vertex 7 through every tier, re-offering one probe edge with
+    // varying weights at each stage.
+    ASSERT_TRUE(store.insertOwned(7, 42, 5.0f)); // T0
+    EXPECT_FALSE(store.insertOwned(7, 42, 9.0f));
+    EXPECT_FALSE(store.insertOwned(7, 42, 3.0f)); // min drops to 3
+
+    for (NodeId k = 0; k < 10; ++k) // push into T1
+        store.insertOwned(7, 1000 + k, 1.0f);
+    EXPECT_EQ(store.numT1Vertices(), 1u);
+    EXPECT_FALSE(store.insertOwned(7, 42, 8.0f));
+    EXPECT_FALSE(store.insertOwned(7, 42, 2.0f)); // min drops to 2
+
+    for (NodeId k = 0; k < 30; ++k) // push into T2
+        store.insertOwned(7, 2000 + k, 1.0f);
+    EXPECT_EQ(store.numT2Vertices(), 1u);
+    EXPECT_FALSE(store.insertOwned(7, 42, 7.0f));
+    EXPECT_FALSE(store.insertOwned(7, 42, 0.5f)); // min drops to 0.5
+
+    bool found = false;
+    EXPECT_EQ(store.findWeight(7, 42, found), 0.5f);
+    EXPECT_TRUE(found);
+    EXPECT_EQ(store.degree(7), 41u);
+    EXPECT_EQ(store.numEdges(), 41u);
+}
+
+TEST_F(HybridTierTest, DuplicateFloodOnHubLeavesStateUntouched)
+{
+    HybridStore store = makeStore(/*t1_max=*/16);
+    fill(store, 9, 200); // deep into T2
+    ASSERT_EQ(store.numT2Vertices(), 1u);
+    const auto before = test::sortedNeighbors(store, 9);
+    const std::uint64_t edges_before = store.numEdges();
+
+    store.declareChunksOwned();
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint32_t k = 0; k < 200; ++k) {
+            const Edge e = edgeTo(9, 1000 + k);
+            EXPECT_FALSE(store.insertOwned(e.src, e.dst, e.weight));
+        }
+    }
+    EXPECT_EQ(store.degree(9), 200u);
+    EXPECT_EQ(store.numEdges(), edges_before);
+    EXPECT_EQ(test::sortedNeighbors(store, 9), before);
+}
+
+TEST_F(HybridTierTest, FindWeightMatchesForNeighborsAcrossTiers)
+{
+    for (std::uint32_t degree : {3u, 12u, 40u, 300u}) {
+        HybridStore store = makeStore(/*t1_max=*/16);
+        fill(store, 1, degree);
+        bool found = false;
+        for (std::uint32_t k = 0; k < degree; ++k) {
+            const Edge e = edgeTo(1, 1000 + k);
+            EXPECT_EQ(store.findWeight(1, e.dst, found), e.weight);
+            EXPECT_TRUE(found);
+        }
+        store.findWeight(1, 999, found);
+        EXPECT_FALSE(found);
+        store.findWeight(2, 1000, found); // untouched vertex
+        EXPECT_FALSE(found);
+    }
+}
+
+TEST_F(HybridTierTest, BlockIterationMatchesForNeighbors)
+{
+    for (std::uint32_t degree : {0u, 5u, 7u, 8u, 16u, 33u, 500u}) {
+        HybridStore store = makeStore(/*t1_max=*/32);
+        if (degree > 0)
+            fill(store, 3, degree);
+        else
+            store.ensureNodes(4);
+
+        std::vector<Neighbor> via_blocks;
+        store.forNeighborsBlock(3, [&](const Neighbor *run,
+                                       std::uint32_t len) {
+            for (std::uint32_t i = 0; i < len; ++i)
+                via_blocks.push_back(run[i]);
+            return true;
+        });
+        std::sort(via_blocks.begin(), via_blocks.end(),
+                  [](const Neighbor &a, const Neighbor &b) {
+                      return a.node < b.node;
+                  });
+        EXPECT_EQ(via_blocks, test::sortedNeighbors(store, 3))
+            << "degree=" << degree;
+    }
+}
+
+TEST_F(HybridTierTest, BlockIterationEarlyStop)
+{
+    HybridStore store = makeStore(/*t1_max=*/16);
+    fill(store, 3, 400); // T2: many runs
+    std::uint32_t calls = 0;
+    store.forNeighborsBlock(3, [&](const Neighbor *, std::uint32_t) {
+        ++calls;
+        return false; // stop after the first run
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hub table: bounded PSL + eviction-cascade grows.
+
+TEST(HybridHubTable, PslNeverExceedsLimitUnderCascades)
+{
+    // A tiny PSL limit forces repeated grow-and-rehash cascades; the
+    // bound must hold at every step and no edge may be lost.
+    HybridHubTable table(/*initial_capacity=*/64, /*psl_limit=*/2);
+    std::set<NodeId> inserted;
+    for (NodeId k = 0; k < 5000; ++k) {
+        const NodeId dst = k * 2654435761u % 100000;
+        if (inserted.insert(dst).second)
+            ASSERT_TRUE(table.insertUnique(dst, 1.0f)) << "dst=" << dst;
+        else
+            ASSERT_FALSE(table.insertUnique(dst, 1.0f)) << "dst=" << dst;
+        ASSERT_LE(table.maxPsl(), 2u);
+    }
+    EXPECT_EQ(table.size(), inserted.size());
+    for (NodeId dst : inserted)
+        EXPECT_NE(table.find(dst), nullptr) << "dst=" << dst;
+}
+
+TEST(HybridHubTable, ForRunsCoversEveryOccupiedSlotOnce)
+{
+    HybridHubTable table(64, 24);
+    for (NodeId k = 0; k < 777; ++k)
+        table.insertUnique(k * 7919, static_cast<Weight>(k % 5 + 1));
+
+    std::multiset<NodeId> via_runs, via_all;
+    table.forRuns([&](const Neighbor *run, std::uint32_t len) {
+        for (std::uint32_t i = 0; i < len; ++i)
+            via_runs.insert(run[i].node);
+        return true;
+    });
+    table.forAll([&](const Neighbor &nbr) { via_all.insert(nbr.node); });
+    EXPECT_EQ(via_runs.size(), table.size());
+    EXPECT_EQ(via_runs, via_all);
+}
+
+TEST(HybridHubTable, FindIsBoundedAndExact)
+{
+    HybridHubTable table(64, 8);
+    for (NodeId k = 0; k < 300; ++k)
+        table.insertUnique(k, static_cast<Weight>(k + 1));
+    for (NodeId k = 0; k < 300; ++k) {
+        const Neighbor *hit = table.find(k);
+        ASSERT_NE(hit, nullptr) << "k=" << k;
+        EXPECT_EQ(hit->weight, static_cast<Weight>(k + 1));
+    }
+    EXPECT_EQ(table.find(301), nullptr);
+    EXPECT_LE(table.maxPsl(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Slab allocator: cache-line alignment and block reuse.
+
+TEST(HybridSlabAllocator, BlocksAreCacheLineAligned)
+{
+    HybridSlabAllocator slab;
+    for (std::uint32_t cap : {16u, 32u, 64u, 128u, 16u, 32u}) {
+        Neighbor *block = slab.allocate(cap);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(block) % 64, 0u)
+            << "cap=" << cap;
+    }
+}
+
+TEST(HybridSlabAllocator, ReleasedBlocksAreRecycled)
+{
+    HybridSlabAllocator slab;
+    Neighbor *a = slab.allocate(32);
+    slab.release(a, 32);
+    EXPECT_EQ(slab.allocate(32), a); // same class → same block back
+    EXPECT_EQ(slab.numSlabs(), 1u);
+
+    // Churning grow-release cycles must not consume fresh slab space.
+    for (int i = 0; i < 10000; ++i) {
+        Neighbor *b = slab.allocate(64);
+        slab.release(b, 64);
+    }
+    EXPECT_EQ(slab.numSlabs(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Staged-apply contract: stage + publish must equal serial insert.
+
+TEST(HybridStagedApply, PublishMatchesSerialApply)
+{
+    ThreadPool pool(4);
+    const std::size_t chunks = 4;
+    HybridConfig cfg;
+    cfg.t1MaxDegree = 16; // low thresholds: promotions inside publish
+    HybridStore serial(chunks, cfg), staged(chunks, cfg);
+    StagedApply<HybridStore> apply;
+    PartitionedBatch parts;
+
+    for (int b = 0; b < 6; ++b) {
+        EdgeBatch batch = test::randomBatch(150, 4000, 113 + b);
+        parts.build(batch, pool, chunks);
+        serial.updateBatch(parts, pool, /*reversed=*/false);
+        apply.stage(staged, parts, /*reversed=*/false, pool);
+        apply.publish(staged, pool);
+    }
+
+    ASSERT_EQ(staged.numNodes(), serial.numNodes());
+    ASSERT_EQ(staged.numEdges(), serial.numEdges());
+    for (NodeId v = 0; v < serial.numNodes(); ++v) {
+        ASSERT_EQ(staged.degree(v), serial.degree(v)) << "v=" << v;
+        ASSERT_EQ(test::sortedNeighbors(staged, v),
+                  test::sortedNeighbors(serial, v))
+            << "v=" << v;
+    }
+    // The low thresholds above must actually have exercised promotion
+    // inside the publish window for the test to mean anything.
+    EXPECT_GT(staged.numT2Vertices(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: tier-occupancy counters and the probe-length high-water mark.
+
+class HybridTelemetryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { quiesce(); }
+    void TearDown() override { quiesce(); }
+
+    static void quiesce()
+    {
+        telemetry::setEnabled(false);
+        telemetry::setTraceEnabled(false);
+        telemetry::reset();
+    }
+
+    static std::uint64_t
+    counter(const telemetry::MetricsSnapshot &snap, telemetry::Counter c)
+    {
+        return snap.counters[static_cast<std::size_t>(c)];
+    }
+};
+
+TEST_F(HybridTelemetryTest, TierCountersMatchStoreOccupancy)
+{
+    telemetry::setEnabled(true);
+
+    ThreadPool pool(4);
+    HybridConfig cfg;
+    cfg.t1MaxDegree = 16;
+    HybridStore store(4, cfg);
+    PartitionedBatch parts;
+    for (int b = 0; b < 4; ++b) {
+        const EdgeBatch batch = test::randomBatch(120, 6000, 131 + b);
+        parts.build(batch, pool, store.numChunks());
+        store.updateBatch(parts, pool, /*reversed=*/false);
+    }
+
+    const telemetry::MetricsSnapshot snap = telemetry::snapshot();
+    using telemetry::Counter;
+    // Every touched vertex was born in T0.
+    EXPECT_EQ(counter(snap, Counter::HybridT0Vertices),
+              store.numT0Vertices() + store.numT1Vertices() +
+                  store.numT2Vertices());
+    // One-way promotion: tier counters are promotion events, so current
+    // occupancy is derivable (T1 promotions that later became T2 hubs).
+    EXPECT_EQ(counter(snap, Counter::HybridT1Vertices),
+              store.numT1Vertices() + store.numT2Vertices());
+    EXPECT_EQ(counter(snap, Counter::HybridT2Vertices),
+              store.numT2Vertices());
+    EXPECT_EQ(counter(snap, Counter::HybridPromotions),
+              counter(snap, Counter::HybridT1Vertices) +
+                  counter(snap, Counter::HybridT2Vertices));
+    EXPECT_GT(counter(snap, Counter::HybridT2Vertices), 0u);
+    // The probe high-water mark is max-aggregated and bounded by the
+    // PSL limit.
+    EXPECT_EQ(counter(snap, Counter::HybridProbeLenMax),
+              store.maxProbeLen());
+    EXPECT_LE(counter(snap, Counter::HybridProbeLenMax), cfg.pslLimit);
+    // Ingest invariant holds for the hybrid insert path too.
+    EXPECT_EQ(counter(snap, Counter::IngestEdgesSeen),
+              counter(snap, Counter::IngestEdgesInserted) +
+                  counter(snap, Counter::IngestDuplicates));
+}
+
+TEST_F(HybridTelemetryTest, CountMaxAggregatesByMaximum)
+{
+    telemetry::setEnabled(true);
+    using telemetry::Counter;
+    SAGA_COUNT_MAX(telemetry::Counter::HybridProbeLenMax, 7);
+    SAGA_COUNT_MAX(telemetry::Counter::HybridProbeLenMax, 3); // no-op
+    telemetry::MetricsSnapshot snap = telemetry::snapshot();
+    EXPECT_EQ(counter(snap, Counter::HybridProbeLenMax), 7u);
+
+    // Other threads' smaller high-water marks must not sum into it.
+    ThreadPool pool(4);
+    pool.run([&](std::size_t w) {
+        SAGA_COUNT_MAX(telemetry::Counter::HybridProbeLenMax,
+                       static_cast<std::uint64_t>(w + 1));
+    });
+    snap = telemetry::snapshot();
+    EXPECT_EQ(counter(snap, Counter::HybridProbeLenMax), 7u);
+}
+
+} // namespace
+} // namespace saga

@@ -89,7 +89,8 @@ std::vector<Combo>
 allCombos()
 {
     std::vector<Combo> combos;
-    for (DsKind ds : {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH})
+    for (DsKind ds : {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH,
+          DsKind::Hybrid})
         for (AlgKind alg : {AlgKind::BFS, AlgKind::CC, AlgKind::MC,
                             AlgKind::PR, AlgKind::SSSP, AlgKind::SSWP})
             combos.push_back({ds, alg});

@@ -23,6 +23,7 @@
 #include "ds/dah.h"
 #include "ds/dyn_graph.h"
 #include "ds/hash_util.h"
+#include "ds/hybrid.h"
 #include "ds/reference.h"
 #include "ds/stinger.h"
 #include "algo/inc_engine.h"
@@ -114,7 +115,7 @@ class IngestEquivalenceTest : public ::testing::Test
 };
 
 using IngestStores = ::testing::Types<AdjSharedStore, AdjChunkedStore,
-                                      StingerStore, DahStore>;
+                                      StingerStore, DahStore, HybridStore>;
 TYPED_TEST_SUITE(IngestEquivalenceTest, IngestStores);
 
 TYPED_TEST(IngestEquivalenceTest, RandomStreamDirected)
@@ -173,7 +174,8 @@ TYPED_TEST(IngestEquivalenceTest, EmptyAndTinyBatches)
 TYPED_TEST(IngestEquivalenceTest, StoreOverloadsAgree)
 {
     if constexpr (std::is_same_v<TypeParam, AdjChunkedStore> ||
-                  std::is_same_v<TypeParam, DahStore>) {
+                  std::is_same_v<TypeParam, DahStore> ||
+                  std::is_same_v<TypeParam, HybridStore>) {
         ThreadPool pool(4);
         TypeParam legacy(5), partitioned(5);
         PartitionedBatch parts;

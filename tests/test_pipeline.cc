@@ -93,7 +93,8 @@ TEST(AsyncLane, WaitIsIdempotentAndReusable)
 TEST(Pipeline, MatchesSerialOracleAcrossStoresModelsDirectedness)
 {
     for (DsKind ds :
-         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH}) {
+         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH,
+          DsKind::Hybrid}) {
         for (ModelKind model : {ModelKind::FS, ModelKind::INC}) {
             for (bool directed : {true, false}) {
                 SCOPED_TRACE(std::string(toString(ds)) + "/" +
@@ -133,7 +134,8 @@ TEST(Pipeline, MatchesSerialOracleAcrossStoresModelsDirectedness)
 TEST(Pipeline, FinalValuesBitEqualToSerial)
 {
     for (DsKind ds :
-         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH}) {
+         {DsKind::AS, DsKind::AC, DsKind::Stinger, DsKind::DAH,
+          DsKind::Hybrid}) {
         for (ModelKind model : {ModelKind::FS, ModelKind::INC}) {
             for (bool directed : {true, false}) {
                 SCOPED_TRACE(std::string(toString(ds)) + "/" +

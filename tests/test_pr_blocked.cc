@@ -23,6 +23,7 @@
 #include "ds/adj_chunked.h"
 #include "ds/adj_shared.h"
 #include "ds/dah.h"
+#include "ds/hybrid.h"
 #include "ds/dyn_graph.h"
 #include "ds/stinger.h"
 #include "platform/dest_bins.h"
@@ -133,7 +134,7 @@ class PrBlockedTest : public ::testing::Test
 };
 
 using PrStores = ::testing::Types<AdjSharedStore, AdjChunkedStore,
-                                  StingerStore, DahStore>;
+                                  StingerStore, DahStore, HybridStore>;
 TYPED_TEST_SUITE(PrBlockedTest, PrStores);
 
 TYPED_TEST(PrBlockedTest, RandomDirected)

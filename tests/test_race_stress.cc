@@ -29,6 +29,7 @@
 #include "ds/adj_chunked.h"
 #include "ds/adj_shared.h"
 #include "ds/dah.h"
+#include "ds/hybrid.h"
 #include "ds/reference.h"
 #include "ds/stinger.h"
 #include "platform/thread_pool.h"
@@ -141,7 +142,8 @@ class StoreRaceStress : public ::testing::Test
 };
 
 using StressStoreTypes = ::testing::Types<AdjSharedStore, AdjChunkedStore,
-                                          StingerStore, DahStore>;
+                                          StingerStore, DahStore,
+                                          HybridStore>;
 TYPED_TEST_SUITE(StoreRaceStress, StressStoreTypes);
 
 TYPED_TEST(StoreRaceStress, HubHeavyStreamMatchesOracle)

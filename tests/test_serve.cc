@@ -787,7 +787,8 @@ TEST_P(ServeE2eTest, BackgroundLoopDrainsOffers)
 
 INSTANTIATE_TEST_SUITE_P(AllStores, ServeE2eTest,
                          ::testing::Values(DsKind::AS, DsKind::AC,
-                                           DsKind::Stinger, DsKind::DAH),
+                                           DsKind::Stinger, DsKind::DAH,
+                                           DsKind::Hybrid),
                          [](const ::testing::TestParamInfo<DsKind> &tpi) {
                              return std::string(toString(tpi.param));
                          });

@@ -132,7 +132,8 @@ RELEASE_ORDERS = {"release", "acq_rel", "seq_cst"}
 # an audited class are audited too). Fixture/test classes opt in with
 # `// saga-analyze: audit-class`.
 AUDIT_CLASSES = {"AdjSharedStore", "AdjChunkedStore", "DahStore",
-                 "StingerStore", "DynGraph", "ThreadPool", "AsyncLane"}
+                 "StingerStore", "HybridStore", "DynGraph", "ThreadPool",
+                 "AsyncLane"}
 
 # Member types that are themselves synchronization (or immutable-by-type).
 SYNC_TYPE_RE = re.compile(
@@ -885,7 +886,8 @@ class InternalParser:
                         named = False  # temporary
                     fn.phase_scopes.append(PhaseScopeUse(named, t.line))
                 # SAGA_PHASE / SAGA_COUNT macro arguments
-                if t.text in ("SAGA_PHASE", "SAGA_COUNT") and \
+                if t.text in ("SAGA_PHASE", "SAGA_COUNT",
+                              "SAGA_COUNT_MAX") and \
                         i + 1 < end and toks[i + 1].text == "(":
                     close = match_balanced(toks, i + 1, "(", ")")
                     arg = self.first_arg_text(toks, i + 2, close - 1)
@@ -1687,7 +1689,7 @@ def check_telemetry(prog):
             arg = ma.arg.strip()
             if ma.macro == "SAGA_PHASE":
                 ok = QUALIFIED_PHASE_RE.match(arg)
-            elif ma.macro == "SAGA_COUNT":
+            elif ma.macro in ("SAGA_COUNT", "SAGA_COUNT_MAX"):
                 ok = QUALIFIED_COUNTER_RE.match(arg)
             else:  # direct telemetry::count call
                 ok = QUALIFIED_COUNTER_RE.match(arg) or \

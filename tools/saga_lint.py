@@ -222,9 +222,10 @@ RULES = [
          "SAGA_PHASE/SAGA_COUNT take qualified Phase::/Counter:: enumerators",
          telemetry_macro_scope,
          r"\bSAGA_PHASE\s*\(\s*(?!(::)?(saga::)?telemetry::Phase::)"
-         r"|\bSAGA_COUNT\s*\(\s*(?!(::)?(saga::)?telemetry::Counter::)",
-         "SAGA_PHASE/SAGA_COUNT argument must be a qualified "
-         "telemetry::Phase::/telemetry::Counter:: enumerator "
+         r"|\bSAGA_COUNT\s*\(\s*(?!(::)?(saga::)?telemetry::Counter::)"
+         r"|\bSAGA_COUNT_MAX\s*\(\s*(?!(::)?(saga::)?telemetry::Counter::)",
+         "SAGA_PHASE/SAGA_COUNT/SAGA_COUNT_MAX argument must be a "
+         "qualified telemetry::Phase::/telemetry::Counter:: enumerator "
          "(src/telemetry/metrics.h)"),
 ]
 

@@ -81,7 +81,7 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: saga_serve [--port=N] [--ds=as|ac|stinger|dah]\n"
+        "usage: saga_serve [--port=N] [--ds=as|ac|stinger|dah|hybrid]\n"
         "                  [--threads=N] [--queue-depth=EDGES]\n"
         "                  [--epoch-edges=N] [--epoch-interval-us=N]\n"
         "                  [--bfs-source=V] [--topk=K] [--pr-iters=N]\n"
